@@ -1,0 +1,281 @@
+// Benchmarks regenerating the paper's evaluation (Figure 5(a)-(d)) and the
+// ablation experiments of DESIGN.md, one benchmark family per figure. The
+// testing.B benchmarks run at a reduced scale so `go test -bench=.` finishes
+// in minutes; cmd/sysdsbench runs the same harness at the small or paper
+// scale and prints the full series.
+package systemds_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/baselines"
+	"github.com/systemds/systemds-go/internal/experiments"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/paramserv"
+)
+
+// benchScale is the data size used by the benchmarks.
+var benchScale = experiments.TinyScale()
+
+// --- Figure 5(a): Baselines Dense -----------------------------------------
+
+func benchmarkFig5aSystem(b *testing.B, run func(k int) error) {
+	for _, k := range benchScale.Ks {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := run(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func denseWorkloadData(b *testing.B) (x, y *matrix.MatrixBlock) {
+	b.Helper()
+	return matrix.SyntheticRegression(benchScale.Rows, benchScale.Cols, 1.0, 101)
+}
+
+func sparseWorkloadData(b *testing.B) (x, y *matrix.MatrixBlock) {
+	b.Helper()
+	return matrix.SyntheticRegression(benchScale.Rows, benchScale.Cols, 0.1, 102)
+}
+
+func lambdaValues(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = float64(i+1) / 1000
+	}
+	return out
+}
+
+func BenchmarkFig5aBaselinesDenseTF(b *testing.B) {
+	x, y := denseWorkloadData(b)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, err := baselines.RunHyperParameterWorkload(baselines.Naive, x, y, lambdaValues(k), 0)
+		return err
+	})
+}
+
+func BenchmarkFig5aBaselinesDenseTFG(b *testing.B) {
+	x, y := denseWorkloadData(b)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, err := baselines.RunHyperParameterWorkload(baselines.GraphCSE, x, y, lambdaValues(k), 0)
+		return err
+	})
+}
+
+func BenchmarkFig5aBaselinesDenseJulia(b *testing.B) {
+	x, y := denseWorkloadData(b)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, err := baselines.RunHyperParameterWorkload(baselines.Eager, x, y, lambdaValues(k), 0)
+		return err
+	})
+}
+
+func BenchmarkFig5aBaselinesDenseSysDS(b *testing.B) {
+	dir, xPath, yPath := figureFiles(b, 1.0, 103)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, _, err := experiments.RunSysDSWorkload(dir, xPath, yPath, k, false, false)
+		return err
+	})
+}
+
+func BenchmarkFig5aBaselinesDenseSysDSBLAS(b *testing.B) {
+	dir, xPath, yPath := figureFiles(b, 1.0, 104)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, _, err := experiments.RunSysDSWorkload(dir, xPath, yPath, k, false, true)
+		return err
+	})
+}
+
+// figureFiles materializes the CSV inputs of the end-to-end workload.
+func figureFiles(b *testing.B, sparsity float64, seed int64) (dir, xPath, yPath string) {
+	b.Helper()
+	dir = b.TempDir()
+	var err error
+	xPath, yPath, err = experiments.PrepareWorkloadFiles(dir, benchScale.Rows, benchScale.Cols, sparsity, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dir, xPath, yPath
+}
+
+// --- Figure 5(b): Baselines Sparse -----------------------------------------
+
+func BenchmarkFig5bBaselinesSparseTF(b *testing.B) {
+	x, y := sparseWorkloadData(b)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, err := baselines.RunHyperParameterWorkload(baselines.Naive, x, y, lambdaValues(k), 0)
+		return err
+	})
+}
+
+func BenchmarkFig5bBaselinesSparseTFG(b *testing.B) {
+	x, y := sparseWorkloadData(b)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, err := baselines.RunHyperParameterWorkload(baselines.GraphCSE, x, y, lambdaValues(k), 0)
+		return err
+	})
+}
+
+func BenchmarkFig5bBaselinesSparseJulia(b *testing.B) {
+	x, y := sparseWorkloadData(b)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, err := baselines.RunHyperParameterWorkload(baselines.Eager, x, y, lambdaValues(k), 0)
+		return err
+	})
+}
+
+func BenchmarkFig5bBaselinesSparseSysDS(b *testing.B) {
+	dir, xPath, yPath := figureFiles(b, 0.1, 105)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, _, err := experiments.RunSysDSWorkload(dir, xPath, yPath, k, false, false)
+		return err
+	})
+}
+
+// --- Figure 5(c): Reuse Dense ----------------------------------------------
+
+func BenchmarkFig5cReuseDenseOff(b *testing.B) {
+	dir, xPath, yPath := figureFiles(b, 1.0, 106)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, _, err := experiments.RunSysDSWorkload(dir, xPath, yPath, k, false, false)
+		return err
+	})
+}
+
+func BenchmarkFig5cReuseDenseOn(b *testing.B) {
+	dir, xPath, yPath := figureFiles(b, 1.0, 107)
+	benchmarkFig5aSystem(b, func(k int) error {
+		_, _, err := experiments.RunSysDSWorkload(dir, xPath, yPath, k, true, false)
+		return err
+	})
+}
+
+// --- Figure 5(d): Reuse Sparse over input size -----------------------------
+
+func BenchmarkFig5dReuseSparse(b *testing.B) {
+	for _, rows := range benchScale.RowsSweep {
+		for _, reuse := range []bool{false, true} {
+			name := fmt.Sprintf("rows=%d/reuse=%v", rows, reuse)
+			b.Run(name, func(b *testing.B) {
+				dir := b.TempDir()
+				xPath, yPath, err := experiments.PrepareWorkloadFiles(dir, rows, benchScale.Cols, 0.1, int64(rows))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := experiments.RunSysDSWorkload(dir, xPath, yPath, benchScale.KFixed, reuse, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Ablations --------------------------------------------------------------
+
+func BenchmarkAblationSteplmPartialReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSteplmPartialReuse(benchScale.Rows, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDistVsLocal(b *testing.B) {
+	x := matrix.RandUniform(benchScale.Rows, benchScale.Cols, 0, 1, 1.0, 1)
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matrix.TSMM(x, 0)
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.AblationDistVsLocal([]int{benchScale.Rows}, benchScale.Cols, 512); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblationFederatedTSMM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFederatedTSMM(benchScale.Rows, benchScale.Cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParamServ(b *testing.B) {
+	x, y := matrix.SyntheticRegression(benchScale.Rows, 20, 1.0, 3)
+	init := matrix.NewDense(20, 1)
+	for _, mode := range []paramserv.UpdateMode{paramserv.BSP, paramserv.ASP} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := paramserv.Config{Workers: 4, Epochs: 2, BatchSize: 64, LearnRate: 0.1, Mode: mode}
+				if _, _, err := paramserv.Train(x, y, init, paramserv.LinRegGradient(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Kernel micro-benchmarks (supporting data for Figure 5(a)) -------------
+
+func BenchmarkKernelGEMMStandard(b *testing.B) {
+	x := matrix.RandUniform(512, 256, -1, 1, 1.0, 5)
+	y := matrix.RandUniform(256, 128, -1, 1, 1.0, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.Multiply(x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelGEMMBLASLike(b *testing.B) {
+	x := matrix.RandUniform(512, 256, -1, 1, 1.0, 5)
+	y := matrix.RandUniform(256, 128, -1, 1, 1.0, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.MultiplyBLAS(x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelTSMMDense(b *testing.B) {
+	x := matrix.RandUniform(benchScale.Rows, benchScale.Cols, -1, 1, 1.0, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.TSMM(x, 0)
+	}
+}
+
+func BenchmarkKernelTSMMSparse(b *testing.B) {
+	x := matrix.RandUniform(benchScale.Rows, benchScale.Cols, 0, 1, 0.1, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.TSMM(x, 0)
+	}
+}
+
+func BenchmarkCSVParse(b *testing.B) {
+	dir := b.TempDir()
+	xPath, _, err := experiments.PrepareWorkloadFiles(dir, benchScale.Rows, benchScale.Cols, 1.0, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ReadWorkloadCSV(xPath); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command fedworker runs a SystemDS-Go federated worker (Section 3.3 of the
+// paper): a site-local process that owns data partitions and executes
+// pushed-down federated instructions, returning only aggregates and model
+// updates to the coordinating control program.
+//
+// Usage:
+//
+//	fedworker -addr :7077 -data X=features_site1.csv -data y=labels_site1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/systemds/systemds-go/internal/fed"
+	sdsio "github.com/systemds/systemds-go/internal/io"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7077", "address to listen on")
+		data multiFlag
+	)
+	flag.Var(&data, "data", "preload a worker variable from CSV: name=file.csv (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "fedworker ", log.LstdFlags)
+	worker := fed.NewWorker(logger)
+	for _, d := range data {
+		name, file, ok := strings.Cut(d, "=")
+		if !ok {
+			logger.Fatalf("invalid -data %q, expected name=file.csv", d)
+		}
+		m, err := sdsio.ReadMatrixCSV(file, sdsio.DefaultCSVOptions())
+		if err != nil {
+			logger.Fatalf("read %s: %v", file, err)
+		}
+		worker.PutLocal(name, m)
+		logger.Printf("loaded %s (%dx%d) from %s", name, m.Rows(), m.Cols(), file)
+	}
+	bound, err := worker.Serve(*addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("federated worker listening on %s\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	worker.Shutdown()
+}

@@ -1,0 +1,133 @@
+// Command sysds executes a DML script from the command line (the equivalent
+// of SystemDS' command-line invocation in Figure 3). Script inputs can be
+// bound to CSV files or scalar values with -input flags, and outputs are
+// printed or written to CSV files.
+//
+// Usage:
+//
+//	sysds -f script.dml \
+//	      -input X=features.csv -input y=labels.csv -input reg=0.001 \
+//	      -output B=model.csv -print err \
+//	      -reuse -parallelism 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	systemds "github.com/systemds/systemds-go"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var (
+		scriptPath  = flag.String("f", "", "path to the DML script (required)")
+		inputs      multiFlag
+		outputs     multiFlag
+		prints      multiFlag
+		reuse       = flag.Bool("reuse", false, "enable lineage-based reuse of intermediates")
+		lineageOff  = flag.Bool("no-lineage", false, "disable lineage tracing")
+		parallelism = flag.Int("parallelism", 0, "number of threads (0 = all cores)")
+		useBLAS     = flag.Bool("blas", false, "use the BLAS-like dense multiply kernel")
+		distributed = flag.Bool("distributed", false, "enable the blocked distributed backend for large operations")
+		explainErr  = flag.Bool("stats", false, "print reuse-cache statistics after execution")
+	)
+	flag.Var(&inputs, "input", "bind a script input: name=file.csv or name=scalar (repeatable)")
+	flag.Var(&outputs, "output", "write a script output to CSV: name=file.csv (repeatable)")
+	flag.Var(&prints, "print", "print a script output variable (repeatable)")
+	flag.Parse()
+
+	if *scriptPath == "" {
+		fmt.Fprintln(os.Stderr, "sysds: -f <script.dml> is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := []systemds.Option{
+		systemds.WithParallelism(*parallelism),
+		systemds.WithReuse(*reuse),
+		systemds.WithBLAS(*useBLAS),
+		systemds.WithDistributedBackend(*distributed),
+	}
+	if *lineageOff {
+		opts = append(opts, systemds.WithLineage(false))
+	}
+	ctx := systemds.NewContext(opts...)
+
+	boundInputs := map[string]any{}
+	for _, in := range inputs {
+		name, value, ok := strings.Cut(in, "=")
+		if !ok {
+			fatalf("invalid -input %q, expected name=value", in)
+		}
+		boundInputs[name] = parseInputValue(value)
+	}
+
+	outNames := map[string]string{}
+	var requested []string
+	for _, out := range outputs {
+		name, file, ok := strings.Cut(out, "=")
+		if !ok {
+			fatalf("invalid -output %q, expected name=file.csv", out)
+		}
+		outNames[name] = file
+		requested = append(requested, name)
+	}
+	requested = append(requested, prints...)
+
+	results, err := ctx.ExecuteFile(*scriptPath, boundInputs, requested...)
+	if err != nil {
+		fatalf("execution failed: %v", err)
+	}
+	for name, file := range outNames {
+		m, err := results.Matrix(name)
+		if err != nil {
+			fatalf("output %s: %v", name, err)
+		}
+		if err := systemds.WriteMatrixCSV(file, m); err != nil {
+			fatalf("write %s: %v", file, err)
+		}
+		fmt.Printf("wrote %s (%dx%d) to %s\n", name, m.Rows(), m.Cols(), file)
+	}
+	for _, name := range prints {
+		fmt.Printf("%s = %v\n", name, results[name])
+	}
+	if *explainErr {
+		stats := ctx.CacheStats()
+		fmt.Printf("reuse cache: hits=%d misses=%d partial=%d puts=%d evictions=%d\n",
+			stats.Hits, stats.Misses, stats.PartialHits, stats.Puts, stats.Evictions)
+	}
+}
+
+// parseInputValue binds CSV files as matrices and everything else as scalars.
+func parseInputValue(value string) any {
+	if strings.HasSuffix(value, ".csv") || strings.HasSuffix(value, ".bin") {
+		m, err := systemds.ReadMatrixCSV(value)
+		if err != nil {
+			fatalf("read input %s: %v", value, err)
+		}
+		return m
+	}
+	if v, err := strconv.ParseFloat(value, 64); err == nil {
+		return v
+	}
+	if value == "TRUE" || value == "FALSE" {
+		return value == "TRUE"
+	}
+	return value
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sysds: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command sysdsbench regenerates the tables and figures of the paper's
+// evaluation (Figure 5(a)-(d)) and the ablation experiments listed in
+// DESIGN.md. Results are printed as aligned text tables (the series the paper
+// plots); EXPERIMENTS.md records representative runs.
+//
+// Usage:
+//
+//	sysdsbench -figure 5a            # one figure at the default (small) scale
+//	sysdsbench -figure all -scale tiny
+//	sysdsbench -figure 5c -scale paper
+//	sysdsbench -figure ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/systemds/systemds-go/internal/experiments"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "which experiment to run: 5a, 5b, 5c, 5d, steplm, dist, fed, paramserv, ablations, all")
+		scaleArg = flag.String("scale", "small", "data scale: tiny, small, paper")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleArg {
+	case "tiny":
+		scale = experiments.TinyScale()
+	case "small":
+		scale = experiments.SmallScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "sysdsbench: unknown scale %q\n", *scaleArg)
+		os.Exit(2)
+	}
+	dir, err := os.MkdirTemp("", "sysdsbench")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("SystemDS-Go benchmark harness — scale %s (%dx%d)\n\n", scale.Name, scale.Rows, scale.Cols)
+
+	run := func(name string, fn func() (*experiments.Figure, error)) {
+		if *figure != "all" && *figure != "ablations" && *figure != name {
+			return
+		}
+		if *figure == "ablations" && (name == "5a" || name == "5b" || name == "5c" || name == "5d") {
+			return
+		}
+		fig, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sysdsbench: experiment %s failed: %v\n", name, err)
+			return
+		}
+		fmt.Println(fig.Render())
+	}
+
+	run("5a", func() (*experiments.Figure, error) { return experiments.Figure5a(scale, dir) })
+	run("5b", func() (*experiments.Figure, error) { return experiments.Figure5b(scale, dir) })
+	run("5c", func() (*experiments.Figure, error) { return experiments.Figure5c(scale, dir) })
+	run("5d", func() (*experiments.Figure, error) { return experiments.Figure5d(scale, dir) })
+	run("steplm", func() (*experiments.Figure, error) {
+		return experiments.AblationSteplmPartialReuse(scale.Rows/2, min(scale.Cols, 60))
+	})
+	run("dist", func() (*experiments.Figure, error) {
+		return experiments.AblationDistVsLocal(scale.RowsSweep, scale.Cols, 1024)
+	})
+	run("fed", func() (*experiments.Figure, error) {
+		return experiments.AblationFederatedTSMM(scale.Rows, scale.Cols)
+	})
+	run("paramserv", func() (*experiments.Figure, error) {
+		return experiments.AblationParamServ(scale.Rows, min(scale.Cols, 50))
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sysdsbench: %v\n", err)
+	os.Exit(1)
+}

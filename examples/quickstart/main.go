@@ -1,0 +1,42 @@
+// Quickstart: train a linear regression model with a declarative DML script,
+// score it, and inspect training statistics — the minimal end-to-end use of
+// the SystemDS-Go public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	systemds "github.com/systemds/systemds-go"
+)
+
+func main() {
+	// 1. Create a session. Options control parallelism, reuse, backends.
+	ctx := systemds.NewContext(systemds.WithParallelism(4))
+
+	// 2. Prepare (or load) data. Here: synthetic regression data.
+	X, y := systemds.SyntheticRegression(5000, 20, 1.0, 42)
+
+	// 3. Express the analysis declaratively in DML. The lm builtin dispatches
+	//    between a closed-form solver and conjugate gradient; lmPredict and
+	//    the error metrics are DML-bodied builtins as well.
+	script := `
+B = lm(X, y, reg=0.001)
+yhat = lmPredict(X, B)
+trainMSE = mse(yhat, y)
+trainR2 = r2(yhat, y)
+print("training finished: R2 = " + trainR2)
+`
+	res, err := ctx.Execute(script, map[string]any{"X": X, "y": y}, "B", "trainMSE", "trainR2")
+	if err != nil {
+		log.Fatalf("script failed: %v", err)
+	}
+
+	// 4. Consume the results as Go values.
+	B, _ := res.Matrix("B")
+	mse, _ := res.Float("trainMSE")
+	r2, _ := res.Float("trainR2")
+	fmt.Printf("model: %d coefficients\n", B.Rows())
+	fmt.Printf("training MSE: %.6f\n", mse)
+	fmt.Printf("training R2:  %.4f\n", r2)
+}

@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+func TestSystemNames(t *testing.T) {
+	if Naive.String() != "TF" || GraphCSE.String() != "TF-G" || Eager.String() != "Julia" {
+		t.Error("system names wrong")
+	}
+	if System(99).String() != "?" {
+		t.Error("unknown system name wrong")
+	}
+}
+
+func TestAllBaselinesProduceIdenticalModels(t *testing.T) {
+	x, y := matrix.SyntheticRegression(300, 12, 1.0, 1)
+	lambdas := []float64{0.001, 0.1, 10}
+	var reference *matrix.MatrixBlock
+	for _, sys := range []System{Naive, GraphCSE, Eager} {
+		res, err := RunHyperParameterWorkload(sys, x, y, lambdas, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.Models.Rows() != 12 || res.Models.Cols() != 3 {
+			t.Fatalf("%s: model dims %dx%d", sys, res.Models.Rows(), res.Models.Cols())
+		}
+		if len(res.Losses) != 3 {
+			t.Fatalf("%s: losses %d", sys, len(res.Losses))
+		}
+		if reference == nil {
+			reference = res.Models
+			continue
+		}
+		if !res.Models.Equals(reference, 1e-8) {
+			t.Errorf("%s produces different models than the reference baseline", sys)
+		}
+	}
+}
+
+func TestBaselinesMatchClosedFormSolution(t *testing.T) {
+	// with a tiny lambda the first model must recover the generating weights
+	x, y := matrix.SyntheticRegression(500, 8, 1.0, 2)
+	res, err := RunHyperParameterWorkload(Eager, x, y, []float64{1e-8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := matrix.Slice(res.Models, 0, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := matrix.Multiply(x, beta, 0)
+	diff, _ := matrix.CellwiseOp(pred, y, matrix.OpSub)
+	mse := matrix.SumSq(diff) / float64(x.Rows())
+	if mse > 0.01 {
+		t.Errorf("baseline model mse = %v", mse)
+	}
+	if res.Losses[0] > 0.01 {
+		t.Errorf("reported loss = %v", res.Losses[0])
+	}
+}
+
+func TestBaselinesSparseInput(t *testing.T) {
+	x, y := matrix.SyntheticRegression(400, 20, 0.1, 3)
+	if !x.IsSparse() {
+		t.Fatal("expected sparse input")
+	}
+	dense := x.Copy().ToDense()
+	for _, sys := range []System{Naive, GraphCSE, Eager} {
+		sparseRes, err := RunHyperParameterWorkload(sys, x, y, []float64{0.01}, 0)
+		if err != nil {
+			t.Fatalf("%s sparse: %v", sys, err)
+		}
+		denseRes, err := RunHyperParameterWorkload(sys, dense, y, []float64{0.01}, 0)
+		if err != nil {
+			t.Fatalf("%s dense: %v", sys, err)
+		}
+		if !sparseRes.Models.Equals(denseRes.Models, 1e-8) {
+			t.Errorf("%s: sparse and dense inputs disagree", sys)
+		}
+	}
+}
+
+func TestLossesIncreaseWithRegularization(t *testing.T) {
+	x, y := matrix.SyntheticRegression(300, 10, 1.0, 4)
+	res, err := RunHyperParameterWorkload(GraphCSE, x, y, []float64{1e-6, 1, 1000}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Losses[0] <= res.Losses[1]+1e-9 && res.Losses[1] <= res.Losses[2]+1e-9) {
+		t.Errorf("training losses not monotone in lambda: %v", res.Losses)
+	}
+}
+
+func TestUnknownSystemRejected(t *testing.T) {
+	x, y := matrix.SyntheticRegression(10, 2, 1.0, 5)
+	if _, err := RunHyperParameterWorkload(System(42), x, y, []float64{1}, 0); err == nil {
+		t.Error("expected unknown system error")
+	}
+}

@@ -1,0 +1,178 @@
+// Package bufferpool implements the multi-level buffer pool of the SystemDS
+// control program (Section 2.3): live matrix intermediates are kept in memory
+// up to a configurable budget; when the budget is exceeded, cold unpinned
+// objects are evicted to temporary files and restored transparently on the
+// next access.
+package bufferpool
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is the interface buffer-pool-managed objects implement. MatrixObject
+// in the runtime package is the primary implementation.
+type Entry interface {
+	// PoolID returns a stable unique id for the entry.
+	PoolID() int64
+	// MemorySize returns the in-memory size in bytes (0 when evicted).
+	MemorySize() int64
+	// Evict writes the in-memory data to the given file and drops it.
+	Evict(path string) error
+	// IsPinned reports whether the entry is currently in use and must not be
+	// evicted.
+	IsPinned() bool
+	// IsInMemory reports whether the entry currently holds in-memory data.
+	IsInMemory() bool
+}
+
+// Stats reports buffer pool activity.
+type Stats struct {
+	Evictions  int64
+	Restores   int64
+	BytesSpilt int64
+}
+
+// Pool tracks registered entries and enforces the memory budget with LRU
+// eviction of unpinned entries.
+type Pool struct {
+	mu      sync.Mutex
+	budget  int64
+	dir     string
+	entries map[int64]*list.Element
+	lru     *list.List // of Entry, front = most recently used
+	stats   Stats
+	counter int64
+}
+
+// New creates a buffer pool with the given byte budget and spill directory.
+// A budget <= 0 disables eviction (everything stays in memory).
+func New(budgetBytes int64, dir string) *Pool {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return &Pool{budget: budgetBytes, dir: dir, entries: map[int64]*list.Element{}, lru: list.New()}
+}
+
+// NextID returns a fresh id for a new entry.
+func (p *Pool) NextID() int64 { return atomic.AddInt64(&p.counter, 1) }
+
+// SpillPath returns the spill file path for an entry id.
+func (p *Pool) SpillPath(id int64) string {
+	return filepath.Join(p.dir, fmt.Sprintf("sysds_spill_%d.bin", id))
+}
+
+// Register adds an entry to the pool (most recently used position) and
+// enforces the budget.
+func (p *Pool) Register(e Entry) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.entries[e.PoolID()]; !ok {
+		el := p.lru.PushFront(e)
+		p.entries[e.PoolID()] = el
+	}
+	p.mu.Unlock()
+	p.enforceBudget()
+}
+
+// Unregister removes an entry (e.g. when a variable goes out of scope).
+func (p *Pool) Unregister(id int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[id]; ok {
+		p.lru.Remove(el)
+		delete(p.entries, id)
+	}
+	// best effort clean up of the spill file
+	_ = os.Remove(p.SpillPath(id))
+}
+
+// NotifyAccess moves the entry to the most-recently-used position and records
+// a restore if the entry had to be brought back to memory by the caller.
+func (p *Pool) NotifyAccess(e Entry, restored bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if el, ok := p.entries[e.PoolID()]; ok {
+		p.lru.MoveToFront(el)
+	} else {
+		p.entries[e.PoolID()] = p.lru.PushFront(e)
+	}
+	if restored {
+		p.stats.Restores++
+	}
+	p.mu.Unlock()
+	p.enforceBudget()
+}
+
+// enforceBudget evicts cold unpinned entries until the total in-memory size
+// fits the budget.
+func (p *Pool) enforceBudget() {
+	if p == nil || p.budget <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := int64(0)
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		total += el.Value.(Entry).MemorySize()
+	}
+	for el := p.lru.Back(); el != nil && total > p.budget; {
+		prev := el.Prev()
+		e := el.Value.(Entry)
+		if e.IsInMemory() && !e.IsPinned() {
+			size := e.MemorySize()
+			if err := e.Evict(p.SpillPath(e.PoolID())); err == nil {
+				total -= size
+				p.stats.Evictions++
+				p.stats.BytesSpilt += size
+			}
+		}
+		el = prev
+	}
+}
+
+// InMemoryBytes returns the total bytes currently held in memory by
+// registered entries.
+func (p *Pool) InMemoryBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := int64(0)
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		total += el.Value.(Entry).MemorySize()
+	}
+	return total
+}
+
+// Stats returns a snapshot of eviction/restore statistics.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Len returns the number of registered entries.
+func (p *Pool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}

@@ -1,0 +1,159 @@
+package bufferpool
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// fakeEntry is a test implementation of Entry backed by an in-memory byte
+// count; Evict writes a marker file and drops the bytes.
+type fakeEntry struct {
+	mu     sync.Mutex
+	id     int64
+	size   int64
+	inMem  bool
+	pinned bool
+	path   string
+}
+
+func (f *fakeEntry) PoolID() int64 { return f.id }
+
+func (f *fakeEntry) MemorySize() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.inMem {
+		return 0
+	}
+	return f.size
+}
+
+func (f *fakeEntry) Evict(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := os.WriteFile(path, make([]byte, 8), 0o644); err != nil {
+		return err
+	}
+	f.path = path
+	f.inMem = false
+	return nil
+}
+
+func (f *fakeEntry) IsPinned() bool { return f.pinned }
+
+func (f *fakeEntry) IsInMemory() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inMem
+}
+
+func newFake(p *Pool, size int64) *fakeEntry {
+	return &fakeEntry{id: p.NextID(), size: size, inMem: true}
+}
+
+func TestPoolEvictsOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	p := New(1000, dir)
+	entries := make([]*fakeEntry, 4)
+	for i := range entries {
+		entries[i] = newFake(p, 400)
+		p.Register(entries[i])
+	}
+	if p.InMemoryBytes() > 1000 {
+		t.Errorf("in-memory bytes %d exceed budget", p.InMemoryBytes())
+	}
+	if p.Stats().Evictions == 0 {
+		t.Error("expected evictions")
+	}
+	// least recently used (the first registered) should be evicted first
+	if entries[0].IsInMemory() {
+		t.Error("expected the coldest entry to be evicted")
+	}
+	if !entries[3].IsInMemory() {
+		t.Error("most recent entry should stay in memory")
+	}
+}
+
+func TestPoolPinnedEntriesAreNotEvicted(t *testing.T) {
+	dir := t.TempDir()
+	p := New(500, dir)
+	pinned := newFake(p, 400)
+	pinned.pinned = true
+	p.Register(pinned)
+	other := newFake(p, 400)
+	p.Register(other)
+	if !pinned.IsInMemory() {
+		t.Error("pinned entry was evicted")
+	}
+}
+
+func TestPoolNotifyAccessMovesToFront(t *testing.T) {
+	dir := t.TempDir()
+	p := New(900, dir)
+	a := newFake(p, 400)
+	b := newFake(p, 400)
+	p.Register(a)
+	p.Register(b)
+	// touch a so that b becomes the eviction candidate
+	p.NotifyAccess(a, false)
+	c := newFake(p, 400)
+	p.Register(c)
+	if !a.IsInMemory() {
+		t.Error("recently accessed entry evicted")
+	}
+	if b.IsInMemory() {
+		t.Error("cold entry should have been evicted")
+	}
+}
+
+func TestPoolRestoreCounting(t *testing.T) {
+	p := New(0, t.TempDir()) // no budget: no evictions
+	a := newFake(p, 100)
+	p.Register(a)
+	p.NotifyAccess(a, true)
+	if p.Stats().Restores != 1 {
+		t.Errorf("restores = %d", p.Stats().Restores)
+	}
+}
+
+func TestPoolUnregisterRemovesSpillFile(t *testing.T) {
+	dir := t.TempDir()
+	p := New(100, dir)
+	a := newFake(p, 400)
+	p.Register(a) // immediately over budget -> evicted to file
+	if a.IsInMemory() {
+		t.Fatal("expected eviction")
+	}
+	spill := p.SpillPath(a.PoolID())
+	if _, err := os.Stat(spill); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+	p.Unregister(a.PoolID())
+	if _, err := os.Stat(spill); !os.IsNotExist(err) {
+		t.Error("spill file not removed on unregister")
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestPoolZeroBudgetNeverEvicts(t *testing.T) {
+	p := New(0, t.TempDir())
+	for i := 0; i < 5; i++ {
+		p.Register(newFake(p, 1 << 20))
+	}
+	if p.Stats().Evictions != 0 {
+		t.Error("zero-budget pool must not evict")
+	}
+}
+
+func TestPoolNilSafety(t *testing.T) {
+	var p *Pool
+	p.Register(nil)
+	p.Unregister(1)
+	p.NotifyAccess(nil, false)
+	if p.InMemoryBytes() != 0 || p.Len() != 0 {
+		t.Error("nil pool accessors should return zero values")
+	}
+	_ = p.Stats()
+}

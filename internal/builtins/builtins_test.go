@@ -1,0 +1,85 @@
+package builtins
+
+import (
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/lang"
+)
+
+func TestRegistryResolvesAllShippedBuiltins(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) < 20 {
+		t.Fatalf("expected at least 20 builtins, got %d", len(names))
+	}
+	for _, name := range names {
+		src, ok := r.Source(name)
+		if !ok || src == "" {
+			t.Errorf("builtin %s has no source", name)
+		}
+	}
+	if _, ok := r.Source("definitelyMissing"); ok {
+		t.Error("unknown builtin should not resolve")
+	}
+}
+
+func TestAllBuiltinScriptsParseAndDefineTheirFunction(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range r.Names() {
+		src, _ := r.Source(name)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Errorf("builtin %s does not parse: %v", name, err)
+			continue
+		}
+		if _, ok := prog.Functions[name]; !ok {
+			t.Errorf("builtin script %s does not define a function named %s", name, name)
+		}
+		// every function must declare at least one return variable and assign it
+		for fnName, fn := range prog.Functions {
+			if len(fn.Returns) == 0 {
+				t.Errorf("builtin %s: function %s has no return variables", name, fnName)
+				continue
+			}
+			writes := map[string]bool{}
+			for _, s := range fn.Body {
+				for w := range lang.StatementWrites(s) {
+					writes[w] = true
+				}
+			}
+			for _, ret := range fn.Returns {
+				if !writes[ret.Name] {
+					t.Errorf("builtin %s: function %s never assigns return variable %s", name, fnName, ret.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterOverridesAndAdds(t *testing.T) {
+	r := NewRegistry()
+	r.Register("custom", "custom = function() return (Double x) { x = 1 }")
+	if _, ok := r.Source("custom"); !ok {
+		t.Error("registered builtin not resolvable")
+	}
+	before, _ := r.Source("lm")
+	r.Register("lm", "lm = function() return (Double x) { x = 2 }")
+	after, _ := r.Source("lm")
+	if before == after {
+		t.Error("override did not take effect")
+	}
+}
+
+func TestExpectedCoreBuiltinsPresent(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{
+		"lm", "lmDS", "lmCG", "lmPredict", "steplm", "gridSearchLM", "crossValLM",
+		"pca", "kmeans", "l2svm", "logRegGD",
+		"scale", "normalize", "imputeByMean", "outlierByIQR", "winsorize",
+		"splitTrainTest", "mse", "rmse", "r2", "accuracy", "confusionMatrix",
+	} {
+		if _, ok := r.Source(name); !ok {
+			t.Errorf("expected builtin %s to be registered", name)
+		}
+	}
+}

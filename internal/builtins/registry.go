@@ -1,0 +1,68 @@
+// Package builtins ships the DML-bodied builtin functions of SystemDS-Go:
+// the stack of declarative abstractions for data-science lifecycle tasks
+// (Figure 1 of the paper) implemented in the same DML that users write
+// (Section 2.2's registration mechanism for DML-bodied builtins). The
+// compiler resolves calls to these functions by name and compiles their
+// scripts on demand.
+package builtins
+
+import "sort"
+
+// Registry resolves builtin names to DML sources.
+type Registry struct {
+	scripts map[string]string
+}
+
+// NewRegistry returns the default registry with all shipped builtins.
+func NewRegistry() *Registry {
+	return &Registry{scripts: defaultScripts()}
+}
+
+// Source returns the DML source that defines the named builtin.
+func (r *Registry) Source(name string) (string, bool) {
+	s, ok := r.scripts[name]
+	return s, ok
+}
+
+// Names returns the sorted names of all registered builtins.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.scripts))
+	for n := range r.scripts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register adds or overrides a DML-bodied builtin (the user-facing
+// registration mechanism).
+func (r *Registry) Register(name, source string) {
+	r.scripts[name] = source
+}
+
+func defaultScripts() map[string]string {
+	return map[string]string{
+		"lmDS":            scriptLmDS,
+		"lmCG":            scriptLmCG,
+		"lm":              scriptLm,
+		"steplm":          scriptSteplm,
+		"gridSearchLM":    scriptGridSearchLM,
+		"crossValLM":      scriptCrossValLM,
+		"pca":             scriptPCA,
+		"kmeans":          scriptKmeans,
+		"l2svm":           scriptL2SVM,
+		"logRegGD":        scriptLogRegGD,
+		"scale":           scriptScale,
+		"normalize":       scriptNormalize,
+		"imputeByMean":    scriptImputeByMean,
+		"outlierByIQR":    scriptOutlierByIQR,
+		"winsorize":       scriptWinsorize,
+		"splitTrainTest":  scriptSplitTrainTest,
+		"mse":             scriptMSE,
+		"rmse":            scriptRMSE,
+		"r2":              scriptR2,
+		"accuracy":        scriptAccuracy,
+		"confusionMatrix": scriptConfusionMatrix,
+		"lmPredict":       scriptPredictLM,
+	}
+}

@@ -1,0 +1,433 @@
+package builtins
+
+// The DML sources of the shipped builtins. Each script defines a function of
+// the same name as the registry key (plus local helper functions); the
+// compiler adds these functions to the program's function table on first use.
+
+// scriptLmDS is the direct-solve linear regression of Figure 2 of the paper:
+// the normal equations t(X)%*%X + lambda*I are assembled and solved.
+const scriptLmDS = `
+lmDS = function(Matrix[Double] X, Matrix[Double] y, Double reg = 0.0000001,
+                Integer icpt = 0, Boolean verbose = FALSE)
+  return (Matrix[Double] B) {
+  if (icpt > 0) {
+    ones = matrix(1, nrow(X), 1)
+    X = cbind(X, ones)
+  }
+  l = matrix(reg, ncol(X), 1)
+  A = t(X) %*% X + diag(l)
+  b = t(X) %*% y
+  B = solve(A, b)
+  if (verbose) {
+    print("lmDS: trained " + ncol(X) + " coefficients")
+  }
+}
+`
+
+// scriptLmCG is the iterative conjugate-gradient linear regression used for
+// wide inputs (ncol(X) > 1024), mirroring SystemDS' lmCG.
+const scriptLmCG = `
+lmCG = function(Matrix[Double] X, Matrix[Double] y, Double reg = 0.0000001,
+                Integer icpt = 0, Integer maxi = 0, Double tol = 0.0000001,
+                Boolean verbose = FALSE)
+  return (Matrix[Double] B) {
+  if (icpt > 0) {
+    ones = matrix(1, nrow(X), 1)
+    X = cbind(X, ones)
+  }
+  maxiter = maxi
+  if (maxiter == 0) {
+    maxiter = ncol(X)
+  }
+  B = matrix(0, ncol(X), 1)
+  r = -(t(X) %*% y)
+  p = -r
+  norm_r2 = sum(r * r)
+  iter = 0
+  continue = norm_r2 > tol
+  while (continue & iter < maxiter) {
+    q = t(X) %*% (X %*% p) + reg * p
+    alpha = norm_r2 / sum(p * q)
+    B = B + alpha * p
+    r = r + alpha * q
+    old_norm_r2 = norm_r2
+    norm_r2 = sum(r * r)
+    beta = norm_r2 / old_norm_r2
+    p = -r + beta * p
+    iter = iter + 1
+    continue = norm_r2 > tol
+  }
+  if (verbose) {
+    print("lmCG: converged after " + iter + " iterations")
+  }
+}
+`
+
+// scriptLm is the dispatcher of Figure 2: direct solve for narrow inputs,
+// conjugate gradient for wide inputs.
+const scriptLm = `
+lm = function(Matrix[Double] X, Matrix[Double] y, Double reg = 0.0000001,
+              Integer icpt = 0, Double tol = 0.0000001, Integer maxi = 0,
+              Boolean verbose = FALSE)
+  return (Matrix[Double] B) {
+  if (ncol(X) <= 1024) {
+    B = lmDS(X, y, reg, icpt, verbose)
+  } else {
+    B = lmCG(X, y, reg, icpt, maxi, tol, verbose)
+  }
+}
+`
+
+// scriptPredictLM scores a linear model.
+const scriptPredictLM = `
+lmPredict = function(Matrix[Double] X, Matrix[Double] B, Integer icpt = 0)
+  return (Matrix[Double] yhat) {
+  if (icpt > 0) {
+    ones = matrix(1, nrow(X), 1)
+    X = cbind(X, ones)
+  }
+  yhat = X %*% B
+}
+`
+
+// scriptSteplm is the stepwise linear regression of Example 1: greedy forward
+// feature selection driven by the Akaike information criterion, evaluating
+// candidate features in a parfor loop.
+const scriptSteplm = `
+steplm = function(Matrix[Double] X, Matrix[Double] y, Double reg = 0.000001,
+                  Double threshold = 0.001, Boolean verbose = FALSE)
+  return (Matrix[Double] B, Matrix[Double] S) {
+  n = nrow(X)
+  m = ncol(X)
+  fixed = matrix(0, 1, m)
+  S = matrix(0, 1, m)
+  Xg = matrix(1, n, 1)
+  ym = mean(y)
+  res = y - ym
+  rss = sum(res * res)
+  best_aic = n * log(rss / n) + 2
+  continue = TRUE
+  nselected = 0
+  while (continue & nselected < m) {
+    aics = matrix(999999999, 1, m)
+    parfor (i in 1:m) {
+      fi = as.scalar(fixed[1, i])
+      if (fi == 0) {
+        xi = X[, i]
+        Xi = cbind(Xg, xi)
+        beta = lmDS(Xi, y, reg)
+        pred = Xi %*% beta
+        resi = y - pred
+        rssi = sum(resi * resi)
+        ki = ncol(Xi)
+        aics[1, i] = n * log(rssi / n) + 2 * ki
+      }
+    }
+    new_aic = min(aics)
+    if (new_aic < best_aic - threshold) {
+      best_i = as.scalar(rowIndexMax(-aics))
+      best_aic = new_aic
+      xbest = X[, best_i]
+      Xg = cbind(Xg, xbest)
+      fixed[1, best_i] = 1
+      S[1, best_i] = 1
+      nselected = nselected + 1
+      if (verbose) {
+        print("steplm: selected feature " + best_i + " (AIC " + new_aic + ")")
+      }
+    } else {
+      continue = FALSE
+    }
+  }
+  B = lmDS(Xg, y, reg)
+}
+`
+
+// scriptGridSearchLM is the hyper-parameter optimization workload of the
+// paper's evaluation (Section 4.1): k regression models trained with
+// different regularization values; the main computation t(X)%*%X and
+// t(X)%*%y is independent of lambda and therefore reusable.
+const scriptGridSearchLM = `
+gridSearchLM = function(Matrix[Double] X, Matrix[Double] y, Matrix[Double] lambdas,
+                        Boolean verbose = FALSE)
+  return (Matrix[Double] B, Matrix[Double] losses) {
+  k = nrow(lambdas)
+  m = ncol(X)
+  B = matrix(0, m, k)
+  losses = matrix(0, k, 1)
+  for (i in 1:k) {
+    lam = as.scalar(lambdas[i, 1])
+    beta = lmDS(X, y, lam)
+    pred = X %*% beta
+    res = y - pred
+    losses[i, 1] = sum(res * res)
+    B[, i] = beta
+    if (verbose) {
+      print("gridSearchLM: lambda " + lam)
+    }
+  }
+}
+`
+
+// scriptCrossValLM is k-fold cross validation for linear regression; folds
+// are evaluated in a parfor loop (a second use of the parfor backend).
+const scriptCrossValLM = `
+crossValLM = function(Matrix[Double] X, Matrix[Double] y, Integer folds = 5,
+                      Double reg = 0.0000001)
+  return (Matrix[Double] cvErrors, Double meanError) {
+  n = nrow(X)
+  foldSize = floor(n / folds)
+  cvErrors = matrix(0, folds, 1)
+  parfor (f in 1:folds) {
+    lo = (f - 1) * foldSize + 1
+    hi = f * foldSize
+    Xtest = X[lo:hi, ]
+    ytest = y[lo:hi, ]
+    if (lo == 1) {
+      Xtrain = X[(hi + 1):n, ]
+      ytrain = y[(hi + 1):n, ]
+    } else {
+      if (hi < n) {
+        X1 = X[1:(lo - 1), ]
+        y1 = y[1:(lo - 1), ]
+        X2 = X[(hi + 1):n, ]
+        y2 = y[(hi + 1):n, ]
+        Xtrain = rbind(X1, X2)
+        ytrain = rbind(y1, y2)
+      } else {
+        Xtrain = X[1:(lo - 1), ]
+        ytrain = y[1:(lo - 1), ]
+      }
+    }
+    beta = lmDS(Xtrain, ytrain, reg)
+    pred = Xtest %*% beta
+    diff = pred - ytest
+    cvErrors[f, 1] = sum(diff * diff) / nrow(ytest)
+  }
+  meanError = mean(cvErrors)
+}
+`
+
+// scriptPCA computes a principal component analysis via the eigen
+// decomposition of the covariance matrix.
+const scriptPCA = `
+pca = function(Matrix[Double] X, Integer K = 2)
+  return (Matrix[Double] Xreduced, Matrix[Double] PC, Matrix[Double] evalues) {
+  N = nrow(X)
+  mu = colMeans(X)
+  Xc = X - mu
+  C = (t(Xc) %*% Xc) / (N - 1)
+  [evals, evecs] = eigen(C)
+  PC = evecs[, 1:K]
+  evalues = evals[1:K, ]
+  Xreduced = Xc %*% PC
+}
+`
+
+// scriptKmeans is Lloyd's algorithm with k-means initialization by sampling.
+const scriptKmeans = `
+kmeans = function(Matrix[Double] X, Integer k = 3, Integer max_iter = 20)
+  return (Matrix[Double] C, Matrix[Double] assignments) {
+  n = nrow(X)
+  m = ncol(X)
+  idx = sample(n, k, FALSE)
+  C = matrix(0, k, m)
+  for (j in 1:k) {
+    ji = as.scalar(idx[j, 1])
+    C[j, ] = X[ji, ]
+  }
+  assignments = matrix(0, n, 1)
+  iter = 0
+  while (iter < max_iter) {
+    XC = X %*% t(C)
+    xsq = rowSums(X * X)
+    csq = rowSums(C * C)
+    D = xsq - 2 * XC + t(csq)
+    assignments = rowIndexMax(-D)
+    for (j in 1:k) {
+      mask = assignments == j
+      cnt = sum(mask)
+      if (cnt > 0) {
+        Xj = X * mask
+        C[j, ] = colSums(Xj) / cnt
+      }
+    }
+    iter = iter + 1
+  }
+}
+`
+
+// scriptL2SVM trains a binary linear SVM (labels in {-1, +1}) with squared
+// hinge loss via gradient descent.
+const scriptL2SVM = `
+l2svm = function(Matrix[Double] X, Matrix[Double] y, Double reg = 0.001,
+                 Double step = 0.1, Integer maxiter = 100)
+  return (Matrix[Double] w) {
+  m = ncol(X)
+  n = nrow(X)
+  w = matrix(0, m, 1)
+  iter = 0
+  while (iter < maxiter) {
+    margin = 1 - y * (X %*% w)
+    active = margin > 0
+    hinge = y * margin * active
+    grad = reg * w - (t(X) %*% hinge) / n
+    w = w - step * grad
+    iter = iter + 1
+    step = step * 0.99
+  }
+}
+`
+
+// scriptLogRegGD trains a binary logistic regression (labels in {0, 1}) via
+// gradient descent.
+const scriptLogRegGD = `
+logRegGD = function(Matrix[Double] X, Matrix[Double] y, Double reg = 0.001,
+                    Double step = 0.5, Integer maxiter = 200)
+  return (Matrix[Double] w) {
+  m = ncol(X)
+  n = nrow(X)
+  w = matrix(0, m, 1)
+  iter = 0
+  while (iter < maxiter) {
+    p = sigmoid(X %*% w)
+    grad = (t(X) %*% (p - y)) / n + reg * w
+    w = w - step * grad
+    iter = iter + 1
+  }
+}
+`
+
+// scriptScale standardizes columns to zero mean and unit variance.
+const scriptScale = `
+scale = function(Matrix[Double] X, Boolean center = TRUE, Boolean scaleVar = TRUE)
+  return (Matrix[Double] Y) {
+  Y = X
+  if (center) {
+    cm = colMeans(X)
+    Y = Y - cm
+  }
+  if (scaleVar) {
+    csd = colSds(X)
+    csd = csd + (csd == 0)
+    Y = Y / csd
+  }
+}
+`
+
+// scriptNormalize rescales columns to the [0, 1] range.
+const scriptNormalize = `
+normalize = function(Matrix[Double] X) return (Matrix[Double] Y) {
+  cmin = colMins(X)
+  cmax = colMaxs(X)
+  diff = cmax - cmin
+  diff = diff + (diff == 0)
+  Y = (X - cmin) / diff
+}
+`
+
+// scriptImputeByMean replaces NaN cells by their column means.
+const scriptImputeByMean = `
+imputeByMean = function(Matrix[Double] X) return (Matrix[Double] Y) {
+  nanmask = is.nan(X)
+  X2 = replace(target=X, pattern=0/0, replacement=0)
+  cnt = colSums(1 - nanmask)
+  cnt = cnt + (cnt == 0)
+  colmeans = colSums(X2) / cnt
+  Y = X2 + nanmask * colmeans
+}
+`
+
+// scriptOutlierByIQR clips values outside k interquartile ranges around the
+// quartiles (a robust outlier repair).
+const scriptOutlierByIQR = `
+outlierByIQR = function(Matrix[Double] X, Double k = 1.5) return (Matrix[Double] Y) {
+  m = ncol(X)
+  Y = X
+  for (j in 1:m) {
+    col = X[, j]
+    q1 = quantile(col, 0.25)
+    q3 = quantile(col, 0.75)
+    iqr = q3 - q1
+    lower = q1 - k * iqr
+    upper = q3 + k * iqr
+    clippedLow = max(col, lower)
+    clipped = min(clippedLow, upper)
+    Y[, j] = clipped
+  }
+}
+`
+
+// scriptWinsorize clips each column to its [ql, qu] quantile range.
+const scriptWinsorize = `
+winsorize = function(Matrix[Double] X, Double ql = 0.05, Double qu = 0.95)
+  return (Matrix[Double] Y) {
+  m = ncol(X)
+  Y = X
+  for (j in 1:m) {
+    col = X[, j]
+    lo = quantile(col, ql)
+    hi = quantile(col, qu)
+    clippedLow = max(col, lo)
+    Y[, j] = min(clippedLow, hi)
+  }
+}
+`
+
+// scriptSplitTrainTest splits a dataset into a leading training part and a
+// trailing test part.
+const scriptSplitTrainTest = `
+splitTrainTest = function(Matrix[Double] X, Matrix[Double] y, Double ratio = 0.7)
+  return (Matrix[Double] Xtrain, Matrix[Double] ytrain, Matrix[Double] Xtest, Matrix[Double] ytest) {
+  n = nrow(X)
+  ntrain = floor(n * ratio)
+  Xtrain = X[1:ntrain, ]
+  ytrain = y[1:ntrain, ]
+  Xtest = X[(ntrain + 1):n, ]
+  ytest = y[(ntrain + 1):n, ]
+}
+`
+
+// scriptMSE computes the mean squared error of predictions.
+const scriptMSE = `
+mse = function(Matrix[Double] yhat, Matrix[Double] y) return (Double err) {
+  diff = yhat - y
+  err = sum(diff * diff) / nrow(y)
+}
+`
+
+// scriptRMSE computes the root mean squared error of predictions.
+const scriptRMSE = `
+rmse = function(Matrix[Double] yhat, Matrix[Double] y) return (Double err) {
+  diff = yhat - y
+  m = sum(diff * diff) / nrow(y)
+  err = sqrt(m)
+}
+`
+
+// scriptR2 computes the coefficient of determination.
+const scriptR2 = `
+r2 = function(Matrix[Double] yhat, Matrix[Double] y) return (Double R2) {
+  diff = yhat - y
+  ssres = sum(diff * diff)
+  ym = mean(y)
+  dtot = y - ym
+  sstot = sum(dtot * dtot)
+  R2 = 1 - ssres / sstot
+}
+`
+
+// scriptAccuracy computes classification accuracy.
+const scriptAccuracy = `
+accuracy = function(Matrix[Double] yhat, Matrix[Double] y) return (Double acc) {
+  correct = sum(yhat == y)
+  acc = correct / nrow(y)
+}
+`
+
+// scriptConfusionMatrix computes a contingency table of 1-based class labels.
+const scriptConfusionMatrix = `
+confusionMatrix = function(Matrix[Double] yhat, Matrix[Double] y) return (Matrix[Double] CM) {
+  CM = table(y, yhat)
+}
+`

@@ -1,0 +1,350 @@
+// Package compiler translates parsed DML programs into executable runtime
+// programs (Section 2.3 of the paper): statements are grouped into statement
+// blocks delineated by control flow, each basic block is compiled into a DAG
+// of high-level operators, rewritten (CSE, constant folding, fused
+// operators), annotated with size propagation and memory estimates, and
+// lowered into runtime instructions with execution-type selection
+// (CP vs. the blocked distributed backend). Control-flow statements become
+// if/while/for/parfor program blocks with compiled predicates, user-defined
+// and DML-bodied builtin functions become function blocks, and blocks with
+// unknown sizes receive dynamic-recompilation callbacks.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/systemds/systemds-go/internal/lang"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// BuiltinRegistry resolves DML-bodied builtin functions by name to their DML
+// source (the registration mechanism of Section 2.2).
+type BuiltinRegistry interface {
+	Source(name string) (string, bool)
+	Names() []string
+}
+
+// Compiler compiles DML programs against a configuration and a builtin
+// registry.
+type Compiler struct {
+	cfg      *runtime.Config
+	registry BuiltinRegistry
+	prog     *runtime.Program
+	source   *lang.Program
+	// compiling guards against recursive builtin compilation cycles
+	compiling map[string]bool
+	tempSeq   int
+	predSeq   int
+}
+
+// New creates a compiler.
+func New(cfg *runtime.Config, registry BuiltinRegistry) *Compiler {
+	if cfg == nil {
+		cfg = runtime.DefaultConfig()
+	}
+	return &Compiler{cfg: cfg, registry: registry, compiling: map[string]bool{}}
+}
+
+// Compile compiles a DML script into a runtime program. knownInputs provides
+// the data characteristics of script inputs bound through the API, enabling
+// size propagation from the start.
+func (c *Compiler) Compile(src string, knownInputs map[string]types.DataCharacteristics) (*runtime.Program, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := lang.Validate(prog, c.IsCallable(prog)); err != nil {
+		return nil, err
+	}
+	return c.CompileProgram(prog, knownInputs)
+}
+
+// IsCallable returns a predicate that reports whether a function name can be
+// resolved: a user function of the program, a native builtin, or a DML-bodied
+// builtin from the registry.
+func (c *Compiler) IsCallable(prog *lang.Program) func(string) bool {
+	return func(name string) bool {
+		if prog != nil {
+			if _, ok := prog.Functions[name]; ok {
+				return true
+			}
+		}
+		if isNativeBuiltin(name) {
+			return true
+		}
+		if c.registry != nil {
+			if _, ok := c.registry.Source(name); ok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// CompileProgram compiles a parsed program.
+func (c *Compiler) CompileProgram(prog *lang.Program, knownInputs map[string]types.DataCharacteristics) (*runtime.Program, error) {
+	c.prog = &runtime.Program{Functions: map[string]*runtime.FunctionBlock{}}
+	c.source = prog
+	// compile user-defined functions
+	names := make([]string, 0, len(prog.Functions))
+	for name := range prog.Functions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fb, err := c.compileFunction(prog.Functions[name])
+		if err != nil {
+			return nil, err
+		}
+		c.prog.Functions[name] = fb
+	}
+	blocks, err := c.compileStatements(prog.Body, knownInputs)
+	if err != nil {
+		return nil, err
+	}
+	c.prog.Blocks = blocks
+	return c.prog, nil
+}
+
+// compileFunction compiles one function definition into a function block.
+func (c *Compiler) compileFunction(fn *lang.FunctionDef) (*runtime.FunctionBlock, error) {
+	fb := &runtime.FunctionBlock{Name: fn.Name}
+	for _, p := range fn.Params {
+		fp := runtime.FunctionParam{Name: p.Name}
+		if p.Default != nil {
+			d, err := literalToData(p.Default)
+			if err != nil {
+				return nil, fmt.Errorf("compiler: function %s: default for %s: %w", fn.Name, p.Name, err)
+			}
+			fp.Default = d
+		}
+		fb.Params = append(fb.Params, fp)
+	}
+	for _, r := range fn.Returns {
+		fb.Returns = append(fb.Returns, r.Name)
+	}
+	body, err := c.compileStatements(fn.Body, nil)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: function %s: %w", fn.Name, err)
+	}
+	fb.Body = body
+	return fb, nil
+}
+
+// literalToData converts a literal default-value expression to runtime data.
+func literalToData(e lang.Expr) (runtime.Data, error) {
+	switch v := e.(type) {
+	case *lang.NumLit:
+		if v.IsInt {
+			return runtime.NewInt(int64(v.Value)), nil
+		}
+		return runtime.NewDouble(v.Value), nil
+	case *lang.StrLit:
+		return runtime.NewString(v.Value), nil
+	case *lang.BoolLit:
+		return runtime.NewBool(v.Value), nil
+	case *lang.UnaryExpr:
+		if inner, ok := v.Operand.(*lang.NumLit); ok && v.Op == "-" {
+			return runtime.NewDouble(-inner.Value), nil
+		}
+	}
+	return nil, fmt.Errorf("default values must be literals, got %T", e)
+}
+
+// ensureBuiltinCompiled resolves a DML-bodied builtin: its script is parsed
+// and its function definitions are added to the program's function table.
+func (c *Compiler) ensureBuiltinCompiled(name string) error {
+	if _, ok := c.prog.Functions[name]; ok {
+		return nil
+	}
+	if c.registry == nil {
+		return fmt.Errorf("compiler: unknown function %q", name)
+	}
+	src, ok := c.registry.Source(name)
+	if !ok {
+		return fmt.Errorf("compiler: unknown function %q", name)
+	}
+	if c.compiling[name] {
+		return nil // already being compiled higher up the stack
+	}
+	c.compiling[name] = true
+	defer delete(c.compiling, name)
+	parsed, err := lang.Parse(src)
+	if err != nil {
+		return fmt.Errorf("compiler: builtin %s: %w", name, err)
+	}
+	fnNames := make([]string, 0, len(parsed.Functions))
+	for fnName := range parsed.Functions {
+		fnNames = append(fnNames, fnName)
+	}
+	sort.Strings(fnNames)
+	for _, fnName := range fnNames {
+		if _, exists := c.prog.Functions[fnName]; exists {
+			continue
+		}
+		// reserve slot first to allow mutual recursion
+		fb, err := c.compileFunction(parsed.Functions[fnName])
+		if err != nil {
+			return err
+		}
+		c.prog.Functions[fnName] = fb
+	}
+	if _, ok := c.prog.Functions[name]; !ok {
+		return fmt.Errorf("compiler: builtin script for %s does not define function %s", name, name)
+	}
+	return nil
+}
+
+// isUserOrDMLFunction reports whether a call target resolves to a function
+// block (compiling the DML-bodied builtin on demand).
+func (c *Compiler) isUserOrDMLFunction(name string) bool {
+	if c.source != nil {
+		if _, ok := c.source.Functions[name]; ok {
+			return true
+		}
+	}
+	if _, ok := c.prog.Functions[name]; ok {
+		return true
+	}
+	if c.registry != nil {
+		if _, ok := c.registry.Source(name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// compileStatements groups statements into basic blocks and control-flow
+// blocks.
+func (c *Compiler) compileStatements(stmts []lang.Statement, knownInputs map[string]types.DataCharacteristics) ([]runtime.ProgramBlock, error) {
+	var out []runtime.ProgramBlock
+	var straight []lang.Statement
+	flush := func() error {
+		if len(straight) == 0 {
+			return nil
+		}
+		bb, err := c.compileBasicBlock(straight, knownInputs)
+		if err != nil {
+			return err
+		}
+		out = append(out, bb)
+		straight = nil
+		return nil
+	}
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *lang.AssignStmt, *lang.ExprStmt:
+			straight = append(straight, s)
+		case *lang.IfStmt:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			blk, err := c.compileIf(v)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, blk)
+		case *lang.WhileStmt:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			blk, err := c.compileWhile(v)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, blk)
+		case *lang.ForStmt:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			blk, err := c.compileFor(v)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, blk)
+		default:
+			return nil, fmt.Errorf("compiler: unsupported statement type %T", s)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compileIf compiles an if statement.
+func (c *Compiler) compileIf(s *lang.IfStmt) (*runtime.IfBlock, error) {
+	predBlock, predVar, err := c.compilePredicate(s.Cond)
+	if err != nil {
+		return nil, err
+	}
+	thenBlocks, err := c.compileStatements(s.Then, nil)
+	if err != nil {
+		return nil, err
+	}
+	elseBlocks, err := c.compileStatements(s.Else, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &runtime.IfBlock{Predicate: predBlock, PredVar: predVar, Then: thenBlocks, Else: elseBlocks}, nil
+}
+
+// compileWhile compiles a while loop.
+func (c *Compiler) compileWhile(s *lang.WhileStmt) (*runtime.WhileBlock, error) {
+	predBlock, predVar, err := c.compilePredicate(s.Cond)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.compileStatements(s.Body, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &runtime.WhileBlock{Predicate: predBlock, PredVar: predVar, Body: body}, nil
+}
+
+// compileFor compiles a for or parfor loop.
+func (c *Compiler) compileFor(s *lang.ForStmt) (*runtime.ForBlock, error) {
+	iterExpr := s.Iterable
+	// rewrite "from:to" ranges into seq(from, to, 1)
+	if r, ok := iterExpr.(*lang.RangeExpr); ok {
+		iterExpr = &lang.CallExpr{Name: "seq", Args: []lang.Arg{{Value: r.From}, {Value: r.To}, {Value: &lang.NumLit{Value: 1, IsInt: true}}}, Line: r.Line}
+	}
+	iterBlock, iterVar, err := c.compilePredicate(iterExpr)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.compileStatements(s.Body, nil)
+	if err != nil {
+		return nil, err
+	}
+	writes := lang.BlockWrites(s.Body)
+	resultVars := make([]string, 0, len(writes))
+	for _, w := range writes {
+		if w != s.Var {
+			resultVars = append(resultVars, w)
+		}
+	}
+	return &runtime.ForBlock{
+		Var:        s.Var,
+		Iterable:   iterBlock,
+		IterVar:    iterVar,
+		Body:       body,
+		Parallel:   s.Parallel,
+		ResultVars: resultVars,
+	}, nil
+}
+
+// compilePredicate compiles an expression into a basic block writing a fresh
+// predicate variable.
+func (c *Compiler) compilePredicate(cond lang.Expr) (*runtime.BasicBlock, string, error) {
+	c.predSeq++
+	predVar := fmt.Sprintf("_pred%d", c.predSeq)
+	stmt := &lang.AssignStmt{Targets: []lang.AssignTarget{{Name: predVar}}, Value: cond}
+	bb, err := c.compileBasicBlock([]lang.Statement{stmt}, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	return bb, predVar, nil
+}

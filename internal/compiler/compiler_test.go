@@ -1,0 +1,328 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/builtins"
+	"github.com/systemds/systemds-go/internal/instructions"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+func newCompiler(cfg *runtime.Config) *Compiler {
+	if cfg == nil {
+		cfg = runtime.DefaultConfig()
+	}
+	return New(cfg, builtins.NewRegistry())
+}
+
+func compileAndRun(t *testing.T, script string, inputs map[string]*matrix.MatrixBlock, outputs []string) map[string]runtime.Data {
+	t.Helper()
+	c := newCompiler(nil)
+	prog, err := c.Compile(script, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ctx := runtime.NewContext(runtime.DefaultConfig())
+	ctx.Prog = prog
+	for name, m := range inputs {
+		ctx.SetMatrix(name, m)
+	}
+	if err := prog.Execute(ctx); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	res := map[string]runtime.Data{}
+	for _, o := range outputs {
+		d, err := ctx.Get(o)
+		if err != nil {
+			t.Fatalf("output %s: %v", o, err)
+		}
+		res[o] = d
+	}
+	return res
+}
+
+func TestCompileSimpleProgramStructure(t *testing.T) {
+	c := newCompiler(nil)
+	prog, err := c.Compile(`
+x = 1 + 2
+if (x > 2) { y = 10 } else { y = 20 }
+for (i in 1:3) { x = x + i }
+while (x < 100) { x = x * 2 }
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(prog.Blocks))
+	}
+	if _, ok := prog.Blocks[0].(*runtime.BasicBlock); !ok {
+		t.Errorf("block 0 = %T", prog.Blocks[0])
+	}
+	if _, ok := prog.Blocks[1].(*runtime.IfBlock); !ok {
+		t.Errorf("block 1 = %T", prog.Blocks[1])
+	}
+	if _, ok := prog.Blocks[2].(*runtime.ForBlock); !ok {
+		t.Errorf("block 2 = %T", prog.Blocks[2])
+	}
+	if _, ok := prog.Blocks[3].(*runtime.WhileBlock); !ok {
+		t.Errorf("block 3 = %T", prog.Blocks[3])
+	}
+}
+
+func TestCompileParforResultVars(t *testing.T) {
+	c := newCompiler(nil)
+	prog, err := c.Compile(`
+R = matrix(0, 1, 5)
+parfor (i in 1:5) {
+  R[1, i] = i * i
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, ok := prog.Blocks[1].(*runtime.ForBlock)
+	if !ok || !fb.Parallel {
+		t.Fatalf("expected parallel for block, got %T", prog.Blocks[1])
+	}
+	found := false
+	for _, rv := range fb.ResultVars {
+		if rv == "R" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("result vars = %v, expected R", fb.ResultVars)
+	}
+}
+
+func TestCompileUnknownFunctionRejected(t *testing.T) {
+	c := newCompiler(nil)
+	if _, err := c.Compile(`x = mysteryFn(1)`, nil); err == nil {
+		t.Error("expected unknown function error")
+	}
+	if _, err := c.Compile(`x = `, nil); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestCompileDMLBuiltinResolution(t *testing.T) {
+	c := newCompiler(nil)
+	prog, err := c.Compile(`B = lm(X, y)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lm and its transitive dependencies lmDS and lmCG are compiled into the
+	// function table on demand
+	for _, fn := range []string{"lm", "lmDS", "lmCG"} {
+		if _, ok := prog.Functions[fn]; !ok {
+			t.Errorf("function %s not compiled", fn)
+		}
+	}
+}
+
+func TestIsCallablePredicate(t *testing.T) {
+	c := newCompiler(nil)
+	pred := c.IsCallable(nil)
+	if !pred("sum") || !pred("lmDS") {
+		t.Error("native and DML builtins should be callable")
+	}
+	if pred("definitelyNotAFunction") {
+		t.Error("unknown names must not be callable")
+	}
+}
+
+func TestCompiledScalarExecution(t *testing.T) {
+	res := compileAndRun(t, `
+a = 3
+b = a ^ 2 + 1
+c = min(b, 5)
+`, nil, []string{"b", "c"})
+	if res["b"].(*runtime.Scalar).Float64() != 10 {
+		t.Errorf("b = %v", res["b"])
+	}
+	if res["c"].(*runtime.Scalar).Float64() != 5 {
+		t.Errorf("c = %v", res["c"])
+	}
+}
+
+func TestCompiledMatrixPipeline(t *testing.T) {
+	x := matrix.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	res := compileAndRun(t, `
+G = t(X) %*% X
+s = sum(G)
+cs = colSums(X)
+sub = X[2:3, ]
+`, map[string]*matrix.MatrixBlock{"X": x}, []string{"G", "s", "cs", "sub"})
+	g := res["G"].(*runtime.MatrixObject)
+	blk, _ := g.Acquire()
+	if !blk.Equals(matrix.TSMM(x, 1), 1e-12) {
+		t.Error("G wrong")
+	}
+	if res["s"].(*runtime.Scalar).Float64() != matrix.Sum(blk) {
+		t.Error("s wrong")
+	}
+	sub, _ := res["sub"].(*runtime.MatrixObject).Acquire()
+	if sub.Rows() != 2 || sub.Get(0, 0) != 3 {
+		t.Errorf("sub = %v", sub)
+	}
+}
+
+func TestTSMMFusionInCompiledCode(t *testing.T) {
+	// verify that t(X) %*% X compiles to a tsmm instruction (not transpose +
+	// matmult) by inspecting the lowered basic block
+	c := newCompiler(nil)
+	prog, err := c.Compile(`G = t(X) %*% X`, map[string]types.DataCharacteristics{
+		"X": types.NewDataCharacteristics(100, 10, 1024, 1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := prog.Blocks[0].(*runtime.BasicBlock)
+	opcodes := make([]string, 0, len(bb.Instructions))
+	for _, inst := range bb.Instructions {
+		opcodes = append(opcodes, inst.Opcode())
+	}
+	joined := strings.Join(opcodes, ",")
+	if !strings.Contains(joined, "tsmm") {
+		t.Errorf("expected tsmm in lowered instructions, got %v", opcodes)
+	}
+	if strings.Contains(joined, "ba+*") {
+		t.Errorf("unexpected generic matmult in %v", opcodes)
+	}
+}
+
+func TestExecTypeSelectionWithKnownSizes(t *testing.T) {
+	cfg := runtime.DefaultConfig()
+	cfg.DistEnabled = true
+	cfg.OperatorMemBudget = 1 << 10 // 1 KB: everything large goes DIST
+	c := New(cfg, builtins.NewRegistry())
+	prog, err := c.Compile(`G = t(X) %*% X`, map[string]types.DataCharacteristics{
+		"X": types.NewDataCharacteristics(2000, 200, 1024, 400000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := prog.Blocks[0].(*runtime.BasicBlock)
+	foundDist := false
+	for _, inst := range bb.Instructions {
+		if ts, ok := inst.(*instructions.TSMMInst); ok && ts.ExecType == types.ExecDist {
+			foundDist = true
+		}
+	}
+	if !foundDist {
+		t.Error("expected the tsmm to be selected for the distributed backend")
+	}
+}
+
+func TestDynamicRecompilationCallback(t *testing.T) {
+	cfg := runtime.DefaultConfig()
+	cfg.DistEnabled = true
+	c := New(cfg, builtins.NewRegistry())
+	// without known input sizes the block must be flagged for recompilation
+	prog, err := c.Compile(`G = t(X) %*% X
+s = sum(G)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := prog.Blocks[0].(*runtime.BasicBlock)
+	if !bb.RequiresRecompile || bb.Recompile == nil {
+		t.Fatal("expected recompilation callback for unknown sizes")
+	}
+	// executing still produces correct results (recompile path)
+	ctx := runtime.NewContext(cfg)
+	ctx.Prog = prog
+	x := matrix.RandUniform(50, 5, -1, 1, 1.0, 3)
+	ctx.SetMatrix("X", x)
+	if err := prog.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ctx.GetScalar("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.Sum(matrix.TSMM(x, 1))
+	if diff := s.Float64() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("recompiled result = %v, want %v", s.Float64(), want)
+	}
+}
+
+func TestCompileFunctionDefaults(t *testing.T) {
+	res := compileAndRun(t, `
+f = function(Double a, Double b = 4, Boolean flag = TRUE) return (Double out) {
+  out = a + b
+  if (!flag) {
+    out = 0 - out
+  }
+}
+x = f(1)
+y = f(1, 2)
+z = f(1, 2, flag=FALSE)
+`, nil, []string{"x", "y", "z"})
+	if res["x"].(*runtime.Scalar).Float64() != 5 {
+		t.Errorf("x = %v", res["x"])
+	}
+	if res["y"].(*runtime.Scalar).Float64() != 3 {
+		t.Errorf("y = %v", res["y"])
+	}
+	if res["z"].(*runtime.Scalar).Float64() != -3 {
+		t.Errorf("z = %v", res["z"])
+	}
+}
+
+func TestCompileNonLiteralDefaultRejected(t *testing.T) {
+	c := newCompiler(nil)
+	if _, err := c.Compile(`
+f = function(Double a = sum(1)) return (Double y) { y = a }
+x = f()
+`, nil); err == nil {
+		t.Error("expected error for non-literal default")
+	}
+}
+
+func TestCompileNestedFunctionCallRejected(t *testing.T) {
+	c := newCompiler(nil)
+	if _, err := c.Compile(`x = sum(lmDS(X, y))`, nil); err == nil {
+		t.Error("expected error for nested function call in expression")
+	}
+}
+
+func TestCompileReadWritePrint(t *testing.T) {
+	c := newCompiler(nil)
+	prog, err := c.Compile(`
+X = read("data.csv", format="csv")
+print("rows: " + nrow(X))
+write(X, "out.csv", format="csv")
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := prog.Blocks[0].(*runtime.BasicBlock)
+	var haveRead, havePrint, haveWrite bool
+	for _, inst := range bb.Instructions {
+		switch inst.Opcode() {
+		case "read":
+			haveRead = true
+		case "print":
+			havePrint = true
+		case "write":
+			haveWrite = true
+		}
+	}
+	if !haveRead || !havePrint || !haveWrite {
+		t.Errorf("missing instructions read=%v print=%v write=%v", haveRead, havePrint, haveWrite)
+	}
+}
+
+func TestEstimateMemoryBudget(t *testing.T) {
+	cfg := runtime.DefaultConfig()
+	if EstimateMemoryBudget(cfg) != cfg.OperatorMemBudget {
+		t.Error("explicit budget should be returned")
+	}
+	cfg.OperatorMemBudget = 0
+	if EstimateMemoryBudget(cfg) <= 0 {
+		t.Error("derived budget should be positive")
+	}
+}

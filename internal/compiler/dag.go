@@ -1,0 +1,364 @@
+package compiler
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/hops"
+	"github.com/systemds/systemds-go/internal/instructions"
+	"github.com/systemds/systemds-go/internal/lang"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// blockBuilder builds the HOP DAGs and instruction sequence of one basic
+// block.
+type blockBuilder struct {
+	c      *Compiler
+	dag    *hops.DAG
+	varMap map[string]*hops.Hop
+	instrs []runtime.Instruction
+	known  map[string]types.DataCharacteristics
+	// unknownSizes records whether any lowered operator had an unknown memory
+	// estimate (triggers dynamic recompilation when the distributed backend
+	// is enabled).
+	unknownSizes bool
+	seedSeq      int64
+}
+
+// compileBasicBlock compiles straight-line statements into a basic block and
+// attaches a dynamic-recompilation callback.
+func (c *Compiler) compileBasicBlock(stmts []lang.Statement, known map[string]types.DataCharacteristics) (*runtime.BasicBlock, error) {
+	bb, err := c.buildBlock(stmts, known)
+	if err != nil {
+		return nil, err
+	}
+	block := &runtime.BasicBlock{Instructions: bb.instrs, CleanupTemps: true}
+	if c.cfg.DistEnabled && bb.unknownSizes {
+		stmtsCopy := stmts
+		block.RequiresRecompile = true
+		block.Recompile = func(ctx *runtime.Context) ([]runtime.Instruction, error) {
+			liveKnown := map[string]types.DataCharacteristics{}
+			for _, name := range ctx.Variables() {
+				if mo, err := ctx.GetMatrixObject(name); err == nil {
+					liveKnown[name] = mo.DataCharacteristics()
+				}
+			}
+			rebuilt, err := c.buildBlock(stmtsCopy, liveKnown)
+			if err != nil {
+				return nil, err
+			}
+			return rebuilt.instrs, nil
+		}
+	}
+	return block, nil
+}
+
+// buildBlock runs the statement-to-DAG-to-instruction pipeline.
+func (c *Compiler) buildBlock(stmts []lang.Statement, known map[string]types.DataCharacteristics) (*blockBuilder, error) {
+	bb := &blockBuilder{
+		c:      c,
+		dag:    &hops.DAG{},
+		varMap: map[string]*hops.Hop{},
+		known:  known,
+	}
+	for _, s := range stmts {
+		if err := bb.processStatement(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := bb.flush(); err != nil {
+		return nil, err
+	}
+	return bb, nil
+}
+
+func (bb *blockBuilder) processStatement(s lang.Statement) error {
+	switch v := s.(type) {
+	case *lang.AssignStmt:
+		return bb.processAssign(v)
+	case *lang.ExprStmt:
+		return bb.processExprStmt(v)
+	default:
+		return fmt.Errorf("compiler: statement %T is not straight-line code", s)
+	}
+}
+
+// processAssign handles plain, indexed and multi-assignments.
+func (bb *blockBuilder) processAssign(s *lang.AssignStmt) error {
+	if call, ok := s.Value.(*lang.CallExpr); ok {
+		switch {
+		case call.Name == "read":
+			return bb.emitRead(s, call)
+		case call.Name == "eigen":
+			return bb.emitEigen(s, call)
+		case call.Name == "transformencode":
+			return bb.emitTransformEncode(s, call)
+		case call.Name == "transformapply":
+			return bb.emitTransformApply(s, call)
+		case bb.c.isUserOrDMLFunction(call.Name):
+			return bb.emitFCall(s, call)
+		}
+	}
+	if len(s.Targets) > 1 {
+		return fmt.Errorf("compiler: line %d: multi-assignment requires a function call", s.Line)
+	}
+	valueHop, err := bb.buildExpr(s.Value)
+	if err != nil {
+		return err
+	}
+	target := s.Targets[0]
+	if !target.Indexed {
+		bb.varMap[target.Name] = valueHop
+		return nil
+	}
+	// left indexing: target[rl:ru, cl:cu] = value
+	targetHop := bb.readVar(target.Name)
+	rl, ru, cl, cu, err := bb.buildIndexBoundHops(target.Rows, target.Cols)
+	if err != nil {
+		return err
+	}
+	li := hops.NewHop(hops.KindLeftIndex, "leftIndex", targetHop, valueHop, rl, ru, cl, cu)
+	li.DataType = types.Matrix
+	bb.varMap[target.Name] = li
+	return nil
+}
+
+// processExprStmt handles side-effecting statements (print, write, stop,
+// assert) and bare expressions.
+func (bb *blockBuilder) processExprStmt(s *lang.ExprStmt) error {
+	call, ok := s.Value.(*lang.CallExpr)
+	if !ok {
+		// bare expression: evaluate into a throwaway temporary for effect-free
+		// validation
+		h, err := bb.buildExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		bb.dag.Roots = append(bb.dag.Roots, hops.NewWrite(fmt.Sprintf("%sdiscard%d", runtime.TempPrefix, h.ID), h))
+		return nil
+	}
+	switch call.Name {
+	case "print":
+		if len(call.Args) != 1 {
+			return fmt.Errorf("compiler: line %d: print takes exactly one argument", s.Line)
+		}
+		op, err := bb.exprToOperand(call.Args[0].Value)
+		if err != nil {
+			return err
+		}
+		if err := bb.flush(); err != nil {
+			return err
+		}
+		bb.instrs = append(bb.instrs, instructions.NewPrint(op))
+		return nil
+	case "stop":
+		op := instructions.LitString("stop")
+		if len(call.Args) > 0 {
+			var err error
+			op, err = bb.exprToOperand(call.Args[0].Value)
+			if err != nil {
+				return err
+			}
+		}
+		if err := bb.flush(); err != nil {
+			return err
+		}
+		bb.instrs = append(bb.instrs, instructions.NewStop(op))
+		return nil
+	case "assert":
+		if len(call.Args) != 1 {
+			return fmt.Errorf("compiler: line %d: assert takes exactly one argument", s.Line)
+		}
+		op, err := bb.exprToOperand(call.Args[0].Value)
+		if err != nil {
+			return err
+		}
+		if err := bb.flush(); err != nil {
+			return err
+		}
+		bb.instrs = append(bb.instrs, instructions.NewAssert(op))
+		return nil
+	case "write":
+		if len(call.Args) < 2 {
+			return fmt.Errorf("compiler: line %d: write requires data and file arguments", s.Line)
+		}
+		dataOp, err := bb.exprToOperand(call.Args[0].Value)
+		if err != nil {
+			return err
+		}
+		pathOp, err := bb.exprToOperand(call.Args[1].Value)
+		if err != nil {
+			return err
+		}
+		formatOp := instructions.LitString("")
+		for _, a := range call.Args[2:] {
+			if a.Name == "format" {
+				formatOp, err = bb.exprToOperand(a.Value)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if err := bb.flush(); err != nil {
+			return err
+		}
+		bb.instrs = append(bb.instrs, instructions.NewWrite(dataOp, pathOp, formatOp))
+		return nil
+	default:
+		if bb.c.isUserOrDMLFunction(call.Name) {
+			// function call whose results are discarded
+			return bb.emitFCall(&lang.AssignStmt{Targets: nil, Value: call, Line: s.Line}, call)
+		}
+		h, err := bb.buildExpr(call)
+		if err != nil {
+			return err
+		}
+		bb.dag.Roots = append(bb.dag.Roots, hops.NewWrite(fmt.Sprintf("%sdiscard%d", runtime.TempPrefix, h.ID), h))
+		return nil
+	}
+}
+
+// readVar returns the current in-block definition of a variable or a
+// transient read.
+func (bb *blockBuilder) readVar(name string) *hops.Hop {
+	if h, ok := bb.varMap[name]; ok {
+		return h
+	}
+	h := hops.NewRead(name, types.UnknownData)
+	if dc, ok := bb.known[name]; ok {
+		h.DC = dc
+		h.DataType = types.Matrix
+	}
+	return h
+}
+
+// exprToOperand converts an expression to an instruction operand, creating a
+// temporary DAG output for non-trivial expressions.
+func (bb *blockBuilder) exprToOperand(e lang.Expr) (instructions.Operand, error) {
+	switch v := e.(type) {
+	case *lang.NumLit:
+		if v.IsInt {
+			return instructions.LitInt(int64(v.Value)), nil
+		}
+		return instructions.LitDouble(v.Value), nil
+	case *lang.StrLit:
+		return instructions.LitString(v.Value), nil
+	case *lang.BoolLit:
+		return instructions.LitBool(v.Value), nil
+	case *lang.Ident:
+		return instructions.Var(v.Name), nil
+	default:
+		h, err := bb.buildExpr(e)
+		if err != nil {
+			return instructions.Operand{}, err
+		}
+		tempName := fmt.Sprintf("%sf%d", runtime.TempPrefix, h.ID)
+		bb.dag.Roots = append(bb.dag.Roots, hops.NewWrite(tempName, h))
+		return instructions.Var(tempName), nil
+	}
+}
+
+// buildIndexBoundHops converts index ranges to bound hops using 1-based
+// inclusive bounds with 0 meaning "unbounded".
+func (bb *blockBuilder) buildIndexBoundHops(rows, cols *lang.IndexRange) (rl, ru, cl, cu *hops.Hop, err error) {
+	build := func(r *lang.IndexRange) (*hops.Hop, *hops.Hop, error) {
+		if r == nil || r.All {
+			return hops.NewLiteralNumber(0), hops.NewLiteralNumber(0), nil
+		}
+		lo, err := bb.buildExpr(r.Lower)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.Upper == nil {
+			return lo, lo, nil
+		}
+		hi, err := bb.buildExpr(r.Upper)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo, hi, nil
+	}
+	rl, ru, err = build(rows)
+	if err != nil {
+		return
+	}
+	cl, cu, err = build(cols)
+	return
+}
+
+// buildExpr converts an expression into a HOP.
+func (bb *blockBuilder) buildExpr(e lang.Expr) (*hops.Hop, error) {
+	switch v := e.(type) {
+	case *lang.NumLit:
+		return hops.NewLiteralNumber(v.Value), nil
+	case *lang.StrLit:
+		return hops.NewLiteralString(v.Value), nil
+	case *lang.BoolLit:
+		return hops.NewLiteralBool(v.Value), nil
+	case *lang.Ident:
+		return bb.readVar(v.Name), nil
+	case *lang.UnaryExpr:
+		in, err := bb.buildExpr(v.Operand)
+		if err != nil {
+			return nil, err
+		}
+		op := "uminus"
+		if v.Op == "!" {
+			op = "!"
+		}
+		h := hops.NewHop(hops.KindUnary, op, in)
+		h.DataType = in.DataType
+		h.ValueType = in.ValueType
+		return h, nil
+	case *lang.RangeExpr:
+		from, err := bb.buildExpr(v.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := bb.buildExpr(v.To)
+		if err != nil {
+			return nil, err
+		}
+		h := hops.NewHop(hops.KindDataGen, "seq")
+		h.DataType = types.Matrix
+		h.Params = map[string]*hops.Hop{"from": from, "to": to, "incr": hops.NewLiteralNumber(1)}
+		return h, nil
+	case *lang.BinaryExpr:
+		left, err := bb.buildExpr(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := bb.buildExpr(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == "%*%" {
+			h := hops.NewHop(hops.KindMatMult, "ba+*", left, right)
+			h.DataType = types.Matrix
+			return h, nil
+		}
+		h := hops.NewHop(hops.KindBinary, v.Op, left, right)
+		if left.DataType == types.Matrix || right.DataType == types.Matrix {
+			h.DataType = types.Matrix
+		} else {
+			h.DataType = types.Scalar
+		}
+		return h, nil
+	case *lang.IndexExpr:
+		target, err := bb.buildExpr(v.Target)
+		if err != nil {
+			return nil, err
+		}
+		rl, ru, cl, cu, err := bb.buildIndexBoundHops(v.Rows, v.Cols)
+		if err != nil {
+			return nil, err
+		}
+		h := hops.NewHop(hops.KindIndexing, "rightIndex", target, rl, ru, cl, cu)
+		h.DataType = types.Matrix
+		return h, nil
+	case *lang.CallExpr:
+		return bb.buildCall(v)
+	default:
+		return nil, fmt.Errorf("compiler: unsupported expression %T", e)
+	}
+}

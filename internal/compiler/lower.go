@@ -1,0 +1,236 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/systemds/systemds-go/internal/hops"
+	"github.com/systemds/systemds-go/internal/instructions"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// flush finalizes the current HOP DAG: transient writes are added for all
+// in-block variable definitions, the static rewrites run, sizes and memory
+// estimates are propagated, execution types are selected, and the DAG is
+// lowered into runtime instructions. The variable map and DAG are then reset
+// for the next DAG of the block.
+func (bb *blockBuilder) flush() error {
+	// add transient writes for assigned variables (sorted for determinism)
+	names := make([]string, 0, len(bb.varMap))
+	for name := range bb.varMap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := bb.varMap[name]
+		// skip self-assignments of unchanged transient reads
+		if h.Kind == hops.KindRead && h.Name == name {
+			continue
+		}
+		bb.dag.Roots = append(bb.dag.Roots, hops.NewWrite(name, h))
+	}
+	if len(bb.dag.Roots) == 0 {
+		bb.varMap = map[string]*hops.Hop{}
+		bb.dag = &hops.DAG{}
+		return nil
+	}
+	hops.Rewrite(bb.dag)
+	hops.PropagateSizes(bb.dag, bb.known)
+	hops.SelectExecTypes(bb.dag, bb.c.cfg.OperatorMemBudget, bb.c.cfg.DistEnabled)
+	instrs, unknown, err := lowerDAG(bb.dag)
+	if err != nil {
+		return err
+	}
+	if unknown {
+		bb.unknownSizes = true
+	}
+	bb.instrs = append(bb.instrs, instrs...)
+	bb.varMap = map[string]*hops.Hop{}
+	bb.dag = &hops.DAG{}
+	return nil
+}
+
+// tempNameOf returns the runtime temporary variable name of an intermediate
+// HOP output.
+func tempNameOf(h *hops.Hop) string {
+	return fmt.Sprintf("%s%d", runtime.TempPrefix, h.ID)
+}
+
+// operandOf converts a HOP into the instruction operand referencing its
+// runtime value.
+func operandOf(h *hops.Hop) instructions.Operand {
+	switch h.Kind {
+	case hops.KindLiteral:
+		switch {
+		case h.LitIsStr:
+			return instructions.LitString(h.LitString)
+		case h.LitIsBool:
+			return instructions.LitBool(h.LitBool)
+		default:
+			return instructions.LitDouble(h.LitValue)
+		}
+	case hops.KindRead:
+		return instructions.Var(h.Name)
+	default:
+		return instructions.Var(tempNameOf(h))
+	}
+}
+
+// lowerDAG lowers a rewritten, size-annotated DAG into instructions in
+// topological order. It reports whether any operator had an unknown memory
+// estimate (input for the dynamic-recompilation decision).
+//
+// Instruction order: all compute instructions first (they read the values the
+// variables had at block entry), then the transient writes. Writes whose
+// source is a plain variable reference (alias assignments) are emitted before
+// writes of computed values, so an assignment like "y = x" observes the old
+// value of x even when x is redefined in the same DAG.
+func lowerDAG(dag *hops.DAG) ([]runtime.Instruction, bool, error) {
+	var computes, aliasWrites, valueWrites []runtime.Instruction
+	unknown := false
+	for _, h := range dag.Nodes() {
+		if h.MemEstimate < 0 && h.Kind != hops.KindRead && h.Kind != hops.KindLiteral && h.Kind != hops.KindWrite {
+			unknown = true
+		}
+		inst, err := lowerHop(h)
+		if err != nil {
+			return nil, false, err
+		}
+		if inst == nil {
+			continue
+		}
+		switch {
+		case h.Kind != hops.KindWrite:
+			computes = append(computes, inst)
+		case len(h.Inputs) == 1 && h.Inputs[0].Kind == hops.KindRead:
+			aliasWrites = append(aliasWrites, inst)
+		default:
+			valueWrites = append(valueWrites, inst)
+		}
+	}
+	instrs := append(computes, aliasWrites...)
+	instrs = append(instrs, valueWrites...)
+	return instrs, unknown, nil
+}
+
+// lowerHop lowers one HOP into an instruction (or nil for reads/literals).
+func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
+	out := tempNameOf(h)
+	in := func(i int) instructions.Operand { return operandOf(h.Inputs[i]) }
+	switch h.Kind {
+	case hops.KindRead, hops.KindLiteral:
+		return nil, nil
+	case hops.KindWrite:
+		src := operandOf(h.Inputs[0])
+		return instructions.NewAssign(h.Name, src), nil
+	case hops.KindBinary:
+		inst := instructions.NewBinary(h.Op, out, in(0), in(1))
+		inst.ExecType = h.ExecType
+		return inst, nil
+	case hops.KindUnary:
+		return instructions.NewUnary(h.Op, out, in(0)), nil
+	case hops.KindAggUnary:
+		op := h.Op
+		if op == "nnz" {
+			op = "sum" // nnz lowered as sum over (X != 0) is handled upstream; direct fallback
+		}
+		return instructions.NewAgg(op, out, in(0)), nil
+	case hops.KindMatMult:
+		inst := instructions.NewMatMult(out, in(0), in(1))
+		inst.ExecType = h.ExecType
+		return inst, nil
+	case hops.KindTSMM:
+		inst := instructions.NewTSMM(out, in(0))
+		inst.ExecType = h.ExecType
+		return inst, nil
+	case hops.KindReorg:
+		switch h.Op {
+		case "t":
+			return instructions.NewReorg("r'", out, in(0)), nil
+		case "diag":
+			return instructions.NewReorg("rdiag", out, in(0)), nil
+		case "rev":
+			return instructions.NewReorg("rev", out, in(0)), nil
+		default:
+			return nil, fmt.Errorf("compiler: unknown reorg op %q", h.Op)
+		}
+	case hops.KindIndexing:
+		return instructions.NewRightIndex(out, in(0), in(1), in(2), in(3), in(4)), nil
+	case hops.KindLeftIndex:
+		return instructions.NewLeftIndex(out, in(0), in(1), in(2), in(3), in(4), in(5)), nil
+	case hops.KindNary:
+		ops := make([]instructions.Operand, len(h.Inputs))
+		for i := range h.Inputs {
+			ops[i] = operandOf(h.Inputs[i])
+		}
+		return instructions.NewNary(h.Op, out, ops...), nil
+	case hops.KindTernary:
+		return instructions.NewTernary(out, in(0), in(1), in(2)), nil
+	case hops.KindCast:
+		return instructions.NewCast(h.Op, out, in(0)), nil
+	case hops.KindDataGen:
+		return lowerDataGen(h, out)
+	case hops.KindParamBuiltin:
+		return lowerParamBuiltin(h, out)
+	default:
+		return nil, fmt.Errorf("compiler: cannot lower HOP kind %s (op %s)", h.Kind, h.Op)
+	}
+}
+
+func lowerDataGen(h *hops.Hop, out string) (runtime.Instruction, error) {
+	p := func(key string, def instructions.Operand) instructions.Operand {
+		if v, ok := h.Params[key]; ok {
+			return operandOf(v)
+		}
+		return def
+	}
+	switch h.Op {
+	case "rand":
+		return instructions.NewRand(out,
+			p("rows", instructions.LitInt(1)), p("cols", instructions.LitInt(1)),
+			p("min", instructions.LitDouble(0)), p("max", instructions.LitDouble(1)),
+			p("sparsity", instructions.LitDouble(1)), p("pdf", instructions.LitString("uniform")),
+			p("seed", instructions.LitInt(42))), nil
+	case "seq":
+		return instructions.NewSeq(out,
+			p("from", instructions.LitDouble(1)), p("to", instructions.LitDouble(1)),
+			p("incr", instructions.LitDouble(1))), nil
+	case "fill":
+		return instructions.NewFill(out,
+			p("value", instructions.LitDouble(0)),
+			p("rows", instructions.LitInt(1)), p("cols", instructions.LitInt(1))), nil
+	case "sample":
+		return instructions.NewSample(out,
+			p("population", instructions.LitInt(1)), p("size", instructions.LitInt(1)),
+			p("replace", instructions.LitBool(false)), p("seed", instructions.LitInt(7))), nil
+	default:
+		return nil, fmt.Errorf("compiler: unknown datagen op %q", h.Op)
+	}
+}
+
+func lowerParamBuiltin(h *hops.Hop, out string) (runtime.Instruction, error) {
+	switch h.Op {
+	case "solve":
+		return instructions.NewSolve(out, operandOf(h.Inputs[0]), operandOf(h.Inputs[1])), nil
+	case "inv":
+		return instructions.NewInverse(out, operandOf(h.Inputs[0])), nil
+	case "cholesky":
+		return instructions.NewCholesky(out, operandOf(h.Inputs[0])), nil
+	default:
+		params := map[string]instructions.Operand{}
+		for k, v := range h.Params {
+			params[k] = operandOf(v)
+		}
+		return instructions.NewParamBuiltin(h.Op, out, params), nil
+	}
+}
+
+// EstimateMemoryBudget derives a default per-operator memory budget from the
+// configured buffer pool budget (placeholder for resource-aware compilation).
+func EstimateMemoryBudget(cfg *runtime.Config) int64 {
+	if cfg.OperatorMemBudget > 0 {
+		return cfg.OperatorMemBudget
+	}
+	return int64(types.DefaultBlocksize) * int64(types.DefaultBlocksize) * 8 * 4
+}

@@ -1,0 +1,213 @@
+// Package core ties the SystemDS-Go components together into an engine: it
+// compiles DML scripts against the builtin registry, binds in-memory inputs,
+// executes the resulting runtime program in a control-program context, and
+// returns the requested outputs together with execution statistics. It is the
+// layer the public API (root package) and the command-line tools build on.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/systemds/systemds-go/internal/builtins"
+	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/compiler"
+	"github.com/systemds/systemds-go/internal/fed"
+	"github.com/systemds/systemds-go/internal/frame"
+	"github.com/systemds/systemds-go/internal/lineage"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// Engine is a SystemDS-Go session: configuration, builtin registry and the
+// session-wide reuse cache shared by all executions (so intermediates can be
+// reused across scripts in exploratory workflows).
+type Engine struct {
+	cfg      *runtime.Config
+	registry *builtins.Registry
+	cache    *lineage.Cache
+	out      io.Writer
+}
+
+// Stats reports execution statistics of one script run.
+type Stats struct {
+	CacheStats lineage.CacheStats
+	PoolStats  bufferpool.Stats
+}
+
+// NewEngine creates an engine with the given configuration (nil uses the
+// default configuration).
+func NewEngine(cfg *runtime.Config) *Engine {
+	if cfg == nil {
+		cfg = runtime.DefaultConfig()
+	}
+	cacheBudget := int64(0)
+	if cfg.ReuseEnabled {
+		cacheBudget = cfg.CacheBudget
+	}
+	return &Engine{
+		cfg:      cfg,
+		registry: builtins.NewRegistry(),
+		cache:    lineage.NewCache(cacheBudget),
+		out:      os.Stdout,
+	}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() *runtime.Config { return e.cfg }
+
+// Registry returns the builtin registry (for registering additional
+// DML-bodied builtins).
+func (e *Engine) Registry() *builtins.Registry { return e.registry }
+
+// SetOutput redirects print() output.
+func (e *Engine) SetOutput(w io.Writer) { e.out = w }
+
+// ClearCache drops all entries of the session reuse cache.
+func (e *Engine) ClearCache() { e.cache.Clear() }
+
+// CacheStats returns the session reuse-cache statistics.
+func (e *Engine) CacheStats() lineage.CacheStats { return e.cache.Stats() }
+
+// Execute compiles and runs a DML script. Inputs are bound by name before
+// execution; the named outputs are extracted from the final symbol table.
+// Supported input types: *matrix.MatrixBlock, *frame.FrameBlock,
+// *fed.FederatedMatrix, float64, int, int64, bool, string and runtime.Data.
+func (e *Engine) Execute(script string, inputs map[string]any, outputs []string) (map[string]any, *Stats, error) {
+	prog, err := e.Compile(script, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Run(prog, inputs, outputs)
+}
+
+// Compile compiles a script with size information from the given inputs.
+func (e *Engine) Compile(script string, inputs map[string]any) (*runtime.Program, error) {
+	known := map[string]types.DataCharacteristics{}
+	for name, v := range inputs {
+		if m, ok := v.(*matrix.MatrixBlock); ok {
+			known[name] = types.DataCharacteristics{
+				Rows: int64(m.Rows()), Cols: int64(m.Cols()),
+				Blocksize: types.DefaultBlocksize, NNZ: m.NNZ(),
+			}
+		}
+	}
+	comp := compiler.New(e.cfg, e.registry)
+	prog, err := comp.Compile(script, known)
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Run executes a compiled program with the given inputs and returns the
+// requested outputs.
+func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []string) (map[string]any, *Stats, error) {
+	ctx := runtime.NewContext(e.cfg)
+	ctx.Cache = e.cache
+	ctx.Out = e.out
+	ctx.Prog = prog
+	for name, v := range inputs {
+		d, err := toRuntimeData(v, ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: input %q: %w", name, err)
+		}
+		ctx.Set(name, d)
+		ctx.Lineage.Set(name, lineage.NewCreation("input", name))
+	}
+	if err := prog.Execute(ctx); err != nil {
+		return nil, nil, err
+	}
+	results := map[string]any{}
+	for _, name := range outputs {
+		d, err := ctx.Get(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: output %q was not produced by the script", name)
+		}
+		v, err := fromRuntimeData(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: output %q: %w", name, err)
+		}
+		results[name] = v
+	}
+	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats()}
+	return results, stats, nil
+}
+
+// toRuntimeData converts an API value to a runtime data object.
+func toRuntimeData(v any, ctx *runtime.Context) (runtime.Data, error) {
+	switch x := v.(type) {
+	case runtime.Data:
+		return x, nil
+	case *matrix.MatrixBlock:
+		return runtime.NewMatrixObject(x, ctx.Pool), nil
+	case *frame.FrameBlock:
+		return runtime.NewFrameObject(x), nil
+	case *fed.FederatedMatrix:
+		return runtime.NewFederatedObject(x), nil
+	case float64:
+		return runtime.NewDouble(x), nil
+	case float32:
+		return runtime.NewDouble(float64(x)), nil
+	case int:
+		return runtime.NewInt(int64(x)), nil
+	case int64:
+		return runtime.NewInt(x), nil
+	case bool:
+		return runtime.NewBool(x), nil
+	case string:
+		return runtime.NewString(x), nil
+	default:
+		return nil, fmt.Errorf("unsupported input type %T", v)
+	}
+}
+
+// fromRuntimeData converts a runtime data object to an API value.
+func fromRuntimeData(d runtime.Data) (any, error) {
+	switch x := d.(type) {
+	case *runtime.Scalar:
+		switch x.VT {
+		case types.String:
+			return x.StringValue(), nil
+		case types.Boolean:
+			return x.Bool(), nil
+		default:
+			return x.Float64(), nil
+		}
+	case *runtime.MatrixObject:
+		return x.Acquire()
+	case *runtime.FrameObject:
+		return x.Frame, nil
+	case *runtime.FederatedObject:
+		return x.Fed, nil
+	case *runtime.ListObject:
+		return x, nil
+	default:
+		return nil, fmt.Errorf("unsupported output type %T", d)
+	}
+}
+
+// Prepared is a pre-compiled script that can be executed repeatedly with
+// different inputs (the JMLC-style embedded scoring API of Section 2.2).
+type Prepared struct {
+	engine  *Engine
+	prog    *runtime.Program
+	outputs []string
+}
+
+// Prepare compiles a script once for repeated low-latency execution.
+func (e *Engine) Prepare(script string, outputs []string) (*Prepared, error) {
+	prog, err := e.Compile(script, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{engine: e, prog: prog, outputs: outputs}, nil
+}
+
+// Execute runs the prepared script with the given inputs.
+func (p *Prepared) Execute(inputs map[string]any) (map[string]any, error) {
+	out, _, err := p.engine.Run(p.prog, inputs, p.outputs)
+	return out, err
+}

@@ -1,0 +1,69 @@
+package fed
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a connection from the master control program to one federated
+// worker. Requests on a client are serialized; use one client per worker.
+type Client struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a federated worker.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("fed: dial %s: %w", addr, err)
+	}
+	return &Client{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Addr returns the worker address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Call sends a request and waits for the response.
+func (c *Client) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, fmt.Errorf("fed: connection to %s is closed", c.addr)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("fed: send to %s: %w", c.addr, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("fed: receive from %s: %w", c.addr, err)
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("fed: worker %s: %s", c.addr, resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks worker liveness.
+func (c *Client) Ping() error {
+	_, err := c.Call(&Request{Command: "ping"})
+	return err
+}

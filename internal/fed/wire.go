@@ -1,0 +1,70 @@
+// Package fed implements federated ML support (Section 3.3 of the paper):
+// federated workers that hold local data partitions and execute pushed-down
+// instructions, a master-side federated matrix (a metadata object referencing
+// remote in-memory tensors by index range), and federated operations that
+// aggregate partial results while leaving raw data at the owning site.
+package fed
+
+import (
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// WireMatrix is the gob-serializable wire representation of a matrix block.
+// Sparse blocks are shipped as dense values for simplicity; the federated
+// protocol only ever ships small aggregates and broadcast vectors.
+type WireMatrix struct {
+	Rows, Cols int
+	Values     []float64
+}
+
+// ToWire converts a matrix block to its wire representation.
+func ToWire(m *matrix.MatrixBlock) *WireMatrix {
+	if m == nil {
+		return nil
+	}
+	d := m.Copy().ToDense()
+	return &WireMatrix{Rows: d.Rows(), Cols: d.Cols(), Values: d.DenseValues()}
+}
+
+// FromWire converts a wire matrix back to a matrix block.
+func FromWire(w *WireMatrix) *matrix.MatrixBlock {
+	if w == nil {
+		return nil
+	}
+	m := matrix.NewDenseFromSlice(w.Rows, w.Cols, append([]float64(nil), w.Values...))
+	m.ExamineAndApplySparsity()
+	return m
+}
+
+// Request is a message sent from the master control program to a federated
+// worker.
+type Request struct {
+	// Command is one of "ping", "put", "readcsv", "exec", "get", "remove",
+	// "shutdown".
+	Command string
+	// Name is the worker-local variable the command refers to.
+	Name string
+	// Path is the file to read for "readcsv".
+	Path string
+	// Op is the pushed-down operation for "exec": "tsmm", "xty", "matvec",
+	// "colSums", "sum", "sumsq", "rowcount", "scalar*", "gradient_linreg".
+	Op string
+	// Operands are worker-local input variable names for "exec".
+	Operands []string
+	// Output is the worker-local variable the "exec" result is stored under.
+	Output string
+	// Matrix carries broadcast data for "put" and vector operands of "exec".
+	Matrix *WireMatrix
+	// Scalar carries scalar operands.
+	Scalar float64
+}
+
+// Response is a worker's reply.
+type Response struct {
+	OK     bool
+	Error  string
+	Matrix *WireMatrix
+	Scalar float64
+	Rows   int64
+	Cols   int64
+}

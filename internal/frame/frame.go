@@ -1,0 +1,273 @@
+// Package frame implements FrameBlock, a two-dimensional table with a
+// per-column schema (lesson L4 of the SystemDS paper), and the feature
+// transformation encoders (recode, dummy-coding, binning, imputation,
+// scaling) used to turn heterogeneous raw data into numeric matrices for ML
+// training. It corresponds to SystemDS' frame support and the
+// transformencode / transformapply builtins.
+package frame
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// FrameBlock is a column-oriented 2D table with a schema: each column has a
+// value type and an optional name. String columns hold raw strings; numeric
+// columns hold float64 values.
+type FrameBlock struct {
+	schema   types.Schema
+	colNames []string
+	numRows  int
+	strCols  map[int][]string
+	numCols  map[int][]float64
+}
+
+// NewFrame creates an empty frame with the given schema and number of rows.
+func NewFrame(schema types.Schema, rows int) *FrameBlock {
+	f := &FrameBlock{
+		schema:   append(types.Schema(nil), schema...),
+		colNames: make([]string, len(schema)),
+		numRows:  rows,
+		strCols:  map[int][]string{},
+		numCols:  map[int][]float64{},
+	}
+	for i, vt := range schema {
+		f.colNames[i] = fmt.Sprintf("C%d", i+1)
+		if vt == types.String {
+			f.strCols[i] = make([]string, rows)
+		} else {
+			f.numCols[i] = make([]float64, rows)
+		}
+	}
+	return f
+}
+
+// NumRows returns the number of rows.
+func (f *FrameBlock) NumRows() int { return f.numRows }
+
+// NumCols returns the number of columns.
+func (f *FrameBlock) NumCols() int { return len(f.schema) }
+
+// Schema returns a copy of the frame's schema.
+func (f *FrameBlock) Schema() types.Schema { return append(types.Schema(nil), f.schema...) }
+
+// ColumnNames returns a copy of the column names.
+func (f *FrameBlock) ColumnNames() []string { return append([]string(nil), f.colNames...) }
+
+// SetColumnNames assigns column names; the length must match the schema.
+func (f *FrameBlock) SetColumnNames(names []string) error {
+	if len(names) != len(f.schema) {
+		return fmt.Errorf("frame: %d names for %d columns", len(names), len(f.schema))
+	}
+	f.colNames = append([]string(nil), names...)
+	return nil
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (f *FrameBlock) ColumnIndex(name string) int {
+	for i, n := range f.colNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *FrameBlock) check(r, c int) error {
+	if r < 0 || r >= f.numRows || c < 0 || c >= len(f.schema) {
+		return fmt.Errorf("frame: index (%d,%d) out of bounds %dx%d", r, c, f.numRows, len(f.schema))
+	}
+	return nil
+}
+
+// GetString returns the cell at (r, c) rendered as a string.
+func (f *FrameBlock) GetString(r, c int) (string, error) {
+	if err := f.check(r, c); err != nil {
+		return "", err
+	}
+	if f.schema[c] == types.String {
+		return f.strCols[c][r], nil
+	}
+	v := f.numCols[c][r]
+	switch f.schema[c] {
+	case types.INT64, types.INT32:
+		return strconv.FormatInt(int64(v), 10), nil
+	case types.Boolean:
+		if v != 0 {
+			return "true", nil
+		}
+		return "false", nil
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64), nil
+	}
+}
+
+// GetNumeric returns the numeric value of the cell at (r, c). String cells
+// are parsed; unparseable strings yield an error.
+func (f *FrameBlock) GetNumeric(r, c int) (float64, error) {
+	if err := f.check(r, c); err != nil {
+		return 0, err
+	}
+	if f.schema[c] == types.String {
+		s := f.strCols[c][r]
+		if s == "" {
+			return 0, nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("frame: cell (%d,%d) %q is not numeric", r, c, s)
+		}
+		return v, nil
+	}
+	return f.numCols[c][r], nil
+}
+
+// SetString assigns a string to the cell at (r, c); numeric columns parse it.
+func (f *FrameBlock) SetString(r, c int, s string) error {
+	if err := f.check(r, c); err != nil {
+		return err
+	}
+	if f.schema[c] == types.String {
+		f.strCols[c][r] = s
+		return nil
+	}
+	if s == "" || s == "NA" || s == "NaN" {
+		// missing values in numeric columns are represented as NaN so that
+		// downstream imputation (imputeByMean, transformencode impute) can
+		// recognize and repair them
+		f.numCols[c][r] = math.NaN()
+		return nil
+	}
+	switch f.schema[c] {
+	case types.Boolean:
+		switch s {
+		case "true", "TRUE", "True", "1":
+			f.numCols[c][r] = 1
+		case "false", "FALSE", "False", "0":
+			f.numCols[c][r] = 0
+		default:
+			return fmt.Errorf("frame: cannot parse %q as boolean", s)
+		}
+		return nil
+	default:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("frame: cannot parse %q as %s: %w", s, f.schema[c], err)
+		}
+		if f.schema[c] == types.INT64 || f.schema[c] == types.INT32 {
+			v = float64(int64(v))
+		}
+		f.numCols[c][r] = v
+		return nil
+	}
+}
+
+// SetNumeric assigns a numeric value to the cell at (r, c).
+func (f *FrameBlock) SetNumeric(r, c int, v float64) error {
+	if err := f.check(r, c); err != nil {
+		return err
+	}
+	if f.schema[c] == types.String {
+		f.strCols[c][r] = strconv.FormatFloat(v, 'g', -1, 64)
+		return nil
+	}
+	if f.schema[c] == types.INT64 || f.schema[c] == types.INT32 {
+		v = float64(int64(v))
+	}
+	if f.schema[c] == types.Boolean && v != 0 {
+		v = 1
+	}
+	f.numCols[c][r] = v
+	return nil
+}
+
+// Copy returns a deep copy of the frame.
+func (f *FrameBlock) Copy() *FrameBlock {
+	cp := NewFrame(f.schema, f.numRows)
+	copy(cp.colNames, f.colNames)
+	for c, col := range f.strCols {
+		copy(cp.strCols[c], col)
+	}
+	for c, col := range f.numCols {
+		copy(cp.numCols[c], col)
+	}
+	return cp
+}
+
+// SliceRows returns the frame restricted to rows [rl, ru).
+func (f *FrameBlock) SliceRows(rl, ru int) (*FrameBlock, error) {
+	if rl < 0 || ru > f.numRows || rl > ru {
+		return nil, fmt.Errorf("frame: row slice [%d,%d) out of bounds for %d rows", rl, ru, f.numRows)
+	}
+	out := NewFrame(f.schema, ru-rl)
+	copy(out.colNames, f.colNames)
+	for c := range f.schema {
+		for r := rl; r < ru; r++ {
+			s, _ := f.GetString(r, c)
+			if err := out.SetString(r-rl, c, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// SelectColumns returns a new frame containing only the given column indexes.
+func (f *FrameBlock) SelectColumns(cols []int) (*FrameBlock, error) {
+	schema := make(types.Schema, len(cols))
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(f.schema) {
+			return nil, fmt.Errorf("frame: column %d out of bounds", c)
+		}
+		schema[i] = f.schema[c]
+		names[i] = f.colNames[c]
+	}
+	out := NewFrame(schema, f.numRows)
+	_ = out.SetColumnNames(names)
+	for i, c := range cols {
+		for r := 0; r < f.numRows; r++ {
+			s, _ := f.GetString(r, c)
+			if err := out.SetString(r, i, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ToMatrix converts the frame to a numeric matrix. All columns must be
+// numeric or hold parseable numeric strings.
+func (f *FrameBlock) ToMatrix() (*matrix.MatrixBlock, error) {
+	out := matrix.NewDense(f.numRows, len(f.schema))
+	for r := 0; r < f.numRows; r++ {
+		for c := 0; c < len(f.schema); c++ {
+			v, err := f.GetNumeric(r, c)
+			if err != nil {
+				return nil, err
+			}
+			out.Set(r, c, v)
+		}
+	}
+	return out, nil
+}
+
+// FromMatrix builds an all-FP64 frame from a matrix.
+func FromMatrix(m *matrix.MatrixBlock) *FrameBlock {
+	f := NewFrame(types.UniformSchema(types.FP64, m.Cols()), m.Rows())
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			_ = f.SetNumeric(r, c, m.Get(r, c))
+		}
+	}
+	return f
+}
+
+// String renders frame metadata.
+func (f *FrameBlock) String() string {
+	return fmt.Sprintf("FrameBlock[%dx%d, schema=%s]", f.numRows, len(f.schema), f.schema)
+}

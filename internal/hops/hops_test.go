@@ -1,0 +1,242 @@
+package hops
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// buildLmDSDag constructs the HOP DAG of the lmDS core computation
+// A = t(X) %*% X + diag(l); b = t(X) %*% y to exercise rewrites and size
+// propagation the way the compiler does.
+func buildLmDSDag() (*DAG, *Hop, *Hop) {
+	x := NewRead("X", types.Matrix)
+	y := NewRead("y", types.Matrix)
+	l := NewRead("l", types.Matrix)
+	tx1 := NewHop(KindReorg, "t", x)
+	tx1.DataType = types.Matrix
+	tx2 := NewHop(KindReorg, "t", x)
+	tx2.DataType = types.Matrix
+	gram := NewHop(KindMatMult, "ba+*", tx1, x)
+	gram.DataType = types.Matrix
+	diag := NewHop(KindReorg, "diag", l)
+	diag.DataType = types.Matrix
+	a := NewHop(KindBinary, "+", gram, diag)
+	a.DataType = types.Matrix
+	b := NewHop(KindMatMult, "ba+*", tx2, y)
+	b.DataType = types.Matrix
+	dag := &DAG{Roots: []*Hop{NewWrite("A", a), NewWrite("b", b)}}
+	return dag, a, b
+}
+
+func TestRewriteFusesTSMM(t *testing.T) {
+	dag, a, _ := buildLmDSDag()
+	Rewrite(dag)
+	// t(X) %*% X must become a TSMM node
+	if dag.CountKind(KindTSMM) != 1 {
+		t.Fatalf("TSMM nodes = %d, want 1\n%s", dag.CountKind(KindTSMM), dag.Explain())
+	}
+	// the A node's first input is now the tsmm
+	if a.Inputs[0].Kind != KindTSMM {
+		t.Errorf("A input kind = %s", a.Inputs[0].Kind)
+	}
+	// the duplicated transpose reads were merged by CSE: only one reorg (the
+	// diag) plus the transpose feeding b remain
+	if n := dag.CountKind(KindRead); n != 3 {
+		t.Errorf("reads = %d, want 3 (X, y, l deduplicated)", n)
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	two := NewLiteralNumber(2)
+	three := NewLiteralNumber(3)
+	sum := NewHop(KindBinary, "+", two, three)
+	sum.DataType = types.Scalar
+	neg := NewHop(KindUnary, "-", sum)
+	neg.DataType = types.Scalar
+	cmp := NewHop(KindBinary, ">", neg, NewLiteralNumber(0))
+	cmp.DataType = types.Scalar
+	dag := &DAG{Roots: []*Hop{NewWrite("x", neg), NewWrite("c", cmp)}}
+	FoldConstants(dag)
+	xRoot := dag.Roots[0]
+	if xRoot.Inputs[0].Kind != KindLiteral || xRoot.Inputs[0].LitValue != -5 {
+		t.Errorf("folded value = %+v", xRoot.Inputs[0])
+	}
+	cRoot := dag.Roots[1]
+	if !cRoot.Inputs[0].LitIsBool || cRoot.Inputs[0].LitBool {
+		t.Errorf("folded comparison = %+v", cRoot.Inputs[0])
+	}
+}
+
+func TestSimplifyAlgebraic(t *testing.T) {
+	x := NewRead("X", types.Matrix)
+	tt := NewHop(KindReorg, "t", NewHop(KindReorg, "t", x))
+	tt.DataType = types.Matrix
+	tt.Inputs[0].DataType = types.Matrix
+	mulOne := NewHop(KindBinary, "*", x, NewLiteralNumber(1))
+	mulOne.DataType = types.Matrix
+	addZero := NewHop(KindBinary, "+", x, NewLiteralNumber(0))
+	addZero.DataType = types.Matrix
+	dag := &DAG{Roots: []*Hop{NewWrite("a", tt), NewWrite("b", mulOne), NewWrite("c", addZero)}}
+	SimplifyAlgebraic(dag)
+	for i, root := range dag.Roots {
+		if root.Inputs[0] != x {
+			t.Errorf("root %d not simplified to X: %+v", i, root.Inputs[0])
+		}
+	}
+}
+
+func TestCSEKeepsNonDeterministicNodes(t *testing.T) {
+	r1 := NewHop(KindDataGen, "rand")
+	r1.DataType = types.Matrix
+	r1.Params = map[string]*Hop{"rows": NewLiteralNumber(2), "cols": NewLiteralNumber(2), "seed": NewLiteralNumber(1)}
+	r2 := NewHop(KindDataGen, "rand")
+	r2.DataType = types.Matrix
+	r2.Params = map[string]*Hop{"rows": NewLiteralNumber(2), "cols": NewLiteralNumber(2), "seed": NewLiteralNumber(1)}
+	dag := &DAG{Roots: []*Hop{NewWrite("a", r1), NewWrite("b", r2)}}
+	EliminateCommonSubexpressions(dag)
+	if dag.Roots[0].Inputs[0] == dag.Roots[1].Inputs[0] {
+		t.Error("datagen nodes must not be merged by CSE")
+	}
+}
+
+func TestCSEMergesIdenticalSubtrees(t *testing.T) {
+	x := NewRead("X", types.Matrix)
+	s1 := NewHop(KindAggUnary, "sum", x)
+	s1.DataType = types.Scalar
+	x2 := NewRead("X", types.Matrix)
+	s2 := NewHop(KindAggUnary, "sum", x2)
+	s2.DataType = types.Scalar
+	add := NewHop(KindBinary, "+", s1, s2)
+	add.DataType = types.Scalar
+	dag := &DAG{Roots: []*Hop{NewWrite("out", add)}}
+	EliminateCommonSubexpressions(dag)
+	if add.Inputs[0] != add.Inputs[1] {
+		t.Error("identical aggregations should be merged")
+	}
+}
+
+func TestPropagateSizesAndMemEstimates(t *testing.T) {
+	dag, a, b := buildLmDSDag()
+	Rewrite(dag)
+	known := map[string]types.DataCharacteristics{
+		"X": types.NewDataCharacteristics(1000, 50, 1024, 50000),
+		"y": types.NewDataCharacteristics(1000, 1, 1024, 1000),
+		"l": types.NewDataCharacteristics(50, 1, 1024, 50),
+	}
+	PropagateSizes(dag, known)
+	if a.DC.Rows != 50 || a.DC.Cols != 50 {
+		t.Errorf("A dims = %v", a.DC)
+	}
+	if b.DC.Rows != 50 || b.DC.Cols != 1 {
+		t.Errorf("b dims = %v", b.DC)
+	}
+	for _, h := range dag.Nodes() {
+		if h.Kind == KindRead || h.Kind == KindLiteral {
+			continue
+		}
+		if h.MemEstimate < 0 {
+			t.Errorf("node %s %s has unknown memory estimate", h.Kind, h.Op)
+		}
+	}
+}
+
+func TestPropagateSizesSpecificOps(t *testing.T) {
+	x := NewRead("X", types.Matrix)
+	known := map[string]types.DataCharacteristics{"X": types.NewDataCharacteristics(100, 20, 1024, 2000)}
+	colsums := NewHop(KindAggUnary, "colSums", x)
+	colsums.DataType = types.Matrix
+	rowsums := NewHop(KindAggUnary, "rowSums", x)
+	rowsums.DataType = types.Matrix
+	total := NewHop(KindAggUnary, "sum", x)
+	total.DataType = types.Scalar
+	trans := NewHop(KindReorg, "t", x)
+	trans.DataType = types.Matrix
+	cb := NewHop(KindNary, "cbind", x, x)
+	cb.DataType = types.Matrix
+	gen := NewHop(KindDataGen, "rand")
+	gen.DataType = types.Matrix
+	gen.Params = map[string]*Hop{"rows": NewLiteralNumber(7), "cols": NewLiteralNumber(3), "sparsity": NewLiteralNumber(0.5)}
+	seq := NewHop(KindDataGen, "seq")
+	seq.DataType = types.Matrix
+	seq.Params = map[string]*Hop{"from": NewLiteralNumber(1), "to": NewLiteralNumber(10), "incr": NewLiteralNumber(1)}
+	dag := &DAG{Roots: []*Hop{
+		NewWrite("a", colsums), NewWrite("b", rowsums), NewWrite("c", total),
+		NewWrite("d", trans), NewWrite("e", cb), NewWrite("f", gen), NewWrite("g", seq),
+	}}
+	PropagateSizes(dag, known)
+	if colsums.DC.Rows != 1 || colsums.DC.Cols != 20 {
+		t.Errorf("colSums dc = %v", colsums.DC)
+	}
+	if rowsums.DC.Rows != 100 || rowsums.DC.Cols != 1 {
+		t.Errorf("rowSums dc = %v", rowsums.DC)
+	}
+	if total.DC.Rows != 0 || total.DC.Cols != 0 {
+		t.Errorf("sum dc = %v", total.DC)
+	}
+	if trans.DC.Rows != 20 || trans.DC.Cols != 100 || trans.DC.NNZ != 2000 {
+		t.Errorf("transpose dc = %v", trans.DC)
+	}
+	if cb.DC.Cols != 40 {
+		t.Errorf("cbind dc = %v", cb.DC)
+	}
+	if gen.DC.Rows != 7 || gen.DC.Cols != 3 || gen.DC.NNZ != 10 {
+		t.Errorf("rand dc = %v", gen.DC)
+	}
+	if seq.DC.Rows != 10 || seq.DC.Cols != 1 {
+		t.Errorf("seq dc = %v", seq.DC)
+	}
+}
+
+func TestSelectExecTypes(t *testing.T) {
+	x := NewRead("X", types.Matrix)
+	z := NewRead("z", types.Matrix)
+	big := NewHop(KindMatMult, "ba+*", x, x)
+	big.DataType = types.Matrix
+	small := NewHop(KindAggUnary, "sum", z)
+	small.DataType = types.Scalar
+	dag := &DAG{Roots: []*Hop{NewWrite("a", big), NewWrite("s", small)}}
+	known := map[string]types.DataCharacteristics{
+		"X": types.NewDataCharacteristics(5000, 5000, 1024, 25_000_000),
+		"z": types.NewDataCharacteristics(10, 10, 1024, 100),
+	}
+	PropagateSizes(dag, known)
+	SelectExecTypes(dag, 1<<20, true) // 1 MB budget forces DIST for the multiply
+	if big.ExecType != types.ExecDist {
+		t.Errorf("large matmult exec type = %s, want DIST", big.ExecType)
+	}
+	if small.ExecType != types.ExecCP {
+		t.Errorf("small aggregate exec type = %s, want CP", small.ExecType)
+	}
+	// with the distributed backend disabled everything stays in CP
+	SelectExecTypes(dag, 1<<20, false)
+	if big.ExecType != types.ExecCP {
+		t.Error("disabled backend must keep operators in CP")
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	dag, _, _ := buildLmDSDag()
+	Rewrite(dag)
+	PropagateSizes(dag, nil)
+	out := dag.Explain()
+	if !strings.Contains(out, "TSMM") || !strings.Contains(out, "TWrite") {
+		t.Errorf("explain output missing operators:\n%s", out)
+	}
+}
+
+func TestLiteralConstructors(t *testing.T) {
+	n := NewLiteralNumber(2.5)
+	if !n.IsLiteralNumber() || n.LitValue != 2.5 || !n.IsScalar() {
+		t.Error("number literal malformed")
+	}
+	s := NewLiteralString("csv")
+	if s.IsLiteralNumber() || !s.LitIsStr || s.LitString != "csv" {
+		t.Error("string literal malformed")
+	}
+	b := NewLiteralBool(true)
+	if !b.LitIsBool || b.LitValue != 1 {
+		t.Error("bool literal malformed")
+	}
+}

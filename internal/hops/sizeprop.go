@@ -1,0 +1,268 @@
+package hops
+
+import (
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// PropagateSizes performs size propagation over the DAG: starting from the
+// known characteristics of transient reads and literals, it derives output
+// dimensions and sparsity for every operator, then computes worst-case memory
+// estimates. knownVars supplies the characteristics of variables live at the
+// block entry (from the symbol table during dynamic recompilation, or from
+// read metadata at initial compile time).
+func PropagateSizes(d *DAG, knownVars map[string]types.DataCharacteristics) {
+	for _, h := range d.Nodes() {
+		propagate(h, knownVars)
+		h.MemEstimate = estimateMemory(h)
+	}
+}
+
+func propagate(h *Hop, known map[string]types.DataCharacteristics) {
+	switch h.Kind {
+	case KindRead:
+		if dc, ok := known[h.Name]; ok {
+			h.DC = dc
+			if dc.Rows >= 0 && h.DataType == types.UnknownData {
+				h.DataType = types.Matrix
+			}
+		}
+	case KindLiteral:
+		h.DC = types.NewDataCharacteristics(0, 0, 0, 0)
+	case KindWrite, KindCast:
+		if len(h.Inputs) == 1 {
+			h.DC = h.Inputs[0].DC
+			if h.Kind == KindWrite {
+				h.DataType = h.Inputs[0].DataType
+				h.ValueType = h.Inputs[0].ValueType
+			}
+		}
+	case KindBinary:
+		if len(h.Inputs) == 2 {
+			a, b := h.Inputs[0], h.Inputs[1]
+			switch {
+			case a.IsMatrix() && b.IsMatrix():
+				h.DC = combineBinary(a.DC, b.DC)
+			case a.IsMatrix():
+				h.DC = a.DC
+				h.DC.NNZ = -1
+			case b.IsMatrix():
+				h.DC = b.DC
+				h.DC.NNZ = -1
+			default:
+				h.DC = types.NewDataCharacteristics(0, 0, 0, 0)
+			}
+		}
+	case KindUnary:
+		if len(h.Inputs) == 1 {
+			h.DC = h.Inputs[0].DC
+			if h.DataType == types.Matrix {
+				h.DC.NNZ = -1
+			} else {
+				h.DC = types.NewDataCharacteristics(0, 0, 0, 0)
+			}
+		}
+	case KindAggUnary:
+		if len(h.Inputs) == 1 {
+			in := h.Inputs[0].DC
+			switch h.Op {
+			case "rowSums", "rowMeans", "rowMaxs", "rowMins", "rowIndexMax":
+				h.DC = types.NewDataCharacteristics(in.Rows, 1, in.Blocksize, -1)
+			case "colSums", "colMeans", "colMaxs", "colMins", "colVars", "colSds":
+				h.DC = types.NewDataCharacteristics(1, in.Cols, in.Blocksize, -1)
+			default: // full aggregates produce scalars
+				h.DC = types.NewDataCharacteristics(0, 0, 0, 0)
+			}
+		}
+	case KindMatMult:
+		if len(h.Inputs) == 2 {
+			a, b := h.Inputs[0].DC, h.Inputs[1].DC
+			rows, cols := a.Rows, b.Cols
+			h.DC = types.NewDataCharacteristics(rows, cols, a.Blocksize, -1)
+		}
+	case KindTSMM:
+		if len(h.Inputs) == 1 {
+			in := h.Inputs[0].DC
+			h.DC = types.NewDataCharacteristics(in.Cols, in.Cols, in.Blocksize, -1)
+		}
+	case KindReorg:
+		if len(h.Inputs) == 1 {
+			in := h.Inputs[0].DC
+			switch h.Op {
+			case "t":
+				h.DC = types.NewDataCharacteristics(in.Cols, in.Rows, in.Blocksize, in.NNZ)
+			case "diag":
+				if in.Cols == 1 {
+					h.DC = types.NewDataCharacteristics(in.Rows, in.Rows, in.Blocksize, in.Rows)
+				} else {
+					h.DC = types.NewDataCharacteristics(in.Rows, 1, in.Blocksize, -1)
+				}
+			default:
+				h.DC = in
+			}
+		}
+	case KindIndexing:
+		// without literal bounds the result size is unknown; a literal range
+		// yields exact sizes
+		h.DC = types.UnknownCharacteristics()
+		if len(h.Inputs) >= 5 {
+			rl, ru := h.Inputs[1], h.Inputs[2]
+			cl, cu := h.Inputs[3], h.Inputs[4]
+			rows, cols := int64(-1), int64(-1)
+			if rl.IsLiteralNumber() && ru.IsLiteralNumber() {
+				rows = int64(ru.LitValue-rl.LitValue) + 1
+			}
+			if cl.IsLiteralNumber() && cu.IsLiteralNumber() {
+				cols = int64(cu.LitValue-cl.LitValue) + 1
+			}
+			in := h.Inputs[0].DC
+			if rows < 0 && in.Rows >= 0 && rl.IsLiteralNumber() && rl.LitValue == 1 && ru.Kind == KindRead {
+				rows = -1
+			}
+			h.DC = types.NewDataCharacteristics(rows, cols, in.Blocksize, -1)
+		}
+	case KindLeftIndex:
+		if len(h.Inputs) >= 1 {
+			h.DC = h.Inputs[0].DC
+			h.DC.NNZ = -1
+		}
+	case KindDataGen:
+		rows, cols := int64(-1), int64(-1)
+		if p, ok := h.Params["rows"]; ok && p.IsLiteralNumber() {
+			rows = int64(p.LitValue)
+		}
+		if p, ok := h.Params["cols"]; ok && p.IsLiteralNumber() {
+			cols = int64(p.LitValue)
+		}
+		if h.Op == "seq" {
+			if from, ok1 := h.Params["from"]; ok1 && from.IsLiteralNumber() {
+				if to, ok2 := h.Params["to"]; ok2 && to.IsLiteralNumber() {
+					incr := 1.0
+					if p, ok := h.Params["incr"]; ok && p.IsLiteralNumber() {
+						incr = p.LitValue
+					}
+					if incr != 0 {
+						rows = int64((to.LitValue-from.LitValue)/incr) + 1
+					}
+					cols = 1
+				}
+			}
+		}
+		nnz := int64(-1)
+		if rows >= 0 && cols >= 0 {
+			nnz = rows * cols
+			if p, ok := h.Params["sparsity"]; ok && p.IsLiteralNumber() {
+				nnz = int64(float64(rows*cols) * p.LitValue)
+			}
+		}
+		h.DC = types.NewDataCharacteristics(rows, cols, types.DefaultBlocksize, nnz)
+	case KindNary:
+		switch h.Op {
+		case "cbind":
+			rows, cols := int64(-1), int64(0)
+			ok := true
+			for _, in := range h.Inputs {
+				if in.DC.Rows >= 0 {
+					rows = in.DC.Rows
+				}
+				if in.DC.Cols < 0 {
+					ok = false
+					break
+				}
+				cols += in.DC.Cols
+			}
+			if !ok {
+				cols = -1
+			}
+			h.DC = types.NewDataCharacteristics(rows, cols, types.DefaultBlocksize, -1)
+		case "rbind":
+			rows, cols := int64(0), int64(-1)
+			ok := true
+			for _, in := range h.Inputs {
+				if in.DC.Cols >= 0 {
+					cols = in.DC.Cols
+				}
+				if in.DC.Rows < 0 {
+					ok = false
+					break
+				}
+				rows += in.DC.Rows
+			}
+			if !ok {
+				rows = -1
+			}
+			h.DC = types.NewDataCharacteristics(rows, cols, types.DefaultBlocksize, -1)
+		default:
+			h.DC = types.UnknownCharacteristics()
+		}
+	case KindTernary:
+		if len(h.Inputs) == 3 {
+			h.DC = h.Inputs[0].DC
+			h.DC.NNZ = -1
+		}
+	case KindParamBuiltin, KindFunctionCall:
+		h.DC = types.UnknownCharacteristics()
+	}
+}
+
+func combineBinary(a, b types.DataCharacteristics) types.DataCharacteristics {
+	rows, cols := a.Rows, a.Cols
+	if rows < 0 {
+		rows = b.Rows
+	}
+	if cols < 0 {
+		cols = b.Cols
+	}
+	// vector broadcasting keeps the larger operand's shape
+	if b.Rows > rows {
+		rows = b.Rows
+	}
+	if b.Cols > cols {
+		cols = b.Cols
+	}
+	return types.NewDataCharacteristics(rows, cols, a.Blocksize, -1)
+}
+
+// estimateMemory computes a worst-case memory estimate in bytes of the HOP's
+// output plus its largest input (the operands that must be pinned during
+// execution), used for execution-type selection.
+func estimateMemory(h *Hop) int64 {
+	out := types.EstimateSize(h.DC)
+	if h.DataType == types.Scalar {
+		out = 64
+	}
+	var maxIn int64
+	for _, in := range h.Inputs {
+		s := types.EstimateSize(in.DC)
+		if in.DataType == types.Scalar {
+			s = 64
+		}
+		if s > maxIn {
+			maxIn = s
+		}
+	}
+	if out < 0 || maxIn < 0 {
+		return -1
+	}
+	return out + maxIn
+}
+
+// SelectExecTypes assigns an execution type to every operator based on its
+// memory estimate and the available memory budget: operators whose estimate
+// fits in the budget run in the local control program (CP), larger ones are
+// compiled to the blocked distributed backend (the Spark substitute).
+// Operators with unknown sizes conservatively run in CP and are subject to
+// dynamic recompilation once sizes are known.
+func SelectExecTypes(d *DAG, memBudget int64, distEnabled bool) {
+	for _, h := range d.Nodes() {
+		h.ExecType = types.ExecCP
+		if !distEnabled || memBudget <= 0 {
+			continue
+		}
+		if h.MemEstimate > memBudget {
+			switch h.Kind {
+			case KindMatMult, KindTSMM, KindBinary, KindUnary, KindAggUnary, KindReorg:
+				h.ExecType = types.ExecDist
+			}
+		}
+	}
+}

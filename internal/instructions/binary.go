@@ -1,0 +1,204 @@
+package instructions
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// binaryOps maps DML binary operators to matrix kernel operations.
+var binaryOps = map[string]matrix.BinaryOp{
+	"+": matrix.OpAdd, "-": matrix.OpSub, "*": matrix.OpMul, "/": matrix.OpDiv,
+	"^": matrix.OpPow, "%%": matrix.OpModulus, "%/%": matrix.OpIntDiv,
+	"min": matrix.OpMin, "max": matrix.OpMax,
+	"==": matrix.OpEqual, "!=": matrix.OpNotEqual, "<": matrix.OpLess, "<=": matrix.OpLessEqual,
+	">": matrix.OpGreater, ">=": matrix.OpGreaterEqual, "&": matrix.OpAnd, "|": matrix.OpOr,
+}
+
+// IsBinaryOp reports whether the opcode is a supported element-wise binary
+// operation.
+func IsBinaryOp(op string) bool {
+	_, ok := binaryOps[op]
+	return ok
+}
+
+// BinaryInst applies an element-wise binary operation between matrices and/or
+// scalars, including string concatenation with "+".
+type BinaryInst struct {
+	base
+	Left, Right Operand
+	// ExecType selects the distributed backend for large operands.
+	ExecType types.ExecType
+}
+
+// NewBinary creates a binary instruction.
+func NewBinary(op string, out string, left, right Operand) *BinaryInst {
+	inst := &BinaryInst{Left: left, Right: right}
+	inst.base = newBase(op, []string{out}, "", left, right)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *BinaryInst) Execute(ctx *runtime.Context) error {
+	op, ok := binaryOps[i.opcode]
+	if !ok {
+		return fmt.Errorf("instructions: unknown binary op %q", i.opcode)
+	}
+	l, err := i.Left.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	r, err := i.Right.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	ls, lIsScalar := l.(*runtime.Scalar)
+	rs, rIsScalar := r.(*runtime.Scalar)
+	// string concatenation / comparison
+	if lIsScalar && rIsScalar && (ls.VT == types.String || rs.VT == types.String) {
+		return i.executeStringScalar(ctx, ls, rs)
+	}
+	switch {
+	case lIsScalar && rIsScalar:
+		res := op.Apply(ls.Float64(), rs.Float64())
+		ctx.Set(i.outs[0], scalarResult(i.opcode, res))
+		return nil
+	case lIsScalar && !rIsScalar:
+		rb, err := i.Right.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(rb, ls.Float64(), op, true))
+		return nil
+	case !lIsScalar && rIsScalar:
+		lb, err := i.Left.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(lb, rs.Float64(), op, false))
+		return nil
+	default:
+		lb, err := i.Left.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		rb, err := i.Right.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		if i.ExecType == types.ExecDist && ctx.Config.DistEnabled &&
+			lb.Rows() == rb.Rows() && lb.Cols() == rb.Cols() {
+			return i.executeDistributed(ctx, lb, rb, op)
+		}
+		res, err := matrix.CellwiseOp(lb, rb, op)
+		if err != nil {
+			return fmt.Errorf("instructions: %s: %w", i.opcode, err)
+		}
+		ctx.SetMatrix(i.outs[0], res)
+		return nil
+	}
+}
+
+func (i *BinaryInst) executeStringScalar(ctx *runtime.Context, l, r *runtime.Scalar) error {
+	switch i.opcode {
+	case "+":
+		ctx.Set(i.outs[0], runtime.NewString(l.StringValue()+r.StringValue()))
+		return nil
+	case "==":
+		ctx.Set(i.outs[0], runtime.NewBool(l.StringValue() == r.StringValue()))
+		return nil
+	case "!=":
+		ctx.Set(i.outs[0], runtime.NewBool(l.StringValue() != r.StringValue()))
+		return nil
+	default:
+		return fmt.Errorf("instructions: binary %s unsupported on strings", i.opcode)
+	}
+}
+
+func (i *BinaryInst) executeDistributed(ctx *runtime.Context, lb, rb *matrix.MatrixBlock, op matrix.BinaryOp) error {
+	bl, err := distFrom(lb, ctx.Config.DistBlocksize)
+	if err != nil {
+		return err
+	}
+	br, err := distFrom(rb, ctx.Config.DistBlocksize)
+	if err != nil {
+		return err
+	}
+	res, err := distCellwise(bl, br, op)
+	if err != nil {
+		return err
+	}
+	local, err := res.ToMatrixBlock()
+	if err != nil {
+		return err
+	}
+	ctx.SetMatrix(i.outs[0], local)
+	return nil
+}
+
+// scalarResult wraps a numeric result, using boolean scalars for comparison
+// and logical operators (so if-predicates read naturally).
+func scalarResult(op string, v float64) *runtime.Scalar {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=", "&", "|":
+		return runtime.NewBool(v != 0)
+	default:
+		return runtime.NewDouble(v)
+	}
+}
+
+// TernaryInst computes ifelse(cond, a, b) cell-wise.
+type TernaryInst struct {
+	base
+	Cond, A, B Operand
+}
+
+// NewTernary creates an ifelse instruction.
+func NewTernary(out string, cond, a, b Operand) *TernaryInst {
+	inst := &TernaryInst{Cond: cond, A: a, B: b}
+	inst.base = newBase("ifelse", []string{out}, "", cond, a, b)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *TernaryInst) Execute(ctx *runtime.Context) error {
+	cd, err := i.Cond.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	// scalar condition: pick a branch directly
+	if cs, ok := cd.(*runtime.Scalar); ok {
+		var chosen Operand
+		if cs.Bool() {
+			chosen = i.A
+		} else {
+			chosen = i.B
+		}
+		d, err := chosen.Resolve(ctx)
+		if err != nil {
+			return err
+		}
+		ctx.Set(i.outs[0], d)
+		return nil
+	}
+	cb, err := i.Cond.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	ab, err := i.A.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	bb, err := i.B.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	res, err := matrix.Ternary(cb, ab, bb)
+	if err != nil {
+		return err
+	}
+	ctx.SetMatrix(i.outs[0], res)
+	return nil
+}

@@ -1,0 +1,166 @@
+package instructions
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+)
+
+// DataGenInst generates matrices: rand (uniform or normal), seq, and fill
+// (the matrix(value, rows, cols) constructor).
+type DataGenInst struct {
+	base
+	Kind string // "rand", "seq", "fill", "sample"
+	// rand parameters
+	Rows, Cols         Operand
+	Min, Max, Sparsity Operand
+	PDF                Operand // "uniform" or "normal"
+	Seed               Operand
+	// seq parameters
+	From, To, Incr Operand
+	// fill value
+	Value Operand
+	// sample parameters
+	Population, Size Operand
+	Replace          Operand
+}
+
+// NewRand creates a rand data generation instruction.
+func NewRand(out string, rows, cols, minV, maxV, sparsity, pdf, seed Operand) *DataGenInst {
+	inst := &DataGenInst{Kind: "rand", Rows: rows, Cols: cols, Min: minV, Max: maxV, Sparsity: sparsity, PDF: pdf, Seed: seed}
+	inst.base = newBase("rand", []string{out}, "", rows, cols, minV, maxV, sparsity, pdf, seed)
+	return inst
+}
+
+// NewSeq creates a seq data generation instruction.
+func NewSeq(out string, from, to, incr Operand) *DataGenInst {
+	inst := &DataGenInst{Kind: "seq", From: from, To: to, Incr: incr}
+	inst.base = newBase("seq", []string{out}, "", from, to, incr)
+	return inst
+}
+
+// NewFill creates a fill (matrix constructor) instruction.
+func NewFill(out string, value, rows, cols Operand) *DataGenInst {
+	inst := &DataGenInst{Kind: "fill", Value: value, Rows: rows, Cols: cols}
+	inst.base = newBase("fill", []string{out}, "", value, rows, cols)
+	return inst
+}
+
+// NewSample creates a sample instruction.
+func NewSample(out string, population, size, replace, seed Operand) *DataGenInst {
+	inst := &DataGenInst{Kind: "sample", Population: population, Size: size, Replace: replace, Seed: seed}
+	inst.base = newBase("sample", []string{out}, "", population, size, replace, seed)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *DataGenInst) Execute(ctx *runtime.Context) error {
+	switch i.Kind {
+	case "rand":
+		rows, err := i.Rows.Int(ctx)
+		if err != nil {
+			return err
+		}
+		cols, err := i.Cols.Int(ctx)
+		if err != nil {
+			return err
+		}
+		minV, err := i.Min.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		maxV, err := i.Max.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		sp, err := i.Sparsity.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		pdf, err := i.PDF.StringValue(ctx)
+		if err != nil {
+			return err
+		}
+		seedF, err := i.Seed.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		seed := int64(seedF)
+		if seed < 0 {
+			seed = 42
+		}
+		var m *matrix.MatrixBlock
+		if pdf == "normal" {
+			m = matrix.RandNormal(rows, cols, sp, seed)
+		} else {
+			m = matrix.RandUniform(rows, cols, minV, maxV, sp, seed)
+		}
+		ctx.SetMatrix(i.outs[0], m)
+		return nil
+	case "seq":
+		from, err := i.From.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		to, err := i.To.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		incr, err := i.Incr.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		if incr == 0 {
+			incr = 1
+		}
+		if to < from && incr > 0 {
+			incr = -incr
+		}
+		ctx.SetMatrix(i.outs[0], matrix.Seq(from, to, incr))
+		return nil
+	case "fill":
+		v, err := i.Value.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		rows, err := i.Rows.Int(ctx)
+		if err != nil {
+			return err
+		}
+		cols, err := i.Cols.Int(ctx)
+		if err != nil {
+			return err
+		}
+		if rows < 0 || cols < 0 {
+			return fmt.Errorf("instructions: matrix(%v, rows=%d, cols=%d): negative dimensions", v, rows, cols)
+		}
+		ctx.SetMatrix(i.outs[0], matrix.Fill(rows, cols, v))
+		return nil
+	case "sample":
+		pop, err := i.Population.Int(ctx)
+		if err != nil {
+			return err
+		}
+		size, err := i.Size.Int(ctx)
+		if err != nil {
+			return err
+		}
+		replaceS, err := i.Replace.Scalar(ctx)
+		if err != nil {
+			return err
+		}
+		seedF, err := i.Seed.Float64(ctx)
+		if err != nil {
+			return err
+		}
+		seed := int64(seedF)
+		if seed < 0 {
+			seed = 7
+		}
+		ctx.SetMatrix(i.outs[0], matrix.Sample(pop, size, replaceS.Bool(), seed))
+		return nil
+	default:
+		return fmt.Errorf("instructions: unknown datagen kind %q", i.Kind)
+	}
+}

@@ -1,0 +1,192 @@
+package instructions
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/dist"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// distFrom and distCellwise are small indirections so binary.go does not need
+// to import the dist package twice.
+func distFrom(m *matrix.MatrixBlock, blocksize int) (*dist.BlockedMatrix, error) {
+	return dist.FromMatrixBlock(m, blocksize)
+}
+
+func distCellwise(a, b *dist.BlockedMatrix, op matrix.BinaryOp) (*dist.BlockedMatrix, error) {
+	return dist.Cellwise(a, b, op)
+}
+
+// TransposedFederated marks the transpose of a federated matrix in the symbol
+// table; matrix multiplications recognize it and push the computation to the
+// federated sites instead of collecting the data.
+type TransposedFederated struct {
+	Source *runtime.FederatedObject
+}
+
+// DataType implements runtime.Data.
+func (t *TransposedFederated) DataType() types.DataType { return types.Matrix }
+
+// String implements runtime.Data.
+func (t *TransposedFederated) String() string {
+	return fmt.Sprintf("t(%s)", t.Source.String())
+}
+
+// MatMultInst computes matrix multiplication (opcode "ba+*") with local,
+// BLAS-like, distributed and federated execution paths.
+type MatMultInst struct {
+	base
+	Left, Right Operand
+	ExecType    types.ExecType
+}
+
+// NewMatMult creates a matrix multiplication instruction.
+func NewMatMult(out string, left, right Operand) *MatMultInst {
+	inst := &MatMultInst{Left: left, Right: right}
+	inst.base = newBase("ba+*", []string{out}, "", left, right)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *MatMultInst) Execute(ctx *runtime.Context) error {
+	l, err := i.Left.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	r, err := i.Right.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	// federated paths
+	if tf, ok := l.(*TransposedFederated); ok {
+		return i.executeTransposedFederated(ctx, tf, r)
+	}
+	if fo, ok := l.(*runtime.FederatedObject); ok {
+		rb, err := i.Right.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		res, err := fo.Fed.MatVec(rb)
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], res)
+		return nil
+	}
+	lb, err := i.Left.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	rb, err := i.Right.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	threads := ctx.Config.Threads()
+	// distributed path for large left operands
+	if i.ExecType == types.ExecDist && ctx.Config.DistEnabled {
+		bl, err := dist.FromMatrixBlock(lb, ctx.Config.DistBlocksize)
+		if err != nil {
+			return err
+		}
+		res, err := dist.MatMult(bl, rb, threads)
+		if err != nil {
+			return err
+		}
+		local, err := res.ToMatrixBlock()
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], local)
+		return nil
+	}
+	var res *matrix.MatrixBlock
+	if ctx.Config.UseBLAS && !lb.IsSparse() && !rb.IsSparse() {
+		res, err = matrix.MultiplyBLAS(lb, rb, threads)
+	} else {
+		res, err = matrix.Multiply(lb, rb, threads)
+	}
+	if err != nil {
+		return fmt.Errorf("instructions: matrix multiplication: %w", err)
+	}
+	ctx.SetMatrix(i.outs[0], res)
+	return nil
+}
+
+// executeTransposedFederated handles t(X) %*% Y where X is federated: when Y
+// is federated with aligned row ranges the multiplication is pushed down as
+// xty; when Y is a local matrix, the rows of Y are shipped to the matching
+// sites.
+func (i *MatMultInst) executeTransposedFederated(ctx *runtime.Context, tf *TransposedFederated, r runtime.Data) error {
+	if rf, ok := r.(*runtime.FederatedObject); ok {
+		res, err := tf.Source.Fed.XtY(rf.Fed)
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], res)
+		return nil
+	}
+	rb, err := i.Right.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	// t(X) %*% y with local y: ship the per-site slices of y and sum the
+	// partial t(X_i) %*% y_i results (only d x 1 aggregates come back).
+	res, err := tf.Source.Fed.XtLocalY(rb)
+	if err != nil {
+		return err
+	}
+	ctx.SetMatrix(i.outs[0], res)
+	return nil
+}
+
+// TSMMInst computes the fused t(X) %*% X (opcode "tsmm") with local,
+// distributed and federated execution paths.
+type TSMMInst struct {
+	base
+	In       Operand
+	ExecType types.ExecType
+}
+
+// NewTSMM creates a tsmm instruction.
+func NewTSMM(out string, in Operand) *TSMMInst {
+	inst := &TSMMInst{In: in}
+	inst.base = newBase("tsmm", []string{out}, "", in)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *TSMMInst) Execute(ctx *runtime.Context) error {
+	d, err := i.In.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	if fo, ok := d.(*runtime.FederatedObject); ok {
+		res, err := fo.Fed.TSMM()
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], res)
+		return nil
+	}
+	blk, err := i.In.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	threads := ctx.Config.Threads()
+	if i.ExecType == types.ExecDist && ctx.Config.DistEnabled {
+		bm, err := dist.FromMatrixBlock(blk, ctx.Config.DistBlocksize)
+		if err != nil {
+			return err
+		}
+		res, err := dist.TSMM(bm, threads)
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], res)
+		return nil
+	}
+	ctx.SetMatrix(i.outs[0], matrix.TSMM(blk, threads))
+	return nil
+}

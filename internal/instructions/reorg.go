@@ -1,0 +1,204 @@
+package instructions
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+)
+
+// ReorgInst implements reorganization operations: transpose (opcode "r'"),
+// diag ("rdiag") and row reversal ("rev").
+type ReorgInst struct {
+	base
+	In Operand
+}
+
+// NewReorg creates a reorg instruction with the given opcode.
+func NewReorg(opcode, out string, in Operand) *ReorgInst {
+	inst := &ReorgInst{In: in}
+	inst.base = newBase(opcode, []string{out}, "", in)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *ReorgInst) Execute(ctx *runtime.Context) error {
+	d, err := i.In.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	// transpose of a federated matrix stays a metadata operation
+	if fo, ok := d.(*runtime.FederatedObject); ok && i.opcode == "r'" {
+		ctx.Set(i.outs[0], &TransposedFederated{Source: fo})
+		return nil
+	}
+	blk, err := i.In.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	switch i.opcode {
+	case "r'":
+		ctx.SetMatrix(i.outs[0], matrix.Transpose(blk))
+	case "rdiag":
+		res, err := matrix.Diag(blk)
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], res)
+	case "rev":
+		ctx.SetMatrix(i.outs[0], matrix.Reverse(blk))
+	default:
+		return fmt.Errorf("instructions: unknown reorg op %q", i.opcode)
+	}
+	return nil
+}
+
+// NaryInst implements n-ary operations over matrices: cbind and rbind.
+type NaryInst struct {
+	base
+	Ins []Operand
+}
+
+// NewNary creates a cbind/rbind instruction.
+func NewNary(opcode, out string, ins ...Operand) *NaryInst {
+	inst := &NaryInst{Ins: ins}
+	inst.base = newBase(opcode, []string{out}, "", ins...)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *NaryInst) Execute(ctx *runtime.Context) error {
+	blocks := make([]*matrix.MatrixBlock, len(i.Ins))
+	for idx, op := range i.Ins {
+		blk, err := op.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		blocks[idx] = blk
+	}
+	var res *matrix.MatrixBlock
+	var err error
+	switch i.opcode {
+	case "cbind":
+		res, err = matrix.CBind(blocks...)
+	case "rbind":
+		res, err = matrix.RBind(blocks...)
+	default:
+		return fmt.Errorf("instructions: unknown nary op %q", i.opcode)
+	}
+	if err != nil {
+		return err
+	}
+	ctx.SetMatrix(i.outs[0], res)
+	return nil
+}
+
+// IndexInst implements right indexing X[rl:ru, cl:cu] with 1-based inclusive
+// bounds; bounds of 0 mean "unbounded" (start or end of the dimension).
+type IndexInst struct {
+	base
+	Target         Operand
+	RL, RU, CL, CU Operand
+}
+
+// NewRightIndex creates a right-indexing instruction.
+func NewRightIndex(out string, target, rl, ru, cl, cu Operand) *IndexInst {
+	inst := &IndexInst{Target: target, RL: rl, RU: ru, CL: cl, CU: cu}
+	inst.base = newBase("rightIndex", []string{out}, "", target, rl, ru, cl, cu)
+	return inst
+}
+
+// resolveBounds converts 1-based inclusive (possibly 0/unbounded) operands to
+// 0-based exclusive slice bounds.
+func resolveBounds(ctx *runtime.Context, rows, cols int, rl, ru, cl, cu Operand) (r0, r1, c0, c1 int, err error) {
+	get := func(o Operand, def int) (int, error) {
+		v, err := o.Float64(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return def, nil
+		}
+		return int(v), nil
+	}
+	rlV, err := get(rl, 1)
+	if err != nil {
+		return
+	}
+	ruV, err := get(ru, rows)
+	if err != nil {
+		return
+	}
+	clV, err := get(cl, 1)
+	if err != nil {
+		return
+	}
+	cuV, err := get(cu, cols)
+	if err != nil {
+		return
+	}
+	r0, r1, c0, c1 = rlV-1, ruV, clV-1, cuV
+	if r0 < 0 || r1 > rows || c0 < 0 || c1 > cols || r0 >= r1 || c0 >= c1 {
+		err = fmt.Errorf("instructions: index [%d:%d,%d:%d] out of bounds for %dx%d matrix", rlV, ruV, clV, cuV, rows, cols)
+	}
+	return
+}
+
+// Execute implements runtime.Instruction.
+func (i *IndexInst) Execute(ctx *runtime.Context) error {
+	blk, err := i.Target.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	r0, r1, c0, c1, err := resolveBounds(ctx, blk.Rows(), blk.Cols(), i.RL, i.RU, i.CL, i.CU)
+	if err != nil {
+		return err
+	}
+	res, err := matrix.Slice(blk, r0, r1, c0, c1)
+	if err != nil {
+		return err
+	}
+	ctx.SetMatrix(i.outs[0], res)
+	return nil
+}
+
+// LeftIndexInst implements left indexing target[rl:ru, cl:cu] = src, creating
+// a new matrix for the output variable (copy-on-write).
+type LeftIndexInst struct {
+	base
+	Target, Src    Operand
+	RL, RU, CL, CU Operand
+}
+
+// NewLeftIndex creates a left-indexing instruction.
+func NewLeftIndex(out string, target, src, rl, ru, cl, cu Operand) *LeftIndexInst {
+	inst := &LeftIndexInst{Target: target, Src: src, RL: rl, RU: ru, CL: cl, CU: cu}
+	inst.base = newBase("leftIndex", []string{out}, "", target, src, rl, ru, cl, cu)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *LeftIndexInst) Execute(ctx *runtime.Context) error {
+	target, err := i.Target.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	src, err := i.Src.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	r0, r1, c0, c1, err := resolveBounds(ctx, target.Rows(), target.Cols(), i.RL, i.RU, i.CL, i.CU)
+	if err != nil {
+		return err
+	}
+	// scalar source broadcast to the range
+	if src.Rows() == 1 && src.Cols() == 1 && (r1-r0 != 1 || c1-c0 != 1) {
+		src = matrix.Fill(r1-r0, c1-c0, src.Get(0, 0))
+	}
+	res, err := matrix.LeftIndex(target, src, r0, r1, c0, c1)
+	if err != nil {
+		return err
+	}
+	ctx.SetMatrix(i.outs[0], res)
+	return nil
+}

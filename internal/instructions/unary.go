@@ -1,0 +1,241 @@
+package instructions
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+)
+
+// unaryOps maps DML unary function names to matrix kernel operations.
+var unaryOps = map[string]matrix.UnaryOp{
+	"uminus": matrix.OpNeg, "abs": matrix.OpAbs, "exp": matrix.OpExp, "log": matrix.OpLog,
+	"sqrt": matrix.OpSqrt, "round": matrix.OpRound, "floor": matrix.OpFloor, "ceil": matrix.OpCeil,
+	"sign": matrix.OpSign, "!": matrix.OpNot, "sin": matrix.OpSin, "cos": matrix.OpCos,
+	"tan": matrix.OpTan, "sigmoid": matrix.OpSigmoid, "is.nan": matrix.OpIsNaN,
+}
+
+// IsUnaryOp reports whether the opcode is a supported element-wise unary
+// operation.
+func IsUnaryOp(op string) bool {
+	_, ok := unaryOps[op]
+	return ok
+}
+
+// UnaryInst applies an element-wise unary operation to a matrix or scalar.
+type UnaryInst struct {
+	base
+	In Operand
+}
+
+// NewUnary creates a unary instruction.
+func NewUnary(op string, out string, in Operand) *UnaryInst {
+	inst := &UnaryInst{In: in}
+	inst.base = newBase(op, []string{out}, "", in)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *UnaryInst) Execute(ctx *runtime.Context) error {
+	op, ok := unaryOps[i.opcode]
+	if !ok {
+		return fmt.Errorf("instructions: unknown unary op %q", i.opcode)
+	}
+	d, err := i.In.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	switch v := d.(type) {
+	case *runtime.Scalar:
+		res := op.Apply(v.Float64())
+		if i.opcode == "!" {
+			ctx.Set(i.outs[0], runtime.NewBool(res != 0))
+		} else {
+			ctx.Set(i.outs[0], runtime.NewDouble(res))
+		}
+		return nil
+	case *runtime.MatrixObject:
+		blk, err := v.Acquire()
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], matrix.UnaryApply(blk, op))
+		return nil
+	default:
+		return fmt.Errorf("instructions: unary %s unsupported on %s", i.opcode, d.DataType())
+	}
+}
+
+// aggKinds lists full aggregates that produce scalars.
+var scalarAggs = map[string]bool{
+	"sum": true, "mean": true, "min": true, "max": true, "var": true, "sd": true,
+	"trace": true, "nrow": true, "ncol": true, "length": true, "median": true, "sumsq": true,
+}
+
+// vectorAggs lists row/column aggregates that produce vectors.
+var vectorAggs = map[string]bool{
+	"colSums": true, "colMeans": true, "colMaxs": true, "colMins": true, "colVars": true, "colSds": true,
+	"rowSums": true, "rowMeans": true, "rowMaxs": true, "rowMins": true, "rowIndexMax": true,
+	"cumsum": true,
+}
+
+// IsAggOp reports whether the opcode is a supported aggregation.
+func IsAggOp(op string) bool { return scalarAggs[op] || vectorAggs[op] }
+
+// AggInst computes full, row-wise or column-wise aggregates.
+type AggInst struct {
+	base
+	In Operand
+}
+
+// NewAgg creates an aggregation instruction.
+func NewAgg(op string, out string, in Operand) *AggInst {
+	inst := &AggInst{In: in}
+	inst.base = newBase(op, []string{out}, "", in)
+	return inst
+}
+
+// Execute implements runtime.Instruction.
+func (i *AggInst) Execute(ctx *runtime.Context) error {
+	d, err := i.In.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	// metadata-only aggregates avoid acquiring the data
+	if mo, ok := d.(*runtime.MatrixObject); ok {
+		dc := mo.DataCharacteristics()
+		switch i.opcode {
+		case "nrow":
+			ctx.Set(i.outs[0], runtime.NewInt(dc.Rows))
+			return nil
+		case "ncol":
+			ctx.Set(i.outs[0], runtime.NewInt(dc.Cols))
+			return nil
+		case "length":
+			ctx.Set(i.outs[0], runtime.NewInt(dc.Rows*dc.Cols))
+			return nil
+		}
+	}
+	if fo, ok := d.(*runtime.FederatedObject); ok {
+		return i.executeFederated(ctx, fo)
+	}
+	if fr, ok := d.(*runtime.FrameObject); ok {
+		switch i.opcode {
+		case "nrow":
+			ctx.Set(i.outs[0], runtime.NewInt(int64(fr.Frame.NumRows())))
+			return nil
+		case "ncol":
+			ctx.Set(i.outs[0], runtime.NewInt(int64(fr.Frame.NumCols())))
+			return nil
+		}
+		return fmt.Errorf("instructions: aggregate %s unsupported on frames", i.opcode)
+	}
+	if sc, ok := d.(*runtime.Scalar); ok {
+		switch i.opcode {
+		case "nrow", "ncol", "length":
+			ctx.Set(i.outs[0], runtime.NewInt(1))
+		case "sum", "mean", "min", "max":
+			ctx.Set(i.outs[0], runtime.NewDouble(sc.Float64()))
+		default:
+			return fmt.Errorf("instructions: aggregate %s unsupported on scalars", i.opcode)
+		}
+		return nil
+	}
+	blk, err := i.In.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	switch i.opcode {
+	case "sum":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Sum(blk)))
+	case "sumsq":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.SumSq(blk)))
+	case "mean":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Mean(blk)))
+	case "min":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Min(blk)))
+	case "max":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Max(blk)))
+	case "var":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Variance(blk)))
+	case "sd":
+		ctx.Set(i.outs[0], runtime.NewDouble(math.Sqrt(matrix.Variance(blk))))
+	case "trace":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Trace(blk)))
+	case "median":
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Median(blk)))
+	case "colSums":
+		ctx.SetMatrix(i.outs[0], matrix.ColSums(blk))
+	case "colMeans":
+		ctx.SetMatrix(i.outs[0], matrix.ColMeans(blk))
+	case "colMaxs":
+		ctx.SetMatrix(i.outs[0], matrix.ColMaxs(blk))
+	case "colMins":
+		ctx.SetMatrix(i.outs[0], matrix.ColMins(blk))
+	case "colVars":
+		ctx.SetMatrix(i.outs[0], matrix.ColVars(blk))
+	case "colSds":
+		ctx.SetMatrix(i.outs[0], matrix.ColSds(blk))
+	case "rowSums":
+		ctx.SetMatrix(i.outs[0], matrix.RowSums(blk))
+	case "rowMeans":
+		ctx.SetMatrix(i.outs[0], matrix.RowMeans(blk))
+	case "rowMaxs":
+		ctx.SetMatrix(i.outs[0], matrix.RowMaxs(blk))
+	case "rowMins":
+		ctx.SetMatrix(i.outs[0], matrix.RowMins(blk))
+	case "rowIndexMax":
+		ctx.SetMatrix(i.outs[0], matrix.RowIndexMax(blk))
+	case "cumsum":
+		ctx.SetMatrix(i.outs[0], matrix.CumSumCols(blk))
+	case "nrow":
+		ctx.Set(i.outs[0], runtime.NewInt(int64(blk.Rows())))
+	case "ncol":
+		ctx.Set(i.outs[0], runtime.NewInt(int64(blk.Cols())))
+	case "length":
+		ctx.Set(i.outs[0], runtime.NewInt(int64(blk.Rows()*blk.Cols())))
+	default:
+		return fmt.Errorf("instructions: unknown aggregate %q", i.opcode)
+	}
+	return nil
+}
+
+// executeFederated pushes supported aggregates to federated workers.
+func (i *AggInst) executeFederated(ctx *runtime.Context, fo *runtime.FederatedObject) error {
+	switch i.opcode {
+	case "nrow":
+		ctx.Set(i.outs[0], runtime.NewInt(fo.Fed.Rows))
+	case "ncol":
+		ctx.Set(i.outs[0], runtime.NewInt(fo.Fed.Cols))
+	case "length":
+		ctx.Set(i.outs[0], runtime.NewInt(fo.Fed.Rows*fo.Fed.Cols))
+	case "sum":
+		s, err := fo.Fed.Sum()
+		if err != nil {
+			return err
+		}
+		ctx.Set(i.outs[0], runtime.NewDouble(s))
+	case "mean":
+		s, err := fo.Fed.Sum()
+		if err != nil {
+			return err
+		}
+		ctx.Set(i.outs[0], runtime.NewDouble(s/float64(fo.Fed.Rows*fo.Fed.Cols)))
+	case "colSums":
+		cs, err := fo.Fed.ColSums()
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], cs)
+	case "colMeans":
+		cs, err := fo.Fed.ColSums()
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(cs, float64(fo.Fed.Rows), matrix.OpDiv, false))
+	default:
+		return fmt.Errorf("instructions: aggregate %s not supported on federated matrices", i.opcode)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package io
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// binaryMagic identifies SystemDS-Go binary blocked matrix files.
+const binaryMagic uint32 = 0x53445342 // "SDSB"
+
+// WriteMatrixBinary writes a matrix in the binary blocked format: a small
+// header (magic, version, rows, cols, blocksize) followed by the blocks in
+// row-major block order, each with its own nnz and dense payload. The format
+// corresponds to SystemDS' binary block format used between jobs.
+func WriteMatrixBinary(path string, m *matrix.MatrixBlock, blocksize int) error {
+	if blocksize <= 0 {
+		blocksize = 1024
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("io: create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	header := []uint64{uint64(binaryMagic), 1, uint64(m.Rows()), uint64(m.Cols()), uint64(blocksize)}
+	for _, h := range header {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for r0 := 0; r0 < m.Rows() || r0 == 0; r0 += blocksize {
+		if m.Rows() == 0 && r0 > 0 {
+			break
+		}
+		r1 := r0 + blocksize
+		if r1 > m.Rows() {
+			r1 = m.Rows()
+		}
+		for c0 := 0; c0 < m.Cols() || c0 == 0; c0 += blocksize {
+			if m.Cols() == 0 && c0 > 0 {
+				break
+			}
+			c1 := c0 + blocksize
+			if c1 > m.Cols() {
+				c1 = m.Cols()
+			}
+			if r1 <= r0 || c1 <= c0 {
+				continue
+			}
+			blk, err := matrix.Slice(m, r0, r1, c0, c1)
+			if err != nil {
+				return err
+			}
+			if err := writeBlock(w, blk); err != nil {
+				return err
+			}
+		}
+		if m.Rows() == 0 {
+			break
+		}
+	}
+	return w.Flush()
+}
+
+func writeBlock(w io.Writer, blk *matrix.MatrixBlock) error {
+	meta := []uint64{uint64(blk.Rows()), uint64(blk.Cols()), uint64(blk.NNZ())}
+	for _, v := range meta {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	vals := blk.DenseValues()
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMatrixBinary reads a matrix written by WriteMatrixBinary.
+func ReadMatrixBinary(path string) (*matrix.MatrixBlock, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("io: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	header := make([]uint64, 5)
+	for i := range header {
+		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("io: %s: corrupt header: %w", path, err)
+		}
+	}
+	if uint32(header[0]) != binaryMagic {
+		return nil, fmt.Errorf("io: %s is not a SystemDS-Go binary matrix file", path)
+	}
+	rows, cols, blocksize := int(header[2]), int(header[3]), int(header[4])
+	out := matrix.NewDense(rows, cols)
+	for r0 := 0; r0 < rows; r0 += blocksize {
+		r1 := r0 + blocksize
+		if r1 > rows {
+			r1 = rows
+		}
+		for c0 := 0; c0 < cols; c0 += blocksize {
+			c1 := c0 + blocksize
+			if c1 > cols {
+				c1 = cols
+			}
+			blk, err := readBlock(r)
+			if err != nil {
+				return nil, err
+			}
+			if blk.Rows() != r1-r0 || blk.Cols() != c1-c0 {
+				return nil, fmt.Errorf("io: %s: block size mismatch", path)
+			}
+			var werr error
+			out2, werr := matrix.LeftIndex(out, blk, r0, r1, c0, c1)
+			if werr != nil {
+				return nil, werr
+			}
+			out = out2
+		}
+	}
+	out.RecomputeNNZ()
+	out.ExamineAndApplySparsity()
+	return out, nil
+}
+
+func readBlock(r io.Reader) (*matrix.MatrixBlock, error) {
+	meta := make([]uint64, 3)
+	for i := range meta {
+		if err := binary.Read(r, binary.LittleEndian, &meta[i]); err != nil {
+			return nil, fmt.Errorf("io: corrupt block header: %w", err)
+		}
+	}
+	rows, cols := int(meta[0]), int(meta[1])
+	buf := make([]byte, 8*rows*cols)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("io: corrupt block payload: %w", err)
+	}
+	vals := make([]float64, rows*cols)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return matrix.NewDenseFromSlice(rows, cols, vals), nil
+}
+
+// ReadMatrixLibSVM reads a libsvm-formatted file ("label idx:val idx:val ...",
+// 1-based indexes) and returns the feature matrix and label vector.
+func ReadMatrixLibSVM(path string, numFeatures int) (x, y *matrix.MatrixBlock, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("io: read %s: %w", path, err)
+	}
+	return ParseLibSVM(data, numFeatures)
+}
+
+// ParseLibSVM parses libsvm bytes into a feature matrix and label vector.
+// When numFeatures <= 0 the number of features is determined from the data.
+func ParseLibSVM(data []byte, numFeatures int) (x, y *matrix.MatrixBlock, err error) {
+	lines := splitLines(data)
+	type entry struct {
+		col int
+		val float64
+	}
+	rows := make([][]entry, 0, len(lines))
+	labels := make([]float64, 0, len(lines))
+	maxCol := 0
+	for ln, line := range lines {
+		line = trimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := splitFields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		var label float64
+		if _, err := fmt.Sscanf(fields[0], "%g", &label); err != nil {
+			return nil, nil, fmt.Errorf("io: libsvm line %d: bad label %q", ln+1, fields[0])
+		}
+		es := make([]entry, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			var idx int
+			var val float64
+			if _, err := fmt.Sscanf(f, "%d:%g", &idx, &val); err != nil {
+				return nil, nil, fmt.Errorf("io: libsvm line %d: bad entry %q", ln+1, f)
+			}
+			if idx < 1 {
+				return nil, nil, fmt.Errorf("io: libsvm line %d: index %d must be >= 1", ln+1, idx)
+			}
+			if idx > maxCol {
+				maxCol = idx
+			}
+			es = append(es, entry{col: idx - 1, val: val})
+		}
+		rows = append(rows, es)
+		labels = append(labels, label)
+	}
+	cols := numFeatures
+	if cols <= 0 {
+		cols = maxCol
+	}
+	b := matrix.NewBuilder(len(rows), cols)
+	for r, es := range rows {
+		for _, e := range es {
+			if e.col < cols {
+				b.Add(r, e.col, e.val)
+			}
+		}
+	}
+	x = b.Build()
+	x.ExamineAndApplySparsity()
+	y = matrix.NewDense(len(labels), 1)
+	for i, l := range labels {
+		y.Set(i, 0, l)
+	}
+	return x, y, nil
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\t') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t' || s[end-1] == '\r') {
+		end--
+	}
+	return s[start:end]
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}

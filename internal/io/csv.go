@@ -1,0 +1,311 @@
+// Package io implements the data ingestion and persistence layer of
+// SystemDS-Go: multi-threaded CSV readers and writers for matrices and
+// frames, a binary blocked format, libsvm support, and a format-descriptor
+// driven reader that stands in for the paper's generated I/O primitives
+// (Section 3.2).
+package io
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/systemds/systemds-go/internal/frame"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// CSVOptions configures CSV reading and writing.
+type CSVOptions struct {
+	Delimiter byte
+	Header    bool
+	Threads   int
+}
+
+// DefaultCSVOptions returns comma-delimited, headerless, multi-threaded
+// options.
+func DefaultCSVOptions() CSVOptions {
+	return CSVOptions{Delimiter: ',', Header: false, Threads: 0}
+}
+
+// WriteMatrixCSV writes a matrix to a CSV file.
+func WriteMatrixCSV(path string, m *matrix.MatrixBlock, opts CSVOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("io: create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	delim := string(opts.Delimiter)
+	if opts.Header {
+		cols := make([]string, m.Cols())
+		for c := range cols {
+			cols[c] = fmt.Sprintf("C%d", c+1)
+		}
+		if _, err := w.WriteString(strings.Join(cols, delim) + "\n"); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, 32)
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			if c > 0 {
+				if err := w.WriteByte(opts.Delimiter); err != nil {
+					return err
+				}
+			}
+			buf = strconv.AppendFloat(buf[:0], m.Get(r, c), 'g', -1, 64)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// ReadMatrixCSV reads a numeric CSV file into a matrix using multiple parser
+// goroutines: the file is split into row ranges after a sequential line
+// index, and string-to-double parsing (the compute-intensive part noted in
+// Section 4.2) happens in parallel.
+func ReadMatrixCSV(path string, opts CSVOptions) (*matrix.MatrixBlock, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("io: read %s: %w", path, err)
+	}
+	return ParseMatrixCSV(data, opts)
+}
+
+// ParseMatrixCSV parses CSV bytes into a matrix (multi-threaded).
+func ParseMatrixCSV(data []byte, opts CSVOptions) (*matrix.MatrixBlock, error) {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = matrix.DefaultParallelism()
+	}
+	lines := splitLines(data)
+	if opts.Header && len(lines) > 0 {
+		lines = lines[1:]
+	}
+	// drop trailing empty line
+	for len(lines) > 0 && len(strings.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	rows := len(lines)
+	if rows == 0 {
+		return matrix.NewDense(0, 0), nil
+	}
+	cols := 1 + strings.Count(lines[0], string(opts.Delimiter))
+	out := matrix.NewDense(rows, cols)
+	dense := out.DenseValues()
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (rows + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		r0 := t * chunk
+		if r0 >= rows {
+			break
+		}
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			for r := r0; r < r1; r++ {
+				if err := parseCSVRow(lines[r], opts.Delimiter, dense[r*cols:(r+1)*cols]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("io: line %d: %w", r+1, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(r0, r1)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out.RecomputeNNZ()
+	out.ExamineAndApplySparsity()
+	return out, nil
+}
+
+func parseCSVRow(line string, delim byte, dst []float64) error {
+	start := 0
+	col := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == delim {
+			if col >= len(dst) {
+				return fmt.Errorf("too many columns (expected %d)", len(dst))
+			}
+			field := strings.TrimSpace(line[start:i])
+			if field != "" {
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return fmt.Errorf("invalid number %q", field)
+				}
+				dst[col] = v
+			}
+			col++
+			start = i + 1
+		}
+	}
+	if col != len(dst) {
+		return fmt.Errorf("expected %d columns, found %d", len(dst), col)
+	}
+	return nil
+}
+
+func splitLines(data []byte) []string {
+	s := string(data)
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	return strings.Split(s, "\n")
+}
+
+// ReadFrameCSV reads a CSV file into a frame. When schema is nil, column
+// types are inferred from the data (INT64, FP64, BOOLEAN or STRING).
+func ReadFrameCSV(path string, schema types.Schema, opts CSVOptions) (*frame.FrameBlock, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("io: read %s: %w", path, err)
+	}
+	return ParseFrameCSV(data, schema, opts)
+}
+
+// ParseFrameCSV parses CSV bytes into a frame with optional schema inference.
+func ParseFrameCSV(data []byte, schema types.Schema, opts CSVOptions) (*frame.FrameBlock, error) {
+	lines := splitLines(data)
+	var header []string
+	if opts.Header && len(lines) > 0 {
+		header = strings.Split(lines[0], string(opts.Delimiter))
+		lines = lines[1:]
+	}
+	for len(lines) > 0 && len(strings.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	rows := len(lines)
+	if rows == 0 {
+		return frame.NewFrame(types.Schema{}, 0), nil
+	}
+	cells := make([][]string, rows)
+	for r, line := range lines {
+		cells[r] = strings.Split(line, string(opts.Delimiter))
+		for i := range cells[r] {
+			cells[r][i] = strings.TrimSpace(cells[r][i])
+		}
+	}
+	cols := len(cells[0])
+	if schema == nil {
+		schema = inferSchema(cells, cols)
+	}
+	if len(schema) != cols {
+		return nil, fmt.Errorf("io: schema has %d columns, data has %d", len(schema), cols)
+	}
+	f := frame.NewFrame(schema, rows)
+	if header != nil {
+		names := make([]string, cols)
+		for i := range names {
+			if i < len(header) {
+				names[i] = strings.TrimSpace(header[i])
+			} else {
+				names[i] = fmt.Sprintf("C%d", i+1)
+			}
+		}
+		if err := f.SetColumnNames(names); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if len(cells[r]) != cols {
+			return nil, fmt.Errorf("io: line %d has %d columns, expected %d", r+1, len(cells[r]), cols)
+		}
+		for c := 0; c < cols; c++ {
+			if err := f.SetString(r, c, cells[r][c]); err != nil {
+				return nil, fmt.Errorf("io: line %d: %w", r+1, err)
+			}
+		}
+	}
+	return f, nil
+}
+
+func inferSchema(cells [][]string, cols int) types.Schema {
+	schema := make(types.Schema, cols)
+	for c := 0; c < cols; c++ {
+		isInt, isFloat, isBool := true, true, true
+		for r := range cells {
+			if c >= len(cells[r]) {
+				continue
+			}
+			v := cells[r][c]
+			if v == "" || v == "NA" {
+				continue
+			}
+			if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+				isInt = false
+			}
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				isFloat = false
+			}
+			if v != "true" && v != "false" && v != "TRUE" && v != "FALSE" {
+				isBool = false
+			}
+		}
+		switch {
+		case isBool:
+			schema[c] = types.Boolean
+		case isInt:
+			schema[c] = types.INT64
+		case isFloat:
+			schema[c] = types.FP64
+		default:
+			schema[c] = types.String
+		}
+	}
+	return schema
+}
+
+// WriteFrameCSV writes a frame to a CSV file, including a header row with the
+// column names when opts.Header is set.
+func WriteFrameCSV(path string, f *frame.FrameBlock, opts CSVOptions) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("io: create %s: %w", path, err)
+	}
+	defer file.Close()
+	w := bufio.NewWriterSize(file, 1<<20)
+	delim := string(opts.Delimiter)
+	if opts.Header {
+		if _, err := w.WriteString(strings.Join(f.ColumnNames(), delim) + "\n"); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < f.NumRows(); r++ {
+		for c := 0; c < f.NumCols(); c++ {
+			if c > 0 {
+				if err := w.WriteByte(opts.Delimiter); err != nil {
+					return err
+				}
+			}
+			s, err := f.GetString(r, c)
+			if err != nil {
+				return err
+			}
+			if _, err := w.WriteString(s); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

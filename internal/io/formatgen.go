@@ -1,0 +1,199 @@
+package io
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/systemds/systemds-go/internal/frame"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// FormatDescriptor is a high-level description of an external text data
+// format from which a reader is generated (the substitution for SystemDS'
+// generated I/O primitives, Section 3.2). It covers delimited formats with
+// configurable delimiters, quotes, comment prefixes, column selection, and
+// per-column value types, and simple key:value record formats.
+type FormatDescriptor struct {
+	// Kind is "delimited" (default) or "keyvalue".
+	Kind string
+	// Delimiter separates fields within a record (delimited kind).
+	Delimiter string
+	// RecordSeparator separates records; defaults to "\n".
+	RecordSeparator string
+	// Quote optionally wraps fields that contain the delimiter.
+	Quote string
+	// CommentPrefix marks lines to skip entirely.
+	CommentPrefix string
+	// HasHeader indicates the first record holds column names.
+	HasHeader bool
+	// Columns selects and types the output columns. For the delimited kind
+	// Field is the 0-based source field index; for keyvalue it is the key.
+	Columns []FormatColumn
+	// MissingValues lists strings treated as missing (imputed as empty).
+	MissingValues []string
+}
+
+// FormatColumn describes one output column of a generated reader.
+type FormatColumn struct {
+	Name  string
+	Field string
+	Type  types.ValueType
+}
+
+// Reader is a reader generated from a format descriptor. It converts raw
+// bytes into a frame (and from there into matrices via transformencode).
+type Reader struct {
+	desc      FormatDescriptor
+	fieldIdx  []int    // delimited: source field index per output column
+	fieldKeys []string // keyvalue: key per output column
+	schema    types.Schema
+	names     []string
+	missing   map[string]bool
+}
+
+// GenerateReader validates the descriptor and "generates" (builds) a reader
+// for it. The returned reader is reusable across files of the same format.
+func GenerateReader(desc FormatDescriptor) (*Reader, error) {
+	if desc.Kind == "" {
+		desc.Kind = "delimited"
+	}
+	if desc.Delimiter == "" {
+		desc.Delimiter = ","
+	}
+	if desc.RecordSeparator == "" {
+		desc.RecordSeparator = "\n"
+	}
+	if len(desc.Columns) == 0 {
+		return nil, fmt.Errorf("io: format descriptor needs at least one column")
+	}
+	r := &Reader{desc: desc, missing: map[string]bool{}}
+	for _, mv := range desc.MissingValues {
+		r.missing[mv] = true
+	}
+	for _, col := range desc.Columns {
+		r.names = append(r.names, col.Name)
+		vt := col.Type
+		if vt == types.Unknown {
+			vt = types.String
+		}
+		r.schema = append(r.schema, vt)
+		switch desc.Kind {
+		case "delimited":
+			idx, err := strconv.Atoi(col.Field)
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("io: column %q has invalid field index %q", col.Name, col.Field)
+			}
+			r.fieldIdx = append(r.fieldIdx, idx)
+		case "keyvalue":
+			if col.Field == "" {
+				return nil, fmt.Errorf("io: column %q needs a key", col.Name)
+			}
+			r.fieldKeys = append(r.fieldKeys, col.Field)
+		default:
+			return nil, fmt.Errorf("io: unknown format kind %q", desc.Kind)
+		}
+	}
+	return r, nil
+}
+
+// ReadFrame parses raw bytes into a frame according to the descriptor.
+func (r *Reader) ReadFrame(data []byte) (*frame.FrameBlock, error) {
+	records := strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), r.desc.RecordSeparator)
+	// filter comments and blanks
+	filtered := records[:0]
+	for _, rec := range records {
+		trimmed := strings.TrimSpace(rec)
+		if trimmed == "" {
+			continue
+		}
+		if r.desc.CommentPrefix != "" && strings.HasPrefix(trimmed, r.desc.CommentPrefix) {
+			continue
+		}
+		filtered = append(filtered, rec)
+	}
+	records = filtered
+	if r.desc.HasHeader && len(records) > 0 {
+		records = records[1:]
+	}
+	f := frame.NewFrame(r.schema, len(records))
+	if err := f.SetColumnNames(r.names); err != nil {
+		return nil, err
+	}
+	for i, rec := range records {
+		var fields []string
+		var kv map[string]string
+		if r.desc.Kind == "delimited" {
+			fields = r.splitRecord(rec)
+		} else {
+			kv = parseKeyValue(rec, r.desc.Delimiter)
+		}
+		for c := range r.schema {
+			var raw string
+			if r.desc.Kind == "delimited" {
+				idx := r.fieldIdx[c]
+				if idx < len(fields) {
+					raw = strings.TrimSpace(fields[idx])
+				}
+			} else {
+				raw = kv[r.fieldKeys[c]]
+			}
+			if r.missing[raw] {
+				raw = ""
+			}
+			if err := f.SetString(i, c, raw); err != nil {
+				return nil, fmt.Errorf("io: record %d column %q: %w", i+1, r.names[c], err)
+			}
+		}
+	}
+	return f, nil
+}
+
+// ReadMatrix parses raw bytes and converts the (numeric) result to a matrix.
+func (r *Reader) ReadMatrix(data []byte) (*matrix.MatrixBlock, error) {
+	f, err := r.ReadFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	return f.ToMatrix()
+}
+
+func (r *Reader) splitRecord(rec string) []string {
+	delim := r.desc.Delimiter
+	quote := r.desc.Quote
+	if quote == "" {
+		return strings.Split(rec, delim)
+	}
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	i := 0
+	for i < len(rec) {
+		switch {
+		case strings.HasPrefix(rec[i:], quote):
+			inQuote = !inQuote
+			i += len(quote)
+		case !inQuote && strings.HasPrefix(rec[i:], delim):
+			fields = append(fields, cur.String())
+			cur.Reset()
+			i += len(delim)
+		default:
+			cur.WriteByte(rec[i])
+			i++
+		}
+	}
+	fields = append(fields, cur.String())
+	return fields
+}
+
+func parseKeyValue(rec, delim string) map[string]string {
+	out := map[string]string{}
+	for _, part := range strings.Split(rec, delim) {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) == 2 {
+			out[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+		}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package io
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+func TestMatrixCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.csv")
+	m := matrix.RandUniform(50, 7, -5, 5, 1.0, 3)
+	if err := WriteMatrixCSV(path, m, DefaultCSVOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixCSV(path, DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equals(m, 1e-12) {
+		t.Error("CSV round trip changed values")
+	}
+}
+
+func TestMatrixCSVWithHeaderAndDelimiter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.csv")
+	m := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	opts := CSVOptions{Delimiter: ';', Header: true, Threads: 2}
+	if err := WriteMatrixCSV(path, m, opts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixCSV(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equals(m, 0) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestParseMatrixCSVErrors(t *testing.T) {
+	if _, err := ParseMatrixCSV([]byte("1,2\n3,abc\n"), DefaultCSVOptions()); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ParseMatrixCSV([]byte("1,2\n3\n"), DefaultCSVOptions()); err == nil {
+		t.Error("expected column count error")
+	}
+	empty, err := ParseMatrixCSV([]byte(""), DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Rows() != 0 {
+		t.Error("empty input should produce empty matrix")
+	}
+}
+
+func TestParseMatrixCSVSparseOutput(t *testing.T) {
+	// mostly-zero CSV should come back in sparse representation
+	csv := "0,0,0,0,0,0,0,0,0,1\n0,0,0,0,0,0,0,0,0,0\n0,0,0,0,0,0,0,2,0,0\n"
+	m, err := ParseMatrixCSV([]byte(csv), DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsSparse() {
+		t.Error("expected sparse representation for mostly-zero data")
+	}
+	if m.NNZ() != 2 || m.Get(0, 9) != 1 || m.Get(2, 7) != 2 {
+		t.Error("sparse CSV values wrong")
+	}
+}
+
+func TestReadMatrixCSVMissingFile(t *testing.T) {
+	if _, err := ReadMatrixCSV("/nonexistent/file.csv", DefaultCSVOptions()); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestFrameCSVRoundTripWithInference(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.csv")
+	content := "city,temp,count,flag\ngraz,12.5,3,true\nvienna,15.0,7,false\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := CSVOptions{Delimiter: ',', Header: true}
+	f, err := ReadFrameCSV(path, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 2 || f.NumCols() != 4 {
+		t.Fatalf("dims %dx%d", f.NumRows(), f.NumCols())
+	}
+	schema := f.Schema()
+	if schema[0] != types.String || schema[1] != types.FP64 || schema[2] != types.INT64 || schema[3] != types.Boolean {
+		t.Errorf("inferred schema = %v", schema)
+	}
+	if f.ColumnNames()[0] != "city" {
+		t.Errorf("names = %v", f.ColumnNames())
+	}
+	// write back and re-read
+	out := filepath.Join(dir, "f2.csv")
+	if err := WriteFrameCSV(out, f, opts); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ReadFrameCSV(out, f.Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := f2.GetString(1, 0)
+	if s != "vienna" {
+		t.Errorf("round trip cell = %q", s)
+	}
+}
+
+func TestParseFrameCSVSchemaMismatch(t *testing.T) {
+	if _, err := ParseFrameCSV([]byte("1,2\n"), types.Schema{types.FP64}, DefaultCSVOptions()); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+	if _, err := ParseFrameCSV([]byte("1,2\n1\n"), nil, DefaultCSVOptions()); err == nil {
+		t.Error("expected ragged row error")
+	}
+}
+
+func TestMatrixBinaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.bin")
+	m := matrix.RandUniform(200, 37, -10, 10, 1.0, 4)
+	if err := WriteMatrixBinary(path, m, 64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equals(m, 0) {
+		t.Error("binary round trip changed values")
+	}
+}
+
+func TestMatrixBinarySparseInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.bin")
+	m := matrix.RandUniform(100, 50, 0, 1, 0.05, 5)
+	if err := WriteMatrixBinary(path, m, 1024); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equals(m, 0) {
+		t.Error("sparse binary round trip changed values")
+	}
+	if !got.IsSparse() {
+		t.Error("re-read sparse matrix should be sparse")
+	}
+}
+
+func TestReadMatrixBinaryErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(path, []byte("not a binary matrix"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMatrixBinary(path); err == nil {
+		t.Error("expected corrupt header error")
+	}
+	if _, err := ReadMatrixBinary(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("expected missing file error")
+	}
+}
+
+func TestLibSVMParse(t *testing.T) {
+	data := []byte("1 1:0.5 3:2.0\n-1 2:1.5\n\n1 1:1 2:1 3:1\n")
+	x, y, err := ParseLibSVM(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows() != 3 || x.Cols() != 3 {
+		t.Fatalf("dims %dx%d", x.Rows(), x.Cols())
+	}
+	if x.Get(0, 0) != 0.5 || x.Get(0, 2) != 2.0 || x.Get(1, 1) != 1.5 {
+		t.Error("libsvm values wrong")
+	}
+	if y.Get(0, 0) != 1 || y.Get(1, 0) != -1 {
+		t.Error("libsvm labels wrong")
+	}
+	// explicit feature count
+	x2, _, err := ParseLibSVM(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.Cols() != 5 {
+		t.Errorf("explicit cols = %d", x2.Cols())
+	}
+	if _, _, err := ParseLibSVM([]byte("1 0:5\n"), 0); err == nil {
+		t.Error("expected error for 0-based index")
+	}
+	if _, _, err := ParseLibSVM([]byte("abc 1:5\n"), 0); err == nil {
+		t.Error("expected error for bad label")
+	}
+	if _, _, err := ParseLibSVM([]byte("1 nonsense\n"), 0); err == nil {
+		t.Error("expected error for bad entry")
+	}
+}
+
+func TestGeneratedReaderDelimited(t *testing.T) {
+	desc := FormatDescriptor{
+		Kind:          "delimited",
+		Delimiter:     "|",
+		CommentPrefix: "#",
+		HasHeader:     true,
+		Quote:         `"`,
+		MissingValues: []string{"?"},
+		Columns: []FormatColumn{
+			{Name: "id", Field: "0", Type: types.INT64},
+			{Name: "value", Field: "2", Type: types.FP64},
+			{Name: "label", Field: "1", Type: types.String},
+		},
+	}
+	r, err := GenerateReader(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("# sensor export v2\nid|label|value\n1|\"a|b\"|2.5\n2|c|?\n3|d|7.25\n")
+	f, err := r.ReadFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 3 || f.NumCols() != 3 {
+		t.Fatalf("dims %dx%d", f.NumRows(), f.NumCols())
+	}
+	if v, _ := f.GetNumeric(0, 0); v != 1 {
+		t.Errorf("id = %v", v)
+	}
+	if s, _ := f.GetString(0, 2); s != "a|b" {
+		t.Errorf("quoted field = %q", s)
+	}
+	if v, _ := f.GetNumeric(2, 1); v != 7.25 {
+		t.Errorf("value = %v", v)
+	}
+	if v, _ := f.GetNumeric(1, 1); !math.IsNaN(v) { // missing value becomes NaN
+		t.Errorf("missing value = %v, want NaN", v)
+	}
+}
+
+func TestGeneratedReaderKeyValue(t *testing.T) {
+	desc := FormatDescriptor{
+		Kind:      "keyvalue",
+		Delimiter: ";",
+		Columns: []FormatColumn{
+			{Name: "temp", Field: "temp", Type: types.FP64},
+			{Name: "rpm", Field: "rpm", Type: types.FP64},
+		},
+	}
+	r, err := GenerateReader(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("temp:20.5;rpm:900\ntemp:21.0;rpm:950;extra:x\n")
+	m, err := r.ReadMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	if m.Get(1, 1) != 950 {
+		t.Errorf("rpm = %v", m.Get(1, 1))
+	}
+}
+
+func TestGenerateReaderErrors(t *testing.T) {
+	if _, err := GenerateReader(FormatDescriptor{}); err == nil {
+		t.Error("expected error for no columns")
+	}
+	if _, err := GenerateReader(FormatDescriptor{Columns: []FormatColumn{{Name: "a", Field: "x"}}}); err == nil {
+		t.Error("expected error for bad field index")
+	}
+	if _, err := GenerateReader(FormatDescriptor{Kind: "xml", Columns: []FormatColumn{{Name: "a", Field: "0"}}}); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if _, err := GenerateReader(FormatDescriptor{Kind: "keyvalue", Columns: []FormatColumn{{Name: "a", Field: ""}}}); err == nil {
+		t.Error("expected error for missing key")
+	}
+}
+
+func TestGeneratedReaderNonNumericToMatrix(t *testing.T) {
+	desc := FormatDescriptor{Columns: []FormatColumn{{Name: "s", Field: "0", Type: types.String}}}
+	r, err := GenerateReader(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadMatrix([]byte("hello\n")); err == nil {
+		t.Error("expected conversion error")
+	}
+}

@@ -1,0 +1,106 @@
+package lang
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCollectReadsWrites(t *testing.T) {
+	prog := mustParse(t, `
+B[, i] = lm(Xi, y)
+s = sum(X[1:k, j]) + b
+if (a > 0) { c = d } else { e = f }
+for (i in 1:n) { acc = acc + w[i, 1] }
+while (cond) { cond = cond - 1 }
+`)
+	// statement 0: indexed assignment reads B (partial update), Xi, y, i
+	reads := StatementReads(prog.Body[0])
+	for _, want := range []string{"B", "Xi", "y", "i"} {
+		if !reads[want] {
+			t.Errorf("statement 0 should read %q, got %v", want, reads)
+		}
+	}
+	writes := StatementWrites(prog.Body[0])
+	if !writes["B"] || len(writes) != 1 {
+		t.Errorf("statement 0 writes = %v", writes)
+	}
+	// statement 1 reads X, k, j, b
+	reads = StatementReads(prog.Body[1])
+	for _, want := range []string{"X", "k", "j", "b"} {
+		if !reads[want] {
+			t.Errorf("statement 1 should read %q", want)
+		}
+	}
+	// if statement reads and writes from both branches
+	reads = StatementReads(prog.Body[2])
+	writes = StatementWrites(prog.Body[2])
+	if !reads["a"] || !reads["d"] || !reads["f"] {
+		t.Errorf("if reads = %v", reads)
+	}
+	if !writes["c"] || !writes["e"] {
+		t.Errorf("if writes = %v", writes)
+	}
+	// for loop writes loop variable and accumulator
+	writes = StatementWrites(prog.Body[3])
+	if !writes["i"] || !writes["acc"] {
+		t.Errorf("for writes = %v", writes)
+	}
+	reads = StatementReads(prog.Body[3])
+	if !reads["n"] || !reads["w"] || !reads["acc"] {
+		t.Errorf("for reads = %v", reads)
+	}
+	// while
+	reads = StatementReads(prog.Body[4])
+	if !reads["cond"] {
+		t.Errorf("while reads = %v", reads)
+	}
+}
+
+func TestBlockReadsWrites(t *testing.T) {
+	prog := mustParse(t, "a = x + 1\nb = a * y\n")
+	if got := BlockReads(prog.Body); !reflect.DeepEqual(got, []string{"a", "x", "y"}) {
+		t.Errorf("BlockReads = %v", got)
+	}
+	if got := BlockWrites(prog.Body); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("BlockWrites = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	builtins := func(name string) bool {
+		switch name {
+		case "sum", "print", "t", "solve", "lm":
+			return true
+		}
+		return false
+	}
+	prog := mustParse(t, `
+helper = function(Matrix[Double] X) return (Double s) { s = sum(X) }
+a = helper(X)
+b = lm(X, y)
+print(a + b)
+`)
+	if err := Validate(prog, builtins); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	// unknown function
+	prog = mustParse(t, "a = unknownFn(x)")
+	if err := Validate(prog, builtins); err == nil {
+		t.Error("expected undefined function error")
+	}
+	// multi-assign from non-call
+	prog = mustParse(t, "[a, b] = x")
+	if err := Validate(prog, builtins); err == nil {
+		t.Error("expected multi-assignment error")
+	}
+	// duplicate parameter
+	prog = mustParse(t, "f = function(Double a, Double a) return (Double b) { b = a }")
+	if err := Validate(prog, builtins); err == nil {
+		t.Error("expected duplicate parameter error")
+	}
+	// nested call inside control flow
+	prog = mustParse(t, "if (x > 1) { y = mystery(x) }")
+	if err := Validate(prog, builtins); err == nil {
+		t.Error("expected undefined function error inside if")
+	}
+}

@@ -1,0 +1,336 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	node()
+	String() string
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Statement is a statement node.
+type Statement interface {
+	Node
+	stmtNode()
+}
+
+// Program is a parsed DML script: top-level function definitions plus the
+// main body statements.
+type Program struct {
+	Functions map[string]*FunctionDef
+	Body      []Statement
+}
+
+func (p *Program) node() {}
+
+// String renders the program (mainly for debugging and EXPLAIN output).
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, f := range p.Functions {
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	for _, s := range p.Body {
+		sb.WriteString(s.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Param is a function parameter or return declaration, optionally typed and
+// with a default value.
+type Param struct {
+	Name      string
+	DataType  types.DataType
+	ValueType types.ValueType
+	Default   Expr
+}
+
+func (p Param) String() string {
+	s := p.Name
+	if p.Default != nil {
+		s += " = " + p.Default.String()
+	}
+	return s
+}
+
+// FunctionDef is a user-defined (or DML-bodied builtin) function.
+type FunctionDef struct {
+	Name    string
+	Params  []Param
+	Returns []Param
+	Body    []Statement
+}
+
+func (f *FunctionDef) node() {}
+
+func (f *FunctionDef) String() string {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.String()
+	}
+	rets := make([]string, len(f.Returns))
+	for i, r := range f.Returns {
+		rets[i] = r.Name
+	}
+	return fmt.Sprintf("%s = function(%s) return (%s) { ... %d statements }",
+		f.Name, strings.Join(params, ", "), strings.Join(rets, ", "), len(f.Body))
+}
+
+// AssignTarget is the left-hand side of an assignment: either a plain
+// variable or an indexed range of a matrix (left indexing).
+type AssignTarget struct {
+	Name    string
+	Indexed bool
+	Rows    *IndexRange
+	Cols    *IndexRange
+}
+
+func (t AssignTarget) String() string {
+	if !t.Indexed {
+		return t.Name
+	}
+	return fmt.Sprintf("%s[%s, %s]", t.Name, t.Rows, t.Cols)
+}
+
+// IndexRange is one dimension of an index expression: a single position, a
+// from:to range, or all (nil bounds).
+type IndexRange struct {
+	Lower Expr // nil means from the start
+	Upper Expr // nil means single position (Lower only) when Lower != nil, or to the end
+	All   bool // true when the dimension is unconstrained (X[, i])
+}
+
+func (r *IndexRange) String() string {
+	if r == nil || r.All {
+		return ""
+	}
+	if r.Upper == nil {
+		return r.Lower.String()
+	}
+	lo, hi := "", ""
+	if r.Lower != nil {
+		lo = r.Lower.String()
+	}
+	if r.Upper != nil {
+		hi = r.Upper.String()
+	}
+	return lo + ":" + hi
+}
+
+// AssignStmt assigns the result of an expression to one or more targets
+// (multi-assignment covers [a, b] = f(...)).
+type AssignStmt struct {
+	Targets []AssignTarget
+	Value   Expr
+	Line    int
+}
+
+func (s *AssignStmt) node()     {}
+func (s *AssignStmt) stmtNode() {}
+func (s *AssignStmt) String() string {
+	targets := make([]string, len(s.Targets))
+	for i, t := range s.Targets {
+		targets[i] = t.String()
+	}
+	prefix := strings.Join(targets, ", ")
+	if len(s.Targets) > 1 {
+		prefix = "[" + prefix + "]"
+	}
+	return prefix + " = " + s.Value.String()
+}
+
+// ExprStmt is an expression evaluated for its side effects (print, write).
+type ExprStmt struct {
+	Value Expr
+	Line  int
+}
+
+func (s *ExprStmt) node()          {}
+func (s *ExprStmt) stmtNode()      {}
+func (s *ExprStmt) String() string { return s.Value.String() }
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then []Statement
+	Else []Statement
+	Line int
+}
+
+func (s *IfStmt) node()     {}
+func (s *IfStmt) stmtNode() {}
+func (s *IfStmt) String() string {
+	return fmt.Sprintf("if (%s) { %d stmts } else { %d stmts }", s.Cond, len(s.Then), len(s.Else))
+}
+
+// ForStmt is a for or parfor loop over an iterable expression (typically a
+// from:to range or seq()).
+type ForStmt struct {
+	Var      string
+	Iterable Expr
+	Body     []Statement
+	Parallel bool // parfor
+	Line     int
+}
+
+func (s *ForStmt) node()     {}
+func (s *ForStmt) stmtNode() {}
+func (s *ForStmt) String() string {
+	kw := "for"
+	if s.Parallel {
+		kw = "parfor"
+	}
+	return fmt.Sprintf("%s (%s in %s) { %d stmts }", kw, s.Var, s.Iterable, len(s.Body))
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Statement
+	Line int
+}
+
+func (s *WhileStmt) node()     {}
+func (s *WhileStmt) stmtNode() {}
+func (s *WhileStmt) String() string {
+	return fmt.Sprintf("while (%s) { %d stmts }", s.Cond, len(s.Body))
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+func (e *Ident) node()          {}
+func (e *Ident) exprNode()      {}
+func (e *Ident) String() string { return e.Name }
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Value float64
+	IsInt bool
+	Line  int
+}
+
+func (e *NumLit) node()     {}
+func (e *NumLit) exprNode() {}
+func (e *NumLit) String() string {
+	if e.IsInt {
+		return fmt.Sprintf("%d", int64(e.Value))
+	}
+	return fmt.Sprintf("%g", e.Value)
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+func (e *StrLit) node()          {}
+func (e *StrLit) exprNode()      {}
+func (e *StrLit) String() string { return fmt.Sprintf("%q", e.Value) }
+
+// BoolLit is a boolean literal (TRUE/FALSE).
+type BoolLit struct {
+	Value bool
+	Line  int
+}
+
+func (e *BoolLit) node()     {}
+func (e *BoolLit) exprNode() {}
+func (e *BoolLit) String() string {
+	if e.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// BinaryExpr is a binary operation, including matrix multiplication (%*%).
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+	Line        int
+}
+
+func (e *BinaryExpr) node()          {}
+func (e *BinaryExpr) exprNode()      {}
+func (e *BinaryExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right) }
+
+// UnaryExpr is a unary operation (- or !).
+type UnaryExpr struct {
+	Op      string
+	Operand Expr
+	Line    int
+}
+
+func (e *UnaryExpr) node()          {}
+func (e *UnaryExpr) exprNode()      {}
+func (e *UnaryExpr) String() string { return fmt.Sprintf("(%s%s)", e.Op, e.Operand) }
+
+// RangeExpr is a from:to sequence used in loops and indexing.
+type RangeExpr struct {
+	From, To Expr
+	Line     int
+}
+
+func (e *RangeExpr) node()          {}
+func (e *RangeExpr) exprNode()      {}
+func (e *RangeExpr) String() string { return fmt.Sprintf("%s:%s", e.From, e.To) }
+
+// Arg is a (possibly named) call argument.
+type Arg struct {
+	Name  string // empty for positional arguments
+	Value Expr
+}
+
+func (a Arg) String() string {
+	if a.Name == "" {
+		return a.Value.String()
+	}
+	return a.Name + "=" + a.Value.String()
+}
+
+// CallExpr is a builtin or user function call.
+type CallExpr struct {
+	Name string
+	Args []Arg
+	Line int
+}
+
+func (e *CallExpr) node()     {}
+func (e *CallExpr) exprNode() {}
+func (e *CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+// IndexExpr is right-hand side indexing X[rows, cols].
+type IndexExpr struct {
+	Target Expr
+	Rows   *IndexRange
+	Cols   *IndexRange
+	Line   int
+}
+
+func (e *IndexExpr) node()     {}
+func (e *IndexExpr) exprNode() {}
+func (e *IndexExpr) String() string {
+	return fmt.Sprintf("%s[%s, %s]", e.Target, e.Rows, e.Cols)
+}

@@ -1,0 +1,252 @@
+// Package lang implements the DML scripting language of SystemDS-Go: an
+// R-like syntax for linear algebra, element-wise and statistical operations,
+// control flow (if/for/while/parfor) and user-defined functions
+// (Section 2.2 of the paper). The package provides the lexer, parser, AST
+// and semantic validation; compilation to HOP DAGs lives in internal/hops.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenNumber
+	TokenString
+	TokenBool
+	TokenOperator   // + - * / ^ %*% %% %/% < <= > >= == != & | ! =
+	TokenLParen     // (
+	TokenRParen     // )
+	TokenLBrace     // {
+	TokenRBrace     // }
+	TokenLBracket   // [
+	TokenRBracket   // ]
+	TokenComma      // ,
+	TokenSemicolon  // ;
+	TokenColon      // :
+	TokenKeyword    // if else for while parfor function return in source as
+	TokenNewline
+)
+
+// Token is a lexical token with position information for error reporting.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%q@%d:%d", t.Text, t.Line, t.Col)
+}
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "for": true, "while": true, "parfor": true,
+	"function": true, "return": true, "in": true,
+}
+
+// Lex tokenizes a DML script. Comments (# to end of line) are skipped;
+// newlines are preserved as statement separators.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	emit := func(kind TokenKind, text string) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: col})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\n':
+			emit(TokenNewline, "\n")
+			i++
+			line++
+			col = 1
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != quote {
+				if src[j] == '\\' && j+1 < n {
+					j++
+					switch src[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '"':
+						sb.WriteByte('"')
+					case '\'':
+						sb.WriteByte('\'')
+					default:
+						sb.WriteByte(src[j])
+					}
+				} else {
+					sb.WriteByte(src[j])
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("lang: unterminated string literal at line %d", line)
+			}
+			emit(TokenString, sb.String())
+			col += j - i + 1
+			i = j + 1
+			continue
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				cj := src[j]
+				if unicode.IsDigit(rune(cj)) {
+					j++
+				} else if cj == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+				} else if (cj == 'e' || cj == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < n && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+				} else {
+					break
+				}
+			}
+			emit(TokenNumber, src[i:j])
+			col += j - i
+			i = j
+			continue
+		case unicode.IsLetter(rune(c)) || c == '_' || c == '.':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			word := src[i:j]
+			switch {
+			case word == "TRUE" || word == "FALSE" || word == "true" || word == "false":
+				emit(TokenBool, word)
+			case keywords[word]:
+				emit(TokenKeyword, word)
+			default:
+				emit(TokenIdent, word)
+			}
+			col += j - i
+			i = j
+			continue
+		case c == '(':
+			emit(TokenLParen, "(")
+			i++
+			col++
+			continue
+		case c == ')':
+			emit(TokenRParen, ")")
+			i++
+			col++
+			continue
+		case c == '{':
+			emit(TokenLBrace, "{")
+			i++
+			col++
+			continue
+		case c == '}':
+			emit(TokenRBrace, "}")
+			i++
+			col++
+			continue
+		case c == '[':
+			emit(TokenLBracket, "[")
+			i++
+			col++
+			continue
+		case c == ']':
+			emit(TokenRBracket, "]")
+			i++
+			col++
+			continue
+		case c == ',':
+			emit(TokenComma, ",")
+			i++
+			col++
+			continue
+		case c == ';':
+			emit(TokenSemicolon, ";")
+			i++
+			col++
+			continue
+		case c == ':':
+			emit(TokenColon, ":")
+			i++
+			col++
+			continue
+		case c == '%':
+			// %*%, %%, %/%
+			if i+2 < n && src[i+1] == '*' && src[i+2] == '%' {
+				emit(TokenOperator, "%*%")
+				i += 3
+				col += 3
+			} else if i+2 < n && src[i+1] == '/' && src[i+2] == '%' {
+				emit(TokenOperator, "%/%")
+				i += 3
+				col += 3
+			} else if i+1 < n && src[i+1] == '%' {
+				emit(TokenOperator, "%%")
+				i += 2
+				col += 2
+			} else {
+				return nil, fmt.Errorf("lang: unexpected character %q at line %d", c, line)
+			}
+			continue
+		case strings.ContainsRune("+-*/^<>=!&|", rune(c)):
+			// multi-character operators
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "==", "!=", "<-", "&&", "||":
+				op := two
+				if op == "<-" {
+					op = "="
+				}
+				if op == "&&" {
+					op = "&"
+				}
+				if op == "||" {
+					op = "|"
+				}
+				emit(TokenOperator, op)
+				i += 2
+				col += 2
+			default:
+				emit(TokenOperator, string(c))
+				i++
+				col++
+			}
+			continue
+		default:
+			return nil, fmt.Errorf("lang: unexpected character %q at line %d column %d", c, line, col)
+		}
+	}
+	toks = append(toks, Token{Kind: TokenEOF, Text: "", Line: line, Col: col})
+	return toks, nil
+}

@@ -1,0 +1,161 @@
+package lineage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// CacheEntry is one cached intermediate: the value (a runtime data object,
+// stored as any to keep the package dependency-free), its size in bytes and
+// the compute time that was saved.
+type CacheEntry struct {
+	Item      *Item
+	Value     any
+	SizeBytes int64
+	ComputeNs int64
+}
+
+// CacheStats reports reuse-cache effectiveness.
+type CacheStats struct {
+	Hits        int64
+	Misses      int64
+	Puts        int64
+	Evictions   int64
+	PartialHits int64
+	BytesCached int64
+}
+
+// Cache is the lineage-based reuse cache: intermediates are identified by the
+// hash of their lineage DAG and evicted in LRU order under a byte budget
+// (Section 3.1: reuse of intermediates inspired by recycling in MonetDB).
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	entries  map[uint64]*list.Element
+	lru      *list.List // of *CacheEntry, front = most recently used
+	stats    CacheStats
+	disabled bool
+}
+
+// NewCache creates a reuse cache with the given byte budget. A budget of 0
+// disables caching.
+func NewCache(budgetBytes int64) *Cache {
+	return &Cache{
+		budget:   budgetBytes,
+		entries:  map[uint64]*list.Element{},
+		lru:      list.New(),
+		disabled: budgetBytes <= 0,
+	}
+}
+
+// Enabled reports whether the cache accepts entries.
+func (c *Cache) Enabled() bool { return c != nil && !c.disabled }
+
+// Get probes the cache for an intermediate with the given lineage. It
+// verifies full structural equality to guard against hash collisions.
+func (c *Cache) Get(item *Item) (any, bool) {
+	if !c.Enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[item.Hash()]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	entry := el.Value.(*CacheEntry)
+	if !entry.Item.Equals(item) {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	if os.Getenv("SYSDS_DEBUG_CACHE") != "" {
+		fmt.Printf("CACHE HIT: %s\n", item.String())
+	}
+	return entry.Value, true
+}
+
+// Put inserts an intermediate, evicting least-recently-used entries if the
+// budget would be exceeded. Values larger than the whole budget are not
+// cached.
+func (c *Cache) Put(item *Item, value any, sizeBytes, computeNs int64) {
+	if !c.Enabled() || sizeBytes > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[item.Hash()]; exists {
+		return
+	}
+	for c.used+sizeBytes > c.budget && c.lru.Len() > 0 {
+		c.evictLRULocked()
+	}
+	entry := &CacheEntry{Item: item, Value: value, SizeBytes: sizeBytes, ComputeNs: computeNs}
+	el := c.lru.PushFront(entry)
+	c.entries[item.Hash()] = el
+	c.used += sizeBytes
+	c.stats.Puts++
+	c.stats.BytesCached = c.used
+}
+
+func (c *Cache) evictLRULocked() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	entry := el.Value.(*CacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, entry.Item.Hash())
+	c.used -= entry.SizeBytes
+	c.stats.Evictions++
+}
+
+// RecordPartialHit increments the partial-reuse counter (compensation plans
+// assembled from cached sub-results).
+func (c *Cache) RecordPartialHit() {
+	if !c.Enabled() {
+		return
+	}
+	c.mu.Lock()
+	c.stats.PartialHits++
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.BytesCached = c.used
+	return s
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Clear drops all cached entries.
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[uint64]*list.Element{}
+	c.lru.Init()
+	c.used = 0
+}

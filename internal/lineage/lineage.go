@@ -1,0 +1,236 @@
+// Package lineage implements fine-grained lineage tracing and the
+// lineage-based reuse cache of SystemDS (Section 3.1 of the paper). Every
+// executed logical operation is recorded as a lineage item referencing the
+// lineage of its inputs; the resulting DAGs identify intermediates, enable
+// reproducibility, and serve as cache keys for full and partial reuse of
+// redundantly computed intermediates.
+package lineage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ItemKind distinguishes leaves (literals, input reads) from operation nodes
+// and deduplicated sub-DAG references.
+type ItemKind int
+
+// Lineage item kinds.
+const (
+	KindLiteral ItemKind = iota
+	KindCreation
+	KindInstruction
+	KindDedup
+)
+
+var itemIDCounter int64
+
+// Item is a node of a lineage DAG. Items are immutable after creation and
+// cache their hash.
+type Item struct {
+	ID     int64
+	Kind   ItemKind
+	Opcode string
+	Data   string // literal value, variable/file name, or extra operands (e.g. seeds)
+	Inputs []*Item
+
+	hashOnce sync.Once
+	hash     uint64
+}
+
+// NewLiteral creates a literal leaf item (constants, generated seeds).
+func NewLiteral(data string) *Item {
+	return &Item{ID: atomic.AddInt64(&itemIDCounter, 1), Kind: KindLiteral, Opcode: "lit", Data: data}
+}
+
+// NewCreation creates a leaf item for an external input (file read, named
+// script input).
+func NewCreation(op, data string) *Item {
+	return &Item{ID: atomic.AddInt64(&itemIDCounter, 1), Kind: KindCreation, Opcode: op, Data: data}
+}
+
+// NewInstruction creates an operation item with the given inputs.
+func NewInstruction(opcode, data string, inputs ...*Item) *Item {
+	return &Item{ID: atomic.AddInt64(&itemIDCounter, 1), Kind: KindInstruction, Opcode: opcode, Data: data, Inputs: inputs}
+}
+
+// NewDedup creates a deduplication item that references a previously traced
+// loop-body sub-DAG by name and path id, so loops with few distinct control
+// flow paths store the per-path trace only once.
+func NewDedup(pathName string, inputs ...*Item) *Item {
+	return &Item{ID: atomic.AddInt64(&itemIDCounter, 1), Kind: KindDedup, Opcode: "dedup", Data: pathName, Inputs: inputs}
+}
+
+// Hash returns a structural hash over the item's opcode, data and transitive
+// inputs. Identical computations produce identical hashes, which makes the
+// hash usable as reuse-cache key.
+func (it *Item) Hash() uint64 {
+	it.hashOnce.Do(func() {
+		h := fnv.New64a()
+		var write func(i *Item)
+		write = func(i *Item) {
+			fmt.Fprintf(h, "(%d|%s|%s", i.Kind, i.Opcode, i.Data)
+			for _, in := range i.Inputs {
+				write(in)
+			}
+			fmt.Fprint(h, ")")
+		}
+		write(it)
+		it.hash = h.Sum64()
+	})
+	return it.hash
+}
+
+// Equals reports whether two lineage DAGs are structurally identical.
+func (it *Item) Equals(o *Item) bool {
+	if it == o {
+		return true
+	}
+	if it == nil || o == nil {
+		return false
+	}
+	if it.Kind != o.Kind || it.Opcode != o.Opcode || it.Data != o.Data || len(it.Inputs) != len(o.Inputs) {
+		return false
+	}
+	for i := range it.Inputs {
+		if !it.Inputs[i].Equals(o.Inputs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the lineage DAG in a compact nested form, e.g.
+// "tsmm(cbind(tread(X),tread(Z)))".
+func (it *Item) String() string {
+	var sb strings.Builder
+	it.render(&sb)
+	return sb.String()
+}
+
+func (it *Item) render(sb *strings.Builder) {
+	sb.WriteString(it.Opcode)
+	if it.Data != "" {
+		sb.WriteString("·")
+		sb.WriteString(it.Data)
+	}
+	if len(it.Inputs) > 0 {
+		sb.WriteString("(")
+		for i, in := range it.Inputs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			in.render(sb)
+		}
+		sb.WriteString(")")
+	}
+}
+
+// Size returns the number of nodes in the lineage DAG (distinct nodes counted
+// once).
+func (it *Item) Size() int {
+	seen := map[*Item]bool{}
+	var count func(i *Item)
+	count = func(i *Item) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		for _, in := range i.Inputs {
+			count(in)
+		}
+	}
+	count(it)
+	return len(seen)
+}
+
+// Tracer maintains the lineage items of the live variables of one execution
+// context. Tracers are cheap to create; parfor workers and function calls get
+// their own tracer seeded with the items of their inputs.
+type Tracer struct {
+	mu    sync.Mutex
+	items map[string]*Item
+	// dedup path traces per loop body (keyed by block id and path signature)
+	dedupPaths map[string]*Item
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{items: map[string]*Item{}, dedupPaths: map[string]*Item{}}
+}
+
+// Get returns the lineage item of a variable, creating a leaf item lazily for
+// variables whose creation was not traced (e.g. external inputs bound via the
+// API).
+func (t *Tracer) Get(name string) *Item {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if it, ok := t.items[name]; ok {
+		return it
+	}
+	it := NewCreation("tread", name)
+	t.items[name] = it
+	return it
+}
+
+// Set assigns the lineage item of a variable.
+func (t *Tracer) Set(name string, it *Item) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.items[name] = it
+}
+
+// Has reports whether a variable has a traced lineage item.
+func (t *Tracer) Has(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.items[name]
+	return ok
+}
+
+// Copy returns a tracer with a copied variable map (items are shared, they
+// are immutable).
+func (t *Tracer) Copy() *Tracer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := NewTracer()
+	for k, v := range t.items {
+		cp.items[k] = v
+	}
+	return cp
+}
+
+// Variables returns the sorted names of traced variables.
+func (t *Tracer) Variables() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.items))
+	for k := range t.items {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterDedupPath stores the lineage trace of one loop-body control-flow
+// path so subsequent iterations taking the same path reference it with a
+// single dedup node instead of re-tracing every operation.
+func (t *Tracer) RegisterDedupPath(key string, trace *Item) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.dedupPaths[key]; !ok {
+		t.dedupPaths[key] = trace
+	}
+}
+
+// DedupPath returns the registered trace for a loop-body path, if any.
+func (t *Tracer) DedupPath(key string) (*Item, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	it, ok := t.dedupPaths[key]
+	return it, ok
+}

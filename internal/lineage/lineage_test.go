@@ -1,0 +1,202 @@
+package lineage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestItemHashDeterminismAndEquality(t *testing.T) {
+	x := NewCreation("tread", "X")
+	y := NewCreation("tread", "y")
+	a1 := NewInstruction("tsmm", "", x)
+	a2 := NewInstruction("tsmm", "", NewCreation("tread", "X"))
+	if a1.Hash() != a2.Hash() {
+		t.Error("structurally identical items must hash equally")
+	}
+	if !a1.Equals(a2) {
+		t.Error("structurally identical items must be equal")
+	}
+	b := NewInstruction("tsmm", "", y)
+	if a1.Equals(b) {
+		t.Error("items over different inputs must differ")
+	}
+	c := NewInstruction("ba+*", "", x, y)
+	d := NewInstruction("ba+*", "", y, x)
+	if c.Equals(d) {
+		t.Error("operand order must matter")
+	}
+	lit1 := NewLiteral("0.1")
+	lit2 := NewLiteral("0.2")
+	e1 := NewInstruction("+", "", a1, lit1)
+	e2 := NewInstruction("+", "", a1, lit2)
+	if e1.Equals(e2) || e1.Hash() == e2.Hash() {
+		t.Error("different literals must produce different lineage")
+	}
+}
+
+func TestItemStringRendering(t *testing.T) {
+	x := NewCreation("tread", "X")
+	item := NewInstruction("tsmm", "", NewInstruction("cbind", "", x, NewCreation("tread", "z")))
+	s := item.String()
+	if !strings.Contains(s, "tsmm(") || !strings.Contains(s, "cbind(") || !strings.Contains(s, "X") {
+		t.Errorf("rendering = %q", s)
+	}
+}
+
+func TestItemSize(t *testing.T) {
+	x := NewCreation("tread", "X")
+	shared := NewInstruction("t", "", x)
+	top := NewInstruction("ba+*", "", shared, shared)
+	if top.Size() != 3 {
+		t.Errorf("Size = %d, want 3 (shared node counted once)", top.Size())
+	}
+}
+
+func TestTracer(t *testing.T) {
+	tr := NewTracer()
+	if tr.Has("X") {
+		t.Error("fresh tracer should not have X")
+	}
+	leaf := tr.Get("X") // lazily created creation item
+	if !tr.Has("X") || leaf.Opcode != "tread" {
+		t.Errorf("lazy leaf = %+v", leaf)
+	}
+	it := NewInstruction("tsmm", "", leaf)
+	tr.Set("G", it)
+	if tr.Get("G") != it {
+		t.Error("Set/Get mismatch")
+	}
+	cp := tr.Copy()
+	cp.Set("G", leaf)
+	if tr.Get("G") != it {
+		t.Error("copy is not independent")
+	}
+	vars := tr.Variables()
+	if len(vars) != 2 || vars[0] != "G" || vars[1] != "X" {
+		t.Errorf("variables = %v", vars)
+	}
+}
+
+func TestTracerDedupPaths(t *testing.T) {
+	tr := NewTracer()
+	trace := NewInstruction("body", "", NewLiteral("1"))
+	tr.RegisterDedupPath("loop1:path0", trace)
+	got, ok := tr.DedupPath("loop1:path0")
+	if !ok || got != trace {
+		t.Error("dedup path not registered")
+	}
+	// duplicate registration keeps the first trace
+	other := NewInstruction("body", "", NewLiteral("2"))
+	tr.RegisterDedupPath("loop1:path0", other)
+	got, _ = tr.DedupPath("loop1:path0")
+	if got != trace {
+		t.Error("duplicate registration overwrote the original trace")
+	}
+	if _, ok := tr.DedupPath("unknown"); ok {
+		t.Error("unknown path should not resolve")
+	}
+	d := NewDedup("loop1:path0", NewLiteral("3"))
+	if d.Kind != KindDedup || d.Opcode != "dedup" {
+		t.Error("dedup item malformed")
+	}
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(1 << 20)
+	x := NewCreation("tread", "X")
+	item := NewInstruction("tsmm", "", x)
+	if _, ok := c.Get(item); ok {
+		t.Error("empty cache should miss")
+	}
+	c.Put(item, "value1", 100, 1000)
+	v, ok := c.Get(NewInstruction("tsmm", "", NewCreation("tread", "X")))
+	if !ok || v != "value1" {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	stats := c.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Puts != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// duplicate put is a no-op
+	c.Put(item, "value2", 100, 1000)
+	v, _ = c.Get(item)
+	if v != "value1" {
+		t.Error("duplicate Put overwrote entry")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("Clear did not empty cache")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(250)
+	items := make([]*Item, 5)
+	for i := range items {
+		items[i] = NewInstruction("op", string(rune('a'+i)), NewLiteral(string(rune('a'+i))))
+		c.Put(items[i], i, 100, 0)
+	}
+	if c.Len() > 2 {
+		t.Errorf("cache exceeded budget: %d entries", c.Len())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("expected evictions")
+	}
+	// most recently inserted survives
+	if _, ok := c.Get(items[4]); !ok {
+		t.Error("most recent entry evicted")
+	}
+	// oversized values are rejected outright
+	big := NewInstruction("op", "big", NewLiteral("big"))
+	c.Put(big, "x", 10_000, 0)
+	if _, ok := c.Get(big); ok {
+		t.Error("oversized value should not be cached")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	if c.Enabled() {
+		t.Error("zero-budget cache should be disabled")
+	}
+	c.Put(NewLiteral("x"), 1, 10, 0)
+	if _, ok := c.Get(NewLiteral("x")); ok {
+		t.Error("disabled cache should never hit")
+	}
+	var nilCache *Cache
+	if nilCache.Enabled() {
+		t.Error("nil cache should be disabled")
+	}
+	_ = nilCache.Stats()
+	_ = nilCache.Len()
+	nilCache.Clear()
+	nilCache.RecordPartialHit()
+}
+
+func TestCachePartialHitCounter(t *testing.T) {
+	c := NewCache(1 << 10)
+	c.RecordPartialHit()
+	c.RecordPartialHit()
+	if c.Stats().PartialHits != 2 {
+		t.Errorf("partial hits = %d", c.Stats().PartialHits)
+	}
+}
+
+func TestPropertyHashStability(t *testing.T) {
+	f := func(op, data string, nInputs uint8) bool {
+		inputs := make([]*Item, int(nInputs%4))
+		for i := range inputs {
+			inputs[i] = NewLiteral(string(rune('a' + i)))
+		}
+		a := NewInstruction(op, data, inputs...)
+		b := NewInstruction(op, data, inputs...)
+		return a.Hash() == b.Hash() && a.Equals(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

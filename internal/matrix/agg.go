@@ -1,0 +1,361 @@
+package matrix
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of all cells.
+func Sum(m *MatrixBlock) float64 {
+	var s float64
+	if m.IsSparse() {
+		for _, v := range m.sparse.Values {
+			s += v
+		}
+		return s
+	}
+	for _, v := range m.dense {
+		s += v
+	}
+	return s
+}
+
+// SumSq returns the sum of squared cells.
+func SumSq(m *MatrixBlock) float64 {
+	var s float64
+	if m.IsSparse() {
+		for _, v := range m.sparse.Values {
+			s += v * v
+		}
+		return s
+	}
+	for _, v := range m.dense {
+		s += v * v
+	}
+	return s
+}
+
+// Mean returns the mean over all cells (including zeros).
+func Mean(m *MatrixBlock) float64 {
+	cells := float64(m.rows * m.cols)
+	if cells == 0 {
+		return math.NaN()
+	}
+	return Sum(m) / cells
+}
+
+// Variance returns the sample variance over all cells.
+func Variance(m *MatrixBlock) float64 {
+	cells := float64(m.rows * m.cols)
+	if cells <= 1 {
+		return math.NaN()
+	}
+	mu := Mean(m)
+	var s float64
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			d := m.Get(r, c) - mu
+			s += d * d
+		}
+	}
+	return s / (cells - 1)
+}
+
+// Min returns the minimum cell value.
+func Min(m *MatrixBlock) float64 {
+	minV := math.Inf(1)
+	if m.IsSparse() {
+		if m.nnz < int64(m.rows)*int64(m.cols) {
+			minV = 0
+		}
+		for _, v := range m.sparse.Values {
+			if v < minV {
+				minV = v
+			}
+		}
+		return minV
+	}
+	for _, v := range m.dense {
+		if v < minV {
+			minV = v
+		}
+	}
+	return minV
+}
+
+// Max returns the maximum cell value.
+func Max(m *MatrixBlock) float64 {
+	maxV := math.Inf(-1)
+	if m.IsSparse() {
+		if m.nnz < int64(m.rows)*int64(m.cols) {
+			maxV = 0
+		}
+		for _, v := range m.sparse.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		return maxV
+	}
+	for _, v := range m.dense {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+// Trace returns the sum of diagonal cells of a square matrix.
+func Trace(m *MatrixBlock) float64 {
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += m.Get(i, i)
+	}
+	return s
+}
+
+// ColSums returns a 1 x cols row vector with the per-column sums.
+func ColSums(m *MatrixBlock) *MatrixBlock {
+	out := NewDense(1, m.cols)
+	if m.IsSparse() {
+		s := m.sparse
+		for r := 0; r < m.rows; r++ {
+			for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
+				out.dense[s.ColIdx[p]] += s.Values[p]
+			}
+		}
+	} else {
+		for r := 0; r < m.rows; r++ {
+			base := r * m.cols
+			for c := 0; c < m.cols; c++ {
+				out.dense[c] += m.dense[base+c]
+			}
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// RowSums returns a rows x 1 column vector with the per-row sums.
+func RowSums(m *MatrixBlock) *MatrixBlock {
+	out := NewDense(m.rows, 1)
+	if m.IsSparse() {
+		s := m.sparse
+		for r := 0; r < m.rows; r++ {
+			var sum float64
+			for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
+				sum += s.Values[p]
+			}
+			out.dense[r] = sum
+		}
+	} else {
+		for r := 0; r < m.rows; r++ {
+			base := r * m.cols
+			var sum float64
+			for c := 0; c < m.cols; c++ {
+				sum += m.dense[base+c]
+			}
+			out.dense[r] = sum
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// ColMeans returns a 1 x cols row vector with the per-column means.
+func ColMeans(m *MatrixBlock) *MatrixBlock {
+	out := ColSums(m)
+	if m.rows > 0 {
+		for i := range out.dense {
+			out.dense[i] /= float64(m.rows)
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// RowMeans returns a rows x 1 column vector with the per-row means.
+func RowMeans(m *MatrixBlock) *MatrixBlock {
+	out := RowSums(m)
+	if m.cols > 0 {
+		for i := range out.dense {
+			out.dense[i] /= float64(m.cols)
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// colExtreme computes per-column min or max.
+func colExtreme(m *MatrixBlock, isMax bool) *MatrixBlock {
+	out := NewDense(1, m.cols)
+	for c := 0; c < m.cols; c++ {
+		best := math.Inf(1)
+		if isMax {
+			best = math.Inf(-1)
+		}
+		for r := 0; r < m.rows; r++ {
+			v := m.Get(r, c)
+			if (isMax && v > best) || (!isMax && v < best) {
+				best = v
+			}
+		}
+		out.dense[c] = best
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// ColMins returns per-column minimums as a 1 x cols vector.
+func ColMins(m *MatrixBlock) *MatrixBlock { return colExtreme(m, false) }
+
+// ColMaxs returns per-column maximums as a 1 x cols vector.
+func ColMaxs(m *MatrixBlock) *MatrixBlock { return colExtreme(m, true) }
+
+// rowExtreme computes per-row min or max.
+func rowExtreme(m *MatrixBlock, isMax bool) *MatrixBlock {
+	out := NewDense(m.rows, 1)
+	for r := 0; r < m.rows; r++ {
+		best := math.Inf(1)
+		if isMax {
+			best = math.Inf(-1)
+		}
+		for c := 0; c < m.cols; c++ {
+			v := m.Get(r, c)
+			if (isMax && v > best) || (!isMax && v < best) {
+				best = v
+			}
+		}
+		out.dense[r] = best
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// RowMins returns per-row minimums as a rows x 1 vector.
+func RowMins(m *MatrixBlock) *MatrixBlock { return rowExtreme(m, false) }
+
+// RowMaxs returns per-row maximums as a rows x 1 vector.
+func RowMaxs(m *MatrixBlock) *MatrixBlock { return rowExtreme(m, true) }
+
+// RowIndexMax returns, per row, the 1-based column index of the maximum
+// value (DML rowIndexMax semantics).
+func RowIndexMax(m *MatrixBlock) *MatrixBlock {
+	out := NewDense(m.rows, 1)
+	for r := 0; r < m.rows; r++ {
+		best := math.Inf(-1)
+		idx := 1
+		for c := 0; c < m.cols; c++ {
+			if v := m.Get(r, c); v > best {
+				best = v
+				idx = c + 1
+			}
+		}
+		out.dense[r] = float64(idx)
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// ColVars returns the per-column sample variances as a 1 x cols vector.
+func ColVars(m *MatrixBlock) *MatrixBlock {
+	means := ColMeans(m)
+	out := NewDense(1, m.cols)
+	if m.rows <= 1 {
+		return out
+	}
+	for c := 0; c < m.cols; c++ {
+		var s float64
+		mu := means.dense[c]
+		for r := 0; r < m.rows; r++ {
+			d := m.Get(r, c) - mu
+			s += d * d
+		}
+		out.dense[c] = s / float64(m.rows-1)
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// ColSds returns the per-column sample standard deviations as a 1 x cols
+// vector.
+func ColSds(m *MatrixBlock) *MatrixBlock {
+	out := ColVars(m)
+	for i := range out.dense {
+		out.dense[i] = math.Sqrt(out.dense[i])
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of a column vector using the
+// nearest-rank method on sorted values.
+func Quantile(v *MatrixBlock, p float64) float64 {
+	n := v.rows * v.cols
+	if n == 0 {
+		return math.NaN()
+	}
+	vals := make([]float64, 0, n)
+	for r := 0; r < v.rows; r++ {
+		for c := 0; c < v.cols; c++ {
+			vals = append(vals, v.Get(r, c))
+		}
+	}
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 1 {
+		return vals[len(vals)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return vals[idx]
+}
+
+// Median returns the 0.5-quantile of a vector.
+func Median(v *MatrixBlock) float64 { return Quantile(v, 0.5) }
+
+// CumSumCols returns the column-wise cumulative sums (DML cumsum semantics).
+func CumSumCols(m *MatrixBlock) *MatrixBlock {
+	out := NewDense(m.rows, m.cols)
+	for c := 0; c < m.cols; c++ {
+		var acc float64
+		for r := 0; r < m.rows; r++ {
+			acc += m.Get(r, c)
+			out.dense[r*m.cols+c] = acc
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// Table computes a contingency table over two column vectors of positive
+// integer codes: out[i,j] counts rows where a==i+1 and b==j+1 (DML table).
+func Table(a, b *MatrixBlock) *MatrixBlock {
+	maxA, maxB := 0, 0
+	n := a.rows
+	for r := 0; r < n; r++ {
+		if v := int(a.Get(r, 0)); v > maxA {
+			maxA = v
+		}
+		if v := int(b.Get(r, 0)); v > maxB {
+			maxB = v
+		}
+	}
+	out := NewDense(maxA, maxB)
+	for r := 0; r < n; r++ {
+		i, j := int(a.Get(r, 0))-1, int(b.Get(r, 0))-1
+		if i >= 0 && j >= 0 {
+			out.dense[i*maxB+j]++
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}

@@ -1,0 +1,161 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSumMeanMinMax(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if got := Sum(m); got != 21 {
+		t.Errorf("Sum = %v, want 21", got)
+	}
+	if got := Mean(m); got != 3.5 {
+		t.Errorf("Mean = %v, want 3.5", got)
+	}
+	if got := Min(m); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := Max(m); got != 6 {
+		t.Errorf("Max = %v, want 6", got)
+	}
+	if got := SumSq(m); got != 91 {
+		t.Errorf("SumSq = %v, want 91", got)
+	}
+}
+
+func TestSumSparseMatchesDense(t *testing.T) {
+	m := RandUniform(50, 20, -1, 1, 0.2, 42)
+	d := m.Copy().ToDense()
+	if math.Abs(Sum(m)-Sum(d)) > 1e-9 {
+		t.Error("sparse and dense sums disagree")
+	}
+	if math.Abs(Min(m)-Min(d)) > 1e-12 || math.Abs(Max(m)-Max(d)) > 1e-12 {
+		t.Error("sparse and dense min/max disagree")
+	}
+}
+
+func TestMinMaxSparseWithImplicitZeros(t *testing.T) {
+	// all stored values positive, but zeros exist -> min must be 0
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 5)
+	b.Add(1, 1, 2)
+	m := b.Build()
+	if got := Min(m); got != 0 {
+		t.Errorf("Min = %v, want 0 (implicit zeros)", got)
+	}
+	if got := Max(m); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+}
+
+func TestRowColAggregates(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	cs := ColSums(m)
+	if cs.Rows() != 1 || cs.Cols() != 3 {
+		t.Fatalf("ColSums dims %dx%d", cs.Rows(), cs.Cols())
+	}
+	if cs.Get(0, 0) != 5 || cs.Get(0, 1) != 7 || cs.Get(0, 2) != 9 {
+		t.Errorf("ColSums = %v", cs)
+	}
+	rs := RowSums(m)
+	if rs.Get(0, 0) != 6 || rs.Get(1, 0) != 15 {
+		t.Errorf("RowSums = %v", rs)
+	}
+	cm := ColMeans(m)
+	if cm.Get(0, 0) != 2.5 {
+		t.Errorf("ColMeans = %v", cm)
+	}
+	rm := RowMeans(m)
+	if rm.Get(1, 0) != 5 {
+		t.Errorf("RowMeans = %v", rm)
+	}
+	if got := ColMins(m).Get(0, 2); got != 3 {
+		t.Errorf("ColMins = %v", got)
+	}
+	if got := ColMaxs(m).Get(0, 0); got != 4 {
+		t.Errorf("ColMaxs = %v", got)
+	}
+	if got := RowMins(m).Get(1, 0); got != 4 {
+		t.Errorf("RowMins = %v", got)
+	}
+	if got := RowMaxs(m).Get(0, 0); got != 3 {
+		t.Errorf("RowMaxs = %v", got)
+	}
+}
+
+func TestRowColAggregatesSparse(t *testing.T) {
+	m := RandUniform(30, 10, 0, 1, 0.2, 17)
+	d := m.Copy().ToDense()
+	if !ColSums(m).Equals(ColSums(d), 1e-9) {
+		t.Error("sparse ColSums disagrees with dense")
+	}
+	if !RowSums(m).Equals(RowSums(d), 1e-9) {
+		t.Error("sparse RowSums disagrees with dense")
+	}
+}
+
+func TestRowIndexMax(t *testing.T) {
+	m := FromRows([][]float64{{1, 5, 2}, {7, 0, 3}})
+	got := RowIndexMax(m)
+	if got.Get(0, 0) != 2 || got.Get(1, 0) != 1 {
+		t.Errorf("RowIndexMax = %v", got)
+	}
+}
+
+func TestVarianceAndColVars(t *testing.T) {
+	m := FromRows([][]float64{{1}, {2}, {3}, {4}})
+	if got := Variance(m); math.Abs(got-5.0/3.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 5.0/3.0)
+	}
+	cv := ColVars(FromRows([][]float64{{1, 10}, {2, 20}, {3, 30}}))
+	if math.Abs(cv.Get(0, 0)-1) > 1e-12 || math.Abs(cv.Get(0, 1)-100) > 1e-12 {
+		t.Errorf("ColVars = %v", cv)
+	}
+	sd := ColSds(FromRows([][]float64{{1, 10}, {2, 20}, {3, 30}}))
+	if math.Abs(sd.Get(0, 1)-10) > 1e-12 {
+		t.Errorf("ColSds = %v", sd)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := Trace(m); got != 5 {
+		t.Errorf("Trace = %v, want 5", got)
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	v := FromRows([][]float64{{5}, {1}, {3}, {2}, {4}})
+	if got := Median(v); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := Quantile(v, 0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := Quantile(v, 1); got != 5 {
+		t.Errorf("Quantile(1) = %v, want 5", got)
+	}
+	if got := Quantile(v, 0.25); got != 2 {
+		t.Errorf("Quantile(0.25) = %v, want 2", got)
+	}
+}
+
+func TestCumSumCols(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}, {2, 1}, {3, 1}})
+	got := CumSumCols(m)
+	want := FromRows([][]float64{{1, 1}, {3, 2}, {6, 3}})
+	if !got.Equals(want, 1e-12) {
+		t.Errorf("CumSumCols = %v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := FromRows([][]float64{{1}, {2}, {2}, {1}})
+	b := FromRows([][]float64{{1}, {1}, {2}, {2}})
+	got := Table(a, b)
+	want := FromRows([][]float64{{1, 1}, {1, 1}})
+	if !got.Equals(want, 0) {
+		t.Errorf("Table = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,406 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinaryOp identifies an element-wise binary operation.
+type BinaryOp int
+
+// Supported element-wise binary operations.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpMin
+	OpMax
+	OpEqual
+	OpNotEqual
+	OpLess
+	OpLessEqual
+	OpGreater
+	OpGreaterEqual
+	OpAnd
+	OpOr
+	OpModulus
+	OpIntDiv
+)
+
+// String returns the DML operator symbol for the binary operation.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpPow:
+		return "^"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpEqual:
+		return "=="
+	case OpNotEqual:
+		return "!="
+	case OpLess:
+		return "<"
+	case OpLessEqual:
+		return "<="
+	case OpGreater:
+		return ">"
+	case OpGreaterEqual:
+		return ">="
+	case OpAnd:
+		return "&"
+	case OpOr:
+		return "|"
+	case OpModulus:
+		return "%%"
+	case OpIntDiv:
+		return "%/%"
+	default:
+		return "?"
+	}
+}
+
+// Apply evaluates the binary operation on two scalars.
+func (op BinaryOp) Apply(a, b float64) float64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return a / b
+	case OpPow:
+		return math.Pow(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	case OpEqual:
+		return boolToF(a == b)
+	case OpNotEqual:
+		return boolToF(a != b)
+	case OpLess:
+		return boolToF(a < b)
+	case OpLessEqual:
+		return boolToF(a <= b)
+	case OpGreater:
+		return boolToF(a > b)
+	case OpGreaterEqual:
+		return boolToF(a >= b)
+	case OpAnd:
+		return boolToF(a != 0 && b != 0)
+	case OpOr:
+		return boolToF(a != 0 || b != 0)
+	case OpModulus:
+		return math.Mod(a, b)
+	case OpIntDiv:
+		return math.Floor(a / b)
+	default:
+		return math.NaN()
+	}
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// UnaryOp identifies an element-wise unary operation.
+type UnaryOp int
+
+// Supported element-wise unary operations.
+const (
+	OpNeg UnaryOp = iota
+	OpAbs
+	OpExp
+	OpLog
+	OpSqrt
+	OpRound
+	OpFloor
+	OpCeil
+	OpSign
+	OpNot
+	OpSin
+	OpCos
+	OpTan
+	OpSigmoid
+	OpIsNaN
+)
+
+// String returns the DML function name of the unary operation.
+func (op UnaryOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpAbs:
+		return "abs"
+	case OpExp:
+		return "exp"
+	case OpLog:
+		return "log"
+	case OpSqrt:
+		return "sqrt"
+	case OpRound:
+		return "round"
+	case OpFloor:
+		return "floor"
+	case OpCeil:
+		return "ceil"
+	case OpSign:
+		return "sign"
+	case OpNot:
+		return "!"
+	case OpSin:
+		return "sin"
+	case OpCos:
+		return "cos"
+	case OpTan:
+		return "tan"
+	case OpSigmoid:
+		return "sigmoid"
+	case OpIsNaN:
+		return "is.nan"
+	default:
+		return "?"
+	}
+}
+
+// Apply evaluates the unary operation on a scalar.
+func (op UnaryOp) Apply(a float64) float64 {
+	switch op {
+	case OpNeg:
+		return -a
+	case OpAbs:
+		return math.Abs(a)
+	case OpExp:
+		return math.Exp(a)
+	case OpLog:
+		return math.Log(a)
+	case OpSqrt:
+		return math.Sqrt(a)
+	case OpRound:
+		return math.Round(a)
+	case OpFloor:
+		return math.Floor(a)
+	case OpCeil:
+		return math.Ceil(a)
+	case OpSign:
+		if a > 0 {
+			return 1
+		} else if a < 0 {
+			return -1
+		}
+		return 0
+	case OpNot:
+		return boolToF(a == 0)
+	case OpSin:
+		return math.Sin(a)
+	case OpCos:
+		return math.Cos(a)
+	case OpTan:
+		return math.Tan(a)
+	case OpSigmoid:
+		return 1 / (1 + math.Exp(-a))
+	case OpIsNaN:
+		return boolToF(math.IsNaN(a))
+	default:
+		return math.NaN()
+	}
+}
+
+// ScalarOp applies `m op s` cell-wise (or `s op m` when swap is true) and
+// returns a new matrix.
+func ScalarOp(m *MatrixBlock, s float64, op BinaryOp, swap bool) *MatrixBlock {
+	// Sparse-safe ops (f(0, s) == 0) can stay sparse when applied to a
+	// sparse block; everything else densifies.
+	sparseSafe := false
+	if !swap && (op == OpMul || op == OpDiv || op == OpIntDiv) {
+		sparseSafe = true
+	}
+	if op == OpMul && swap {
+		sparseSafe = true
+	}
+	if m.IsSparse() && sparseSafe {
+		out := m.Copy()
+		for i, v := range out.sparse.Values {
+			if swap {
+				out.sparse.Values[i] = op.Apply(s, v)
+			} else {
+				out.sparse.Values[i] = op.Apply(v, s)
+			}
+		}
+		out.RecomputeNNZ()
+		return out
+	}
+	src := m
+	if src.IsSparse() {
+		src = m.Copy().ToDense()
+	}
+	out := NewDense(m.rows, m.cols)
+	for i, v := range src.dense {
+		if swap {
+			out.dense[i] = op.Apply(s, v)
+		} else {
+			out.dense[i] = op.Apply(v, s)
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// UnaryApply applies the unary operation cell-wise and returns a new matrix.
+func UnaryApply(m *MatrixBlock, op UnaryOp) *MatrixBlock {
+	sparseSafe := op == OpNeg || op == OpAbs || op == OpSqrt || op == OpRound ||
+		op == OpFloor || op == OpCeil || op == OpSign || op == OpSin || op == OpTan
+	if m.IsSparse() && sparseSafe {
+		out := m.Copy()
+		for i, v := range out.sparse.Values {
+			out.sparse.Values[i] = op.Apply(v)
+		}
+		out.RecomputeNNZ()
+		return out
+	}
+	src := m
+	if src.IsSparse() {
+		src = m.Copy().ToDense()
+	}
+	out := NewDense(m.rows, m.cols)
+	for i, v := range src.dense {
+		out.dense[i] = op.Apply(v)
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// CellwiseOp applies the binary operation cell-wise between two matrices of
+// identical shape, or with row/column vector broadcasting when one operand
+// is a 1xN row vector or Nx1 column vector matching the other's dimensions
+// (mirroring R/DML broadcasting semantics for matrix-vector operations).
+func CellwiseOp(a, b *MatrixBlock, op BinaryOp) (*MatrixBlock, error) {
+	// exact shape match
+	if a.rows == b.rows && a.cols == b.cols {
+		return cellwiseSameDim(a, b, op), nil
+	}
+	// column vector broadcast: b is a.rows x 1
+	if b.rows == a.rows && b.cols == 1 {
+		return cellwiseBroadcastCol(a, b, op, false), nil
+	}
+	// row vector broadcast: b is 1 x a.cols
+	if b.cols == a.cols && b.rows == 1 {
+		return cellwiseBroadcastRow(a, b, op, false), nil
+	}
+	// reversed broadcast (vector op matrix)
+	if a.rows == b.rows && a.cols == 1 {
+		return cellwiseBroadcastCol(b, a, op, true), nil
+	}
+	if a.cols == b.cols && a.rows == 1 {
+		return cellwiseBroadcastRow(b, a, op, true), nil
+	}
+	return nil, fmt.Errorf("matrix: cellwise op %s dimension mismatch %dx%d vs %dx%d",
+		op, a.rows, a.cols, b.rows, b.cols)
+}
+
+func cellwiseSameDim(a, b *MatrixBlock, op BinaryOp) *MatrixBlock {
+	ad := a
+	if ad.IsSparse() {
+		ad = a.Copy().ToDense()
+	}
+	bd := b
+	if bd.IsSparse() {
+		bd = b.Copy().ToDense()
+	}
+	out := NewDense(a.rows, a.cols)
+	for i := range out.dense {
+		out.dense[i] = op.Apply(ad.dense[i], bd.dense[i])
+	}
+	out.RecomputeNNZ()
+	out.ExamineAndApplySparsity()
+	return out
+}
+
+func cellwiseBroadcastCol(m, v *MatrixBlock, op BinaryOp, swap bool) *MatrixBlock {
+	md := m
+	if md.IsSparse() {
+		md = m.Copy().ToDense()
+	}
+	out := NewDense(m.rows, m.cols)
+	for r := 0; r < m.rows; r++ {
+		vv := v.Get(r, 0)
+		base := r * m.cols
+		for c := 0; c < m.cols; c++ {
+			if swap {
+				out.dense[base+c] = op.Apply(vv, md.dense[base+c])
+			} else {
+				out.dense[base+c] = op.Apply(md.dense[base+c], vv)
+			}
+		}
+	}
+	out.RecomputeNNZ()
+	out.ExamineAndApplySparsity()
+	return out
+}
+
+func cellwiseBroadcastRow(m, v *MatrixBlock, op BinaryOp, swap bool) *MatrixBlock {
+	md := m
+	if md.IsSparse() {
+		md = m.Copy().ToDense()
+	}
+	out := NewDense(m.rows, m.cols)
+	for r := 0; r < m.rows; r++ {
+		base := r * m.cols
+		for c := 0; c < m.cols; c++ {
+			vv := v.Get(0, c)
+			if swap {
+				out.dense[base+c] = op.Apply(vv, md.dense[base+c])
+			} else {
+				out.dense[base+c] = op.Apply(md.dense[base+c], vv)
+			}
+		}
+	}
+	out.RecomputeNNZ()
+	out.ExamineAndApplySparsity()
+	return out
+}
+
+// Ternary computes ifelse(cond, a, b) cell-wise where cond, a, b may be
+// matrices of the same shape or scalars (represented as 1x1 matrices).
+func Ternary(cond, a, b *MatrixBlock) (*MatrixBlock, error) {
+	rows, cols := cond.rows, cond.cols
+	get := func(m *MatrixBlock, r, c int) float64 {
+		if m.rows == 1 && m.cols == 1 {
+			return m.Get(0, 0)
+		}
+		return m.Get(r, c)
+	}
+	for _, m := range []*MatrixBlock{a, b} {
+		if (m.rows != rows || m.cols != cols) && !(m.rows == 1 && m.cols == 1) {
+			return nil, fmt.Errorf("matrix: ifelse operand shape %dx%d does not match condition %dx%d", m.rows, m.cols, rows, cols)
+		}
+	}
+	out := NewDense(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if get(cond, r, c) != 0 {
+				out.Set(r, c, get(a, r, c))
+			} else {
+				out.Set(r, c, get(b, r, c))
+			}
+		}
+	}
+	return out, nil
+}

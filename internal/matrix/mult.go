@@ -1,0 +1,348 @@
+package matrix
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the degree of parallelism used by multi-threaded
+// kernels when the caller passes threads <= 0.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+func resolveThreads(threads int) int {
+	if threads <= 0 {
+		return DefaultParallelism()
+	}
+	return threads
+}
+
+// Multiply computes the matrix product a %*% b using the kernel matching the
+// operand representations (dense-dense, sparse-dense, dense-sparse or
+// sparse-sparse). The dense-dense kernel is the multi-threaded,
+// cache-conscious kernel referred to as the "Java-like" kernel in DESIGN.md.
+func Multiply(a, b *MatrixBlock, threads int) (*MatrixBlock, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("matrix: multiply dimension mismatch %dx%d %%*%% %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	threads = resolveThreads(threads)
+	var out *MatrixBlock
+	switch {
+	case a.IsSparse() && b.IsSparse():
+		out = multSparseSparse(a, b, threads)
+	case a.IsSparse():
+		out = multSparseDense(a, b, threads)
+	case b.IsSparse():
+		out = multDenseSparse(a, b, threads)
+	default:
+		out = multDenseDense(a, b, threads, false)
+	}
+	out.RecomputeNNZ()
+	return out, nil
+}
+
+// MultiplyBLAS computes a %*% b with a register-blocked, unrolled dense
+// kernel that stands in for a native BLAS library (SysDS-B in Figure 5(a)).
+// Sparse inputs are densified first.
+func MultiplyBLAS(a, b *MatrixBlock, threads int) (*MatrixBlock, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("matrix: multiply dimension mismatch %dx%d %%*%% %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	threads = resolveThreads(threads)
+	ad := a
+	if ad.IsSparse() {
+		ad = a.Copy().ToDense()
+	}
+	bd := b
+	if bd.IsSparse() {
+		bd = b.Copy().ToDense()
+	}
+	out := multDenseDense(ad, bd, threads, true)
+	out.RecomputeNNZ()
+	return out, nil
+}
+
+// parallelRows partitions [0, rows) into contiguous chunks and runs fn on
+// each chunk in its own goroutine.
+func parallelRows(rows, threads int, fn func(r0, r1 int)) {
+	if threads <= 1 || rows <= 1 {
+		fn(0, rows)
+		return
+	}
+	if threads > rows {
+		threads = rows
+	}
+	chunk := (rows + threads - 1) / threads
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		r0 := t * chunk
+		r1 := r0 + chunk
+		if r0 >= rows {
+			break
+		}
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// multDenseDense is the dense GEMM kernel. The standard kernel uses an
+// i-k-j loop order with cache blocking over k and j; the "blas" variant adds
+// 4-way unrolling over j to approximate a vectorized library kernel.
+func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
+	m, k, n := a.rows, a.cols, b.cols
+	out := NewDense(m, n)
+	av, bv, cv := a.dense, b.dense, out.dense
+	const blkK, blkJ = 64, 512
+	parallelRows(m, threads, func(r0, r1 int) {
+		for kk := 0; kk < k; kk += blkK {
+			kmax := min(kk+blkK, k)
+			for jj := 0; jj < n; jj += blkJ {
+				jmax := min(jj+blkJ, n)
+				for i := r0; i < r1; i++ {
+					ci := cv[i*n : (i+1)*n]
+					ai := av[i*k : (i+1)*k]
+					for kp := kk; kp < kmax; kp++ {
+						aval := ai[kp]
+						if aval == 0 {
+							continue
+						}
+						brow := bv[kp*n : (kp+1)*n]
+						if blas {
+							j := jj
+							for ; j+4 <= jmax; j += 4 {
+								ci[j] += aval * brow[j]
+								ci[j+1] += aval * brow[j+1]
+								ci[j+2] += aval * brow[j+2]
+								ci[j+3] += aval * brow[j+3]
+							}
+							for ; j < jmax; j++ {
+								ci[j] += aval * brow[j]
+							}
+						} else {
+							for j := jj; j < jmax; j++ {
+								ci[j] += aval * brow[j]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// multSparseDense computes sparse(a) %*% dense(b).
+func multSparseDense(a, b *MatrixBlock, threads int) *MatrixBlock {
+	m, n := a.rows, b.cols
+	out := NewDense(m, n)
+	s := a.sparse
+	bv, cv := b.dense, out.dense
+	parallelRows(m, threads, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ci := cv[i*n : (i+1)*n]
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				kp, aval := s.ColIdx[p], s.Values[p]
+				brow := bv[kp*n : (kp+1)*n]
+				for j := 0; j < n; j++ {
+					ci[j] += aval * brow[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// multDenseSparse computes dense(a) %*% sparse(b).
+func multDenseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
+	m, k, n := a.rows, a.cols, b.cols
+	out := NewDense(m, n)
+	s := b.sparse
+	av, cv := a.dense, out.dense
+	parallelRows(m, threads, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ci := cv[i*n : (i+1)*n]
+			ai := av[i*k : (i+1)*k]
+			for kp := 0; kp < k; kp++ {
+				aval := ai[kp]
+				if aval == 0 {
+					continue
+				}
+				for p := s.RowPtr[kp]; p < s.RowPtr[kp+1]; p++ {
+					ci[s.ColIdx[p]] += aval * s.Values[p]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// multSparseSparse computes sparse(a) %*% sparse(b) into a dense output
+// (products of moderately sparse matrices are typically much denser).
+func multSparseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
+	m, n := a.rows, b.cols
+	out := NewDense(m, n)
+	sa, sb := a.sparse, b.sparse
+	cv := out.dense
+	parallelRows(m, threads, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ci := cv[i*n : (i+1)*n]
+			for p := sa.RowPtr[i]; p < sa.RowPtr[i+1]; p++ {
+				kp, aval := sa.ColIdx[p], sa.Values[p]
+				for q := sb.RowPtr[kp]; q < sb.RowPtr[kp+1]; q++ {
+					ci[sb.ColIdx[q]] += aval * sb.Values[q]
+				}
+			}
+		}
+	})
+	out.ExamineAndApplySparsity()
+	return out
+}
+
+// TSMM computes t(X) %*% X directly without materializing the transpose.
+// This is the fused operator the HOP rewrite t(X)%*%X -> tsmm maps to, and
+// the operation at the heart of the paper's lmDS workload.
+func TSMM(x *MatrixBlock, threads int) *MatrixBlock {
+	threads = resolveThreads(threads)
+	n := x.cols
+	out := NewDense(n, n)
+	if x.IsSparse() {
+		tsmmSparse(x, out, threads)
+	} else {
+		tsmmDense(x, out, threads)
+	}
+	// mirror the upper triangle into the lower triangle
+	cv := out.dense
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cv[j*n+i] = cv[i*n+j]
+		}
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+func tsmmDense(x, out *MatrixBlock, threads int) {
+	m, n := x.rows, x.cols
+	xv := x.dense
+	// Each worker accumulates a private upper-triangular result over a chunk
+	// of rows; partial results are summed at the end.
+	type partial struct{ buf []float64 }
+	numChunks := threads
+	if numChunks > m {
+		numChunks = max(1, m)
+	}
+	partials := make([]partial, numChunks)
+	chunk := (m + numChunks - 1) / numChunks
+	var wg sync.WaitGroup
+	for t := 0; t < numChunks; t++ {
+		r0 := t * chunk
+		if r0 >= m {
+			break
+		}
+		r1 := min(r0+chunk, m)
+		wg.Add(1)
+		go func(t, r0, r1 int) {
+			defer wg.Done()
+			buf := make([]float64, n*n)
+			for r := r0; r < r1; r++ {
+				row := xv[r*n : (r+1)*n]
+				for i := 0; i < n; i++ {
+					vi := row[i]
+					if vi == 0 {
+						continue
+					}
+					bi := buf[i*n:]
+					for j := i; j < n; j++ {
+						bi[j] += vi * row[j]
+					}
+				}
+			}
+			partials[t].buf = buf
+		}(t, r0, r1)
+	}
+	wg.Wait()
+	cv := out.dense
+	for _, p := range partials {
+		if p.buf == nil {
+			continue
+		}
+		for i := range cv {
+			cv[i] += p.buf[i]
+		}
+	}
+}
+
+func tsmmSparse(x, out *MatrixBlock, threads int) {
+	m, n := x.rows, x.cols
+	s := x.sparse
+	numChunks := threads
+	if numChunks > m {
+		numChunks = max(1, m)
+	}
+	partials := make([][]float64, numChunks)
+	chunk := (m + numChunks - 1) / numChunks
+	var wg sync.WaitGroup
+	for t := 0; t < numChunks; t++ {
+		r0 := t * chunk
+		if r0 >= m {
+			break
+		}
+		r1 := min(r0+chunk, m)
+		wg.Add(1)
+		go func(t, r0, r1 int) {
+			defer wg.Done()
+			buf := make([]float64, n*n)
+			for r := r0; r < r1; r++ {
+				lo, hi := s.RowPtr[r], s.RowPtr[r+1]
+				for p := lo; p < hi; p++ {
+					ci, vi := s.ColIdx[p], s.Values[p]
+					bi := buf[ci*n:]
+					for q := p; q < hi; q++ {
+						bi[s.ColIdx[q]] += vi * s.Values[q]
+					}
+				}
+			}
+			partials[t] = buf
+		}(t, r0, r1)
+	}
+	wg.Wait()
+	cv := out.dense
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for i := range cv {
+			cv[i] += p[i]
+		}
+	}
+}
+
+// MatVec computes the matrix-vector product a %*% v where v is a column
+// vector (cols == 1).
+func MatVec(a, v *MatrixBlock, threads int) (*MatrixBlock, error) {
+	if v.cols != 1 || a.cols != v.rows {
+		return nil, fmt.Errorf("matrix: matvec dimension mismatch %dx%d %%*%% %dx%d", a.rows, a.cols, v.rows, v.cols)
+	}
+	return Multiply(a, v, threads)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

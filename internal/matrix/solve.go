@@ -1,0 +1,288 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve solves the linear system A %*% x = b for x, where A is square and b
+// has matching rows. Symmetric positive definite systems (such as the normal
+// equations t(X)%*%X + lambda*I built by lmDS) are solved with a Cholesky
+// factorization; other systems fall back to LU decomposition with partial
+// pivoting.
+func Solve(a, b *MatrixBlock) (*MatrixBlock, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: solve requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("matrix: solve rhs rows %d do not match matrix size %d", b.rows, a.rows)
+	}
+	ad := a.Copy().ToDense()
+	bd := b.Copy().ToDense()
+	if isSymmetric(ad, 1e-10) {
+		if x, err := solveCholesky(ad, bd); err == nil {
+			return x, nil
+		}
+	}
+	return solveLU(ad, bd)
+}
+
+func isSymmetric(a *MatrixBlock, tol float64) bool {
+	n := a.rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.dense[i*n+j]-a.dense[j*n+i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L of a symmetric
+// positive definite matrix A such that L %*% t(L) == A.
+func Cholesky(a *MatrixBlock) (*MatrixBlock, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: cholesky requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	src := a.Copy().ToDense()
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			d += l.dense[j*n+k] * l.dense[j*n+k]
+		}
+		d = src.dense[j*n+j] - d
+		if d <= 0 {
+			return nil, fmt.Errorf("matrix: cholesky failed, matrix not positive definite at column %d", j)
+		}
+		l.dense[j*n+j] = math.Sqrt(d)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.dense[i*n+k] * l.dense[j*n+k]
+			}
+			l.dense[i*n+j] = (src.dense[i*n+j] - s) / l.dense[j*n+j]
+		}
+	}
+	l.RecomputeNNZ()
+	return l, nil
+}
+
+func solveCholesky(a, b *MatrixBlock) (*MatrixBlock, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n, k := a.rows, b.cols
+	// forward substitution L y = b
+	y := NewDense(n, k)
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			s := b.dense[i*k+c]
+			for j := 0; j < i; j++ {
+				s -= l.dense[i*n+j] * y.dense[j*k+c]
+			}
+			y.dense[i*k+c] = s / l.dense[i*n+i]
+		}
+	}
+	// backward substitution t(L) x = y
+	x := NewDense(n, k)
+	for c := 0; c < k; c++ {
+		for i := n - 1; i >= 0; i-- {
+			s := y.dense[i*k+c]
+			for j := i + 1; j < n; j++ {
+				s -= l.dense[j*n+i] * x.dense[j*k+c]
+			}
+			x.dense[i*k+c] = s / l.dense[i*n+i]
+		}
+	}
+	x.RecomputeNNZ()
+	return x, nil
+}
+
+func solveLU(a, b *MatrixBlock) (*MatrixBlock, error) {
+	n, k := a.rows, b.cols
+	lu := append([]float64(nil), a.dense...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// partial pivoting
+		pivot, pivotVal := col, math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[r*n+col]); v > pivotVal {
+				pivot, pivotVal = r, v
+			}
+		}
+		if pivotVal < 1e-14 {
+			return nil, fmt.Errorf("matrix: solve failed, matrix is singular at column %d", col)
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				lu[col*n+c], lu[pivot*n+c] = lu[pivot*n+c], lu[col*n+c]
+			}
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+		}
+		inv := 1 / lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r*n+col] * inv
+			lu[r*n+col] = f
+			for c := col + 1; c < n; c++ {
+				lu[r*n+c] -= f * lu[col*n+c]
+			}
+		}
+	}
+	x := NewDense(n, k)
+	for c := 0; c < k; c++ {
+		// apply permutation and forward substitution
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := b.dense[perm[i]*k+c]
+			for j := 0; j < i; j++ {
+				s -= lu[i*n+j] * y[j]
+			}
+			y[i] = s
+		}
+		// backward substitution
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for j := i + 1; j < n; j++ {
+				s -= lu[i*n+j] * x.dense[j*k+c]
+			}
+			x.dense[i*k+c] = s / lu[i*n+i]
+		}
+	}
+	x.RecomputeNNZ()
+	return x, nil
+}
+
+// Inverse computes the matrix inverse of a square matrix via LU-based solve
+// against the identity.
+func Inverse(a *MatrixBlock) (*MatrixBlock, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: inverse requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	return Solve(a, Identity(a.rows))
+}
+
+// Det computes the determinant of a square matrix via LU decomposition.
+func Det(a *MatrixBlock) (float64, error) {
+	if a.rows != a.cols {
+		return 0, fmt.Errorf("matrix: det requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	lu := append([]float64(nil), a.Copy().ToDense().dense...)
+	sign := 1.0
+	for col := 0; col < n; col++ {
+		pivot, pivotVal := col, math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[r*n+col]); v > pivotVal {
+				pivot, pivotVal = r, v
+			}
+		}
+		if pivotVal == 0 {
+			return 0, nil
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				lu[col*n+c], lu[pivot*n+c] = lu[pivot*n+c], lu[col*n+c]
+			}
+			sign = -sign
+		}
+		inv := 1 / lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r*n+col] * inv
+			for c := col + 1; c < n; c++ {
+				lu[r*n+c] -= f * lu[col*n+c]
+			}
+		}
+	}
+	det := sign
+	for i := 0; i < n; i++ {
+		det *= lu[i*n+i]
+	}
+	return det, nil
+}
+
+// EigenSym computes the eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi rotation method. It returns the eigenvalues as a
+// column vector (descending) and the corresponding eigenvectors as columns.
+// It is used by the pca builtin.
+func EigenSym(a *MatrixBlock) (values, vectors *MatrixBlock, err error) {
+	if a.rows != a.cols {
+		return nil, nil, fmt.Errorf("matrix: eigen requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	m := append([]float64(nil), a.Copy().ToDense().dense...)
+	v := Identity(n).dense
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*mkp - s*mkq
+					m[k*n+q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*mpk - s*mqk
+					m[q*n+k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// extract and sort eigenvalues descending
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{m[i*n+i], i}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pairs[j].val > pairs[i].val {
+				pairs[i], pairs[j] = pairs[j], pairs[i]
+			}
+		}
+	}
+	values = NewDense(n, 1)
+	vectors = NewDense(n, n)
+	for i, p := range pairs {
+		values.dense[i] = p.val
+		for r := 0; r < n; r++ {
+			vectors.dense[r*n+i] = v[r*n+p.idx]
+		}
+	}
+	values.RecomputeNNZ()
+	vectors.RecomputeNNZ()
+	return values, vectors, nil
+}

@@ -1,0 +1,138 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolveSPD(t *testing.T) {
+	// build an SPD system from normal equations
+	x := RandUniform(50, 8, -1, 1, 1.0, 31)
+	a := TSMM(x, 2)
+	// add ridge term to guarantee positive definiteness
+	for i := 0; i < a.Rows(); i++ {
+		a.Set(i, i, a.Get(i, i)+0.1)
+	}
+	wTrue := RandUniform(8, 1, -1, 1, 1.0, 32)
+	b, _ := Multiply(a, wTrue, 1)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equals(wTrue, 1e-8) {
+		t.Errorf("solve result differs from true solution")
+	}
+}
+
+func TestSolveGeneral(t *testing.T) {
+	a := FromRows([][]float64{{0, 2, 1}, {3, 0, 2}, {1, 1, 0}})
+	xTrue := FromRows([][]float64{{1}, {-2}, {3}})
+	b, _ := Multiply(a, xTrue, 1)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equals(xTrue, 1e-10) {
+		t.Errorf("solve = %v, want %v", got, xTrue)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	b := FromRows([][]float64{{1}, {2}})
+	if _, err := Solve(a, b); err == nil {
+		t.Error("expected singularity error")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(NewDense(2, 3), NewDense(2, 1)); err == nil {
+		t.Error("expected non-square error")
+	}
+	if _, err := Solve(NewDense(3, 3), NewDense(2, 1)); err == nil {
+		t.Error("expected rhs mismatch error")
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _ := Multiply(l, Transpose(l), 1)
+	if !recon.Equals(a, 1e-10) {
+		t.Errorf("L*t(L) = %v, want %v", recon, a)
+	}
+	if _, err := Cholesky(FromRows([][]float64{{1, 5}, {5, 1}})); err == nil {
+		t.Error("expected non-PD error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := Multiply(a, inv, 1)
+	if !prod.Equals(Identity(2), 1e-10) {
+		t.Errorf("A * inv(A) = %v", prod)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	d, err := Det(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-(-2)) > 1e-12 {
+		t.Errorf("det = %v, want -2", d)
+	}
+	sing, _ := Det(FromRows([][]float64{{1, 2}, {2, 4}}))
+	if math.Abs(sing) > 1e-12 {
+		t.Errorf("det of singular = %v, want 0", sing)
+	}
+}
+
+func TestEigenSym(t *testing.T) {
+	a := FromRows([][]float64{{2, 0, 0}, {0, 3, 4}, {0, 4, 9}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eigenvalues of the 2x2 block [3 4; 4 9] are 11 and 1, plus 2
+	want := []float64{11, 2, 1}
+	for i, w := range want {
+		if math.Abs(vals.Get(i, 0)-w) > 1e-8 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, vals.Get(i, 0), w)
+		}
+	}
+	// verify A v = lambda v for each eigenpair
+	for i := 0; i < 3; i++ {
+		v, _ := Slice(vecs, 0, 3, i, i+1)
+		av, _ := Multiply(a, v, 1)
+		lv := ScalarOp(v, vals.Get(i, 0), OpMul, false)
+		if !av.Equals(lv, 1e-8) {
+			t.Errorf("eigenpair %d does not satisfy A v = lambda v", i)
+		}
+	}
+}
+
+func TestSolveNormalEquationsRegression(t *testing.T) {
+	// end-to-end: recover regression weights from noise-free data
+	n, m := 200, 10
+	x := RandUniform(n, m, -1, 1, 1.0, 77)
+	wTrue := RandUniform(m, 1, -2, 2, 1.0, 78)
+	y, _ := Multiply(x, wTrue, 2)
+	a := TSMM(x, 2)
+	b, _ := Multiply(Transpose(x), y, 2)
+	w, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equals(wTrue, 1e-6) {
+		t.Error("normal equations did not recover the true weights")
+	}
+}

@@ -1,0 +1,113 @@
+package matrix
+
+import "sort"
+
+// CSR is a compressed sparse row representation: for each row r, the column
+// indexes and values of its non-zero cells are stored in
+// ColIdx[RowPtr[r]:RowPtr[r+1]] and Values[RowPtr[r]:RowPtr[r+1]], with
+// column indexes sorted ascending within each row.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int
+	ColIdx       []int
+	Values       []float64
+}
+
+// NewCSR creates an empty CSR structure for a rows x cols matrix.
+func NewCSR(rows, cols int) *CSR {
+	return &CSR{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
+}
+
+// NNZ returns the number of stored non-zero values.
+func (s *CSR) NNZ() int64 { return int64(len(s.Values)) }
+
+// Get returns the value at (r, c), or 0 if not stored.
+func (s *CSR) Get(r, c int) float64 {
+	lo, hi := s.RowPtr[r], s.RowPtr[r+1]
+	idx := sort.SearchInts(s.ColIdx[lo:hi], c)
+	if lo+idx < hi && s.ColIdx[lo+idx] == c {
+		return s.Values[lo+idx]
+	}
+	return 0
+}
+
+// Set assigns the value at (r, c). Setting a value to zero removes the entry.
+// This is O(nnz) in the worst case and intended for incremental construction
+// of small matrices; bulk construction should use a Builder.
+func (s *CSR) Set(r, c int, v float64) {
+	lo, hi := s.RowPtr[r], s.RowPtr[r+1]
+	idx := sort.SearchInts(s.ColIdx[lo:hi], c)
+	pos := lo + idx
+	exists := pos < hi && s.ColIdx[pos] == c
+	switch {
+	case exists && v != 0:
+		s.Values[pos] = v
+	case exists && v == 0:
+		s.ColIdx = append(s.ColIdx[:pos], s.ColIdx[pos+1:]...)
+		s.Values = append(s.Values[:pos], s.Values[pos+1:]...)
+		for i := r + 1; i <= s.RowsN; i++ {
+			s.RowPtr[i]--
+		}
+	case !exists && v != 0:
+		s.ColIdx = append(s.ColIdx, 0)
+		copy(s.ColIdx[pos+1:], s.ColIdx[pos:])
+		s.ColIdx[pos] = c
+		s.Values = append(s.Values, 0)
+		copy(s.Values[pos+1:], s.Values[pos:])
+		s.Values[pos] = v
+		for i := r + 1; i <= s.RowsN; i++ {
+			s.RowPtr[i]++
+		}
+	}
+}
+
+// Copy returns a deep copy of the CSR structure.
+func (s *CSR) Copy() *CSR {
+	cp := &CSR{RowsN: s.RowsN, ColsN: s.ColsN}
+	cp.RowPtr = append([]int(nil), s.RowPtr...)
+	cp.ColIdx = append([]int(nil), s.ColIdx...)
+	cp.Values = append([]float64(nil), s.Values...)
+	return cp
+}
+
+// RowNNZ returns the number of non-zero values in row r.
+func (s *CSR) RowNNZ(r int) int { return s.RowPtr[r+1] - s.RowPtr[r] }
+
+// Builder incrementally constructs a sparse MatrixBlock row by row. Cells
+// must be added with non-decreasing row index and, within a row, ascending
+// column index. This is the fast path used by readers and sparse kernels.
+type Builder struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	values     []float64
+	curRow     int
+}
+
+// NewBuilder creates a Builder for a rows x cols sparse matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols, rowPtr: make([]int, 1, rows+1)}
+}
+
+// Add appends a cell. Zero values are skipped.
+func (b *Builder) Add(r, c int, v float64) {
+	if v == 0 {
+		return
+	}
+	for b.curRow < r {
+		b.rowPtr = append(b.rowPtr, len(b.values))
+		b.curRow++
+	}
+	b.colIdx = append(b.colIdx, c)
+	b.values = append(b.values, v)
+}
+
+// Build finalizes the sparse matrix block.
+func (b *Builder) Build() *MatrixBlock {
+	for b.curRow < b.rows {
+		b.rowPtr = append(b.rowPtr, len(b.values))
+		b.curRow++
+	}
+	csr := &CSR{RowsN: b.rows, ColsN: b.cols, RowPtr: b.rowPtr, ColIdx: b.colIdx, Values: b.values}
+	return &MatrixBlock{rows: b.rows, cols: b.cols, sparse: csr, nnz: csr.NNZ()}
+}

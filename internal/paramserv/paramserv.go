@@ -1,0 +1,340 @@
+// Package paramserv implements the local parameter server backend of
+// SystemDS-Go (Section 2.3 of the paper): data-parallel mini-batch training
+// with multiple workers computing gradients on disjoint batch partitions and
+// a server aggregating updates either synchronously (BSP) or asynchronously
+// (ASP).
+package paramserv
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// UpdateMode selects the aggregation protocol.
+type UpdateMode int
+
+// Update modes.
+const (
+	// BSP is bulk-synchronous: all workers finish an epoch batch before the
+	// model is updated with the averaged gradient.
+	BSP UpdateMode = iota
+	// ASP is asynchronous: workers push gradients and pull models without
+	// synchronization barriers.
+	ASP
+)
+
+// String returns the mode name.
+func (m UpdateMode) String() string {
+	if m == ASP {
+		return "ASP"
+	}
+	return "BSP"
+}
+
+// GradientFunc computes the gradient of the loss on one mini-batch given the
+// current model.
+type GradientFunc func(model, xBatch, yBatch *matrix.MatrixBlock) (*matrix.MatrixBlock, error)
+
+// Config configures a parameter-server training run.
+type Config struct {
+	Workers   int
+	Epochs    int
+	BatchSize int
+	LearnRate float64
+	Mode      UpdateMode
+}
+
+// Stats reports training statistics.
+type Stats struct {
+	Updates    int64
+	Epochs     int
+	FinalLoss  float64
+	WorkerRuns int64
+}
+
+// partition is one worker's row partition of the training data.
+type partition struct{ x, y *matrix.MatrixBlock }
+
+// server holds the shared model protected by a mutex (the "parameter
+// server").
+type server struct {
+	mu      sync.Mutex
+	model   *matrix.MatrixBlock
+	lr      float64
+	updates int64
+}
+
+func (s *server) pull() *matrix.MatrixBlock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
+
+func (s *server) push(grad *matrix.MatrixBlock) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	step := matrix.ScalarOp(grad, s.lr, matrix.OpMul, false)
+	updated, err := matrix.CellwiseOp(s.model, step, matrix.OpSub)
+	if err != nil {
+		return err
+	}
+	s.model = updated
+	s.updates++
+	return nil
+}
+
+// Train runs data-parallel mini-batch training: X is split row-wise across
+// workers, each worker iterates its mini-batches computing gradients with
+// gradFn, and the server applies updates according to the configured mode.
+// It returns the trained model.
+func Train(x, y, initModel *matrix.MatrixBlock, gradFn GradientFunc, cfg Config) (*matrix.MatrixBlock, *Stats, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.1
+	}
+	if x.Rows() != y.Rows() {
+		return nil, nil, fmt.Errorf("paramserv: X has %d rows, y has %d", x.Rows(), y.Rows())
+	}
+	n := x.Rows()
+	if cfg.Workers > n {
+		cfg.Workers = n
+	}
+	srv := &server{model: initModel.Copy(), lr: cfg.LearnRate}
+	// partition rows across workers
+	parts := make([]partition, cfg.Workers)
+	chunk := (n + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > n {
+			r1 = n
+		}
+		if r0 >= r1 {
+			parts[w] = partition{matrix.NewDense(0, x.Cols()), matrix.NewDense(0, y.Cols())}
+			continue
+		}
+		px, err := matrix.Slice(x, r0, r1, 0, x.Cols())
+		if err != nil {
+			return nil, nil, err
+		}
+		py, err := matrix.Slice(y, r0, r1, 0, y.Cols())
+		if err != nil {
+			return nil, nil, err
+		}
+		parts[w] = partition{px, py}
+	}
+	stats := &Stats{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		switch cfg.Mode {
+		case BSP:
+			if err := runEpochBSP(srv, parts, gradFn, cfg, stats); err != nil {
+				return nil, nil, err
+			}
+		case ASP:
+			if err := runEpochASP(srv, parts, gradFn, cfg, stats); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, fmt.Errorf("paramserv: unknown update mode %d", cfg.Mode)
+		}
+		stats.Epochs++
+	}
+	stats.Updates = srv.updates
+	return srv.pull(), stats, nil
+}
+
+// runEpochBSP executes one epoch with a barrier per batch round: every worker
+// computes its gradient on the current model, the gradients are averaged and
+// applied once.
+func runEpochBSP(srv *server, parts []partition, gradFn GradientFunc, cfg Config, stats *Stats) error {
+	maxBatches := 0
+	for _, p := range parts {
+		b := numBatches(p.x.Rows(), cfg.BatchSize)
+		if b > maxBatches {
+			maxBatches = b
+		}
+	}
+	for b := 0; b < maxBatches; b++ {
+		model := srv.pull()
+		grads := make([]*matrix.MatrixBlock, len(parts))
+		errs := make([]error, len(parts))
+		var wg sync.WaitGroup
+		for w, p := range parts {
+			xb, yb, ok := batch(p.x, p.y, b, cfg.BatchSize)
+			if !ok {
+				continue
+			}
+			wg.Add(1)
+			go func(w int, xb, yb *matrix.MatrixBlock) {
+				defer wg.Done()
+				g, err := gradFn(model, xb, yb)
+				grads[w], errs[w] = g, err
+			}(w, xb, yb)
+		}
+		wg.Wait()
+		var agg *matrix.MatrixBlock
+		count := 0
+		for w := range parts {
+			if errs[w] != nil {
+				return errs[w]
+			}
+			if grads[w] == nil {
+				continue
+			}
+			stats.WorkerRuns++
+			if agg == nil {
+				agg = grads[w]
+			} else {
+				sum, err := matrix.CellwiseOp(agg, grads[w], matrix.OpAdd)
+				if err != nil {
+					return err
+				}
+				agg = sum
+			}
+			count++
+		}
+		if agg == nil {
+			continue
+		}
+		avg := matrix.ScalarOp(agg, float64(count), matrix.OpDiv, false)
+		if err := srv.push(avg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runEpochASP executes one epoch with workers running independently and
+// pushing gradients as they complete batches.
+func runEpochASP(srv *server, parts []partition, gradFn GradientFunc, cfg Config, stats *Stats) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(parts))
+	var runs int64
+	var runsMu sync.Mutex
+	for _, p := range parts {
+		wg.Add(1)
+		go func(px, py *matrix.MatrixBlock) {
+			defer wg.Done()
+			nb := numBatches(px.Rows(), cfg.BatchSize)
+			for b := 0; b < nb; b++ {
+				xb, yb, ok := batch(px, py, b, cfg.BatchSize)
+				if !ok {
+					continue
+				}
+				model := srv.pull()
+				g, err := gradFn(model, xb, yb)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := srv.push(g); err != nil {
+					errCh <- err
+					return
+				}
+				runsMu.Lock()
+				runs++
+				runsMu.Unlock()
+			}
+		}(p.x, p.y)
+	}
+	wg.Wait()
+	stats.WorkerRuns += runs
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+func numBatches(rows, batchSize int) int {
+	if rows == 0 {
+		return 0
+	}
+	return (rows + batchSize - 1) / batchSize
+}
+
+func batch(x, y *matrix.MatrixBlock, b, batchSize int) (*matrix.MatrixBlock, *matrix.MatrixBlock, bool) {
+	r0 := b * batchSize
+	if r0 >= x.Rows() {
+		return nil, nil, false
+	}
+	r1 := r0 + batchSize
+	if r1 > x.Rows() {
+		r1 = x.Rows()
+	}
+	xb, err := matrix.Slice(x, r0, r1, 0, x.Cols())
+	if err != nil {
+		return nil, nil, false
+	}
+	yb, err := matrix.Slice(y, r0, r1, 0, y.Cols())
+	if err != nil {
+		return nil, nil, false
+	}
+	return xb, yb, true
+}
+
+// LinRegGradient returns the squared-loss gradient function
+// t(X) %*% (X %*% w - y) / n for linear regression.
+func LinRegGradient() GradientFunc {
+	return func(model, xb, yb *matrix.MatrixBlock) (*matrix.MatrixBlock, error) {
+		pred, err := matrix.Multiply(xb, model, 0)
+		if err != nil {
+			return nil, err
+		}
+		diff, err := matrix.CellwiseOp(pred, yb, matrix.OpSub)
+		if err != nil {
+			return nil, err
+		}
+		grad, err := matrix.Multiply(matrix.Transpose(xb), diff, 0)
+		if err != nil {
+			return nil, err
+		}
+		return matrix.ScalarOp(grad, float64(xb.Rows()), matrix.OpDiv, false), nil
+	}
+}
+
+// LogRegGradient returns the logistic-loss gradient function for binary
+// classification with labels in {0, 1}.
+func LogRegGradient() GradientFunc {
+	return func(model, xb, yb *matrix.MatrixBlock) (*matrix.MatrixBlock, error) {
+		z, err := matrix.Multiply(xb, model, 0)
+		if err != nil {
+			return nil, err
+		}
+		p := matrix.UnaryApply(z, matrix.OpSigmoid)
+		diff, err := matrix.CellwiseOp(p, yb, matrix.OpSub)
+		if err != nil {
+			return nil, err
+		}
+		grad, err := matrix.Multiply(matrix.Transpose(xb), diff, 0)
+		if err != nil {
+			return nil, err
+		}
+		return matrix.ScalarOp(grad, float64(xb.Rows()), matrix.OpDiv, false), nil
+	}
+}
+
+// SquaredLoss computes the mean squared error of a model on (x, y); used by
+// tests and the benchmark harness to verify convergence.
+func SquaredLoss(model, x, y *matrix.MatrixBlock) (float64, error) {
+	pred, err := matrix.Multiply(x, model, 0)
+	if err != nil {
+		return 0, err
+	}
+	diff, err := matrix.CellwiseOp(pred, y, matrix.OpSub)
+	if err != nil {
+		return 0, err
+	}
+	return matrix.SumSq(diff) / float64(x.Rows()), nil
+}

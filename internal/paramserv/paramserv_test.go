@@ -1,0 +1,145 @@
+package paramserv
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+func TestTrainBSPLinRegConverges(t *testing.T) {
+	x, y := matrix.SyntheticRegression(1000, 10, 1.0, 1)
+	init := matrix.NewDense(10, 1)
+	initLoss, _ := SquaredLoss(init, x, y)
+	model, stats, err := Train(x, y, init, LinRegGradient(), Config{
+		Workers: 4, Epochs: 20, BatchSize: 64, LearnRate: 0.5, Mode: BSP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := SquaredLoss(model, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss >= initLoss/10 {
+		t.Errorf("BSP did not converge: initial %v, final %v", initLoss, loss)
+	}
+	if stats.Updates == 0 || stats.Epochs != 20 || stats.WorkerRuns == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// initial model untouched (Train copies)
+	if init.NNZ() != 0 {
+		t.Error("initial model mutated")
+	}
+}
+
+func TestTrainASPLinRegConverges(t *testing.T) {
+	x, y := matrix.SyntheticRegression(1000, 10, 1.0, 2)
+	init := matrix.NewDense(10, 1)
+	initLoss, _ := SquaredLoss(init, x, y)
+	model, stats, err := Train(x, y, init, LinRegGradient(), Config{
+		Workers: 4, Epochs: 20, BatchSize: 64, LearnRate: 0.2, Mode: ASP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, _ := SquaredLoss(model, x, y)
+	if loss >= initLoss/10 {
+		t.Errorf("ASP did not converge: initial %v, final %v", initLoss, loss)
+	}
+	if stats.WorkerRuns == 0 {
+		t.Error("no worker runs recorded")
+	}
+}
+
+func TestTrainLogReg(t *testing.T) {
+	x, y := matrix.SyntheticClassification(800, 6, 1.0, 3)
+	init := matrix.NewDense(6, 1)
+	model, _, err := Train(x, y, init, LogRegGradient(), Config{
+		Workers: 3, Epochs: 30, BatchSize: 32, LearnRate: 1.0, Mode: BSP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// training accuracy should be well above chance
+	z, _ := matrix.Multiply(x, model, 0)
+	p := matrix.UnaryApply(z, matrix.OpSigmoid)
+	correct := 0
+	for i := 0; i < x.Rows(); i++ {
+		pred := 0.0
+		if p.Get(i, 0) > 0.5 {
+			pred = 1
+		}
+		if pred == y.Get(i, 0) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(x.Rows())
+	if acc < 0.85 {
+		t.Errorf("logistic regression accuracy = %v", acc)
+	}
+}
+
+func TestTrainDefaultsAndValidation(t *testing.T) {
+	x, y := matrix.SyntheticRegression(50, 3, 1.0, 4)
+	init := matrix.NewDense(3, 1)
+	// zero-valued config falls back to defaults
+	if _, _, err := Train(x, y, init, LinRegGradient(), Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// mismatched rows rejected
+	if _, _, err := Train(x, matrix.NewDense(10, 1), init, LinRegGradient(), Config{}); err == nil {
+		t.Error("expected row mismatch error")
+	}
+	// more workers than rows is clamped
+	if _, _, err := Train(x, y, init, LinRegGradient(), Config{Workers: 500, Epochs: 1}); err != nil {
+		t.Errorf("worker clamping failed: %v", err)
+	}
+	// invalid mode rejected
+	if _, _, err := Train(x, y, init, LinRegGradient(), Config{Mode: UpdateMode(9)}); err == nil {
+		t.Error("expected unknown mode error")
+	}
+}
+
+func TestTrainGradientErrorPropagates(t *testing.T) {
+	x, y := matrix.SyntheticRegression(50, 3, 1.0, 5)
+	init := matrix.NewDense(3, 1)
+	boom := func(model, xb, yb *matrix.MatrixBlock) (*matrix.MatrixBlock, error) {
+		return nil, errors.New("gradient failure")
+	}
+	if _, _, err := Train(x, y, init, boom, Config{Workers: 2, Epochs: 1, Mode: BSP}); err == nil {
+		t.Error("BSP should surface gradient errors")
+	}
+	if _, _, err := Train(x, y, init, boom, Config{Workers: 2, Epochs: 1, Mode: ASP}); err == nil {
+		t.Error("ASP should surface gradient errors")
+	}
+}
+
+func TestUpdateModeString(t *testing.T) {
+	if BSP.String() != "BSP" || ASP.String() != "ASP" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestBSPandASPAgreeOnEasyProblem(t *testing.T) {
+	// on a well-conditioned problem both modes should reach similar loss
+	x, y := matrix.SyntheticRegression(600, 5, 1.0, 6)
+	init := matrix.NewDense(5, 1)
+	cfg := Config{Workers: 4, Epochs: 25, BatchSize: 50, LearnRate: 0.5}
+	cfg.Mode = BSP
+	mBSP, _, err := Train(x, y, init, LinRegGradient(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = ASP
+	cfg.LearnRate = 0.2
+	mASP, _, err := Train(x, y, init, LinRegGradient(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossBSP, _ := SquaredLoss(mBSP, x, y)
+	lossASP, _ := SquaredLoss(mASP, x, y)
+	if lossBSP > 0.05 || lossASP > 0.05 {
+		t.Errorf("losses too high: BSP=%v ASP=%v", lossBSP, lossASP)
+	}
+}

@@ -1,0 +1,295 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/lineage"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// Config collects the runtime and compiler configuration of one SystemDS-Go
+// session.
+type Config struct {
+	// Parallelism is the number of threads used by multi-threaded kernels and
+	// parfor workers (0 = number of CPUs).
+	Parallelism int
+	// OperatorMemBudget is the per-operator memory budget in bytes used for
+	// CP-vs-distributed execution-type selection.
+	OperatorMemBudget int64
+	// BufferPoolBudget is the in-memory budget of the buffer pool in bytes
+	// (0 disables eviction).
+	BufferPoolBudget int64
+	// LineageEnabled turns on lineage tracing.
+	LineageEnabled bool
+	// ReuseEnabled turns on lineage-based reuse of intermediates (requires
+	// lineage tracing).
+	ReuseEnabled bool
+	// CacheBudget is the reuse-cache budget in bytes.
+	CacheBudget int64
+	// DistEnabled allows the compiler to select the blocked distributed
+	// backend for large operations.
+	DistEnabled bool
+	// DistBlocksize is the block size of the distributed backend.
+	DistBlocksize int
+	// UseBLAS selects the register-blocked "native BLAS" dense kernel for
+	// matrix multiplications (SysDS-B in Figure 5(a)).
+	UseBLAS bool
+	// TempDir is the spill directory of the buffer pool.
+	TempDir string
+}
+
+// DefaultConfig returns a local-execution configuration with lineage tracing
+// enabled and reuse disabled.
+func DefaultConfig() *Config {
+	return &Config{
+		Parallelism:       0,
+		OperatorMemBudget: 2 << 30, // 2 GB
+		BufferPoolBudget:  0,
+		LineageEnabled:    true,
+		ReuseEnabled:      false,
+		CacheBudget:       1 << 30,
+		DistEnabled:       false,
+		DistBlocksize:     types.DefaultBlocksize,
+		UseBLAS:           false,
+		TempDir:           os.TempDir(),
+	}
+}
+
+// Threads resolves the configured parallelism.
+func (c *Config) Threads() int {
+	if c.Parallelism <= 0 {
+		return matrix.DefaultParallelism()
+	}
+	return c.Parallelism
+}
+
+// Context is the execution context of a control program: the symbol table of
+// live variables, configuration, lineage tracer, reuse cache, buffer pool and
+// the program being executed (for function call resolution).
+type Context struct {
+	Config  *Config
+	Lineage *lineage.Tracer
+	Cache   *lineage.Cache
+	Pool    *bufferpool.Pool
+	Prog    *Program
+	Out     io.Writer
+
+	mu   sync.RWMutex
+	vars map[string]Data
+}
+
+// NewContext creates a root execution context.
+func NewContext(cfg *Config) *Context {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	ctx := &Context{
+		Config:  cfg,
+		Lineage: lineage.NewTracer(),
+		Pool:    bufferpool.New(cfg.BufferPoolBudget, cfg.TempDir),
+		Out:     os.Stdout,
+		vars:    map[string]Data{},
+	}
+	if cfg.ReuseEnabled {
+		ctx.Cache = lineage.NewCache(cfg.CacheBudget)
+	} else {
+		ctx.Cache = lineage.NewCache(0)
+	}
+	return ctx
+}
+
+// ChildEmpty creates a child context with an empty symbol table (function
+// scopes); configuration, cache, pool, program and output are shared.
+func (ctx *Context) ChildEmpty() *Context {
+	return &Context{
+		Config:  ctx.Config,
+		Lineage: lineage.NewTracer(),
+		Cache:   ctx.Cache,
+		Pool:    ctx.Pool,
+		Prog:    ctx.Prog,
+		Out:     ctx.Out,
+		vars:    map[string]Data{},
+	}
+}
+
+// ChildCopy creates a child context with a copied symbol table (parfor
+// workers); values are shared because they are immutable.
+func (ctx *Context) ChildCopy() *Context {
+	ctx.mu.RLock()
+	vars := make(map[string]Data, len(ctx.vars))
+	for k, v := range ctx.vars {
+		vars[k] = v
+	}
+	ctx.mu.RUnlock()
+	return &Context{
+		Config:  ctx.Config,
+		Lineage: ctx.Lineage.Copy(),
+		Cache:   ctx.Cache,
+		Pool:    ctx.Pool,
+		Prog:    ctx.Prog,
+		Out:     ctx.Out,
+		vars:    vars,
+	}
+}
+
+// Set binds a variable to a value.
+func (ctx *Context) Set(name string, d Data) {
+	ctx.mu.Lock()
+	ctx.vars[name] = d
+	ctx.mu.Unlock()
+}
+
+// Get returns the value of a variable.
+func (ctx *Context) Get(name string) (Data, error) {
+	ctx.mu.RLock()
+	d, ok := ctx.vars[name]
+	ctx.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: variable %q is not defined", name)
+	}
+	return d, nil
+}
+
+// Has reports whether a variable is bound.
+func (ctx *Context) Has(name string) bool {
+	ctx.mu.RLock()
+	_, ok := ctx.vars[name]
+	ctx.mu.RUnlock()
+	return ok
+}
+
+// Remove unbinds a variable.
+func (ctx *Context) Remove(name string) {
+	ctx.mu.Lock()
+	d, ok := ctx.vars[name]
+	delete(ctx.vars, name)
+	ctx.mu.Unlock()
+	if ok {
+		if mo, isMat := d.(*MatrixObject); isMat && ctx.Pool != nil {
+			// only unregister if no other variable references the object
+			ctx.mu.RLock()
+			shared := false
+			for _, v := range ctx.vars {
+				if v == d {
+					shared = true
+					break
+				}
+			}
+			ctx.mu.RUnlock()
+			if !shared {
+				ctx.Pool.Unregister(mo.PoolID())
+			}
+		}
+	}
+}
+
+// Variables returns the names of all bound variables.
+func (ctx *Context) Variables() []string {
+	ctx.mu.RLock()
+	defer ctx.mu.RUnlock()
+	names := make([]string, 0, len(ctx.vars))
+	for k := range ctx.vars {
+		names = append(names, k)
+	}
+	return names
+}
+
+// VariableByValue returns the name of a variable bound to exactly this data
+// object (used by partial-reuse compensation plans), or "" if none.
+func (ctx *Context) VariableByValue(d Data) string {
+	ctx.mu.RLock()
+	defer ctx.mu.RUnlock()
+	for k, v := range ctx.vars {
+		if v == d {
+			return k
+		}
+	}
+	return ""
+}
+
+// GetScalar returns a variable as a scalar.
+func (ctx *Context) GetScalar(name string) (*Scalar, error) {
+	d, err := ctx.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := d.(*Scalar)
+	if !ok {
+		return nil, fmt.Errorf("runtime: variable %q is a %s, expected a scalar", name, d.DataType())
+	}
+	return s, nil
+}
+
+// GetMatrixObject returns a variable as a (local) matrix object.
+func (ctx *Context) GetMatrixObject(name string) (*MatrixObject, error) {
+	d, err := ctx.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	mo, ok := d.(*MatrixObject)
+	if !ok {
+		return nil, fmt.Errorf("runtime: variable %q is a %s, expected a matrix", name, d.DataType())
+	}
+	return mo, nil
+}
+
+// GetMatrixBlock returns a variable's matrix block, acquiring it through the
+// buffer pool. Scalars are auto-promoted to 1x1 matrices, mirroring DML's
+// implicit casting in matrix contexts.
+func (ctx *Context) GetMatrixBlock(name string) (*matrix.MatrixBlock, error) {
+	d, err := ctx.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	switch v := d.(type) {
+	case *MatrixObject:
+		return v.Acquire()
+	case *Scalar:
+		m := matrix.NewDense(1, 1)
+		m.Set(0, 0, v.Float64())
+		return m, nil
+	case *FederatedObject:
+		return nil, fmt.Errorf("runtime: variable %q is federated; operation requires a local matrix", name)
+	default:
+		return nil, fmt.Errorf("runtime: variable %q is a %s, expected a matrix", name, d.DataType())
+	}
+}
+
+// GetFrame returns a variable as a frame.
+func (ctx *Context) GetFrame(name string) (*FrameObject, error) {
+	d, err := ctx.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := d.(*FrameObject)
+	if !ok {
+		return nil, fmt.Errorf("runtime: variable %q is a %s, expected a frame", name, d.DataType())
+	}
+	return f, nil
+}
+
+// SetMatrix wraps a block into a matrix object and binds it.
+func (ctx *Context) SetMatrix(name string, block *matrix.MatrixBlock) {
+	ctx.Set(name, NewMatrixObject(block, ctx.Pool))
+}
+
+// CleanupTemporaries removes temporary variables created by DAG lowering
+// (names with the compiler's temporary prefix).
+func (ctx *Context) CleanupTemporaries(prefix string) {
+	ctx.mu.Lock()
+	var victims []string
+	for k := range ctx.vars {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			victims = append(victims, k)
+		}
+	}
+	ctx.mu.Unlock()
+	for _, v := range victims {
+		ctx.Remove(v)
+	}
+}

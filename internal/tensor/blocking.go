@@ -1,0 +1,214 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// BlockSizes returns the per-dimension block side length for an n-dimensional
+// tensor following the paper's scheme of exponentially decreasing block sizes
+// (1024^2, 128^3, 32^4, 16^5, 8^6, 8^7, ...), which bounds the block size to
+// a few megabytes and allows local conversion between blockings.
+func BlockSizes(ndims int) int {
+	switch {
+	case ndims <= 2:
+		return 1024
+	case ndims == 3:
+		return 128
+	case ndims == 4:
+		return 32
+	case ndims == 5:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// BlockIndex identifies one block of a blocked (distributed) tensor by its
+// per-dimension block coordinates.
+type BlockIndex struct {
+	Ix string // canonical "i,j,k" encoding so the index is usable as a map key
+}
+
+// NewBlockIndex builds a BlockIndex from per-dimension coordinates.
+func NewBlockIndex(coords ...int) BlockIndex {
+	s := ""
+	for i, c := range coords {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(c)
+	}
+	return BlockIndex{Ix: s}
+}
+
+// BlockedTensor is the local stand-in for the paper's distributed tensor: a
+// collection of fixed-size, independently encoded blocks keyed by their block
+// index (PairRDD<TensorIndexes, TensorBlock> in SystemDS).
+type BlockedTensor struct {
+	Dims      []int
+	Blocksize int
+	Blocks    map[BlockIndex]*BasicTensorBlock
+}
+
+// BlockTensor splits a basic tensor into fixed-size blocks following the
+// n-dimensional blocking scheme.
+func BlockTensor(t *BasicTensorBlock) (*BlockedTensor, error) {
+	dims := t.Dims()
+	bs := BlockSizes(len(dims))
+	bt := &BlockedTensor{Dims: dims, Blocksize: bs, Blocks: map[BlockIndex]*BasicTensorBlock{}}
+	nblocks := make([]int, len(dims))
+	for i, d := range dims {
+		nblocks[i] = (d + bs - 1) / bs
+		if nblocks[i] == 0 {
+			nblocks[i] = 1
+		}
+	}
+	coords := make([]int, len(dims))
+	for {
+		lower := make([]int, len(dims))
+		upper := make([]int, len(dims))
+		for i := range dims {
+			lower[i] = coords[i] * bs
+			upper[i] = lower[i] + bs
+			if upper[i] > dims[i] {
+				upper[i] = dims[i]
+			}
+		}
+		blk, err := t.Slice(lower, upper)
+		if err != nil {
+			return nil, err
+		}
+		bt.Blocks[NewBlockIndex(coords...)] = blk
+		// advance block coordinates
+		d := len(coords) - 1
+		for d >= 0 {
+			coords[d]++
+			if coords[d] < nblocks[d] {
+				break
+			}
+			coords[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return bt, nil
+}
+
+// NumBlocks returns the number of blocks.
+func (bt *BlockedTensor) NumBlocks() int { return len(bt.Blocks) }
+
+// Unblock reassembles the blocked tensor into a single basic tensor.
+func (bt *BlockedTensor) Unblock() (*BasicTensorBlock, error) {
+	out := NewBasicTensor(vtOf(bt), bt.Dims)
+	keys := make([]BlockIndex, 0, len(bt.Blocks))
+	for k := range bt.Blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Ix < keys[j].Ix })
+	for _, k := range keys {
+		blk := bt.Blocks[k]
+		coords, err := parseCoords(k.Ix, len(bt.Dims))
+		if err != nil {
+			return nil, err
+		}
+		bdims := blk.Dims()
+		ix := make([]int, len(bt.Dims))
+		outIx := make([]int, len(bt.Dims))
+		for {
+			for i := range ix {
+				outIx[i] = coords[i]*bt.Blocksize + ix[i]
+			}
+			out.Set(blk.Get(ix...), outIx...)
+			d := len(ix) - 1
+			for d >= 0 {
+				ix[d]++
+				if ix[d] < bdims[d] {
+					break
+				}
+				ix[d] = 0
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func vtOf(bt *BlockedTensor) types.ValueType {
+	for _, b := range bt.Blocks {
+		return b.ValueType()
+	}
+	return types.FP64
+}
+
+func parseCoords(s string, n int) ([]int, error) {
+	coords := make([]int, 0, n)
+	cur := 0
+	has := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			coords = append(coords, cur)
+			cur = 0
+			has = false
+			continue
+		}
+		if s[i] < '0' || s[i] > '9' {
+			return nil, fmt.Errorf("tensor: invalid block index %q", s)
+		}
+		cur = cur*10 + int(s[i]-'0')
+		has = true
+	}
+	if has || len(s) == 0 {
+		coords = append(coords, cur)
+	}
+	if len(coords) != n {
+		return nil, fmt.Errorf("tensor: block index %q has %d coords, want %d", s, len(coords), n)
+	}
+	return coords, nil
+}
+
+// ReblockTo3D converts a 2D blocked tensor (1024^2 blocks) into a 3D-aligned
+// blocking (128^3): each 1024x1024 block is split into 8x8=64 sub-blocks of
+// 128x128, matching the paper's example of local conversion between the
+// exponentially decreasing blockings.
+func ReblockTo3D(bt *BlockedTensor) (*BlockedTensor, error) {
+	if len(bt.Dims) != 2 {
+		return nil, fmt.Errorf("tensor: ReblockTo3D expects a 2D blocked tensor, got %d dims", len(bt.Dims))
+	}
+	newBS := BlockSizes(3)
+	out := &BlockedTensor{Dims: bt.Dims, Blocksize: newBS, Blocks: map[BlockIndex]*BasicTensorBlock{}}
+	for k, blk := range bt.Blocks {
+		coords, err := parseCoords(k.Ix, 2)
+		if err != nil {
+			return nil, err
+		}
+		bdims := blk.Dims()
+		for r0 := 0; r0 < bdims[0]; r0 += newBS {
+			for c0 := 0; c0 < bdims[1]; c0 += newBS {
+				r1 := r0 + newBS
+				if r1 > bdims[0] {
+					r1 = bdims[0]
+				}
+				c1 := c0 + newBS
+				if c1 > bdims[1] {
+					c1 = bdims[1]
+				}
+				sub, err := blk.Slice([]int{r0, c0}, []int{r1, c1})
+				if err != nil {
+					return nil, err
+				}
+				globalR := (coords[0]*bt.Blocksize + r0) / newBS
+				globalC := (coords[1]*bt.Blocksize + c0) / newBS
+				out.Blocks[NewBlockIndex(globalR, globalC)] = sub
+			}
+		}
+	}
+	return out, nil
+}

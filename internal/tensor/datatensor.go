@@ -1,0 +1,143 @@
+package tensor
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// DataTensorBlock is a heterogeneous tensor: a multi-dimensional array where
+// the second dimension carries a schema (Figure 4(a) of the paper). It
+// generalizes 2D datasets (frames) to n dimensions and is internally composed
+// of one BasicTensorBlock per schema column, each covering the remaining
+// dimensions.
+type DataTensorBlock struct {
+	schema types.Schema
+	dims   []int // full dims; dims[1] == len(schema)
+	cols   []*BasicTensorBlock
+}
+
+// NewDataTensor creates a data tensor with the given schema and dimensions.
+// dims[1] must equal the schema length.
+func NewDataTensor(schema types.Schema, dims []int) (*DataTensorBlock, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("tensor: data tensor needs at least 2 dimensions, got %d", len(dims))
+	}
+	if dims[1] != len(schema) {
+		return nil, fmt.Errorf("tensor: schema length %d does not match second dimension %d", len(schema), dims[1])
+	}
+	colDims := append([]int{dims[0]}, dims[2:]...)
+	cols := make([]*BasicTensorBlock, len(schema))
+	for i, vt := range schema {
+		cols[i] = NewBasicTensor(vt, colDims)
+	}
+	return &DataTensorBlock{schema: append(types.Schema(nil), schema...), dims: append([]int(nil), dims...), cols: cols}, nil
+}
+
+// Schema returns the schema of the second dimension.
+func (d *DataTensorBlock) Schema() types.Schema { return append(types.Schema(nil), d.schema...) }
+
+// Dims returns the full dimensions of the data tensor.
+func (d *DataTensorBlock) Dims() []int { return append([]int(nil), d.dims...) }
+
+// NumCells returns the total number of cells.
+func (d *DataTensorBlock) NumCells() int { return cells(d.dims) }
+
+// column validates and returns the basic tensor backing schema column c.
+func (d *DataTensorBlock) column(c int) (*BasicTensorBlock, error) {
+	if c < 0 || c >= len(d.cols) {
+		return nil, fmt.Errorf("tensor: schema column %d out of bounds (%d columns)", c, len(d.cols))
+	}
+	return d.cols[c], nil
+}
+
+// colIndex converts a full tensor index into (schema column, per-column
+// index): the second dimension selects the column, all other dimensions index
+// into the column tensor.
+func (d *DataTensorBlock) colIndex(ix []int) (int, []int, error) {
+	if len(ix) != len(d.dims) {
+		return 0, nil, fmt.Errorf("tensor: index rank %d does not match tensor rank %d", len(ix), len(d.dims))
+	}
+	c := ix[1]
+	sub := append([]int{ix[0]}, ix[2:]...)
+	return c, sub, nil
+}
+
+// Get returns the numeric value at the given full index.
+func (d *DataTensorBlock) Get(ix ...int) (float64, error) {
+	c, sub, err := d.colIndex(ix)
+	if err != nil {
+		return 0, err
+	}
+	col, err := d.column(c)
+	if err != nil {
+		return 0, err
+	}
+	return col.Get(sub...), nil
+}
+
+// GetString returns the cell rendered as a string.
+func (d *DataTensorBlock) GetString(ix ...int) (string, error) {
+	c, sub, err := d.colIndex(ix)
+	if err != nil {
+		return "", err
+	}
+	col, err := d.column(c)
+	if err != nil {
+		return "", err
+	}
+	return col.GetString(sub...), nil
+}
+
+// Set assigns a numeric value at the given full index.
+func (d *DataTensorBlock) Set(v float64, ix ...int) error {
+	c, sub, err := d.colIndex(ix)
+	if err != nil {
+		return err
+	}
+	col, err := d.column(c)
+	if err != nil {
+		return err
+	}
+	col.Set(v, sub...)
+	return nil
+}
+
+// SetString assigns a string value at the given full index.
+func (d *DataTensorBlock) SetString(s string, ix ...int) error {
+	c, sub, err := d.colIndex(ix)
+	if err != nil {
+		return err
+	}
+	col, err := d.column(c)
+	if err != nil {
+		return err
+	}
+	return col.SetString(s, sub...)
+}
+
+// Column returns the BasicTensorBlock backing schema column c.
+func (d *DataTensorBlock) Column(c int) (*BasicTensorBlock, error) { return d.column(c) }
+
+// NNZ returns the total number of non-zero / non-empty cells.
+func (d *DataTensorBlock) NNZ() int64 {
+	var n int64
+	for _, c := range d.cols {
+		n += c.NNZ()
+	}
+	return n
+}
+
+// Copy returns a deep copy of the data tensor.
+func (d *DataTensorBlock) Copy() *DataTensorBlock {
+	cols := make([]*BasicTensorBlock, len(d.cols))
+	for i, c := range d.cols {
+		cols[i] = c.Copy()
+	}
+	return &DataTensorBlock{schema: d.Schema(), dims: append([]int(nil), d.dims...), cols: cols}
+}
+
+// String renders metadata about the data tensor.
+func (d *DataTensorBlock) String() string {
+	return fmt.Sprintf("DataTensorBlock[dims=%v, schema=%s]", d.dims, d.schema)
+}

@@ -1,0 +1,381 @@
+// Package tensor implements the TensorBlock operation library described in
+// Section 2.4 of the SystemDS paper: linearized multi-dimensional arrays with
+// a single value type (BasicTensorBlock) and heterogeneous data tensors with
+// a schema on the second dimension (DataTensorBlock), together with the
+// fixed-size blocking scheme used for distributed tensors.
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// BasicTensorBlock is a homogeneous, linearized multi-dimensional array of a
+// single value type. Numeric types are stored in a float64 backing array
+// (with conversion on read for FP32/INT32/INT64/Boolean); strings are stored
+// separately.
+type BasicTensorBlock struct {
+	vt      types.ValueType
+	dims    []int
+	data    []float64
+	strings []string
+	nnz     int64
+}
+
+// NewBasicTensor allocates a dense basic tensor of the given value type and
+// dimensions, initialized to zeros (or empty strings).
+func NewBasicTensor(vt types.ValueType, dims []int) *BasicTensorBlock {
+	n := cells(dims)
+	t := &BasicTensorBlock{vt: vt, dims: append([]int(nil), dims...)}
+	if vt == types.String {
+		t.strings = make([]string, n)
+	} else {
+		t.data = make([]float64, n)
+	}
+	return t
+}
+
+func cells(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	return n
+}
+
+// ValueType returns the tensor's value type.
+func (t *BasicTensorBlock) ValueType() types.ValueType { return t.vt }
+
+// Dims returns a copy of the tensor's dimensions.
+func (t *BasicTensorBlock) Dims() []int { return append([]int(nil), t.dims...) }
+
+// NumDims returns the number of dimensions.
+func (t *BasicTensorBlock) NumDims() int { return len(t.dims) }
+
+// NumCells returns the total number of cells.
+func (t *BasicTensorBlock) NumCells() int { return cells(t.dims) }
+
+// NNZ returns the number of non-zero (or non-empty) cells.
+func (t *BasicTensorBlock) NNZ() int64 { return t.nnz }
+
+// offset converts an n-dimensional index into the linearized offset
+// (row-major / last dimension fastest).
+func (t *BasicTensorBlock) offset(ix []int) int {
+	if len(ix) != len(t.dims) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(ix), len(t.dims)))
+	}
+	off := 0
+	for i, d := range t.dims {
+		if ix[i] < 0 || ix[i] >= d {
+			panic(fmt.Sprintf("tensor: index %v out of bounds %v", ix, t.dims))
+		}
+		off = off*d + ix[i]
+	}
+	return off
+}
+
+// Get returns the numeric value at the given index. For string tensors it
+// attempts to parse the string as a float and returns NaN-free 0 on failure.
+func (t *BasicTensorBlock) Get(ix ...int) float64 {
+	off := t.offset(ix)
+	if t.vt == types.String {
+		v, err := strconv.ParseFloat(t.strings[off], 64)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	return t.data[off]
+}
+
+// GetString returns the cell value rendered as a string.
+func (t *BasicTensorBlock) GetString(ix ...int) string {
+	off := t.offset(ix)
+	if t.vt == types.String {
+		return t.strings[off]
+	}
+	return formatValue(t.data[off], t.vt)
+}
+
+// Set assigns a numeric value at the given index, applying value-type
+// coercion (truncation for integer types, 0/1 for booleans).
+func (t *BasicTensorBlock) Set(v float64, ix ...int) {
+	off := t.offset(ix)
+	v = coerce(v, t.vt)
+	if t.vt == types.String {
+		old := t.strings[off]
+		t.strings[off] = formatValue(v, types.FP64)
+		t.updateNNZString(old, t.strings[off])
+		return
+	}
+	old := t.data[off]
+	t.data[off] = v
+	t.updateNNZ(old, v)
+}
+
+// SetString assigns a string value at the given index. Non-string tensors
+// parse the value.
+func (t *BasicTensorBlock) SetString(s string, ix ...int) error {
+	off := t.offset(ix)
+	if t.vt == types.String {
+		old := t.strings[off]
+		t.strings[off] = s
+		t.updateNNZString(old, s)
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("tensor: cannot parse %q as %s: %w", s, t.vt, err)
+	}
+	old := t.data[off]
+	t.data[off] = coerce(v, t.vt)
+	t.updateNNZ(old, t.data[off])
+	return nil
+}
+
+func (t *BasicTensorBlock) updateNNZ(old, new float64) {
+	if old == 0 && new != 0 {
+		t.nnz++
+	} else if old != 0 && new == 0 {
+		t.nnz--
+	}
+}
+
+func (t *BasicTensorBlock) updateNNZString(old, new string) {
+	if old == "" && new != "" {
+		t.nnz++
+	} else if old != "" && new == "" {
+		t.nnz--
+	}
+}
+
+func coerce(v float64, vt types.ValueType) float64 {
+	switch vt {
+	case types.INT64, types.INT32:
+		return float64(int64(v))
+	case types.Boolean:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case types.FP32:
+		return float64(float32(v))
+	default:
+		return v
+	}
+}
+
+func formatValue(v float64, vt types.ValueType) string {
+	switch vt {
+	case types.INT64, types.INT32:
+		return strconv.FormatInt(int64(v), 10)
+	case types.Boolean:
+		if v != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// Copy returns a deep copy of the tensor.
+func (t *BasicTensorBlock) Copy() *BasicTensorBlock {
+	cp := &BasicTensorBlock{vt: t.vt, dims: append([]int(nil), t.dims...), nnz: t.nnz}
+	if t.data != nil {
+		cp.data = append([]float64(nil), t.data...)
+	}
+	if t.strings != nil {
+		cp.strings = append([]string(nil), t.strings...)
+	}
+	return cp
+}
+
+// Reshape changes the dimensions of the tensor; the cell count must match.
+func (t *BasicTensorBlock) Reshape(dims []int) error {
+	if cells(dims) != t.NumCells() {
+		return fmt.Errorf("tensor: reshape %v -> %v changes cell count", t.dims, dims)
+	}
+	t.dims = append([]int(nil), dims...)
+	return nil
+}
+
+// Fill sets every cell to the given value.
+func (t *BasicTensorBlock) Fill(v float64) {
+	v = coerce(v, t.vt)
+	if t.vt == types.String {
+		s := formatValue(v, types.FP64)
+		for i := range t.strings {
+			t.strings[i] = s
+		}
+		if s == "" {
+			t.nnz = 0
+		} else {
+			t.nnz = int64(len(t.strings))
+		}
+		return
+	}
+	for i := range t.data {
+		t.data[i] = v
+	}
+	if v == 0 {
+		t.nnz = 0
+	} else {
+		t.nnz = int64(len(t.data))
+	}
+}
+
+// Equals reports whether two tensors have identical type, shape and cells.
+func (t *BasicTensorBlock) Equals(o *BasicTensorBlock) bool {
+	if t.vt != o.vt || len(t.dims) != len(o.dims) {
+		return false
+	}
+	for i := range t.dims {
+		if t.dims[i] != o.dims[i] {
+			return false
+		}
+	}
+	if t.vt == types.String {
+		for i := range t.strings {
+			if t.strings[i] != o.strings[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnaryApply applies fn cell-wise and returns a new tensor of the same shape
+// (numeric tensors only).
+func (t *BasicTensorBlock) UnaryApply(fn func(float64) float64) (*BasicTensorBlock, error) {
+	if t.vt == types.String {
+		return nil, fmt.Errorf("tensor: unary op unsupported on string tensors")
+	}
+	out := NewBasicTensor(t.vt, t.dims)
+	for i, v := range t.data {
+		out.data[i] = coerce(fn(v), t.vt)
+		if out.data[i] != 0 {
+			out.nnz++
+		}
+	}
+	return out, nil
+}
+
+// BinaryApply applies fn cell-wise between two tensors of identical shape.
+func (t *BasicTensorBlock) BinaryApply(o *BasicTensorBlock, fn func(a, b float64) float64) (*BasicTensorBlock, error) {
+	if t.vt == types.String || o.vt == types.String {
+		return nil, fmt.Errorf("tensor: binary op unsupported on string tensors")
+	}
+	if len(t.dims) != len(o.dims) {
+		return nil, fmt.Errorf("tensor: rank mismatch %v vs %v", t.dims, o.dims)
+	}
+	for i := range t.dims {
+		if t.dims[i] != o.dims[i] {
+			return nil, fmt.Errorf("tensor: shape mismatch %v vs %v", t.dims, o.dims)
+		}
+	}
+	vt := t.vt
+	if o.vt == types.FP64 || vt != types.FP64 && o.vt != vt {
+		vt = types.FP64
+	}
+	out := NewBasicTensor(vt, t.dims)
+	for i := range t.data {
+		out.data[i] = coerce(fn(t.data[i], o.data[i]), vt)
+		if out.data[i] != 0 {
+			out.nnz++
+		}
+	}
+	return out, nil
+}
+
+// Sum returns the sum of all numeric cells.
+func (t *BasicTensorBlock) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Slice returns the sub-tensor covering [lower[i], upper[i]) in every
+// dimension.
+func (t *BasicTensorBlock) Slice(lower, upper []int) (*BasicTensorBlock, error) {
+	if len(lower) != len(t.dims) || len(upper) != len(t.dims) {
+		return nil, fmt.Errorf("tensor: slice rank mismatch")
+	}
+	outDims := make([]int, len(t.dims))
+	for i := range t.dims {
+		if lower[i] < 0 || upper[i] > t.dims[i] || lower[i] > upper[i] {
+			return nil, fmt.Errorf("tensor: slice range [%d,%d) out of bounds for dim %d of size %d", lower[i], upper[i], i, t.dims[i])
+		}
+		outDims[i] = upper[i] - lower[i]
+	}
+	out := NewBasicTensor(t.vt, outDims)
+	// iterate over all output cells
+	ix := make([]int, len(outDims))
+	srcIx := make([]int, len(outDims))
+	for {
+		for i := range ix {
+			srcIx[i] = ix[i] + lower[i]
+		}
+		if t.vt == types.String {
+			_ = out.SetString(t.GetString(srcIx...), ix...)
+		} else {
+			out.Set(t.Get(srcIx...), ix...)
+		}
+		// advance multi-index
+		d := len(ix) - 1
+		for d >= 0 {
+			ix[d]++
+			if ix[d] < outDims[d] {
+				break
+			}
+			ix[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ToMatrixData converts a 2D numeric tensor to a row-major float64 slice with
+// its dimensions; used for interoperation with the matrix package.
+func (t *BasicTensorBlock) ToMatrixData() (rows, cols int, data []float64, err error) {
+	if len(t.dims) != 2 {
+		return 0, 0, nil, fmt.Errorf("tensor: expected 2 dimensions, got %d", len(t.dims))
+	}
+	if t.vt == types.String {
+		return 0, 0, nil, fmt.Errorf("tensor: cannot convert string tensor to matrix")
+	}
+	return t.dims[0], t.dims[1], append([]float64(nil), t.data...), nil
+}
+
+// FromMatrixData builds a 2D FP64 tensor from a row-major float64 slice.
+func FromMatrixData(rows, cols int, data []float64) *BasicTensorBlock {
+	t := NewBasicTensor(types.FP64, []int{rows, cols})
+	copy(t.data, data)
+	for _, v := range t.data {
+		if v != 0 {
+			t.nnz++
+		}
+	}
+	return t
+}
+
+// String renders tensor metadata.
+func (t *BasicTensorBlock) String() string {
+	return fmt.Sprintf("BasicTensorBlock[%s, dims=%v, nnz=%d]", t.vt, t.dims, t.nnz)
+}

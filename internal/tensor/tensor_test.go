@@ -1,0 +1,384 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+func TestBasicTensorSetGet(t *testing.T) {
+	bt := NewBasicTensor(types.FP64, []int{2, 3, 4})
+	if bt.NumCells() != 24 || bt.NumDims() != 3 {
+		t.Fatalf("cells=%d dims=%d", bt.NumCells(), bt.NumDims())
+	}
+	bt.Set(3.5, 1, 2, 3)
+	if got := bt.Get(1, 2, 3); got != 3.5 {
+		t.Errorf("Get = %v", got)
+	}
+	if bt.NNZ() != 1 {
+		t.Errorf("NNZ = %d", bt.NNZ())
+	}
+	bt.Set(0, 1, 2, 3)
+	if bt.NNZ() != 0 {
+		t.Errorf("NNZ after clear = %d", bt.NNZ())
+	}
+}
+
+func TestBasicTensorValueTypeCoercion(t *testing.T) {
+	it := NewBasicTensor(types.INT64, []int{2, 2})
+	it.Set(3.7, 0, 0)
+	if got := it.Get(0, 0); got != 3 {
+		t.Errorf("int tensor coercion = %v, want 3", got)
+	}
+	bt := NewBasicTensor(types.Boolean, []int{2, 2})
+	bt.Set(5, 1, 1)
+	if got := bt.Get(1, 1); got != 1 {
+		t.Errorf("bool tensor coercion = %v, want 1", got)
+	}
+	ft := NewBasicTensor(types.FP32, []int{1, 1})
+	ft.Set(1.00000000001, 0, 0)
+	if got := ft.Get(0, 0); got != float64(float32(1.00000000001)) {
+		t.Errorf("fp32 coercion = %v", got)
+	}
+}
+
+func TestStringTensor(t *testing.T) {
+	st := NewBasicTensor(types.String, []int{2, 2})
+	if err := st.SetString("hello", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.GetString(0, 1); got != "hello" {
+		t.Errorf("GetString = %q", got)
+	}
+	if st.NNZ() != 1 {
+		t.Errorf("NNZ = %d", st.NNZ())
+	}
+	if err := st.SetString("2.5", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Get(1, 1); got != 2.5 {
+		t.Errorf("numeric read of string cell = %v", got)
+	}
+	// non-numeric read returns 0
+	if got := st.Get(0, 1); got != 0 {
+		t.Errorf("numeric read of non-numeric string = %v", got)
+	}
+	it := NewBasicTensor(types.INT64, []int{1, 1})
+	if err := it.SetString("42", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if it.Get(0, 0) != 42 {
+		t.Error("SetString on int tensor failed")
+	}
+	if err := it.SetString("abc", 0, 0); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestTensorGetStringFormatting(t *testing.T) {
+	it := NewBasicTensor(types.INT64, []int{1, 1})
+	it.Set(7, 0, 0)
+	if got := it.GetString(0, 0); got != "7" {
+		t.Errorf("int GetString = %q", got)
+	}
+	bt := NewBasicTensor(types.Boolean, []int{1, 1})
+	bt.Set(1, 0, 0)
+	if got := bt.GetString(0, 0); got != "true" {
+		t.Errorf("bool GetString = %q", got)
+	}
+}
+
+func TestTensorCopyFillEquals(t *testing.T) {
+	a := NewBasicTensor(types.FP64, []int{3, 3})
+	a.Fill(2)
+	if a.NNZ() != 9 || a.Sum() != 18 {
+		t.Errorf("fill: nnz=%d sum=%v", a.NNZ(), a.Sum())
+	}
+	b := a.Copy()
+	if !a.Equals(b) {
+		t.Error("copy should equal original")
+	}
+	b.Set(5, 0, 0)
+	if a.Equals(b) {
+		t.Error("modified copy should differ")
+	}
+	if a.Get(0, 0) != 2 {
+		t.Error("copy not independent")
+	}
+	a.Fill(0)
+	if a.NNZ() != 0 {
+		t.Error("fill(0) should reset nnz")
+	}
+}
+
+func TestTensorReshape(t *testing.T) {
+	a := NewBasicTensor(types.FP64, []int{2, 6})
+	a.Set(1, 1, 5)
+	if err := a.Reshape([]int{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDims() != 2 || a.Dims()[0] != 3 {
+		t.Error("reshape dims wrong")
+	}
+	if err := a.Reshape([]int{5, 5}); err == nil {
+		t.Error("expected cell count mismatch error")
+	}
+}
+
+func TestTensorUnaryBinary(t *testing.T) {
+	a := NewBasicTensor(types.FP64, []int{2, 2})
+	a.Fill(4)
+	sq, err := a.UnaryApply(math.Sqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.Get(0, 0) != 2 {
+		t.Errorf("sqrt = %v", sq.Get(0, 0))
+	}
+	b := NewBasicTensor(types.FP64, []int{2, 2})
+	b.Fill(3)
+	sum, err := a.BinaryApply(b, func(x, y float64) float64 { return x + y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Get(1, 1) != 7 {
+		t.Errorf("binary add = %v", sum.Get(1, 1))
+	}
+	if _, err := a.BinaryApply(NewBasicTensor(types.FP64, []int{3, 3}), func(x, y float64) float64 { return x }); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+	st := NewBasicTensor(types.String, []int{2, 2})
+	if _, err := st.UnaryApply(math.Sqrt); err == nil {
+		t.Error("expected error on string tensor")
+	}
+}
+
+func TestTensorSlice(t *testing.T) {
+	a := NewBasicTensor(types.FP64, []int{4, 4})
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			a.Set(float64(r*4+c), r, c)
+		}
+	}
+	s, err := a.Slice([]int{1, 1}, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dims()[0] != 2 || s.Get(0, 0) != 5 || s.Get(1, 1) != 10 {
+		t.Errorf("slice = %v get(0,0)=%v", s.Dims(), s.Get(0, 0))
+	}
+	if _, err := a.Slice([]int{0, 0}, []int{5, 5}); err == nil {
+		t.Error("expected out of bounds error")
+	}
+	if _, err := a.Slice([]int{0}, []int{1}); err == nil {
+		t.Error("expected rank mismatch error")
+	}
+}
+
+func TestTensorMatrixInterop(t *testing.T) {
+	a := FromMatrixData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	rows, cols, data, err := a.ToMatrixData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 || cols != 3 || data[5] != 6 {
+		t.Errorf("roundtrip %dx%d %v", rows, cols, data)
+	}
+	nd := NewBasicTensor(types.FP64, []int{2, 2, 2})
+	if _, _, _, err := nd.ToMatrixData(); err == nil {
+		t.Error("expected error for 3d tensor")
+	}
+}
+
+func TestDataTensor(t *testing.T) {
+	schema := types.Schema{types.FP64, types.String, types.INT64}
+	dt, err := NewDataTensor(schema, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dt.Schema().Equal(schema) {
+		t.Error("schema mismatch")
+	}
+	if err := dt.Set(1.5, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.SetString("abc", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Set(7, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dt.Get(0, 0); v != 1.5 {
+		t.Errorf("Get(0,0) = %v", v)
+	}
+	if s, _ := dt.GetString(1, 1); s != "abc" {
+		t.Errorf("GetString(1,1) = %q", s)
+	}
+	if v, _ := dt.Get(2, 2); v != 7 {
+		t.Errorf("Get(2,2) = %v", v)
+	}
+	if dt.NNZ() != 3 {
+		t.Errorf("NNZ = %d", dt.NNZ())
+	}
+	cp := dt.Copy()
+	_ = cp.Set(9, 0, 0)
+	if v, _ := dt.Get(0, 0); v != 1.5 {
+		t.Error("copy not independent")
+	}
+	col, err := dt.Column(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.ValueType() != types.INT64 {
+		t.Error("column value type wrong")
+	}
+	if _, err := dt.Get(0, 9); err == nil {
+		t.Error("expected out of bounds column error")
+	}
+}
+
+func TestDataTensor3D(t *testing.T) {
+	// appliances x features x time (Figure 4(a))
+	schema := types.Schema{types.FP64, types.Boolean}
+	dt, err := NewDataTensor(schema, []int{3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Set(2.5, 1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Set(1, 2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dt.Get(1, 0, 4); v != 2.5 {
+		t.Errorf("Get = %v", v)
+	}
+	if v, _ := dt.Get(2, 1, 0); v != 1 {
+		t.Errorf("bool column Get = %v", v)
+	}
+	if dt.NumCells() != 30 {
+		t.Errorf("cells = %d", dt.NumCells())
+	}
+}
+
+func TestDataTensorErrors(t *testing.T) {
+	if _, err := NewDataTensor(types.Schema{types.FP64}, []int{4}); err == nil {
+		t.Error("expected error for 1-d data tensor")
+	}
+	if _, err := NewDataTensor(types.Schema{types.FP64, types.FP64}, []int{4, 3}); err == nil {
+		t.Error("expected schema length mismatch error")
+	}
+}
+
+func TestBlockSizesScheme(t *testing.T) {
+	want := map[int]int{1: 1024, 2: 1024, 3: 128, 4: 32, 5: 16, 6: 8, 7: 8}
+	for nd, bs := range want {
+		if got := BlockSizes(nd); got != bs {
+			t.Errorf("BlockSizes(%d) = %d, want %d", nd, got, bs)
+		}
+	}
+}
+
+func TestBlockAndUnblockRoundTrip(t *testing.T) {
+	a := NewBasicTensor(types.FP64, []int{5, 7})
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 7; c++ {
+			a.Set(float64(r*7+c+1), r, c)
+		}
+	}
+	bt, err := BlockTensor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.NumBlocks() != 1 { // 5x7 fits inside one 1024x1024 block
+		t.Errorf("NumBlocks = %d, want 1", bt.NumBlocks())
+	}
+	back, err := bt.Unblock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equals(a) {
+		t.Error("unblock did not recover original tensor")
+	}
+}
+
+func TestBlockTensor3D(t *testing.T) {
+	a := NewBasicTensor(types.FP64, []int{130, 2, 3})
+	a.Set(9, 129, 1, 2)
+	a.Set(4, 0, 0, 0)
+	bt, err := BlockTensor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3D blocking uses 128^3 blocks, so dimension 0 splits into 2 blocks
+	if bt.Blocksize != 128 {
+		t.Errorf("blocksize = %d, want 128", bt.Blocksize)
+	}
+	if bt.NumBlocks() != 2 {
+		t.Errorf("NumBlocks = %d, want 2", bt.NumBlocks())
+	}
+	back, err := bt.Unblock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equals(a) {
+		t.Error("3d unblock did not recover original tensor")
+	}
+}
+
+func TestReblockTo3D(t *testing.T) {
+	a := NewBasicTensor(types.FP64, []int{200, 300})
+	a.Set(5, 150, 250)
+	a.Set(7, 0, 0)
+	bt, err := BlockTensor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReblockTo3D(bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Blocksize != 128 {
+		t.Errorf("reblocked blocksize = %d", rb.Blocksize)
+	}
+	// 200x300 with 128-blocking -> 2x3 = 6 blocks
+	if rb.NumBlocks() != 6 {
+		t.Errorf("NumBlocks = %d, want 6", rb.NumBlocks())
+	}
+	back, err := rb.Unblock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equals(a) {
+		t.Error("reblocked unblock did not recover original tensor")
+	}
+}
+
+func TestPropertyBlockUnblockIdentity(t *testing.T) {
+	f := func(r, c uint8, seed int64) bool {
+		rows := int(r%40) + 1
+		cols := int(c%40) + 1
+		a := NewBasicTensor(types.FP64, []int{rows, cols})
+		s := seed
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				a.Set(float64(s%17), i, j)
+			}
+		}
+		bt, err := BlockTensor(a)
+		if err != nil {
+			return false
+		}
+		back, err := bt.Unblock()
+		if err != nil {
+			return false
+		}
+		return back.Equals(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
