@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the concurrency-bearing packages: the inter-operator
+# scheduler and parfor backend, the federated worker, the sparse edit
+# overlay, and the compiler/public-API differential tests that drive them.
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/fed/... ./internal/matrix/... ./internal/compiler/... .
+
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"testing"
 
+	systemds "github.com/systemds/systemds-go"
 	"github.com/systemds/systemds-go/internal/baselines"
 	"github.com/systemds/systemds-go/internal/experiments"
 	"github.com/systemds/systemds-go/internal/matrix"
@@ -279,3 +280,48 @@ func BenchmarkCSVParse(b *testing.B) {
 		}
 	}
 }
+
+// --- Inter-operator DAG scheduler ------------------------------------------
+
+// benchmarkSchedulerWideDAG executes a basic block with eight independent
+// feature-transform chains (each a scale, shift and Gram computation on X).
+// With InterOpParallelism > 1 the chains run concurrently on the scheduler's
+// worker pool; kernels are pinned to one thread so the benchmark isolates
+// inter-operator parallelism from intra-operator parallelism.
+func benchmarkSchedulerWideDAG(b *testing.B, interOp int) {
+	const branches = 8
+	script := ""
+	sum := ""
+	for k := 1; k <= branches; k++ {
+		script += fmt.Sprintf("F%d = X * %d + %d\nG%d = t(F%d) %%*%% F%d\n", k, k, k, k, k, k)
+		if k > 1 {
+			sum += " + "
+		}
+		sum += fmt.Sprintf("sum(G%d)", k)
+	}
+	script += "total = " + sum + "\n"
+	ctx := systemds.NewContext(
+		systemds.WithParallelism(1),
+		systemds.WithInterOpParallelism(interOp),
+		systemds.WithLineage(false),
+	)
+	prepared, err := ctx.Prepare(script, "total")
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := matrix.RandUniform(600, 120, -1, 1, 1.0, 404)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prepared.Execute(map[string]any{"X": x}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerInterOpSequential(b *testing.B) { benchmarkSchedulerWideDAG(b, 1) }
+
+func BenchmarkSchedulerInterOpWorkers2(b *testing.B) { benchmarkSchedulerWideDAG(b, 2) }
+
+func BenchmarkSchedulerInterOpWorkers4(b *testing.B) { benchmarkSchedulerWideDAG(b, 4) }
+
+func BenchmarkSchedulerInterOpWorkers8(b *testing.B) { benchmarkSchedulerWideDAG(b, 8) }

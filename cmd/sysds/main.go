@@ -39,6 +39,7 @@ func main() {
 		reuse       = flag.Bool("reuse", false, "enable lineage-based reuse of intermediates")
 		lineageOff  = flag.Bool("no-lineage", false, "disable lineage tracing")
 		parallelism = flag.Int("parallelism", 0, "number of threads (0 = all cores)")
+		interOp     = flag.Int("inter-op", 1, "inter-operator scheduler workers (<=1 = sequential execution)")
 		useBLAS     = flag.Bool("blas", false, "use the BLAS-like dense multiply kernel")
 		distributed = flag.Bool("distributed", false, "enable the blocked distributed backend for large operations")
 		explainErr  = flag.Bool("stats", false, "print reuse-cache statistics after execution")
@@ -55,6 +56,7 @@ func main() {
 	}
 	opts := []systemds.Option{
 		systemds.WithParallelism(*parallelism),
+		systemds.WithInterOpParallelism(*interOp),
 		systemds.WithReuse(*reuse),
 		systemds.WithBLAS(*useBLAS),
 		systemds.WithDistributedBackend(*distributed),

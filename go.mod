@@ -1,0 +1,3 @@
+module github.com/systemds/systemds-go
+
+go 1.24

@@ -140,7 +140,7 @@ func TestPoolUnregisterRemovesSpillFile(t *testing.T) {
 func TestPoolZeroBudgetNeverEvicts(t *testing.T) {
 	p := New(0, t.TempDir())
 	for i := 0; i < 5; i++ {
-		p.Register(newFake(p, 1 << 20))
+		p.Register(newFake(p, 1<<20))
 	}
 	if p.Stats().Evictions != 0 {
 		t.Error("zero-budget pool must not evict")

@@ -24,7 +24,7 @@ var nativeBuiltins = map[string]bool{
 	"solve": true, "inv": true, "cholesky": true, "eigen": true,
 	"cbind": true, "rbind": true,
 	"rand": true, "matrix": true, "seq": true, "sample": true,
-	"ifelse": true,
+	"ifelse":    true,
 	"as.scalar": true, "as.matrix": true, "as.double": true, "as.integer": true, "as.logical": true,
 	"removeEmpty": true, "replace": true, "order": true, "table": true, "quantile": true,
 	"print": true, "stop": true, "assert": true, "write": true, "read": true,
@@ -368,9 +368,9 @@ func (bb *blockBuilder) emitFCall(s *lang.AssignStmt, call *lang.CallExpr) error
 	if err := bb.flush(); err != nil {
 		return err
 	}
-	bb.instrs = append(bb.instrs, instructions.NewFCall(call.Name, positional, named, targets))
+	bb.emit(instructions.NewFCall(call.Name, positional, named, targets))
 	for _, it := range indexed {
-		bb.instrs = append(bb.instrs, instructions.NewLeftIndex(
+		bb.emit(instructions.NewLeftIndex(
 			it.target.Name, instructions.Var(it.target.Name), instructions.Var(it.temp),
 			it.rl, it.ru, it.cl, it.cu))
 	}
@@ -436,7 +436,7 @@ func (bb *blockBuilder) emitRead(s *lang.AssignStmt, call *lang.CallExpr) error 
 	if err := bb.flush(); err != nil {
 		return err
 	}
-	bb.instrs = append(bb.instrs, instructions.NewRead(s.Targets[0].Name, positional[0], format, dataKind, header))
+	bb.emit(instructions.NewRead(s.Targets[0].Name, positional[0], format, dataKind, header))
 	delete(bb.varMap, s.Targets[0].Name)
 	return nil
 }
@@ -456,7 +456,7 @@ func (bb *blockBuilder) emitEigen(s *lang.AssignStmt, call *lang.CallExpr) error
 	if err := bb.flush(); err != nil {
 		return err
 	}
-	bb.instrs = append(bb.instrs, instructions.NewEigen(s.Targets[0].Name, s.Targets[1].Name, positional[0]))
+	bb.emit(instructions.NewEigen(s.Targets[0].Name, s.Targets[1].Name, positional[0]))
 	delete(bb.varMap, s.Targets[0].Name)
 	delete(bb.varMap, s.Targets[1].Name)
 	return nil
@@ -486,7 +486,7 @@ func (bb *blockBuilder) emitTransformEncode(s *lang.AssignStmt, call *lang.CallE
 	if err := bb.flush(); err != nil {
 		return err
 	}
-	bb.instrs = append(bb.instrs, instructions.NewTransformEncode(s.Targets[0].Name, s.Targets[1].Name, target, spec))
+	bb.emit(instructions.NewTransformEncode(s.Targets[0].Name, s.Targets[1].Name, target, spec))
 	delete(bb.varMap, s.Targets[0].Name)
 	delete(bb.varMap, s.Targets[1].Name)
 	return nil
@@ -516,7 +516,7 @@ func (bb *blockBuilder) emitTransformApply(s *lang.AssignStmt, call *lang.CallEx
 	if err := bb.flush(); err != nil {
 		return err
 	}
-	bb.instrs = append(bb.instrs, instructions.NewTransformApply(s.Targets[0].Name, target, meta))
+	bb.emit(instructions.NewTransformApply(s.Targets[0].Name, target, meta))
 	delete(bb.varMap, s.Targets[0].Name)
 	return nil
 }

@@ -17,7 +17,11 @@ type blockBuilder struct {
 	dag    *hops.DAG
 	varMap map[string]*hops.Hop
 	instrs []runtime.Instruction
-	known  map[string]types.DataCharacteristics
+	// tracker accumulates per-instruction dependency lists (exact HOP
+	// producer/consumer edges plus variable-level hazards) for the
+	// inter-operator scheduler.
+	tracker *runtime.DepTracker
+	known   map[string]types.DataCharacteristics
 	// unknownSizes records whether any lowered operator had an unknown memory
 	// estimate (triggers dynamic recompilation when the distributed backend
 	// is enabled).
@@ -32,7 +36,7 @@ func (c *Compiler) compileBasicBlock(stmts []lang.Statement, known map[string]ty
 	if err != nil {
 		return nil, err
 	}
-	block := &runtime.BasicBlock{Instructions: bb.instrs, CleanupTemps: true}
+	block := &runtime.BasicBlock{Instructions: bb.instrs, Deps: bb.tracker.Deps(), CleanupTemps: true}
 	if c.cfg.DistEnabled && bb.unknownSizes {
 		stmtsCopy := stmts
 		block.RequiresRecompile = true
@@ -56,10 +60,11 @@ func (c *Compiler) compileBasicBlock(stmts []lang.Statement, known map[string]ty
 // buildBlock runs the statement-to-DAG-to-instruction pipeline.
 func (c *Compiler) buildBlock(stmts []lang.Statement, known map[string]types.DataCharacteristics) (*blockBuilder, error) {
 	bb := &blockBuilder{
-		c:      c,
-		dag:    &hops.DAG{},
-		varMap: map[string]*hops.Hop{},
-		known:  known,
+		c:       c,
+		dag:     &hops.DAG{},
+		varMap:  map[string]*hops.Hop{},
+		tracker: runtime.NewDepTracker(),
+		known:   known,
 	}
 	for _, s := range stmts {
 		if err := bb.processStatement(s); err != nil {
@@ -149,7 +154,7 @@ func (bb *blockBuilder) processExprStmt(s *lang.ExprStmt) error {
 		if err := bb.flush(); err != nil {
 			return err
 		}
-		bb.instrs = append(bb.instrs, instructions.NewPrint(op))
+		bb.emit(instructions.NewPrint(op))
 		return nil
 	case "stop":
 		op := instructions.LitString("stop")
@@ -163,7 +168,7 @@ func (bb *blockBuilder) processExprStmt(s *lang.ExprStmt) error {
 		if err := bb.flush(); err != nil {
 			return err
 		}
-		bb.instrs = append(bb.instrs, instructions.NewStop(op))
+		bb.emit(instructions.NewStop(op))
 		return nil
 	case "assert":
 		if len(call.Args) != 1 {
@@ -176,7 +181,7 @@ func (bb *blockBuilder) processExprStmt(s *lang.ExprStmt) error {
 		if err := bb.flush(); err != nil {
 			return err
 		}
-		bb.instrs = append(bb.instrs, instructions.NewAssert(op))
+		bb.emit(instructions.NewAssert(op))
 		return nil
 	case "write":
 		if len(call.Args) < 2 {
@@ -202,7 +207,7 @@ func (bb *blockBuilder) processExprStmt(s *lang.ExprStmt) error {
 		if err := bb.flush(); err != nil {
 			return err
 		}
-		bb.instrs = append(bb.instrs, instructions.NewWrite(dataOp, pathOp, formatOp))
+		bb.emit(instructions.NewWrite(dataOp, pathOp, formatOp))
 		return nil
 	default:
 		if bb.c.isUserOrDMLFunction(call.Name) {

@@ -38,17 +38,41 @@ func (bb *blockBuilder) flush() error {
 	hops.Rewrite(bb.dag)
 	hops.PropagateSizes(bb.dag, bb.known)
 	hops.SelectExecTypes(bb.dag, bb.c.cfg.OperatorMemBudget, bb.c.cfg.DistEnabled)
-	instrs, unknown, err := lowerDAG(bb.dag)
+	instrs, hopDeps, unknown, err := lowerDAG(bb.dag)
 	if err != nil {
 		return err
 	}
 	if unknown {
 		bb.unknownSizes = true
 	}
+	// record each instruction with its exact producer/consumer edges from the
+	// HOP DAG (shifted to block-global indices); the tracker adds the
+	// variable-level hazards crossing DAG boundaries
+	base := len(bb.instrs)
+	for k, inst := range instrs {
+		exact := make([]int, len(hopDeps[k]))
+		for j, d := range hopDeps[k] {
+			exact[j] = base + d
+		}
+		bb.tracker.Add(inst, exact, false)
+	}
 	bb.instrs = append(bb.instrs, instrs...)
 	bb.varMap = map[string]*hops.Hop{}
 	bb.dag = &hops.DAG{}
 	return nil
+}
+
+// emit appends a directly-emitted (non-DAG) instruction, recording it in the
+// dependency tracker. Whether the instruction is an ordering barrier comes
+// from the shared runtime.SchedulerBarrierOpcodes set, so compiler-built
+// blocks and the name-based recompile fallback order side effects
+// identically — with one deliberate exception: `read` is pure from the
+// block's perspective (its ordering against file `write`s is preserved by
+// write being a barrier), so it is ordered by variable dependencies alone.
+func (bb *blockBuilder) emit(inst runtime.Instruction) {
+	op := inst.Opcode()
+	bb.tracker.Add(inst, nil, runtime.SchedulerBarrierOpcodes[op] && op != "read")
+	bb.instrs = append(bb.instrs, inst)
 }
 
 // tempNameOf returns the runtime temporary variable name of an intermediate
@@ -78,16 +102,23 @@ func operandOf(h *hops.Hop) instructions.Operand {
 }
 
 // lowerDAG lowers a rewritten, size-annotated DAG into instructions in
-// topological order. It reports whether any operator had an unknown memory
-// estimate (input for the dynamic-recompilation decision).
+// topological order. It returns, per instruction, the indices of the
+// instructions producing its HOP inputs (the DAG's producer/consumer edges,
+// preserved for the inter-operator scheduler) and reports whether any
+// operator had an unknown memory estimate (input for the
+// dynamic-recompilation decision).
 //
 // Instruction order: all compute instructions first (they read the values the
 // variables had at block entry), then the transient writes. Writes whose
 // source is a plain variable reference (alias assignments) are emitted before
 // writes of computed values, so an assignment like "y = x" observes the old
 // value of x even when x is redefined in the same DAG.
-func lowerDAG(dag *hops.DAG) ([]runtime.Instruction, bool, error) {
-	var computes, aliasWrites, valueWrites []runtime.Instruction
+func lowerDAG(dag *hops.DAG) ([]runtime.Instruction, [][]int, bool, error) {
+	type emitted struct {
+		inst runtime.Instruction
+		hop  *hops.Hop
+	}
+	var computes, aliasWrites, valueWrites []emitted
 	unknown := false
 	for _, h := range dag.Nodes() {
 		if h.MemEstimate < 0 && h.Kind != hops.KindRead && h.Kind != hops.KindLiteral && h.Kind != hops.KindWrite {
@@ -95,23 +126,50 @@ func lowerDAG(dag *hops.DAG) ([]runtime.Instruction, bool, error) {
 		}
 		inst, err := lowerHop(h)
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		if inst == nil {
 			continue
 		}
 		switch {
 		case h.Kind != hops.KindWrite:
-			computes = append(computes, inst)
+			computes = append(computes, emitted{inst, h})
 		case len(h.Inputs) == 1 && h.Inputs[0].Kind == hops.KindRead:
-			aliasWrites = append(aliasWrites, inst)
+			aliasWrites = append(aliasWrites, emitted{inst, h})
 		default:
-			valueWrites = append(valueWrites, inst)
+			valueWrites = append(valueWrites, emitted{inst, h})
 		}
 	}
-	instrs := append(computes, aliasWrites...)
-	instrs = append(instrs, valueWrites...)
-	return instrs, unknown, nil
+	all := append(computes, aliasWrites...)
+	all = append(all, valueWrites...)
+	// producer index per hop id (only non-write hops produce values consumed
+	// by other instructions; named-variable flow across writes is tracked by
+	// the dependency tracker)
+	producer := map[int64]int{}
+	for i, e := range all {
+		if e.hop.Kind != hops.KindWrite {
+			producer[e.hop.ID] = i
+		}
+	}
+	instrs := make([]runtime.Instruction, len(all))
+	deps := make([][]int, len(all))
+	for i, e := range all {
+		instrs[i] = e.inst
+		var ds []int
+		for _, in := range e.hop.Inputs {
+			if j, ok := producer[in.ID]; ok && j != i {
+				ds = append(ds, j)
+			}
+		}
+		for _, p := range e.hop.Params {
+			if j, ok := producer[p.ID]; ok && j != i {
+				ds = append(ds, j)
+			}
+		}
+		sort.Ints(ds)
+		deps[i] = ds
+	}
+	return instrs, deps, unknown, nil
 }
 
 // lowerHop lowers one HOP into an instruction (or nil for reads/literals).

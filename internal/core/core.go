@@ -10,8 +10,8 @@ import (
 	"io"
 	"os"
 
-	"github.com/systemds/systemds-go/internal/builtins"
 	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/builtins"
 	"github.com/systemds/systemds-go/internal/compiler"
 	"github.com/systemds/systemds-go/internal/fed"
 	"github.com/systemds/systemds-go/internal/frame"

@@ -1,0 +1,223 @@
+// Package dist implements the blocked "distributed" matrix backend of
+// SystemDS-Go (Section 2.3): large matrices are partitioned into a grid of
+// squared blocks and operations are executed block-wise over a local worker
+// pool, mirroring the data-parallel Spark backend of SystemDS at the level of
+// one machine. The compiler selects this backend for operators whose memory
+// estimate exceeds the per-operator budget.
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// BlockedMatrix is a matrix partitioned into a grid of blocks of size
+// Blocksize x Blocksize (boundary blocks are smaller). Blocks are stored
+// row-major by grid coordinate.
+type BlockedMatrix struct {
+	Rows, Cols int
+	Blocksize  int
+	// Blocks[bi*GridCols()+bj] holds the block covering rows
+	// [bi*Blocksize, min((bi+1)*Blocksize, Rows)) and the analogous columns.
+	Blocks []*matrix.MatrixBlock
+}
+
+// GridRows returns the number of block rows.
+func (b *BlockedMatrix) GridRows() int { return ceilDiv(b.Rows, b.Blocksize) }
+
+// GridCols returns the number of block columns.
+func (b *BlockedMatrix) GridCols() int { return ceilDiv(b.Cols, b.Blocksize) }
+
+// Block returns the block at grid coordinate (bi, bj).
+func (b *BlockedMatrix) Block(bi, bj int) *matrix.MatrixBlock {
+	return b.Blocks[bi*b.GridCols()+bj]
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// FromMatrixBlock partitions a local matrix into a blocked matrix.
+func FromMatrixBlock(m *matrix.MatrixBlock, blocksize int) (*BlockedMatrix, error) {
+	if blocksize <= 0 {
+		return nil, fmt.Errorf("dist: invalid blocksize %d", blocksize)
+	}
+	bm := &BlockedMatrix{Rows: m.Rows(), Cols: m.Cols(), Blocksize: blocksize}
+	gr, gc := bm.GridRows(), bm.GridCols()
+	bm.Blocks = make([]*matrix.MatrixBlock, gr*gc)
+	for bi := 0; bi < gr; bi++ {
+		for bj := 0; bj < gc; bj++ {
+			rl, ru := bi*blocksize, min(bi*blocksize+blocksize, m.Rows())
+			cl, cu := bj*blocksize, min(bj*blocksize+blocksize, m.Cols())
+			blk, err := matrix.Slice(m, rl, ru, cl, cu)
+			if err != nil {
+				return nil, fmt.Errorf("dist: partition block (%d,%d): %w", bi, bj, err)
+			}
+			bm.Blocks[bi*gc+bj] = blk
+		}
+	}
+	return bm, nil
+}
+
+// ToMatrixBlock collects the blocked matrix into one local matrix.
+func (b *BlockedMatrix) ToMatrixBlock() (*matrix.MatrixBlock, error) {
+	out := matrix.NewDense(b.Rows, b.Cols)
+	gc := b.GridCols()
+	var err error
+	for bi := 0; bi < b.GridRows(); bi++ {
+		for bj := 0; bj < gc; bj++ {
+			blk := b.Blocks[bi*gc+bj]
+			if blk == nil {
+				return nil, fmt.Errorf("dist: missing block (%d,%d)", bi, bj)
+			}
+			rl, cl := bi*b.Blocksize, bj*b.Blocksize
+			out, err = matrix.LeftIndex(out, blk, rl, rl+blk.Rows(), cl, cl+blk.Cols())
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// forEachBlock runs fn for every grid coordinate on a bounded worker pool.
+func forEachBlock(gridRows, gridCols, threads int, fn func(bi, bj int) error) error {
+	if threads <= 0 {
+		threads = matrix.DefaultParallelism()
+	}
+	type coord struct{ bi, bj int }
+	work := make(chan coord)
+	errOnce := sync.Once{}
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				if err := fn(c.bi, c.bj); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for bi := 0; bi < gridRows; bi++ {
+		for bj := 0; bj < gridCols; bj++ {
+			work <- coord{bi, bj}
+		}
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// Cellwise applies an element-wise binary operation over two aligned blocked
+// matrices block by block.
+func Cellwise(a, b *BlockedMatrix, op matrix.BinaryOp) (*BlockedMatrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.Blocksize != b.Blocksize {
+		return nil, fmt.Errorf("dist: cellwise dimension mismatch %dx%d/%d vs %dx%d/%d",
+			a.Rows, a.Cols, a.Blocksize, b.Rows, b.Cols, b.Blocksize)
+	}
+	out := &BlockedMatrix{Rows: a.Rows, Cols: a.Cols, Blocksize: a.Blocksize,
+		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
+	gc := a.GridCols()
+	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
+		res, err := matrix.CellwiseOp(a.Blocks[bi*gc+bj], b.Blocks[bi*gc+bj], op)
+		if err != nil {
+			return err
+		}
+		out.Blocks[bi*gc+bj] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MatMult multiplies a blocked left operand with a local (broadcast) right
+// operand: every block-row strip of the left input is multiplied with the
+// matching row slice of the right operand independently — the map-side
+// broadcast join of the paper's data-parallel backend.
+func MatMult(a *BlockedMatrix, b *matrix.MatrixBlock, threads int) (*BlockedMatrix, error) {
+	if a.Cols != b.Rows() {
+		return nil, fmt.Errorf("dist: matmult dimension mismatch %dx%d %%*%% %dx%d",
+			a.Rows, a.Cols, b.Rows(), b.Cols())
+	}
+	out := &BlockedMatrix{Rows: a.Rows, Cols: b.Cols(), Blocksize: a.Blocksize}
+	gr, agc, ogc := a.GridRows(), a.GridCols(), out.GridCols()
+	out.Blocks = make([]*matrix.MatrixBlock, gr*ogc)
+	err := forEachBlock(gr, 1, threads, func(bi, _ int) error {
+		// accumulate the full output strip for block-row bi
+		var strip *matrix.MatrixBlock
+		for bk := 0; bk < agc; bk++ {
+			left := a.Blocks[bi*agc+bk]
+			bSlice, err := matrix.Slice(b, bk*a.Blocksize, bk*a.Blocksize+left.Cols(), 0, b.Cols())
+			if err != nil {
+				return err
+			}
+			part, err := matrix.Multiply(left, bSlice, 1)
+			if err != nil {
+				return err
+			}
+			if strip == nil {
+				strip = part
+			} else if strip, err = matrix.CellwiseOp(strip, part, matrix.OpAdd); err != nil {
+				return err
+			}
+		}
+		// split the strip into output blocks
+		for bj := 0; bj < ogc; bj++ {
+			cl, cu := bj*out.Blocksize, min(bj*out.Blocksize+out.Blocksize, out.Cols)
+			blk, err := matrix.Slice(strip, 0, strip.Rows(), cl, cu)
+			if err != nil {
+				return err
+			}
+			out.Blocks[bi*ogc+bj] = blk
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TSMM computes t(X) %*% X over a blocked input: per-strip partial Gram
+// matrices t(X_i) %*% X_i are computed in parallel and summed (the
+// aggregation tree of the distributed backend), returning a local result
+// because the output is only cols x cols.
+func TSMM(x *BlockedMatrix, threads int) (*matrix.MatrixBlock, error) {
+	if threads <= 0 {
+		threads = matrix.DefaultParallelism()
+	}
+	gr, gc := x.GridRows(), x.GridCols()
+	partials := make([]*matrix.MatrixBlock, gr)
+	err := forEachBlock(gr, 1, threads, func(bi, _ int) error {
+		// reassemble the block-row strip (cheap: gc is small for tall-skinny
+		// inputs, the common TSMM shape)
+		strip := x.Blocks[bi*gc]
+		var err error
+		if gc > 1 {
+			row := make([]*matrix.MatrixBlock, gc)
+			copy(row, x.Blocks[bi*gc:(bi+1)*gc])
+			strip, err = matrix.CBind(row...)
+			if err != nil {
+				return err
+			}
+		}
+		partials[bi] = matrix.TSMM(strip, 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := partials[0]
+	for i := 1; i < gr; i++ {
+		out, err = matrix.CellwiseOp(out, partials[i], matrix.OpAdd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

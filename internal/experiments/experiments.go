@@ -228,7 +228,9 @@ func Figure5a(scale Scale, dir string) (*Figure, error) {
 		run   func(k int) (time.Duration, error)
 	}{
 		{"TF", func(k int) (time.Duration, error) { return RunBaselineWorkload(dir, xPath, yPath, k, baselines.Naive) }},
-		{"TF-G", func(k int) (time.Duration, error) { return RunBaselineWorkload(dir, xPath, yPath, k, baselines.GraphCSE) }},
+		{"TF-G", func(k int) (time.Duration, error) {
+			return RunBaselineWorkload(dir, xPath, yPath, k, baselines.GraphCSE)
+		}},
 		{"Julia", func(k int) (time.Duration, error) { return RunBaselineWorkload(dir, xPath, yPath, k, baselines.Eager) }},
 		{"SysDS", func(k int) (time.Duration, error) {
 			d, _, err := RunSysDSWorkload(dir, xPath, yPath, k, false, false)
@@ -267,7 +269,9 @@ func Figure5b(scale Scale, dir string) (*Figure, error) {
 		run   func(k int) (time.Duration, error)
 	}{
 		{"TF", func(k int) (time.Duration, error) { return RunBaselineWorkload(dir, xPath, yPath, k, baselines.Naive) }},
-		{"TF-G", func(k int) (time.Duration, error) { return RunBaselineWorkload(dir, xPath, yPath, k, baselines.GraphCSE) }},
+		{"TF-G", func(k int) (time.Duration, error) {
+			return RunBaselineWorkload(dir, xPath, yPath, k, baselines.GraphCSE)
+		}},
 		{"Julia", func(k int) (time.Duration, error) { return RunBaselineWorkload(dir, xPath, yPath, k, baselines.Eager) }},
 		{"SysDS", func(k int) (time.Duration, error) {
 			d, _, err := RunSysDSWorkload(dir, xPath, yPath, k, false, false)

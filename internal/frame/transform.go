@@ -26,15 +26,15 @@ type TransformSpec struct {
 // applied to new frames with the same schema (transformapply) and is itself
 // representable as metadata, keeping the system stateless (Section 3.2).
 type Encoder struct {
-	spec      TransformSpec
-	colNames  []string
-	recodeMap map[string]map[string]int // column -> value -> 1-based code
-	binMins   map[string]float64
-	binWidths map[string]float64
-	binCount  map[string]int
-	imputeVal map[string]float64
-	scaleMu   map[string]float64
-	scaleSd   map[string]float64
+	spec        TransformSpec
+	colNames    []string
+	recodeMap   map[string]map[string]int // column -> value -> 1-based code
+	binMins     map[string]float64
+	binWidths   map[string]float64
+	binCount    map[string]int
+	imputeVal   map[string]float64
+	scaleMu     map[string]float64
+	scaleSd     map[string]float64
 	numDistinct map[string]int
 }
 

@@ -20,23 +20,23 @@ type Kind int
 
 // HOP kinds.
 const (
-	KindRead      Kind = iota // transient read of a variable
-	KindLiteral               // scalar literal
-	KindBinary                // cell-wise or scalar binary operation
-	KindUnary                 // cell-wise or scalar unary operation
-	KindAggUnary              // full or row/column aggregation
-	KindMatMult               // matrix multiplication
-	KindTSMM                  // fused transpose-self matrix multiply t(X)%*%X
-	KindReorg                 // transpose, diag, rev, order
-	KindIndexing              // right indexing X[a:b, c:d]
-	KindLeftIndex             // left indexing target[a:b, c:d] = src
-	KindDataGen               // rand, seq, fill
-	KindNary                  // cbind, rbind, n-ary min/max
-	KindTernary               // ifelse
-	KindParamBuiltin          // parameterized builtins (transformencode, removeEmpty, ...)
-	KindFunctionCall          // call to a user or DML-bodied function
-	KindCast                  // as.scalar, as.matrix, as.double, ...
-	KindWrite                 // transient write of a variable (DAG output)
+	KindRead         Kind = iota // transient read of a variable
+	KindLiteral                  // scalar literal
+	KindBinary                   // cell-wise or scalar binary operation
+	KindUnary                    // cell-wise or scalar unary operation
+	KindAggUnary                 // full or row/column aggregation
+	KindMatMult                  // matrix multiplication
+	KindTSMM                     // fused transpose-self matrix multiply t(X)%*%X
+	KindReorg                    // transpose, diag, rev, order
+	KindIndexing                 // right indexing X[a:b, c:d]
+	KindLeftIndex                // left indexing target[a:b, c:d] = src
+	KindDataGen                  // rand, seq, fill
+	KindNary                     // cbind, rbind, n-ary min/max
+	KindTernary                  // ifelse
+	KindParamBuiltin             // parameterized builtins (transformencode, removeEmpty, ...)
+	KindFunctionCall             // call to a user or DML-bodied function
+	KindCast                     // as.scalar, as.matrix, as.double, ...
+	KindWrite                    // transient write of a variable (DAG output)
 )
 
 var kindNames = map[Kind]string{

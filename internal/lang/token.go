@@ -21,17 +21,17 @@ const (
 	TokenNumber
 	TokenString
 	TokenBool
-	TokenOperator   // + - * / ^ %*% %% %/% < <= > >= == != & | ! =
-	TokenLParen     // (
-	TokenRParen     // )
-	TokenLBrace     // {
-	TokenRBrace     // }
-	TokenLBracket   // [
-	TokenRBracket   // ]
-	TokenComma      // ,
-	TokenSemicolon  // ;
-	TokenColon      // :
-	TokenKeyword    // if else for while parfor function return in source as
+	TokenOperator  // + - * / ^ %*% %% %/% < <= > >= == != & | ! =
+	TokenLParen    // (
+	TokenRParen    // )
+	TokenLBrace    // {
+	TokenRBrace    // }
+	TokenLBracket  // [
+	TokenRBracket  // ]
+	TokenComma     // ,
+	TokenSemicolon // ;
+	TokenColon     // :
+	TokenKeyword   // if else for while parfor function return in source as
 	TokenNewline
 )
 

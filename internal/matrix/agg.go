@@ -9,7 +9,7 @@ import (
 func Sum(m *MatrixBlock) float64 {
 	var s float64
 	if m.IsSparse() {
-		for _, v := range m.sparse.Values {
+		for _, v := range m.csr().Values {
 			s += v
 		}
 		return s
@@ -24,7 +24,7 @@ func Sum(m *MatrixBlock) float64 {
 func SumSq(m *MatrixBlock) float64 {
 	var s float64
 	if m.IsSparse() {
-		for _, v := range m.sparse.Values {
+		for _, v := range m.csr().Values {
 			s += v * v
 		}
 		return s
@@ -68,7 +68,7 @@ func Min(m *MatrixBlock) float64 {
 		if m.nnz < int64(m.rows)*int64(m.cols) {
 			minV = 0
 		}
-		for _, v := range m.sparse.Values {
+		for _, v := range m.csr().Values {
 			if v < minV {
 				minV = v
 			}
@@ -90,7 +90,7 @@ func Max(m *MatrixBlock) float64 {
 		if m.nnz < int64(m.rows)*int64(m.cols) {
 			maxV = 0
 		}
-		for _, v := range m.sparse.Values {
+		for _, v := range m.csr().Values {
 			if v > maxV {
 				maxV = v
 			}
@@ -122,7 +122,7 @@ func Trace(m *MatrixBlock) float64 {
 func ColSums(m *MatrixBlock) *MatrixBlock {
 	out := NewDense(1, m.cols)
 	if m.IsSparse() {
-		s := m.sparse
+		s := m.csr()
 		for r := 0; r < m.rows; r++ {
 			for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
 				out.dense[s.ColIdx[p]] += s.Values[p]
@@ -144,7 +144,7 @@ func ColSums(m *MatrixBlock) *MatrixBlock {
 func RowSums(m *MatrixBlock) *MatrixBlock {
 	out := NewDense(m.rows, 1)
 	if m.IsSparse() {
-		s := m.sparse
+		s := m.csr()
 		for r := 0; r < m.rows; r++ {
 			var sum float64
 			for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {

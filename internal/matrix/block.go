@@ -164,7 +164,7 @@ func (m *MatrixBlock) ToDense() *MatrixBlock {
 		return m
 	}
 	d := make([]float64, m.rows*m.cols)
-	s := m.sparse
+	s := m.csr()
 	for r := 0; r < m.rows; r++ {
 		for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
 			d[r*m.cols+s.ColIdx[p]] = s.Values[p]
@@ -299,7 +299,18 @@ func (m *MatrixBlock) String() string {
 // InMemorySize estimates the in-memory footprint of the block in bytes.
 func (m *MatrixBlock) InMemorySize() int64 {
 	if m.sparse != nil {
-		return int64(len(m.sparse.Values))*16 + int64(len(m.sparse.RowPtr))*8 + 64
+		return m.sparse.NNZ()*16 + int64(len(m.sparse.RowPtr))*8 + 64
 	}
 	return int64(len(m.dense))*8 + 64
+}
+
+// csr returns the sparse structure with the flat-CSR invariant restored
+// (pending incremental edits compacted), or nil for dense blocks. Kernels
+// that read RowPtr/ColIdx/Values directly must obtain the structure through
+// this accessor.
+func (m *MatrixBlock) csr() *CSR {
+	if m.sparse != nil {
+		m.sparse.Compact()
+	}
+	return m.sparse
 }

@@ -237,11 +237,12 @@ func ScalarOp(m *MatrixBlock, s float64, op BinaryOp, swap bool) *MatrixBlock {
 	}
 	if m.IsSparse() && sparseSafe {
 		out := m.Copy()
-		for i, v := range out.sparse.Values {
+		vals := out.csr().Values
+		for i, v := range vals {
 			if swap {
-				out.sparse.Values[i] = op.Apply(s, v)
+				vals[i] = op.Apply(s, v)
 			} else {
-				out.sparse.Values[i] = op.Apply(v, s)
+				vals[i] = op.Apply(v, s)
 			}
 		}
 		out.RecomputeNNZ()
@@ -269,8 +270,9 @@ func UnaryApply(m *MatrixBlock, op UnaryOp) *MatrixBlock {
 		op == OpFloor || op == OpCeil || op == OpSign || op == OpSin || op == OpTan
 	if m.IsSparse() && sparseSafe {
 		out := m.Copy()
-		for i, v := range out.sparse.Values {
-			out.sparse.Values[i] = op.Apply(v)
+		vals := out.csr().Values
+		for i, v := range vals {
+			vals[i] = op.Apply(v)
 		}
 		out.RecomputeNNZ()
 		return out

@@ -142,7 +142,7 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 func multSparseDense(a, b *MatrixBlock, threads int) *MatrixBlock {
 	m, n := a.rows, b.cols
 	out := NewDense(m, n)
-	s := a.sparse
+	s := a.csr()
 	bv, cv := b.dense, out.dense
 	parallelRows(m, threads, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
@@ -163,7 +163,7 @@ func multSparseDense(a, b *MatrixBlock, threads int) *MatrixBlock {
 func multDenseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 	m, k, n := a.rows, a.cols, b.cols
 	out := NewDense(m, n)
-	s := b.sparse
+	s := b.csr()
 	av, cv := a.dense, out.dense
 	parallelRows(m, threads, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
@@ -188,7 +188,7 @@ func multDenseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 func multSparseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 	m, n := a.rows, b.cols
 	out := NewDense(m, n)
-	sa, sb := a.sparse, b.sparse
+	sa, sb := a.csr(), b.csr()
 	cv := out.dense
 	parallelRows(m, threads, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
@@ -281,7 +281,7 @@ func tsmmDense(x, out *MatrixBlock, threads int) {
 
 func tsmmSparse(x, out *MatrixBlock, threads int) {
 	m, n := x.rows, x.cols
-	s := x.sparse
+	s := x.csr()
 	numChunks := threads
 	if numChunks > m {
 		numChunks = max(1, m)

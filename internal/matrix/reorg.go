@@ -30,7 +30,7 @@ func Transpose(m *MatrixBlock) *MatrixBlock {
 }
 
 func transposeSparse(m *MatrixBlock) *MatrixBlock {
-	s := m.sparse
+	s := m.csr()
 	rows, cols := m.cols, m.rows // transposed dims
 	counts := make([]int, rows+1)
 	for _, c := range s.ColIdx {
@@ -165,7 +165,7 @@ func Slice(m *MatrixBlock, rl, ru, cl, cu int) (*MatrixBlock, error) {
 	rows, cols := ru-rl, cu-cl
 	out := NewDense(rows, cols)
 	if m.IsSparse() {
-		s := m.sparse
+		s := m.csr()
 		for r := rl; r < ru; r++ {
 			lo, hi := s.RowPtr[r], s.RowPtr[r+1]
 			start := lo + sort.SearchInts(s.ColIdx[lo:hi], cl)

@@ -67,6 +67,16 @@ func (p *Program) Function(name string) (*FunctionBlock, bool) {
 // side-effect instructions).
 type BasicBlock struct {
 	Instructions []Instruction
+	// Deps holds the exact per-instruction dependency lists preserved from
+	// the HOP DAG's producer/consumer edges by the compiler (one list of
+	// earlier-instruction indices per instruction). When nil or out of sync
+	// with Instructions (e.g. after dynamic recompilation), the scheduler
+	// falls back to name-based dependency analysis.
+	Deps [][]int
+	// Sequential forces strictly ordered execution even when the
+	// inter-operator scheduler is enabled (predicate blocks, whose results
+	// feed control-flow decisions, always run sequentially).
+	Sequential bool
 	// RequiresRecompile marks blocks compiled with unknown sizes; when set and
 	// a Recompile callback is present, the block is re-lowered against the
 	// current symbol table before execution (dynamic recompilation).
@@ -77,18 +87,32 @@ type BasicBlock struct {
 	CleanupTemps bool
 }
 
-// Execute runs the block's instructions with lineage tracing and reuse.
+// Execute runs the block's instructions with lineage tracing and reuse:
+// sequentially by default, or dependency-scheduled on a worker pool when
+// Config.InterOpParallelism > 1 (see scheduler.go).
 func (b *BasicBlock) Execute(ctx *Context) error {
 	instrs := b.Instructions
+	deps := b.Deps
 	if b.RequiresRecompile && b.Recompile != nil {
 		recompiled, err := b.Recompile(ctx)
 		if err != nil {
 			return fmt.Errorf("runtime: dynamic recompilation failed: %w", err)
 		}
 		instrs = recompiled
+		deps = nil // compiler edges no longer match the recompiled list
 	}
-	for _, inst := range instrs {
-		if err := ExecuteInstruction(ctx, inst); err != nil {
+	workers := ctx.Config.InterOpWorkers()
+	if b.Sequential || workers <= 1 || len(instrs) < 2 {
+		for _, inst := range instrs {
+			if err := ExecuteInstruction(ctx, inst); err != nil {
+				return err
+			}
+		}
+	} else {
+		if len(deps) != len(instrs) {
+			deps = BuildDependencies(instrs)
+		}
+		if err := ExecuteScheduled(ctx, instrs, deps, workers); err != nil {
 			return err
 		}
 	}
@@ -264,11 +288,11 @@ func (b *WhileBlock) Execute(ctx *Context) error {
 // distributed over local workers, each with an isolated context, and written
 // results are merged back into the parent context.
 type ForBlock struct {
-	Var       string
-	Iterable  *BasicBlock
-	IterVar   string
-	Body      []ProgramBlock
-	Parallel  bool
+	Var        string
+	Iterable   *BasicBlock
+	IterVar    string
+	Body       []ProgramBlock
+	Parallel   bool
 	ResultVars []string // variables written by the body (computed at compile time)
 }
 
@@ -460,10 +484,10 @@ func mergeResults(ctx *Context, name string, original Data, sources []workerResu
 
 // FunctionBlock is a compiled user-defined or DML-bodied builtin function.
 type FunctionBlock struct {
-	Name     string
-	Params   []FunctionParam
-	Returns  []string
-	Body     []ProgramBlock
+	Name    string
+	Params  []FunctionParam
+	Returns []string
+	Body    []ProgramBlock
 }
 
 // FunctionParam describes one function parameter with an optional default.

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"github.com/systemds/systemds-go/internal/lineage"
@@ -135,7 +136,7 @@ type fakeInst struct {
 	outputs []string
 	data    string
 	execute func(ctx *Context) error
-	runs    int
+	runs    atomic.Int64
 }
 
 func (f *fakeInst) Opcode() string      { return f.opcode }
@@ -143,7 +144,7 @@ func (f *fakeInst) Inputs() []string    { return f.inputs }
 func (f *fakeInst) Outputs() []string   { return f.outputs }
 func (f *fakeInst) LineageData() string { return f.data }
 func (f *fakeInst) Execute(ctx *Context) error {
-	f.runs++
+	f.runs.Add(1)
 	return f.execute(ctx)
 }
 
@@ -173,8 +174,8 @@ func TestExecuteInstructionLineageAndReuse(t *testing.T) {
 	if err := ExecuteInstruction(ctx, inst); err != nil {
 		t.Fatal(err)
 	}
-	if inst.runs != 1 {
-		t.Errorf("instruction ran %d times, want 1 (second run reused)", inst.runs)
+	if inst.runs.Load() != 1 {
+		t.Errorf("instruction ran %d times, want 1 (second run reused)", inst.runs.Load())
 	}
 	if ctx.Cache.Stats().Hits != 1 {
 		t.Errorf("cache stats = %+v", ctx.Cache.Stats())
@@ -194,8 +195,8 @@ func TestExecuteInstructionNonCacheableOpcodes(t *testing.T) {
 	}
 	_ = ExecuteInstruction(ctx, inst)
 	_ = ExecuteInstruction(ctx, inst)
-	if inst.runs != 2 {
-		t.Errorf("rand should never be reused, ran %d times", inst.runs)
+	if inst.runs.Load() != 2 {
+		t.Errorf("rand should never be reused, ran %d times", inst.runs.Load())
 	}
 }
 

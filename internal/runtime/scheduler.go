@@ -1,0 +1,208 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the inter-operator DAG scheduler: instead of executing
+// a basic block's instructions strictly in emission order, the block is
+// treated as a dependency DAG over its instructions and independent
+// instructions execute concurrently on a bounded worker pool (sized by
+// Config.InterOpParallelism). Dependencies come from the compiler when it
+// preserved the HOP DAG's producer/consumer edges (BasicBlock.Deps), or are
+// re-derived from instruction variable names (RAW, WAR, WAW hazards plus
+// ordering barriers for side-effecting opcodes) for recompiled blocks.
+
+// SchedulerBarrierOpcodes are opcodes that act as full ordering barriers in
+// the instruction dependency graph: side effects (console output, file I/O,
+// variable removal) and function calls, whose bodies may contain arbitrary
+// side effects, must observe every prior instruction and be observed by every
+// later one, so sequential semantics (e.g. print ordering) are preserved.
+var SchedulerBarrierOpcodes = map[string]bool{
+	"print": true, "write": true, "read": true, "stop": true, "assert": true,
+	"rmvar": true, "fcall": true,
+}
+
+// BuildDependencies derives the dependency lists of a straight-line
+// instruction sequence from variable names: an instruction depends on the
+// last writer of each variable it reads (RAW), a writer depends on all
+// readers since the previous write (WAR) and on the previous writer (WAW),
+// and barrier opcodes order against everything around them. The result has
+// one deduplicated dependency list per instruction; executing instructions
+// in any order consistent with these edges produces the same symbol-table
+// state as sequential execution.
+func BuildDependencies(instrs []Instruction) [][]int {
+	t := NewDepTracker()
+	for _, inst := range instrs {
+		t.Add(inst, nil, SchedulerBarrierOpcodes[inst.Opcode()])
+	}
+	return t.Deps()
+}
+
+// DepTracker incrementally builds the dependency lists of an instruction
+// sequence. The compiler feeds it during lowering, passing the exact
+// producer/consumer edges preserved from the HOP DAG for each instruction;
+// the tracker adds the variable-level hazards (RAW/WAR/WAW on named
+// variables crossing DAG boundaries) and barrier ordering that the HOP DAG
+// does not capture. BuildDependencies uses it with no exact edges as the
+// name-only fallback.
+type DepTracker struct {
+	deps         [][]int
+	lastWrite    map[string]int   // variable -> last instruction writing it
+	readers      map[string][]int // variable -> readers since last write
+	lastBarrier  int              // index of the last barrier instruction
+	sinceBarrier []int            // instructions since the last barrier
+}
+
+// NewDepTracker creates an empty tracker.
+func NewDepTracker() *DepTracker {
+	return &DepTracker{lastWrite: map[string]int{}, readers: map[string][]int{}, lastBarrier: -1}
+}
+
+// Add records the next instruction of the sequence with optional exact
+// dependency indices and whether it is an ordering barrier. Exact indices
+// must be earlier positions in the same sequence; a forward or out-of-range
+// index is a compiler bug and panics here rather than being dropped, which
+// would silently under-constrain scheduled execution.
+func (t *DepTracker) Add(inst Instruction, exact []int, barrier bool) {
+	i := len(t.deps)
+	set := newDepSet()
+	for _, d := range exact {
+		if d < 0 || d >= i {
+			panic(fmt.Sprintf("runtime: instruction %d (%s) has non-topological exact dependency %d", i, inst.Opcode(), d))
+		}
+		set.add(d)
+	}
+	if t.lastBarrier >= 0 {
+		set.add(t.lastBarrier)
+	}
+	for _, in := range inst.Inputs() {
+		if w, ok := t.lastWrite[in]; ok {
+			set.add(w)
+		}
+		t.readers[in] = append(t.readers[in], i)
+	}
+	for _, out := range inst.Outputs() {
+		for _, r := range t.readers[out] {
+			if r != i {
+				set.add(r)
+			}
+		}
+		if w, ok := t.lastWrite[out]; ok {
+			set.add(w)
+		}
+		t.lastWrite[out] = i
+		t.readers[out] = nil
+	}
+	if barrier {
+		for _, j := range t.sinceBarrier {
+			set.add(j)
+		}
+		t.lastBarrier = i
+		t.sinceBarrier = t.sinceBarrier[:0]
+	} else {
+		t.sinceBarrier = append(t.sinceBarrier, i)
+	}
+	t.deps = append(t.deps, set.list)
+}
+
+// Deps returns the accumulated per-instruction dependency lists.
+func (t *DepTracker) Deps() [][]int { return t.deps }
+
+// depSet accumulates dependency indices without duplicates.
+type depSet struct {
+	seen map[int]bool
+	list []int
+}
+
+func newDepSet() *depSet { return &depSet{seen: map[int]bool{}} }
+
+func (s *depSet) add(i int) {
+	if !s.seen[i] {
+		s.seen[i] = true
+		s.list = append(s.list, i)
+	}
+}
+
+// ExecuteScheduled runs the instructions respecting the dependency lists,
+// executing ready instructions concurrently on at most `workers` goroutines.
+// Each instruction still goes through ExecuteInstruction, so lineage tracing
+// and lineage-based reuse apply unchanged. On error, no new instructions
+// start executing, in-flight instructions finish, and the first error is
+// returned.
+func ExecuteScheduled(ctx *Context, instrs []Instruction, deps [][]int, workers int) error {
+	n := len(instrs)
+	if n == 0 {
+		return nil
+	}
+	if len(deps) != n {
+		return fmt.Errorf("runtime: scheduler called with %d instructions but %d dependency lists", n, len(deps))
+	}
+	if workers > n {
+		workers = n
+	}
+	dependents := make([][]int, n)
+	indeg := make([]int32, n)
+	for i, ds := range deps {
+		for _, d := range ds {
+			if d < 0 || d >= n {
+				return fmt.Errorf("runtime: instruction %d has out-of-range dependency %d", i, d)
+			}
+			if d >= i {
+				return fmt.Errorf("runtime: instruction %d has non-topological dependency %d", i, d)
+			}
+			dependents[d] = append(dependents[d], i)
+		}
+		indeg[i] = int32(len(ds))
+	}
+	// every instruction passes through the ready channel exactly once, so a
+	// buffer of n never blocks senders
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+	var (
+		pending  int64 = int64(n)
+		aborted  atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	finish := func(i int) {
+		for _, d := range dependents[i] {
+			if atomic.AddInt32(&indeg[d], -1) == 0 {
+				ready <- d
+			}
+		}
+		if atomic.AddInt64(&pending, -1) == 0 {
+			close(ready)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				if !aborted.Load() {
+					if err := ExecuteInstruction(ctx, instrs[i]); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						aborted.Store(true)
+					}
+				}
+				// completed (or skipped after abort): release dependents so
+				// the pipeline drains and the channel closes
+				finish(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
