@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run of the concurrency-bearing packages: the inter-operator
-# scheduler and parfor backend, the federated worker, the sparse edit
-# overlay, and the compiler/public-API differential tests that drive them.
+# scheduler and parfor backend, the blocked distributed backend, the federated
+# worker, the sparse edit overlay, and the compiler/public-API differential
+# tests that drive them.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/fed/... ./internal/matrix/... ./internal/compiler/... .
+	$(GO) test -race ./internal/runtime/... ./internal/dist/... ./internal/fed/... ./internal/matrix/... ./internal/compiler/... .
 
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .

@@ -71,6 +71,9 @@ func main() {
 	run("dist", func() (*experiments.Figure, error) {
 		return experiments.AblationDistVsLocal(scale.RowsSweep, scale.Cols, 1024)
 	})
+	run("distchain", func() (*experiments.Figure, error) {
+		return experiments.AblationBlockedChain(scale.RowsSweep, scale.Cols, 1024)
+	})
 	run("fed", func() (*experiments.Figure, error) {
 		return experiments.AblationFederatedTSMM(scale.Rows, scale.Cols)
 	})

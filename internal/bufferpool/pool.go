@@ -37,6 +37,13 @@ type Stats struct {
 	BytesSpilt int64
 }
 
+// Discarder is an optional Entry extension: entries that manage their own
+// spill files (e.g. per-block spills) are asked to remove them when they are
+// unregistered from the pool.
+type Discarder interface {
+	Discard()
+}
+
 // Pool tracks registered entries and enforces the memory budget with LRU
 // eviction of unpinned entries.
 type Pool struct {
@@ -45,6 +52,10 @@ type Pool struct {
 	dir     string
 	entries map[int64]*list.Element
 	lru     *list.List // of Entry, front = most recently used
+	// inMem is the running total of in-memory bytes across registered
+	// entries, maintained on register/restore/evict/unregister so budget
+	// enforcement does not rescan the LRU list on every access.
+	inMem   int64
 	stats   Stats
 	counter int64
 }
@@ -76,6 +87,9 @@ func (p *Pool) Register(e Entry) {
 	if _, ok := p.entries[e.PoolID()]; !ok {
 		el := p.lru.PushFront(e)
 		p.entries[e.PoolID()] = el
+		if e.IsInMemory() {
+			p.inMem += e.MemorySize()
+		}
 	}
 	p.mu.Unlock()
 	p.enforceBudget()
@@ -87,17 +101,28 @@ func (p *Pool) Unregister(id int64) {
 		return
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	var discard Discarder
 	if el, ok := p.entries[id]; ok {
+		e := el.Value.(Entry)
+		if e.IsInMemory() {
+			p.inMem -= e.MemorySize()
+		}
+		discard, _ = e.(Discarder)
 		p.lru.Remove(el)
 		delete(p.entries, id)
 	}
-	// best effort clean up of the spill file
+	p.mu.Unlock()
+	// best effort clean up of the spill file(s)
 	_ = os.Remove(p.SpillPath(id))
+	if discard != nil {
+		discard.Discard()
+	}
 }
 
 // NotifyAccess moves the entry to the most-recently-used position and records
 // a restore if the entry had to be brought back to memory by the caller.
+// restored must only be true when the caller actually restored an evicted
+// entry, so the running in-memory counter stays consistent.
 func (p *Pool) NotifyAccess(e Entry, restored bool) {
 	if p == nil {
 		return
@@ -105,8 +130,14 @@ func (p *Pool) NotifyAccess(e Entry, restored bool) {
 	p.mu.Lock()
 	if el, ok := p.entries[e.PoolID()]; ok {
 		p.lru.MoveToFront(el)
+		if restored {
+			p.inMem += e.MemorySize()
+		}
 	} else {
 		p.entries[e.PoolID()] = p.lru.PushFront(e)
+		if e.IsInMemory() {
+			p.inMem += e.MemorySize()
+		}
 	}
 	if restored {
 		p.stats.Restores++
@@ -115,25 +146,21 @@ func (p *Pool) NotifyAccess(e Entry, restored bool) {
 	p.enforceBudget()
 }
 
-// enforceBudget evicts cold unpinned entries until the total in-memory size
-// fits the budget.
+// enforceBudget evicts cold unpinned entries until the running in-memory
+// total fits the budget.
 func (p *Pool) enforceBudget() {
 	if p == nil || p.budget <= 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	total := int64(0)
-	for el := p.lru.Front(); el != nil; el = el.Next() {
-		total += el.Value.(Entry).MemorySize()
-	}
-	for el := p.lru.Back(); el != nil && total > p.budget; {
+	for el := p.lru.Back(); el != nil && p.inMem > p.budget; {
 		prev := el.Prev()
 		e := el.Value.(Entry)
 		if e.IsInMemory() && !e.IsPinned() {
 			size := e.MemorySize()
 			if err := e.Evict(p.SpillPath(e.PoolID())); err == nil {
-				total -= size
+				p.inMem -= size
 				p.stats.Evictions++
 				p.stats.BytesSpilt += size
 			}
@@ -143,18 +170,15 @@ func (p *Pool) enforceBudget() {
 }
 
 // InMemoryBytes returns the total bytes currently held in memory by
-// registered entries.
+// registered entries (the running counter maintained on
+// register/restore/evict/unregister).
 func (p *Pool) InMemoryBytes() int64 {
 	if p == nil {
 		return 0
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	total := int64(0)
-	for el := p.lru.Front(); el != nil; el = el.Next() {
-		total += el.Value.(Entry).MemorySize()
-	}
-	return total
+	return p.inMem
 }
 
 // Stats returns a snapshot of eviction/restore statistics.

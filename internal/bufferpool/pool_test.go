@@ -137,6 +137,68 @@ func TestPoolUnregisterRemovesSpillFile(t *testing.T) {
 	}
 }
 
+// scanBytes recomputes the in-memory total the slow way, to cross-check the
+// running counter.
+func scanBytes(p *Pool) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := int64(0)
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		total += el.Value.(Entry).MemorySize()
+	}
+	return total
+}
+
+func TestPoolRunningCounterStaysConsistent(t *testing.T) {
+	dir := t.TempDir()
+	p := New(1000, dir)
+	check := func(step string) {
+		t.Helper()
+		if got, want := p.InMemoryBytes(), scanBytes(p); got != want {
+			t.Fatalf("%s: running counter %d != scanned total %d", step, got, want)
+		}
+	}
+	entries := make([]*fakeEntry, 5)
+	for i := range entries {
+		entries[i] = newFake(p, 300)
+		p.Register(entries[i])
+		check("register")
+	}
+	// restore an evicted entry the way MatrixObject.Acquire does
+	if entries[0].IsInMemory() {
+		t.Fatal("expected entries[0] evicted")
+	}
+	entries[0].mu.Lock()
+	entries[0].inMem = true
+	entries[0].mu.Unlock()
+	p.NotifyAccess(entries[0], true)
+	check("restore")
+	for _, e := range entries {
+		p.Unregister(e.PoolID())
+		check("unregister")
+	}
+	if p.InMemoryBytes() != 0 {
+		t.Errorf("counter = %d after unregistering everything", p.InMemoryBytes())
+	}
+}
+
+type discardingEntry struct {
+	fakeEntry
+	discarded bool
+}
+
+func (d *discardingEntry) Discard() { d.discarded = true }
+
+func TestPoolUnregisterCallsDiscard(t *testing.T) {
+	p := New(0, t.TempDir())
+	e := &discardingEntry{fakeEntry: fakeEntry{id: p.NextID(), size: 10, inMem: true}}
+	p.Register(e)
+	p.Unregister(e.PoolID())
+	if !e.discarded {
+		t.Error("Unregister did not invoke Discard on the entry")
+	}
+}
+
 func TestPoolZeroBudgetNeverEvicts(t *testing.T) {
 	p := New(0, t.TempDir())
 	for i := 0; i < 5; i++ {

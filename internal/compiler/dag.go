@@ -43,8 +43,18 @@ func (c *Compiler) compileBasicBlock(stmts []lang.Statement, known map[string]ty
 		block.Recompile = func(ctx *runtime.Context) ([]runtime.Instruction, error) {
 			liveKnown := map[string]types.DataCharacteristics{}
 			for _, name := range ctx.Variables() {
-				if mo, err := ctx.GetMatrixObject(name); err == nil {
-					liveKnown[name] = mo.DataCharacteristics()
+				d, err := ctx.Get(name)
+				if err != nil {
+					continue
+				}
+				// local, blocked and federated matrix objects all expose
+				// their characteristics without touching the data; blocked
+				// variables in particular must keep known sizes here, or the
+				// recompiled block falls back to eager per-op collects
+				if mc, ok := d.(interface {
+					DataCharacteristics() types.DataCharacteristics
+				}); ok {
+					liveKnown[name] = mc.DataCharacteristics()
 				}
 			}
 			rebuilt, err := c.buildBlock(stmtsCopy, liveKnown)

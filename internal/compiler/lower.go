@@ -38,6 +38,7 @@ func (bb *blockBuilder) flush() error {
 	hops.Rewrite(bb.dag)
 	hops.PropagateSizes(bb.dag, bb.known)
 	hops.SelectExecTypes(bb.dag, bb.c.cfg.OperatorMemBudget, bb.c.cfg.DistEnabled)
+	hops.PropagateBlockedOutputs(bb.dag)
 	instrs, hopDeps, unknown, err := lowerDAG(bb.dag)
 	if err != nil {
 		return err
@@ -185,34 +186,47 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 	case hops.KindBinary:
 		inst := instructions.NewBinary(h.Op, out, in(0), in(1))
 		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
 		return inst, nil
 	case hops.KindUnary:
-		return instructions.NewUnary(h.Op, out, in(0)), nil
+		inst := instructions.NewUnary(h.Op, out, in(0))
+		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
+		return inst, nil
 	case hops.KindAggUnary:
 		op := h.Op
 		if op == "nnz" {
 			op = "sum" // nnz lowered as sum over (X != 0) is handled upstream; direct fallback
 		}
-		return instructions.NewAgg(op, out, in(0)), nil
+		inst := instructions.NewAgg(op, out, in(0))
+		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
+		return inst, nil
 	case hops.KindMatMult:
 		inst := instructions.NewMatMult(out, in(0), in(1))
 		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
 		return inst, nil
 	case hops.KindTSMM:
 		inst := instructions.NewTSMM(out, in(0))
 		inst.ExecType = h.ExecType
 		return inst, nil
 	case hops.KindReorg:
+		var opcode string
 		switch h.Op {
 		case "t":
-			return instructions.NewReorg("r'", out, in(0)), nil
+			opcode = "r'"
 		case "diag":
-			return instructions.NewReorg("rdiag", out, in(0)), nil
+			opcode = "rdiag"
 		case "rev":
-			return instructions.NewReorg("rev", out, in(0)), nil
+			opcode = "rev"
 		default:
 			return nil, fmt.Errorf("compiler: unknown reorg op %q", h.Op)
 		}
+		inst := instructions.NewReorg(opcode, out, in(0))
+		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
+		return inst, nil
 	case hops.KindIndexing:
 		return instructions.NewRightIndex(out, in(0), in(1), in(2), in(3), in(4)), nil
 	case hops.KindLeftIndex:
@@ -222,7 +236,10 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 		for i := range h.Inputs {
 			ops[i] = operandOf(h.Inputs[i])
 		}
-		return instructions.NewNary(h.Op, out, ops...), nil
+		inst := instructions.NewNary(h.Op, out, ops...)
+		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
+		return inst, nil
 	case hops.KindTernary:
 		return instructions.NewTernary(out, in(0), in(1), in(2)), nil
 	case hops.KindCast:

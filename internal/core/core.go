@@ -35,6 +35,7 @@ type Engine struct {
 type Stats struct {
 	CacheStats lineage.CacheStats
 	PoolStats  bufferpool.Stats
+	DistStats  runtime.DistStats
 }
 
 // NewEngine creates an engine with the given configuration (nil uses the
@@ -132,7 +133,7 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 		}
 		results[name] = v
 	}
-	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats()}
+	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats()}
 	return results, stats, nil
 }
 
@@ -178,6 +179,9 @@ func fromRuntimeData(d runtime.Data) (any, error) {
 		}
 	case *runtime.MatrixObject:
 		return x.Acquire()
+	case *runtime.BlockedMatrixObject:
+		// API outputs are sinks: collect the blocked matrix lazily here
+		return x.Collect()
 	case *runtime.FrameObject:
 		return x.Frame, nil
 	case *runtime.FederatedObject:

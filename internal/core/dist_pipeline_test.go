@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+)
+
+// intMatrix generates a deterministic integer-valued matrix; integer values
+// keep floating-point sums exact under any association, so blocked and local
+// results must match bitwise.
+func intMatrix(rows, cols int) *matrix.MatrixBlock {
+	m := matrix.NewDense(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, float64((r*cols+c)%7-3))
+		}
+	}
+	return m
+}
+
+// distEngine builds an engine whose operator budget forces the X-sized
+// operators onto the blocked backend while W (90x30 = ~21.6KB) still fits the
+// broadcast path.
+func distEngine(budget int64) *Engine {
+	cfg := runtime.DefaultConfig()
+	cfg.DistEnabled = true
+	cfg.OperatorMemBudget = budget
+	cfg.DistBlocksize = 32
+	return NewEngine(cfg)
+}
+
+// TestBlockedPipelineStaysBlocked is the acceptance test of the blocked-flow
+// design: a chained pipeline Y = (X + X) %*% W; s = sum(Y) with X forced to
+// ExecDist must partition X exactly once, execute every operator blocked, and
+// never collect an intermediate back into a local matrix.
+func TestBlockedPipelineStaysBlocked(t *testing.T) {
+	x := intMatrix(120, 90) // 86.4KB > budget
+	w := intMatrix(90, 30)  // 21.6KB < budget: broadcast operand
+	script := `Y = (X + X) %*% W
+s = sum(Y)`
+	e := distEngine(25_000)
+	res, stats, err := e.Execute(script, map[string]any{"X": x, "W": w}, []string{"s"})
+	if err != nil {
+		t.Fatalf("blocked pipeline failed: %v", err)
+	}
+	ds := stats.DistStats
+	if ds.Partitions != 1 {
+		t.Errorf("partitions = %d, want exactly 1 (X partitioned once, reused across the chain)", ds.Partitions)
+	}
+	if ds.Collects != 0 {
+		t.Errorf("collects = %d, want 0 (no intermediate ToMatrixBlock)", ds.Collects)
+	}
+	if ds.BlockedOps != 3 {
+		t.Errorf("blocked ops = %d, want 3 (binary, matmult, sum)", ds.BlockedOps)
+	}
+
+	// bitwise equality against the pure CP execution
+	cp := NewEngine(runtime.DefaultConfig())
+	cpRes, cpStats, err := cp.Execute(script, map[string]any{"X": x, "W": w}, []string{"s"})
+	if err != nil {
+		t.Fatalf("CP pipeline failed: %v", err)
+	}
+	if cpStats.DistStats.BlockedOps != 0 {
+		t.Fatalf("CP run unexpectedly used the blocked backend")
+	}
+	if res["s"].(float64) != cpRes["s"].(float64) {
+		t.Errorf("blocked s = %v, CP s = %v (must match bitwise)", res["s"], cpRes["s"])
+	}
+}
+
+// TestBlockedMatMultBothOperandsLarge checks the grid-join path: when both
+// matmult operands exceed the per-operator budget, the right side cannot be
+// broadcast and both flow blocked.
+func TestBlockedMatMultBothOperandsLarge(t *testing.T) {
+	a := intMatrix(100, 80) // 64KB
+	b := intMatrix(80, 60)  // 38.4KB
+	script := `C = A %*% B
+s = sum(C)`
+	e := distEngine(25_000)
+	res, stats, err := e.Execute(script, map[string]any{"A": a, "B": b}, []string{"s"})
+	if err != nil {
+		t.Fatalf("blocked x blocked matmult failed: %v", err)
+	}
+	if ds := stats.DistStats; ds.Partitions != 2 || ds.Collects != 0 {
+		t.Errorf("dist stats = %+v, want 2 partitions (A and the over-budget B) and 0 collects", ds)
+	}
+	cp := NewEngine(runtime.DefaultConfig())
+	cpRes, _, err := cp.Execute(script, map[string]any{"A": a, "B": b}, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["s"].(float64) != cpRes["s"].(float64) {
+		t.Errorf("blocked s = %v, CP s = %v", res["s"], cpRes["s"])
+	}
+}
+
+// TestBlockedChainWithBlockedRightOperand drives matmult with a blocked right
+// operand produced by an upstream blocked operator.
+func TestBlockedChainWithBlockedRightOperand(t *testing.T) {
+	a := intMatrix(100, 80)
+	b := intMatrix(80, 60)
+	script := `C = (A + A) %*% (B + B)
+s = sum(C)`
+	e := distEngine(25_000)
+	res, stats, err := e.Execute(script, map[string]any{"A": a, "B": b}, []string{"s"})
+	if err != nil {
+		t.Fatalf("chained blocked matmult failed: %v", err)
+	}
+	if ds := stats.DistStats; ds.Partitions != 2 || ds.Collects != 0 || ds.BlockedOps != 4 {
+		t.Errorf("dist stats = %+v, want 2 partitions, 0 collects, 4 blocked ops", ds)
+	}
+	cp := NewEngine(runtime.DefaultConfig())
+	cpRes, _, err := cp.Execute(script, map[string]any{"A": a, "B": b}, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["s"].(float64) != cpRes["s"].(float64) {
+		t.Errorf("blocked s = %v, CP s = %v", res["s"], cpRes["s"])
+	}
+}
+
+// TestBlockedSinkCollectsOnce verifies the lazy-collect contract at sinks: a
+// blocked result requested as an API output is collected exactly once, and
+// the collected matrix matches the CP result exactly.
+func TestBlockedSinkCollectsOnce(t *testing.T) {
+	x := intMatrix(120, 90)
+	script := `Y = X + X
+Z = t(Y)
+r = rowSums(Z)`
+	e := distEngine(25_000)
+	res, stats, err := e.Execute(script, map[string]any{"X": x}, []string{"r"})
+	if err != nil {
+		t.Fatalf("blocked sink pipeline failed: %v", err)
+	}
+	if ds := stats.DistStats; ds.Partitions != 1 || ds.Collects != 1 || ds.BlockedOps != 3 {
+		t.Errorf("dist stats = %+v, want 1 partition, 1 collect (the output), 3 blocked ops", ds)
+	}
+	cp := NewEngine(runtime.DefaultConfig())
+	cpRes, _, err := cp.Execute(script, map[string]any{"X": x}, []string{"r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res["r"].(*matrix.MatrixBlock)
+	want := cpRes["r"].(*matrix.MatrixBlock)
+	if !want.Equals(got, 0) {
+		t.Error("blocked rowSums differs from CP result")
+	}
+}

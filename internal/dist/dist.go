@@ -80,13 +80,45 @@ func (b *BlockedMatrix) ToMatrixBlock() (*matrix.MatrixBlock, error) {
 	return out, nil
 }
 
+// Region assembles the sub-matrix covering rows [rl, ru) and columns
+// [cl, cu) by stitching together the slices of the covering blocks, without
+// collecting the whole matrix.
+func (b *BlockedMatrix) Region(rl, ru, cl, cu int) (*matrix.MatrixBlock, error) {
+	if rl < 0 || ru > b.Rows || cl < 0 || cu > b.Cols || rl >= ru || cl >= cu {
+		return nil, fmt.Errorf("dist: region [%d:%d,%d:%d] out of bounds for %dx%d", rl, ru, cl, cu, b.Rows, b.Cols)
+	}
+	out := matrix.NewDense(ru-rl, cu-cl)
+	gc := b.GridCols()
+	for bi := rl / b.Blocksize; bi <= (ru-1)/b.Blocksize; bi++ {
+		for bj := cl / b.Blocksize; bj <= (cu-1)/b.Blocksize; bj++ {
+			blk := b.Blocks[bi*gc+bj]
+			if blk == nil {
+				return nil, fmt.Errorf("dist: missing block (%d,%d)", bi, bj)
+			}
+			// overlap of the block with the requested region, in global
+			// coords; cells are written straight into the dense output
+			r0, r1 := max(rl, bi*b.Blocksize), min(ru, bi*b.Blocksize+blk.Rows())
+			c0, c1 := max(cl, bj*b.Blocksize), min(cu, bj*b.Blocksize+blk.Cols())
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					out.Set(r-rl, c-cl, blk.Get(r-bi*b.Blocksize, c-bj*b.Blocksize))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
 // forEachBlock runs fn for every grid coordinate on a bounded worker pool.
+// After the first error, the feed loop stops and workers drain the remaining
+// queued coordinates without executing them.
 func forEachBlock(gridRows, gridCols, threads int, fn func(bi, bj int) error) error {
 	if threads <= 0 {
 		threads = matrix.DefaultParallelism()
 	}
 	type coord struct{ bi, bj int }
 	work := make(chan coord)
+	done := make(chan struct{})
 	errOnce := sync.Once{}
 	var firstErr error
 	var wg sync.WaitGroup
@@ -95,15 +127,28 @@ func forEachBlock(gridRows, gridCols, threads int, fn func(bi, bj int) error) er
 		go func() {
 			defer wg.Done()
 			for c := range work {
+				select {
+				case <-done:
+					continue
+				default:
+				}
 				if err := fn(c.bi, c.bj); err != nil {
-					errOnce.Do(func() { firstErr = err })
+					errOnce.Do(func() {
+						firstErr = err
+						close(done)
+					})
 				}
 			}
 		}()
 	}
+feed:
 	for bi := 0; bi < gridRows; bi++ {
 		for bj := 0; bj < gridCols; bj++ {
-			work <- coord{bi, bj}
+			select {
+			case work <- coord{bi, bj}:
+			case <-done:
+				break feed
+			}
 		}
 	}
 	close(work)

@@ -1,0 +1,326 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// testMatrix generates a deterministic dense matrix with distinct values.
+func testMatrix(rows, cols int) *matrix.MatrixBlock {
+	m := matrix.NewDense(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, float64(r*cols+c%17)-float64(c))
+		}
+	}
+	return m
+}
+
+// boundary shapes: rows/cols % blocksize != 0 exercises partial edge blocks.
+var shapes = []struct{ rows, cols, bs int }{
+	{64, 64, 32},  // aligned
+	{70, 50, 32},  // boundary blocks on both dims
+	{33, 97, 32},  // single block row + many partial columns
+	{10, 10, 32},  // smaller than one block
+	{100, 1, 32},  // column vector
+	{1, 100, 32},  // row vector
+	{96, 64, 100}, // blocksize larger than the matrix in one dim
+}
+
+func TestFromToMatrixBlockRoundTrip(t *testing.T) {
+	for _, s := range shapes {
+		m := testMatrix(s.rows, s.cols)
+		bm, err := FromMatrixBlock(m, s.bs)
+		if err != nil {
+			t.Fatalf("%dx%d/%d: partition: %v", s.rows, s.cols, s.bs, err)
+		}
+		back, err := bm.ToMatrixBlock()
+		if err != nil {
+			t.Fatalf("%dx%d/%d: collect: %v", s.rows, s.cols, s.bs, err)
+		}
+		if !m.Equals(back, 0) {
+			t.Errorf("%dx%d/%d: round trip differs", s.rows, s.cols, s.bs)
+		}
+	}
+}
+
+func TestRegion(t *testing.T) {
+	m := testMatrix(70, 50)
+	bm, err := FromMatrixBlock(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][4]int{{0, 70, 0, 50}, {10, 40, 20, 45}, {31, 33, 31, 33}, {64, 70, 32, 50}} {
+		want, err := matrix.Slice(m, r[0], r[1], r[2], r[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bm.Region(r[0], r[1], r[2], r[3])
+		if err != nil {
+			t.Fatalf("region %v: %v", r, err)
+		}
+		if !want.Equals(got, 0) {
+			t.Errorf("region %v differs from local slice", r)
+		}
+	}
+	if _, err := bm.Region(0, 71, 0, 50); err == nil {
+		t.Error("out-of-bounds region should error")
+	}
+}
+
+func TestCellwiseMatchesLocal(t *testing.T) {
+	for _, s := range shapes {
+		a, b := testMatrix(s.rows, s.cols), testMatrix(s.rows, s.cols)
+		ba, _ := FromMatrixBlock(a, s.bs)
+		bb, _ := FromMatrixBlock(b, s.bs)
+		res, err := Cellwise(ba, bb, matrix.OpMul)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := matrix.CellwiseOp(a, b, matrix.OpMul)
+		if !want.Equals(got, 0) {
+			t.Errorf("%dx%d/%d: cellwise differs", s.rows, s.cols, s.bs)
+		}
+	}
+}
+
+func TestScalarAndUnaryMatchLocal(t *testing.T) {
+	for _, s := range shapes {
+		a := testMatrix(s.rows, s.cols)
+		ba, _ := FromMatrixBlock(a, s.bs)
+		sres, err := Scalar(ba, 2.5, matrix.OpMul, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := sres.ToMatrixBlock()
+		if !matrix.ScalarOp(a, 2.5, matrix.OpMul, false).Equals(got, 0) {
+			t.Errorf("%dx%d/%d: scalar op differs", s.rows, s.cols, s.bs)
+		}
+		ures, err := Unary(ba, matrix.OpAbs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ = ures.ToMatrixBlock()
+		if !matrix.UnaryApply(a, matrix.OpAbs).Equals(got, 0) {
+			t.Errorf("%dx%d/%d: unary differs", s.rows, s.cols, s.bs)
+		}
+	}
+}
+
+func TestMatMultBroadcastMatchesLocal(t *testing.T) {
+	a := testMatrix(70, 50)
+	b := testMatrix(50, 33)
+	ba, _ := FromMatrixBlock(a, 32)
+	res, err := MatMult(ba, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.ToMatrixBlock()
+	want, _ := matrix.Multiply(a, b, 1)
+	if !want.Equals(got, 1e-9) {
+		t.Error("broadcast matmult differs from local")
+	}
+}
+
+func TestMatMultBBMatchesLocal(t *testing.T) {
+	for _, s := range []struct{ m, k, n, bs int }{
+		{64, 64, 64, 32}, {70, 50, 33, 32}, {33, 97, 41, 32}, {20, 20, 20, 32},
+	} {
+		a := testMatrix(s.m, s.k)
+		b := testMatrix(s.k, s.n)
+		ba, _ := FromMatrixBlock(a, s.bs)
+		bb, _ := FromMatrixBlock(b, s.bs)
+		res, err := MatMultBB(ba, bb, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := matrix.Multiply(a, b, 1)
+		if !want.Equals(got, 1e-9) {
+			t.Errorf("%v: blocked x blocked matmult differs", s)
+		}
+	}
+	// dimension mismatch
+	ba, _ := FromMatrixBlock(testMatrix(10, 10), 32)
+	bb, _ := FromMatrixBlock(testMatrix(11, 10), 32)
+	if _, err := MatMultBB(ba, bb, 0); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestTransposeMatchesLocal(t *testing.T) {
+	for _, s := range shapes {
+		a := testMatrix(s.rows, s.cols)
+		ba, _ := FromMatrixBlock(a, s.bs)
+		res, err := Transpose(ba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Transpose(a).Equals(got, 0) {
+			t.Errorf("%dx%d/%d: transpose differs", s.rows, s.cols, s.bs)
+		}
+	}
+}
+
+func TestRBindCBindMatchLocal(t *testing.T) {
+	for _, s := range []struct{ r1, r2, c, bs int }{
+		{64, 32, 50, 32}, // aligned fast path
+		{70, 33, 50, 32}, // boundary re-assembly
+		{5, 7, 3, 32},
+	} {
+		a, b := testMatrix(s.r1, s.c), testMatrix(s.r2, s.c)
+		ba, _ := FromMatrixBlock(a, s.bs)
+		bb, _ := FromMatrixBlock(b, s.bs)
+		res, err := RBind(ba, bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := matrix.RBind(a, b)
+		if !want.Equals(got, 0) {
+			t.Errorf("%v: rbind differs", s)
+		}
+	}
+	for _, s := range []struct{ r, c1, c2, bs int }{
+		{50, 64, 32, 32}, // aligned fast path
+		{50, 70, 33, 32}, // boundary re-assembly
+		{3, 5, 7, 32},
+	} {
+		a, b := testMatrix(s.r, s.c1), testMatrix(s.r, s.c2)
+		ba, _ := FromMatrixBlock(a, s.bs)
+		bb, _ := FromMatrixBlock(b, s.bs)
+		res, err := CBind(ba, bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := matrix.CBind(a, b)
+		if !want.Equals(got, 0) {
+			t.Errorf("%v: cbind differs", s)
+		}
+	}
+	if _, err := RBind(&BlockedMatrix{Cols: 3, Blocksize: 32}, &BlockedMatrix{Cols: 4, Blocksize: 32}); err == nil {
+		t.Error("rbind column mismatch should error")
+	}
+}
+
+func TestAggregationsMatchLocal(t *testing.T) {
+	for _, s := range shapes {
+		a := testMatrix(s.rows, s.cols)
+		ba, _ := FromMatrixBlock(a, s.bs)
+		fulls := map[string]float64{
+			"sum": matrix.Sum(a), "sumsq": matrix.SumSq(a), "mean": matrix.Mean(a),
+			"min": matrix.Min(a), "max": matrix.Max(a),
+		}
+		for op, want := range fulls {
+			got, err := FullAgg(ba, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%dx%d/%d: %s = %g, want %g", s.rows, s.cols, s.bs, op, got, want)
+			}
+		}
+		rows := map[string]*matrix.MatrixBlock{
+			"rowSums": matrix.RowSums(a), "rowMeans": matrix.RowMeans(a),
+			"rowMaxs": matrix.RowMaxs(a), "rowMins": matrix.RowMins(a),
+		}
+		for op, want := range rows {
+			res, err := RowAgg(ba, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := res.ToMatrixBlock()
+			if !want.Equals(got, 1e-9) {
+				t.Errorf("%dx%d/%d: %s differs", s.rows, s.cols, s.bs, op)
+			}
+		}
+		cols := map[string]*matrix.MatrixBlock{
+			"colSums": matrix.ColSums(a), "colMeans": matrix.ColMeans(a),
+			"colMaxs": matrix.ColMaxs(a), "colMins": matrix.ColMins(a),
+		}
+		for op, want := range cols {
+			res, err := ColAgg(ba, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := res.ToMatrixBlock()
+			if !want.Equals(got, 1e-9) {
+				t.Errorf("%dx%d/%d: %s differs", s.rows, s.cols, s.bs, op)
+			}
+		}
+	}
+	ba, _ := FromMatrixBlock(testMatrix(10, 10), 4)
+	if _, err := FullAgg(ba, "median"); err == nil {
+		t.Error("unsupported full aggregate should error")
+	}
+}
+
+func TestTSMMMatchesLocal(t *testing.T) {
+	a := testMatrix(70, 12)
+	ba, _ := FromMatrixBlock(a, 32)
+	got, err := TSMM(ba, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.TSMM(a, 1).Equals(got, 1e-9) {
+		t.Error("blocked TSMM differs from local")
+	}
+}
+
+func TestForEachBlockStopsAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int64
+	// single worker: the first block fails, so no further block may execute
+	err := forEachBlock(10, 10, 1, func(bi, bj int) error {
+		executed.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := executed.Load(); n != 1 {
+		t.Errorf("executed %d blocks after error, want 1", n)
+	}
+	// multiple workers: at most one in-flight block per worker can still run
+	executed.Store(0)
+	err = forEachBlock(20, 20, 4, func(bi, bj int) error {
+		executed.Add(1)
+		return fmt.Errorf("fail (%d,%d)", bi, bj)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := executed.Load(); n > 8 {
+		t.Errorf("executed %d blocks after first error, want a small bound (<= 8)", n)
+	}
+}
+
+func TestCellwiseErrorPropagates(t *testing.T) {
+	a, _ := FromMatrixBlock(testMatrix(10, 10), 4)
+	b, _ := FromMatrixBlock(testMatrix(10, 11), 4)
+	if _, err := Cellwise(a, b, matrix.OpAdd); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}

@@ -416,6 +416,84 @@ func AblationDistVsLocal(rowsList []int, cols, blocksize int) (*Figure, error) {
 	return fig, nil
 }
 
+// AblationBlockedChain measures the repartition overhead removed by the
+// first-class blocked objects on the chained pipeline
+// Y = (X + X) %*% W; s = sum(Y): the "eager" series re-partitions the input
+// and collects the blocked result around every single operator (the behavior
+// before blocked results flowed through the symbol table), the "blocked"
+// series partitions X once and keeps every intermediate blocked.
+func AblationBlockedChain(rowsList []int, cols, blocksize int) (*Figure, error) {
+	fig := &Figure{Name: "Ablation A2b", Title: "Eager repartition vs blocked chain: (X+X) %*% W; sum", XLabel: "rows"}
+	eager := Series{Label: "DIST eager"}
+	blocked := Series{Label: "DIST blocked"}
+	for _, rows := range rowsList {
+		x := matrix.RandUniform(rows, cols, 0, 1, 1.0, int64(rows))
+		w := matrix.RandUniform(cols, cols/2+1, 0, 1, 1.0, int64(cols))
+
+		// eager: partition/collect around every operator
+		start := time.Now()
+		bx, err := dist.FromMatrixBlock(x, blocksize)
+		if err != nil {
+			return nil, err
+		}
+		by, err := dist.Cellwise(bx, bx, matrix.OpAdd)
+		if err != nil {
+			return nil, err
+		}
+		yLocal, err := by.ToMatrixBlock()
+		if err != nil {
+			return nil, err
+		}
+		by2, err := dist.FromMatrixBlock(yLocal, blocksize)
+		if err != nil {
+			return nil, err
+		}
+		bz, err := dist.MatMult(by2, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		zLocal, err := bz.ToMatrixBlock()
+		if err != nil {
+			return nil, err
+		}
+		bz2, err := dist.FromMatrixBlock(zLocal, blocksize)
+		if err != nil {
+			return nil, err
+		}
+		sEager, err := dist.FullAgg(bz2, "sum")
+		if err != nil {
+			return nil, err
+		}
+		eager.Points = append(eager.Points, Point{X: float64(rows), Seconds: time.Since(start).Seconds()})
+
+		// blocked: partition once, every intermediate stays blocked
+		start = time.Now()
+		bx, err = dist.FromMatrixBlock(x, blocksize)
+		if err != nil {
+			return nil, err
+		}
+		bySt, err := dist.Cellwise(bx, bx, matrix.OpAdd)
+		if err != nil {
+			return nil, err
+		}
+		bzSt, err := dist.MatMult(bySt, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		sBlocked, err := dist.FullAgg(bzSt, "sum")
+		if err != nil {
+			return nil, err
+		}
+		blocked.Points = append(blocked.Points, Point{X: float64(rows), Seconds: time.Since(start).Seconds()})
+
+		if diff := sEager - sBlocked; diff > 1e-6 || diff < -1e-6 {
+			return nil, fmt.Errorf("blocked chain result differs from eager chain: %g vs %g", sBlocked, sEager)
+		}
+	}
+	fig.Series = []Series{eager, blocked}
+	return fig, nil
+}
+
 // AblationFederatedTSMM compares a federated TSMM across two in-process
 // workers against the equivalent local computation.
 func AblationFederatedTSMM(rows, cols int) (*Figure, error) {

@@ -115,6 +115,14 @@ func TestAblationDistVsLocalAndFederated(t *testing.T) {
 	if len(fig.Series) != 2 || len(fig.Series[0].Points) != 2 {
 		t.Errorf("dist ablation malformed: %+v", fig)
 	}
+	chainFig, err := AblationBlockedChain([]int{200, 400}, 16, 64)
+	if err != nil {
+		t.Fatalf("AblationBlockedChain: %v", err)
+	}
+	if len(chainFig.Series) != 2 || len(chainFig.Series[0].Points) != 2 {
+		t.Errorf("unexpected chained ablation shape: %+v", chainFig.Series)
+	}
+
 	fedFig, err := AblationFederatedTSMM(300, 10)
 	if err != nil {
 		t.Fatal(err)

@@ -76,6 +76,11 @@ type Hop struct {
 	// Compiler annotations
 	ExecType    types.ExecType
 	MemEstimate int64
+	// BlockedOutput marks Dist operators whose result stays in the blocked
+	// representation (a BlockedMatrixObject in the symbol table) instead of
+	// being collected into a local block after execution; set by
+	// PropagateBlockedOutputs along Dist->Dist edges.
+	BlockedOutput bool
 
 	// Outputs for multi-return function calls
 	OutputNames []string

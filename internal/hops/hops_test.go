@@ -216,6 +216,74 @@ func TestSelectExecTypes(t *testing.T) {
 	}
 }
 
+func TestPropagateBlockedOutputs(t *testing.T) {
+	x := NewRead("X", types.Matrix)
+	// add -> matmult -> sum, all Dist: add and matmult stay blocked, sum is a scalar
+	add := NewHop(KindBinary, "+", x, x)
+	add.DataType = types.Matrix
+	w := NewRead("W", types.Matrix)
+	mm := NewHop(KindMatMult, "ba+*", add, w)
+	mm.DataType = types.Matrix
+	sum := NewHop(KindAggUnary, "sum", mm)
+	sum.DataType = types.Scalar
+	dag := &DAG{Roots: []*Hop{NewWrite("Y", mm), NewWrite("s", sum)}}
+	known := map[string]types.DataCharacteristics{
+		"X": types.NewDataCharacteristics(5000, 5000, 1024, -1),
+		"W": types.NewDataCharacteristics(5000, 100, 1024, -1),
+	}
+	PropagateSizes(dag, known)
+	SelectExecTypes(dag, 1<<20, true)
+	PropagateBlockedOutputs(dag)
+	if !add.BlockedOutput {
+		t.Error("add feeding a Dist matmult must stay blocked")
+	}
+	if !mm.BlockedOutput {
+		t.Error("matmult feeding a Dist aggregate and a transient write must stay blocked")
+	}
+	if sum.BlockedOutput {
+		t.Error("scalar aggregate output cannot stay blocked")
+	}
+
+	// a Dist operator consumed only by CP compute collects eagerly
+	y := NewRead("Y", types.Matrix)
+	t1 := NewHop(KindReorg, "t", y)
+	t1.DataType = types.Matrix
+	cpDiag := NewHop(KindReorg, "diag", t1)
+	cpDiag.DataType = types.Matrix
+	dag2 := &DAG{Roots: []*Hop{NewWrite("D", cpDiag)}}
+	PropagateSizes(dag2, map[string]types.DataCharacteristics{
+		"Y": types.NewDataCharacteristics(5000, 5000, 1024, -1),
+	})
+	SelectExecTypes(dag2, 1<<20, true)
+	// force the consumer to CP to model a mixed chain
+	cpDiag.ExecType = types.ExecCP
+	PropagateBlockedOutputs(dag2)
+	if t1.BlockedOutput {
+		t.Error("Dist op with only CP compute consumers should collect eagerly")
+	}
+}
+
+func TestSelectExecTypesNaryConcat(t *testing.T) {
+	a := NewRead("A", types.Matrix)
+	b := NewRead("B", types.Matrix)
+	rb := NewHop(KindNary, "rbind", a, b)
+	rb.DataType = types.Matrix
+	dag := &DAG{Roots: []*Hop{NewWrite("C", rb)}}
+	known := map[string]types.DataCharacteristics{
+		"A": types.NewDataCharacteristics(5000, 5000, 1024, -1),
+		"B": types.NewDataCharacteristics(5000, 5000, 1024, -1),
+	}
+	PropagateSizes(dag, known)
+	SelectExecTypes(dag, 1<<20, true)
+	if rb.ExecType != types.ExecDist {
+		t.Errorf("large rbind exec type = %s, want DIST", rb.ExecType)
+	}
+	PropagateBlockedOutputs(dag)
+	if !rb.BlockedOutput {
+		t.Error("rbind feeding only a transient write should stay blocked")
+	}
+}
+
 func TestExplainOutput(t *testing.T) {
 	dag, _, _ := buildLmDSDag()
 	Rewrite(dag)

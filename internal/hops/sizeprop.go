@@ -262,7 +262,56 @@ func SelectExecTypes(d *DAG, memBudget int64, distEnabled bool) {
 			switch h.Kind {
 			case KindMatMult, KindTSMM, KindBinary, KindUnary, KindAggUnary, KindReorg:
 				h.ExecType = types.ExecDist
+			case KindNary:
+				if h.Op == "rbind" || h.Op == "cbind" {
+					h.ExecType = types.ExecDist
+				}
 			}
 		}
+	}
+}
+
+// rowColAggs are the aggregations with matrix (vector) outputs that the
+// blocked backend can keep blocked; full aggregates produce scalars.
+var rowColAggs = map[string]bool{
+	"rowSums": true, "rowMeans": true, "rowMaxs": true, "rowMins": true,
+	"colSums": true, "colMeans": true, "colMaxs": true, "colMins": true,
+}
+
+// PropagateBlockedOutputs runs after SelectExecTypes and decides, per Dist
+// operator, whether its result stays in the blocked representation. A result
+// stays blocked unless every consumer is a CP compute operator (in which case
+// the instruction collects eagerly and the blocked wrap would only add
+// overhead). Transient writes keep values blocked: the object flows through
+// the symbol table and later CP consumers or sinks collect lazily, so
+// Dist->Dist chains across DAGs and statements never repartition.
+func PropagateBlockedOutputs(d *DAG) {
+	nodes := d.Nodes()
+	consumers := map[int64][]*Hop{}
+	for _, h := range nodes {
+		for _, in := range h.Inputs {
+			consumers[in.ID] = append(consumers[in.ID], h)
+		}
+		for _, p := range h.Params {
+			consumers[p.ID] = append(consumers[p.ID], h)
+		}
+	}
+	for _, h := range nodes {
+		if h.ExecType != types.ExecDist || h.DataType == types.Scalar {
+			continue
+		}
+		// operators with small local outputs never stay blocked
+		if h.Kind == KindTSMM || (h.Kind == KindAggUnary && !rowColAggs[h.Op]) {
+			continue
+		}
+		cons := consumers[h.ID]
+		allCP := len(cons) > 0
+		for _, c := range cons {
+			if c.Kind == KindWrite || c.ExecType == types.ExecDist {
+				allCP = false
+				break
+			}
+		}
+		h.BlockedOutput = !allCP
 	}
 }

@@ -3,6 +3,7 @@ package instructions
 import (
 	"fmt"
 
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/runtime"
 	"github.com/systemds/systemds-go/internal/types"
@@ -31,6 +32,9 @@ type BinaryInst struct {
 	Left, Right Operand
 	// ExecType selects the distributed backend for large operands.
 	ExecType types.ExecType
+	// BlockedOut keeps the result in blocked representation (set by the
+	// compiler when a downstream consumer is also a Dist operator).
+	BlockedOut bool
 }
 
 // NewBinary creates a binary instruction.
@@ -66,6 +70,17 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		ctx.Set(i.outs[0], scalarResult(i.opcode, res))
 		return nil
 	case lIsScalar && !rIsScalar:
+		if useDist(ctx, i.ExecType, r) {
+			bm, err := resolveBlockedData(ctx, r, i.Right)
+			if err != nil {
+				return err
+			}
+			res, err := dist.Scalar(bm, ls.Float64(), op, true)
+			if err != nil {
+				return err
+			}
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		}
 		rb, err := i.Right.MatrixBlock(ctx)
 		if err != nil {
 			return err
@@ -73,6 +88,17 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(rb, ls.Float64(), op, true))
 		return nil
 	case !lIsScalar && rIsScalar:
+		if useDist(ctx, i.ExecType, l) {
+			bm, err := resolveBlockedData(ctx, l, i.Left)
+			if err != nil {
+				return err
+			}
+			res, err := dist.Scalar(bm, rs.Float64(), op, false)
+			if err != nil {
+				return err
+			}
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		}
 		lb, err := i.Left.MatrixBlock(ctx)
 		if err != nil {
 			return err
@@ -80,6 +106,15 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(lb, rs.Float64(), op, false))
 		return nil
 	default:
+		// blocked cell-wise path for aligned operands; vector broadcasting
+		// falls back to the local kernel (collecting lazily if needed)
+		if useDist(ctx, i.ExecType, l, r) {
+			lr, lc, lok := matrixDims(l)
+			rr, rc, rok := matrixDims(r)
+			if lok && rok && lr == rr && lc == rc {
+				return i.executeDistributed(ctx, op)
+			}
+		}
 		lb, err := i.Left.MatrixBlock(ctx)
 		if err != nil {
 			return err
@@ -87,10 +122,6 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		rb, err := i.Right.MatrixBlock(ctx)
 		if err != nil {
 			return err
-		}
-		if i.ExecType == types.ExecDist && ctx.Config.DistEnabled &&
-			lb.Rows() == rb.Rows() && lb.Cols() == rb.Cols() {
-			return i.executeDistributed(ctx, lb, rb, op)
 		}
 		res, err := matrix.CellwiseOp(lb, rb, op)
 		if err != nil {
@@ -117,25 +148,16 @@ func (i *BinaryInst) executeStringScalar(ctx *runtime.Context, l, r *runtime.Sca
 	}
 }
 
-func (i *BinaryInst) executeDistributed(ctx *runtime.Context, lb, rb *matrix.MatrixBlock, op matrix.BinaryOp) error {
-	bl, err := distFrom(lb, ctx.Config.DistBlocksize)
+func (i *BinaryInst) executeDistributed(ctx *runtime.Context, op matrix.BinaryOp) error {
+	bl, br, err := resolveBlockedPair(ctx, i.Left, i.Right)
 	if err != nil {
 		return err
 	}
-	br, err := distFrom(rb, ctx.Config.DistBlocksize)
+	res, err := dist.Cellwise(bl, br, op)
 	if err != nil {
 		return err
 	}
-	res, err := distCellwise(bl, br, op)
-	if err != nil {
-		return err
-	}
-	local, err := res.ToMatrixBlock()
-	if err != nil {
-		return err
-	}
-	ctx.SetMatrix(i.outs[0], local)
-	return nil
+	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
 }
 
 // scalarResult wraps a numeric result, using boolean scalars for comparison

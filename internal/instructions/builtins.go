@@ -113,8 +113,8 @@ func (i *CastInst) Execute(ctx *runtime.Context) error {
 		switch v := d.(type) {
 		case *runtime.Scalar:
 			ctx.Set(i.outs[0], v)
-		case *runtime.MatrixObject:
-			blk, err := v.Acquire()
+		case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+			blk, err := i.In.MatrixBlock(ctx)
 			if err != nil {
 				return err
 			}
@@ -128,6 +128,8 @@ func (i *CastInst) Execute(ctx *runtime.Context) error {
 	case "castsdm": // as.matrix
 		switch v := d.(type) {
 		case *runtime.MatrixObject:
+			ctx.Set(i.outs[0], v)
+		case *runtime.BlockedMatrixObject:
 			ctx.Set(i.outs[0], v)
 		case *runtime.Scalar:
 			m := matrix.NewDense(1, 1)
@@ -437,6 +439,12 @@ func resolveFrame(ctx *runtime.Context, op Operand) (*frame.FrameBlock, error) {
 		return v.Frame, nil
 	case *runtime.MatrixObject:
 		blk, err := v.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		return frame.FromMatrix(blk), nil
+	case *runtime.BlockedMatrixObject:
+		blk, err := v.Collect()
 		if err != nil {
 			return nil, err
 		}

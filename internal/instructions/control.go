@@ -57,8 +57,9 @@ func (i *PrintInst) Execute(ctx *runtime.Context) error {
 	switch v := d.(type) {
 	case *runtime.Scalar:
 		fmt.Fprintln(ctx.Out, v.StringValue())
-	case *runtime.MatrixObject:
-		blk, err := v.Acquire()
+	case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+		// sinks acquire local matrices and lazily collect blocked ones
+		blk, err := i.In.MatrixBlock(ctx)
 		if err != nil {
 			return err
 		}
@@ -224,8 +225,9 @@ func (i *WriteInst) Execute(ctx *runtime.Context) error {
 		return err
 	}
 	switch v := d.(type) {
-	case *runtime.MatrixObject:
-		blk, err := v.Acquire()
+	case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+		// sinks acquire local matrices and lazily collect blocked ones
+		blk, err := i.In.MatrixBlock(ctx)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,107 @@
+package instructions
+
+import (
+	"github.com/systemds/systemds-go/internal/dist"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// useDist reports whether an instruction should execute on the blocked
+// backend: either the compiler selected ExecDist, or an operand already lives
+// in blocked representation (so collecting it just to re-partition would pay
+// the repartition cost the blocked flow exists to avoid).
+func useDist(ctx *runtime.Context, et types.ExecType, data ...runtime.Data) bool {
+	if !ctx.Config.DistEnabled {
+		return false
+	}
+	if et == types.ExecDist {
+		return true
+	}
+	for _, d := range data {
+		if _, ok := d.(*runtime.BlockedMatrixObject); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveBlockedData returns the blocked form of an already-resolved operand:
+// blocked objects are used as-is (restored from spill if evicted); local
+// matrices are partitioned once, counted on the context's dist counters.
+func resolveBlockedData(ctx *runtime.Context, d runtime.Data, o Operand) (*dist.BlockedMatrix, error) {
+	if bo, ok := d.(*runtime.BlockedMatrixObject); ok {
+		return bo.Blocked()
+	}
+	blk, err := o.MatrixBlock(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.CountDistPartition()
+	return dist.FromMatrixBlock(blk, ctx.Config.DistBlocksize)
+}
+
+// resolveBlocked resolves an operand into blocked form.
+func resolveBlocked(ctx *runtime.Context, o Operand) (*dist.BlockedMatrix, error) {
+	d, err := o.Resolve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return resolveBlockedData(ctx, d, o)
+}
+
+// resolveBlockedPair resolves two operands into blocked form, partitioning at
+// most once when both reference the same data object (e.g. X + X).
+func resolveBlockedPair(ctx *runtime.Context, a, b Operand) (*dist.BlockedMatrix, *dist.BlockedMatrix, error) {
+	da, err := a.Resolve(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := b.Resolve(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	ba, err := resolveBlockedData(ctx, da, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	if da == db {
+		return ba, ba, nil
+	}
+	bb, err := resolveBlockedData(ctx, db, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ba, bb, nil
+}
+
+// bindBlockedResult binds the result of a blocked operator: as a first-class
+// blocked object when the compiler marked the output as staying blocked, or
+// eagerly collected into a local matrix when every consumer runs in CP.
+func bindBlockedResult(ctx *runtime.Context, name string, bm *dist.BlockedMatrix, keepBlocked bool) error {
+	ctx.CountBlockedOp()
+	if keepBlocked {
+		ctx.SetBlocked(name, bm)
+		return nil
+	}
+	ctx.CountDistCollect()
+	local, err := bm.ToMatrixBlock()
+	if err != nil {
+		return err
+	}
+	ctx.SetMatrix(name, local)
+	return nil
+}
+
+// matrixDims returns the dimensions of a matrix-typed data object without
+// touching (or collecting) the data.
+func matrixDims(d runtime.Data) (rows, cols int64, ok bool) {
+	switch v := d.(type) {
+	case *runtime.MatrixObject:
+		dc := v.DataCharacteristics()
+		return dc.Rows, dc.Cols, true
+	case *runtime.BlockedMatrixObject:
+		dc := v.DataCharacteristics()
+		return dc.Rows, dc.Cols, true
+	}
+	return 0, 0, false
+}

@@ -9,16 +9,6 @@ import (
 	"github.com/systemds/systemds-go/internal/types"
 )
 
-// distFrom and distCellwise are small indirections so binary.go does not need
-// to import the dist package twice.
-func distFrom(m *matrix.MatrixBlock, blocksize int) (*dist.BlockedMatrix, error) {
-	return dist.FromMatrixBlock(m, blocksize)
-}
-
-func distCellwise(a, b *dist.BlockedMatrix, op matrix.BinaryOp) (*dist.BlockedMatrix, error) {
-	return dist.Cellwise(a, b, op)
-}
-
 // TransposedFederated marks the transpose of a federated matrix in the symbol
 // table; matrix multiplications recognize it and push the computation to the
 // federated sites instead of collecting the data.
@@ -40,6 +30,9 @@ type MatMultInst struct {
 	base
 	Left, Right Operand
 	ExecType    types.ExecType
+	// BlockedOut keeps the result in blocked representation (set by the
+	// compiler when a downstream consumer is also a Dist operator).
+	BlockedOut bool
 }
 
 // NewMatMult creates a matrix multiplication instruction.
@@ -75,6 +68,50 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], res)
 		return nil
 	}
+	threads := ctx.Config.Threads()
+	// distributed paths: blocked x blocked via a grid join when both operands
+	// exceed the broadcast budget (or already live blocked), otherwise the
+	// map-side broadcast join with a blocked left and local right operand
+	if useDist(ctx, i.ExecType, l, r) {
+		bl, err := resolveBlockedData(ctx, l, i.Left)
+		if err != nil {
+			return err
+		}
+		if rbo, ok := r.(*runtime.BlockedMatrixObject); ok {
+			br, err := rbo.Blocked()
+			if err != nil {
+				return err
+			}
+			res, err := dist.MatMultBB(bl, br, threads)
+			if err != nil {
+				return err
+			}
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		}
+		rb, err := i.Right.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		// a right operand exceeding the per-operator budget cannot be
+		// broadcast; partition it too and run the blocked grid join
+		if budget := ctx.Config.OperatorMemBudget; budget > 0 && rb.InMemorySize() > budget {
+			br, err := dist.FromMatrixBlock(rb, ctx.Config.DistBlocksize)
+			if err != nil {
+				return err
+			}
+			ctx.CountDistPartition()
+			res, err := dist.MatMultBB(bl, br, threads)
+			if err != nil {
+				return err
+			}
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		}
+		res, err := dist.MatMult(bl, rb, threads)
+		if err != nil {
+			return err
+		}
+		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+	}
 	lb, err := i.Left.MatrixBlock(ctx)
 	if err != nil {
 		return err
@@ -82,24 +119,6 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 	rb, err := i.Right.MatrixBlock(ctx)
 	if err != nil {
 		return err
-	}
-	threads := ctx.Config.Threads()
-	// distributed path for large left operands
-	if i.ExecType == types.ExecDist && ctx.Config.DistEnabled {
-		bl, err := dist.FromMatrixBlock(lb, ctx.Config.DistBlocksize)
-		if err != nil {
-			return err
-		}
-		res, err := dist.MatMult(bl, rb, threads)
-		if err != nil {
-			return err
-		}
-		local, err := res.ToMatrixBlock()
-		if err != nil {
-			return err
-		}
-		ctx.SetMatrix(i.outs[0], local)
-		return nil
 	}
 	var res *matrix.MatrixBlock
 	if ctx.Config.UseBLAS && !lb.IsSparse() && !rb.IsSparse() {
@@ -170,13 +189,9 @@ func (i *TSMMInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], res)
 		return nil
 	}
-	blk, err := i.In.MatrixBlock(ctx)
-	if err != nil {
-		return err
-	}
 	threads := ctx.Config.Threads()
-	if i.ExecType == types.ExecDist && ctx.Config.DistEnabled {
-		bm, err := dist.FromMatrixBlock(blk, ctx.Config.DistBlocksize)
+	if useDist(ctx, i.ExecType, d) {
+		bm, err := resolveBlockedData(ctx, d, i.In)
 		if err != nil {
 			return err
 		}
@@ -184,8 +199,13 @@ func (i *TSMMInst) Execute(ctx *runtime.Context) error {
 		if err != nil {
 			return err
 		}
+		ctx.CountBlockedOp()
 		ctx.SetMatrix(i.outs[0], res)
 		return nil
+	}
+	blk, err := i.In.MatrixBlock(ctx)
+	if err != nil {
+		return err
 	}
 	ctx.SetMatrix(i.outs[0], matrix.TSMM(blk, threads))
 	return nil

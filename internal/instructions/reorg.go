@@ -3,8 +3,10 @@ package instructions
 import (
 	"fmt"
 
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
 )
 
 // ReorgInst implements reorganization operations: transpose (opcode "r'"),
@@ -12,6 +14,10 @@ import (
 type ReorgInst struct {
 	base
 	In Operand
+	// ExecType selects the distributed backend for large operands.
+	ExecType types.ExecType
+	// BlockedOut keeps the result in blocked representation.
+	BlockedOut bool
 }
 
 // NewReorg creates a reorg instruction with the given opcode.
@@ -31,6 +37,21 @@ func (i *ReorgInst) Execute(ctx *runtime.Context) error {
 	if fo, ok := d.(*runtime.FederatedObject); ok && i.opcode == "r'" {
 		ctx.Set(i.outs[0], &TransposedFederated{Source: fo})
 		return nil
+	}
+	// blocked transpose: per-block transpose with mirrored grid coordinates;
+	// other reorg ops fall back to the local kernel (collecting lazily)
+	if i.opcode == "r'" && useDist(ctx, i.ExecType, d) {
+		if _, isScalar := d.(*runtime.Scalar); !isScalar {
+			bm, err := resolveBlockedData(ctx, d, i.In)
+			if err != nil {
+				return err
+			}
+			res, err := dist.Transpose(bm)
+			if err != nil {
+				return err
+			}
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		}
 	}
 	blk, err := i.In.MatrixBlock(ctx)
 	if err != nil {
@@ -57,6 +78,10 @@ func (i *ReorgInst) Execute(ctx *runtime.Context) error {
 type NaryInst struct {
 	base
 	Ins []Operand
+	// ExecType selects the distributed backend for large operands.
+	ExecType types.ExecType
+	// BlockedOut keeps the result in blocked representation.
+	BlockedOut bool
 }
 
 // NewNary creates a cbind/rbind instruction.
@@ -68,6 +93,9 @@ func NewNary(opcode, out string, ins ...Operand) *NaryInst {
 
 // Execute implements runtime.Instruction.
 func (i *NaryInst) Execute(ctx *runtime.Context) error {
+	if err := i.tryDistributed(ctx); err == nil || err != errNotDist {
+		return err
+	}
 	blocks := make([]*matrix.MatrixBlock, len(i.Ins))
 	for idx, op := range i.Ins {
 		blk, err := op.MatrixBlock(ctx)
@@ -91,6 +119,50 @@ func (i *NaryInst) Execute(ctx *runtime.Context) error {
 	}
 	ctx.SetMatrix(i.outs[0], res)
 	return nil
+}
+
+// tryDistributed concatenates blocked operands without collecting them:
+// block-aligned grids are concatenated by reference, boundary-spanning output
+// blocks are re-assembled from the covering regions.
+func (i *NaryInst) tryDistributed(ctx *runtime.Context) error {
+	if (i.opcode != "cbind" && i.opcode != "rbind") || len(i.Ins) < 2 {
+		return errNotDist
+	}
+	datas := make([]runtime.Data, len(i.Ins))
+	for idx, o := range i.Ins {
+		d, err := o.Resolve(ctx)
+		if err != nil {
+			return err
+		}
+		switch d.(type) {
+		case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+		default:
+			return errNotDist
+		}
+		datas[idx] = d
+	}
+	if !useDist(ctx, i.ExecType, datas...) {
+		return errNotDist
+	}
+	acc, err := resolveBlockedData(ctx, datas[0], i.Ins[0])
+	if err != nil {
+		return err
+	}
+	for idx := 1; idx < len(datas); idx++ {
+		next, err := resolveBlockedData(ctx, datas[idx], i.Ins[idx])
+		if err != nil {
+			return err
+		}
+		if i.opcode == "cbind" {
+			acc, err = dist.CBind(acc, next)
+		} else {
+			acc, err = dist.RBind(acc, next)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bindBlockedResult(ctx, i.outs[0], acc, i.BlockedOut)
 }
 
 // IndexInst implements right indexing X[rl:ru, cl:cu] with 1-based inclusive

@@ -1,11 +1,14 @@
 package instructions
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
 )
 
 // unaryOps maps DML unary function names to matrix kernel operations.
@@ -27,6 +30,10 @@ func IsUnaryOp(op string) bool {
 type UnaryInst struct {
 	base
 	In Operand
+	// ExecType selects the distributed backend for large operands.
+	ExecType types.ExecType
+	// BlockedOut keeps the result in blocked representation.
+	BlockedOut bool
 }
 
 // NewUnary creates a unary instruction.
@@ -55,8 +62,19 @@ func (i *UnaryInst) Execute(ctx *runtime.Context) error {
 			ctx.Set(i.outs[0], runtime.NewDouble(res))
 		}
 		return nil
-	case *runtime.MatrixObject:
-		blk, err := v.Acquire()
+	case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+		if useDist(ctx, i.ExecType, d) {
+			bm, err := resolveBlockedData(ctx, d, i.In)
+			if err != nil {
+				return err
+			}
+			res, err := dist.Unary(bm, op)
+			if err != nil {
+				return err
+			}
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		}
+		blk, err := i.In.MatrixBlock(ctx)
 		if err != nil {
 			return err
 		}
@@ -87,6 +105,10 @@ func IsAggOp(op string) bool { return scalarAggs[op] || vectorAggs[op] }
 type AggInst struct {
 	base
 	In Operand
+	// ExecType selects the distributed backend for large operands.
+	ExecType types.ExecType
+	// BlockedOut keeps row/column aggregate results in blocked representation.
+	BlockedOut bool
 }
 
 // NewAgg creates an aggregation instruction.
@@ -102,20 +124,22 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 	if err != nil {
 		return err
 	}
-	// metadata-only aggregates avoid acquiring the data
-	if mo, ok := d.(*runtime.MatrixObject); ok {
-		dc := mo.DataCharacteristics()
+	// metadata-only aggregates avoid acquiring (or collecting) the data
+	if rows, cols, ok := matrixDims(d); ok {
 		switch i.opcode {
 		case "nrow":
-			ctx.Set(i.outs[0], runtime.NewInt(dc.Rows))
+			ctx.Set(i.outs[0], runtime.NewInt(rows))
 			return nil
 		case "ncol":
-			ctx.Set(i.outs[0], runtime.NewInt(dc.Cols))
+			ctx.Set(i.outs[0], runtime.NewInt(cols))
 			return nil
 		case "length":
-			ctx.Set(i.outs[0], runtime.NewInt(dc.Rows*dc.Cols))
+			ctx.Set(i.outs[0], runtime.NewInt(rows*cols))
 			return nil
 		}
+	}
+	if err := i.tryDistributed(ctx, d); err == nil || err != errNotDist {
+		return err
 	}
 	if fo, ok := d.(*runtime.FederatedObject); ok {
 		return i.executeFederated(ctx, fo)
@@ -199,6 +223,60 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 		return fmt.Errorf("instructions: unknown aggregate %q", i.opcode)
 	}
 	return nil
+}
+
+// errNotDist signals that an aggregate is not handled by the blocked
+// backend and should fall through to the local kernels.
+var errNotDist = errors.New("instructions: aggregate not distributed")
+
+// tryDistributed executes supported aggregates on the blocked backend:
+// full aggregates combine per-block partials into a scalar, row/column
+// aggregates stay blocked. Unsupported aggregates (var, median, cumsum, ...)
+// return errNotDist and fall back to the local kernels, collecting lazily.
+func (i *AggInst) tryDistributed(ctx *runtime.Context, d runtime.Data) error {
+	switch d.(type) {
+	case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+	default:
+		return errNotDist
+	}
+	if !useDist(ctx, i.ExecType, d) {
+		return errNotDist
+	}
+	switch i.opcode {
+	case "sum", "sumsq", "mean", "min", "max":
+		bm, err := resolveBlockedData(ctx, d, i.In)
+		if err != nil {
+			return err
+		}
+		v, err := dist.FullAgg(bm, i.opcode)
+		if err != nil {
+			return err
+		}
+		ctx.CountBlockedOp()
+		ctx.Set(i.outs[0], runtime.NewDouble(v))
+		return nil
+	case "rowSums", "rowMeans", "rowMaxs", "rowMins":
+		bm, err := resolveBlockedData(ctx, d, i.In)
+		if err != nil {
+			return err
+		}
+		res, err := dist.RowAgg(bm, i.opcode)
+		if err != nil {
+			return err
+		}
+		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+	case "colSums", "colMeans", "colMaxs", "colMins":
+		bm, err := resolveBlockedData(ctx, d, i.In)
+		if err != nil {
+			return err
+		}
+		res, err := dist.ColAgg(bm, i.opcode)
+		if err != nil {
+			return err
+		}
+		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+	}
+	return errNotDist
 }
 
 // executeFederated pushes supported aggregates to federated workers.

@@ -165,10 +165,24 @@ func parseCSVRow(line string, delim byte, dst []float64) error {
 	return nil
 }
 
+// splitLines splits the file into lines with a single in-place scan over one
+// string conversion, stripping a trailing \r per line (instead of rewriting
+// the whole file with ReplaceAll before splitting).
 func splitLines(data []byte) []string {
 	s := string(data)
-	s = strings.ReplaceAll(s, "\r\n", "\n")
-	return strings.Split(s, "\n")
+	lines := make([]string, 0, strings.Count(s, "\n")+1)
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			line := s[start:i]
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			lines = append(lines, line)
+			start = i + 1
+		}
+	}
+	return lines
 }
 
 // ReadFrameCSV reads a CSV file into a frame. When schema is nil, column

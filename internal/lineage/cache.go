@@ -89,8 +89,19 @@ func (c *Cache) Put(item *Item, value any, sizeBytes, computeNs int64) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.entries[item.Hash()]; exists {
-		return
+	if el, exists := c.entries[item.Hash()]; exists {
+		entry := el.Value.(*CacheEntry)
+		if entry.Item.Equals(item) {
+			// same intermediate: refresh its LRU position
+			c.lru.MoveToFront(el)
+			return
+		}
+		// hash collision: replace the old entry, otherwise the colliding item
+		// could never be cached (every Get would fail the Equals check)
+		c.lru.Remove(el)
+		delete(c.entries, entry.Item.Hash())
+		c.used -= entry.SizeBytes
+		c.stats.Evictions++
 	}
 	for c.used+sizeBytes > c.budget && c.lru.Len() > 0 {
 		c.evictLRULocked()

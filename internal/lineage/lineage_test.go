@@ -158,6 +158,53 @@ func TestCacheEviction(t *testing.T) {
 	}
 }
 
+// forceHash pins an item's memoized hash, simulating hash collisions between
+// structurally different lineage DAGs.
+func forceHash(it *Item, h uint64) *Item {
+	it.hashOnce.Do(func() { it.hash = h })
+	return it
+}
+
+func TestCachePutCollisionReplaces(t *testing.T) {
+	c := NewCache(1 << 20)
+	a := forceHash(NewInstruction("op", "a", NewLiteral("a")), 42)
+	b := forceHash(NewInstruction("op", "b", NewLiteral("b")), 42)
+	c.Put(a, "va", 100, 0)
+	// colliding item must not be locked out forever: the new entry replaces
+	// the old one
+	c.Put(b, "vb", 100, 0)
+	if v, ok := c.Get(b); !ok || v != "vb" {
+		t.Errorf("colliding item not cached after Put: %v, %v", v, ok)
+	}
+	if _, ok := c.Get(a); ok {
+		t.Error("replaced entry still returned")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if used := c.Stats().BytesCached; used != 100 {
+		t.Errorf("BytesCached = %d, want 100", used)
+	}
+}
+
+func TestCachePutRefreshesLRUPosition(t *testing.T) {
+	c := NewCache(200) // fits two 100-byte entries
+	x := NewInstruction("op", "x", NewLiteral("x"))
+	y := NewInstruction("op", "y", NewLiteral("y"))
+	z := NewInstruction("op", "z", NewLiteral("z"))
+	c.Put(x, 1, 100, 0)
+	c.Put(y, 2, 100, 0)
+	// re-putting x must move it to the front so y is the eviction victim
+	c.Put(x, 1, 100, 0)
+	c.Put(z, 3, 100, 0)
+	if _, ok := c.Get(x); !ok {
+		t.Error("refreshed entry was evicted")
+	}
+	if _, ok := c.Get(y); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(0)
 	if c.Enabled() {

@@ -1,0 +1,239 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/dist"
+	sdsio "github.com/systemds/systemds-go/internal/io"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// DistStats is a snapshot of the distributed-backend counters of one context
+// tree: how often a local matrix was partitioned into blocked form, how often
+// a blocked matrix was collected back into a local block, and how many
+// operators executed on the blocked backend. A chain of N blocked operators
+// should cost one partition and at most one collect, not N of each.
+type DistStats struct {
+	Partitions int64
+	Collects   int64
+	BlockedOps int64
+}
+
+// distCounters is the shared mutable counter state behind DistStats; child
+// contexts share their parent's counters.
+type distCounters struct {
+	partitions atomic.Int64
+	collects   atomic.Int64
+	blockedOps atomic.Int64
+}
+
+func (c *distCounters) snapshot() DistStats {
+	if c == nil {
+		return DistStats{}
+	}
+	return DistStats{
+		Partitions: c.partitions.Load(),
+		Collects:   c.collects.Load(),
+		BlockedOps: c.blockedOps.Load(),
+	}
+}
+
+// BlockedMatrixObject is the first-class runtime handle of a blocked
+// ("distributed") matrix: it flows through the symbol table like any other
+// data object, so consecutive blocked operators hand the partitioned
+// representation to each other without collecting and re-partitioning. Only a
+// CP consumer or a sink (print, write, API output) triggers a collect, via
+// Collect. The object participates in the buffer pool with per-block spill
+// files.
+type BlockedMatrixObject struct {
+	id   int64
+	mu   sync.Mutex
+	dc   types.DataCharacteristics
+	bm   *dist.BlockedMatrix // nil when spilled
+	meta dist.BlockedMatrix  // shape metadata retained for restore (Blocks nil)
+	// spillBase is the base path of the per-block spill files; block i lives
+	// at spillBase.b<i>.
+	spillBase string
+	nblocks   int
+	// local memoizes the collected form so repeated CP consumers of the same
+	// blocked variable pay the O(rows*cols) assembly once. It is a
+	// reader-held view (like a block handed out by MatrixObject.Acquire) and
+	// deliberately not part of MemorySize; eviction drops it.
+	local *matrix.MatrixBlock
+	pool  *bufferpool.Pool
+	ctr   *distCounters
+}
+
+// NewBlockedMatrixObject wraps a blocked matrix into a managed object and
+// registers it with the buffer pool. The counters may be nil.
+func NewBlockedMatrixObject(bm *dist.BlockedMatrix, pool *bufferpool.Pool, ctr *distCounters) *BlockedMatrixObject {
+	bo := &BlockedMatrixObject{
+		dc:   types.DataCharacteristics{Rows: int64(bm.Rows), Cols: int64(bm.Cols), Blocksize: bm.Blocksize, NNZ: -1},
+		bm:   bm,
+		meta: dist.BlockedMatrix{Rows: bm.Rows, Cols: bm.Cols, Blocksize: bm.Blocksize},
+		pool: pool,
+		ctr:  ctr,
+	}
+	if pool != nil {
+		bo.id = pool.NextID()
+		pool.Register(bo)
+	}
+	return bo
+}
+
+// DataType returns types.Matrix: a blocked matrix is a matrix to the
+// compiler; only the runtime representation differs.
+func (b *BlockedMatrixObject) DataType() types.DataType { return types.Matrix }
+
+// DataCharacteristics returns the matrix metadata without touching the data.
+func (b *BlockedMatrixObject) DataCharacteristics() types.DataCharacteristics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dc
+}
+
+// String implements Data.
+func (b *BlockedMatrixObject) String() string {
+	dc := b.DataCharacteristics()
+	return fmt.Sprintf("BlockedMatrix[%dx%d, blocksize %d]", dc.Rows, dc.Cols, dc.Blocksize)
+}
+
+// Blocked returns the in-memory blocked matrix, restoring the blocks from
+// their spill files if the object was evicted.
+func (b *BlockedMatrixObject) Blocked() (*dist.BlockedMatrix, error) {
+	b.mu.Lock()
+	restored := false
+	if b.bm == nil {
+		if b.spillBase == "" {
+			b.mu.Unlock()
+			return nil, fmt.Errorf("runtime: blocked matrix object %d has neither data nor spill files", b.id)
+		}
+		bm := b.meta
+		bm.Blocks = make([]*matrix.MatrixBlock, b.nblocks)
+		for i := range bm.Blocks {
+			blk, err := sdsio.ReadMatrixBinary(blockSpillPath(b.spillBase, i))
+			if err != nil {
+				b.mu.Unlock()
+				return nil, fmt.Errorf("runtime: restore evicted blocked matrix: %w", err)
+			}
+			bm.Blocks[i] = blk
+		}
+		b.bm = &bm
+		restored = true
+	}
+	bm := b.bm
+	b.mu.Unlock()
+	if b.pool != nil {
+		b.pool.NotifyAccess(b, restored)
+	}
+	return bm, nil
+}
+
+// Collect assembles the blocked matrix into one local matrix block — the
+// lazy collect performed only when a CP consumer or sink needs local data.
+// The assembled block is memoized, so only the first consumer pays (and
+// counts) the collect.
+func (b *BlockedMatrixObject) Collect() (*matrix.MatrixBlock, error) {
+	b.mu.Lock()
+	if b.local != nil {
+		blk := b.local
+		b.mu.Unlock()
+		return blk, nil
+	}
+	b.mu.Unlock()
+	bm, err := b.Blocked()
+	if err != nil {
+		return nil, err
+	}
+	blk, err := bm.ToMatrixBlock()
+	if err != nil {
+		return nil, err
+	}
+	won := false
+	b.mu.Lock()
+	if b.local == nil {
+		b.local = blk
+		won = true
+	}
+	blk = b.local
+	b.mu.Unlock()
+	if won && b.ctr != nil {
+		b.ctr.collects.Add(1)
+	}
+	return blk, nil
+}
+
+// PoolID implements bufferpool.Entry.
+func (b *BlockedMatrixObject) PoolID() int64 { return b.id }
+
+// MemorySize implements bufferpool.Entry.
+func (b *BlockedMatrixObject) MemorySize() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bm == nil {
+		return 0
+	}
+	var total int64
+	for _, blk := range b.bm.Blocks {
+		if blk != nil {
+			total += blk.InMemorySize()
+		}
+	}
+	return total
+}
+
+// Evict implements bufferpool.Entry: every block is written to its own spill
+// file (path.b<i>) and the blocked matrix is dropped from memory.
+func (b *BlockedMatrixObject) Evict(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bm == nil {
+		return nil
+	}
+	for i, blk := range b.bm.Blocks {
+		if err := sdsio.WriteMatrixBinary(blockSpillPath(path, i), blk, b.bm.Blocksize); err != nil {
+			// clean up the partial spill so the object stays in memory
+			for j := 0; j <= i; j++ {
+				_ = os.Remove(blockSpillPath(path, j))
+			}
+			return err
+		}
+	}
+	b.spillBase = path
+	b.nblocks = len(b.bm.Blocks)
+	b.bm = nil
+	b.local = nil
+	return nil
+}
+
+// IsPinned implements bufferpool.Entry. Blocked matrices are immutable, so
+// in-flight readers keep their own reference and eviction is always safe.
+func (b *BlockedMatrixObject) IsPinned() bool { return false }
+
+// IsInMemory implements bufferpool.Entry.
+func (b *BlockedMatrixObject) IsInMemory() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bm != nil
+}
+
+// Discard implements bufferpool.Discarder: per-block spill files are removed
+// when the entry is unregistered.
+func (b *BlockedMatrixObject) Discard() {
+	b.mu.Lock()
+	base, n := b.spillBase, b.nblocks
+	b.mu.Unlock()
+	if base == "" {
+		return
+	}
+	for i := 0; i < n; i++ {
+		_ = os.Remove(blockSpillPath(base, i))
+	}
+}
+
+func blockSpillPath(base string, i int) string { return fmt.Sprintf("%s.b%d", base, i) }

@@ -1,0 +1,179 @@
+package runtime
+
+import (
+	"os"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/dist"
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+func blockedTestMatrix(rows, cols int) *matrix.MatrixBlock {
+	m := matrix.NewDense(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, float64(r*cols+c))
+		}
+	}
+	return m
+}
+
+func TestBlockedObjectSpillAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.BufferPoolBudget = 40_000 // one 70x70 matrix (~39KB + overhead) at a time
+	cfg.TempDir = dir
+	ctx := NewContext(cfg)
+
+	m := blockedTestMatrix(70, 70)
+	bm, err := dist.FromMatrixBlock(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetBlocked("B", bm)
+	d, _ := ctx.Get("B")
+	bo := d.(*BlockedMatrixObject)
+	if !bo.IsInMemory() {
+		t.Fatal("fresh blocked object should be in memory")
+	}
+
+	// registering another large object pushes the blocked object over budget
+	ctx.SetMatrix("C", blockedTestMatrix(70, 70))
+	if bo.IsInMemory() {
+		t.Fatal("blocked object should have been evicted (per-block spill)")
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) < 2 {
+		t.Fatalf("expected one spill file per block, found %d files", len(files))
+	}
+
+	// lazy collect restores from the per-block spill files
+	got, err := ctx.GetMatrixBlock("B")
+	if err != nil {
+		t.Fatalf("collect after spill: %v", err)
+	}
+	if !m.Equals(got, 0) {
+		t.Error("restored blocked matrix differs from original")
+	}
+	if ctx.DistStats().Collects != 1 {
+		t.Errorf("collects = %d, want 1", ctx.DistStats().Collects)
+	}
+	if ctx.Pool.Stats().Restores == 0 {
+		t.Error("expected a recorded restore")
+	}
+}
+
+func TestBlockedObjectDiscardRemovesSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.BufferPoolBudget = 40_000
+	cfg.TempDir = dir
+	ctx := NewContext(cfg)
+
+	bm, err := dist.FromMatrixBlock(blockedTestMatrix(70, 70), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetBlocked("B", bm)
+	ctx.SetMatrix("C", blockedTestMatrix(70, 70)) // evicts B to disk
+	files, _ := os.ReadDir(dir)
+	if len(files) == 0 {
+		t.Fatal("expected spill files before Remove")
+	}
+	ctx.Remove("B")
+	files, _ = os.ReadDir(dir)
+	if len(files) != 0 {
+		t.Errorf("spill files leaked after Remove: %d left", len(files))
+	}
+}
+
+func TestMergeResultsHandlesBlockedValues(t *testing.T) {
+	ctx := NewContext(DefaultConfig())
+	orig := blockedTestMatrix(6, 6)
+	obm, err := dist.FromMatrixBlock(orig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origData := NewBlockedMatrixObject(obm, ctx.Pool, nil)
+
+	m1 := orig.Copy()
+	m1.Set(0, 0, 999)
+	bm1, _ := dist.FromMatrixBlock(m1, 4)
+	w1 := workerResult{lastIter: 1, vars: map[string]Data{"R": NewBlockedMatrixObject(bm1, ctx.Pool, nil)}}
+	m2 := orig.Copy()
+	m2.Set(5, 5, -7)
+	w2 := workerResult{lastIter: 2, vars: map[string]Data{"R": NewMatrixObject(m2, ctx.Pool)}}
+
+	merged, err := mergeResults(ctx, "R", origData, []workerResult{w1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == nil {
+		t.Fatal("blocked worker results were dropped by the merge")
+	}
+	blk, err := merged.(*MatrixObject).Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Get(0, 0) != 999 || blk.Get(5, 5) != -7 {
+		t.Errorf("merged cells = %g, %g; want 999, -7", blk.Get(0, 0), blk.Get(5, 5))
+	}
+	if blk.Get(2, 3) != orig.Get(2, 3) {
+		t.Error("unchanged cell modified by merge")
+	}
+}
+
+func TestCollectMemoizesAndCountsOnce(t *testing.T) {
+	ctx := NewContext(DefaultConfig())
+	m := blockedTestMatrix(10, 10)
+	bm, err := dist.FromMatrixBlock(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetBlocked("B", bm)
+	a, err := ctx.GetMatrixBlock("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.GetMatrixBlock("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated collects should return the memoized block")
+	}
+	if got := ctx.DistStats().Collects; got != 1 {
+		t.Errorf("collects = %d, want 1 (memoized)", got)
+	}
+}
+
+func TestBlockedObjectFlowsThroughSymbolTable(t *testing.T) {
+	ctx := NewContext(DefaultConfig())
+	bm, err := dist.FromMatrixBlock(blockedTestMatrix(10, 10), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetBlocked("B", bm)
+	d, err := ctx.Get("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, ok := d.(*BlockedMatrixObject)
+	if !ok {
+		t.Fatalf("symbol table holds %T, want *BlockedMatrixObject", d)
+	}
+	dc := bo.DataCharacteristics()
+	if dc.Rows != 10 || dc.Cols != 10 || dc.Blocksize != 4 {
+		t.Errorf("metadata = %+v", dc)
+	}
+	got, err := bo.Blocked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != bm {
+		t.Error("Blocked() should hand back the partitioned representation without copying")
+	}
+	if SizeOf(bo) <= 0 {
+		t.Error("SizeOf must account blocked objects")
+	}
+}

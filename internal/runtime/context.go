@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/types"
@@ -97,6 +98,10 @@ type Context struct {
 
 	mu   sync.RWMutex
 	vars map[string]Data
+
+	// dist holds the distributed-backend counters, shared across child
+	// contexts (partition/collect/blocked-op accounting for one execution).
+	dist *distCounters
 }
 
 // NewContext creates a root execution context.
@@ -110,6 +115,7 @@ func NewContext(cfg *Config) *Context {
 		Pool:    bufferpool.New(cfg.BufferPoolBudget, cfg.TempDir),
 		Out:     os.Stdout,
 		vars:    map[string]Data{},
+		dist:    &distCounters{},
 	}
 	if cfg.ReuseEnabled {
 		ctx.Cache = lineage.NewCache(cfg.CacheBudget)
@@ -130,6 +136,7 @@ func (ctx *Context) ChildEmpty() *Context {
 		Prog:    ctx.Prog,
 		Out:     ctx.Out,
 		vars:    map[string]Data{},
+		dist:    ctx.dist,
 	}
 }
 
@@ -150,6 +157,32 @@ func (ctx *Context) ChildCopy() *Context {
 		Prog:    ctx.Prog,
 		Out:     ctx.Out,
 		vars:    vars,
+		dist:    ctx.dist,
+	}
+}
+
+// DistStats returns a snapshot of the distributed-backend counters.
+func (ctx *Context) DistStats() DistStats { return ctx.dist.snapshot() }
+
+// CountDistPartition records a local-to-blocked repartition.
+func (ctx *Context) CountDistPartition() {
+	if ctx.dist != nil {
+		ctx.dist.partitions.Add(1)
+	}
+}
+
+// CountDistCollect records an eager blocked-to-local collect performed
+// outside a BlockedMatrixObject (lazy collects count themselves).
+func (ctx *Context) CountDistCollect() {
+	if ctx.dist != nil {
+		ctx.dist.collects.Add(1)
+	}
+}
+
+// CountBlockedOp records one operator executed on the blocked backend.
+func (ctx *Context) CountBlockedOp() {
+	if ctx.dist != nil {
+		ctx.dist.blockedOps.Add(1)
 	}
 }
 
@@ -186,7 +219,7 @@ func (ctx *Context) Remove(name string) {
 	delete(ctx.vars, name)
 	ctx.mu.Unlock()
 	if ok {
-		if mo, isMat := d.(*MatrixObject); isMat && ctx.Pool != nil {
+		if entry, pooled := d.(bufferpool.Entry); pooled && ctx.Pool != nil {
 			// only unregister if no other variable references the object
 			ctx.mu.RLock()
 			shared := false
@@ -198,7 +231,7 @@ func (ctx *Context) Remove(name string) {
 			}
 			ctx.mu.RUnlock()
 			if !shared {
-				ctx.Pool.Unregister(mo.PoolID())
+				ctx.Pool.Unregister(entry.PoolID())
 			}
 		}
 	}
@@ -265,6 +298,9 @@ func (ctx *Context) GetMatrixBlock(name string) (*matrix.MatrixBlock, error) {
 	switch v := d.(type) {
 	case *MatrixObject:
 		return v.Acquire()
+	case *BlockedMatrixObject:
+		// lazy collect: a CP consumer or sink actually needs the local block
+		return v.Collect()
 	case *Scalar:
 		m := matrix.NewDense(1, 1)
 		m.Set(0, 0, v.Float64())
@@ -292,6 +328,12 @@ func (ctx *Context) GetFrame(name string) (*FrameObject, error) {
 // SetMatrix wraps a block into a matrix object and binds it.
 func (ctx *Context) SetMatrix(name string, block *matrix.MatrixBlock) {
 	ctx.Set(name, NewMatrixObject(block, ctx.Pool))
+}
+
+// SetBlocked wraps a blocked matrix into a first-class blocked object and
+// binds it; downstream blocked operators consume it without re-partitioning.
+func (ctx *Context) SetBlocked(name string, bm *dist.BlockedMatrix) {
+	ctx.Set(name, NewBlockedMatrixObject(bm, ctx.Pool, ctx.dist))
 }
 
 // CleanupTemporaries removes temporary variables created by DAG lowering

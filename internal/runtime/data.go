@@ -286,6 +286,8 @@ func SizeOf(d Data) int64 {
 		return 64
 	case *MatrixObject:
 		return types.EstimateSize(v.DataCharacteristics())
+	case *BlockedMatrixObject:
+		return types.EstimateSize(v.DataCharacteristics())
 	case *FrameObject:
 		return int64(v.Frame.NumRows()*v.Frame.NumCols()) * 16
 	case *ListObject:

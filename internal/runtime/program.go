@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/systemds/systemds-go/internal/lineage"
+	"github.com/systemds/systemds-go/internal/matrix"
 )
 
 // TempPrefix is the name prefix of temporary variables created by DAG
@@ -416,6 +417,21 @@ func (b *ForBlock) executeParallel(ctx *Context, values []float64) error {
 
 var parforMergeCounter int64
 
+// localMatrixOf returns the local block behind a matrix-typed runtime value,
+// acquiring through the buffer pool or collecting a blocked matrix; the bool
+// reports whether the value was matrix-backed at all.
+func localMatrixOf(d Data) (*matrix.MatrixBlock, bool, error) {
+	switch v := d.(type) {
+	case *MatrixObject:
+		blk, err := v.Acquire()
+		return blk, true, err
+	case *BlockedMatrixObject:
+		blk, err := v.Collect()
+		return blk, true, err
+	}
+	return nil, false, nil
+}
+
 // workerResult holds the result-variable bindings produced by one parfor
 // worker together with the highest iteration index it executed.
 type workerResult struct {
@@ -429,26 +445,24 @@ type workerResult struct {
 // for everything else the value of the worker that ran the highest iteration
 // wins (last-iteration semantics).
 func mergeResults(ctx *Context, name string, original Data, sources []workerResult) (Data, error) {
-	origMat, isMat := original.(*MatrixObject)
+	origBlock, isMat, err := localMatrixOf(original)
+	if err != nil {
+		return nil, err
+	}
 	if isMat {
-		origBlock, err := origMat.Acquire()
-		if err != nil {
-			return nil, err
-		}
 		merged := origBlock.Copy()
 		changed := false
 		for _, src := range sources {
 			d, ok := src.vars[name]
-			if !ok {
+			if !ok || d == original {
 				continue
 			}
-			mo, ok := d.(*MatrixObject)
-			if !ok || mo == origMat {
-				continue
-			}
-			blk, err := mo.Acquire()
+			blk, isM, err := localMatrixOf(d)
 			if err != nil {
 				return nil, err
+			}
+			if !isM {
+				continue
 			}
 			if blk.Rows() != origBlock.Rows() || blk.Cols() != origBlock.Cols() {
 				// dimension change: last iteration wins
