@@ -1,6 +1,7 @@
 GO ?= go
+SHELL := /bin/bash
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race bench bench-all
 
 all: vet build test
 
@@ -20,5 +21,11 @@ test:
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/dist/... ./internal/fed/... ./internal/matrix/... ./internal/compiler/... .
 
+# Fused-vs-unfused and kernel-parallelism benchmarks with allocation stats;
+# the parsed results land in BENCH_pr3.json (the perf trajectory of the repo).
 bench:
+	set -o pipefail; $(GO) test -bench 'Fused|Unfused|MMChain|KernelParallel' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr3.json
+
+# Full benchmark sweep (single iteration per benchmark).
+bench-all:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .

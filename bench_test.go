@@ -325,3 +325,141 @@ func BenchmarkSchedulerInterOpWorkers2(b *testing.B) { benchmarkSchedulerWideDAG
 func BenchmarkSchedulerInterOpWorkers4(b *testing.B) { benchmarkSchedulerWideDAG(b, 4) }
 
 func BenchmarkSchedulerInterOpWorkers8(b *testing.B) { benchmarkSchedulerWideDAG(b, 8) }
+
+// --- Fused operator pipelines (PR 3) ----------------------------------------
+//
+// Fused-vs-unfused pairs on 2k x 2k dense inputs. The fused kernels must show
+// a B/op drop (no full-size intermediate is materialized) and, with spare
+// cores, a wall-clock win from the single pass; run with -benchmem.
+
+const fusedBenchDim = 2048
+
+func fusedBenchData() (x, y *matrix.MatrixBlock, v *matrix.MatrixBlock) {
+	x = matrix.RandUniform(fusedBenchDim, fusedBenchDim, -1, 1, 1.0, 301)
+	y = matrix.RandUniform(fusedBenchDim, fusedBenchDim, -1, 1, 1.0, 302)
+	v = matrix.RandUniform(fusedBenchDim, 1, -1, 1, 1.0, 303)
+	return
+}
+
+func benchmarkFusedSumXY(b *testing.B, threads int) {
+	x, y, _ := fusedBenchData()
+	prog := &matrix.CellProgram{
+		Instrs: []matrix.CellInstr{
+			{Code: matrix.CellLoad, Arg: 0}, {Code: matrix.CellLoad, Arg: 1},
+			{Code: matrix.CellBinary, Bin: matrix.OpMul},
+		},
+		NumArgs: 2, Annihilating: true,
+	}
+	args := []matrix.CellArg{{Mat: x}, {Mat: y}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.FusedAgg(prog, matrix.AggSum, args, threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkUnfusedSumXY(b *testing.B, threads int) {
+	x, y, _ := fusedBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod, err := matrix.CellwiseOp(x, y, matrix.OpMul, threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = matrix.Sum(prod, threads)
+	}
+}
+
+func BenchmarkFusedSumXYThreads1(b *testing.B)   { benchmarkFusedSumXY(b, 1) }
+func BenchmarkFusedSumXYThreads4(b *testing.B)   { benchmarkFusedSumXY(b, 4) }
+func BenchmarkUnfusedSumXYThreads1(b *testing.B) { benchmarkUnfusedSumXY(b, 1) }
+func BenchmarkUnfusedSumXYThreads4(b *testing.B) { benchmarkUnfusedSumXY(b, 4) }
+
+func benchmarkFusedMMChain(b *testing.B, threads int) {
+	x, _, v := fusedBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.MMChain(x, v, nil, threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkUnfusedMMChain(b *testing.B, threads int) {
+	x, _, v := fusedBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xv, err := matrix.Multiply(x, v, threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := matrix.Multiply(matrix.Transpose(x), xv, threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFusedMMChainThreads1(b *testing.B)   { benchmarkFusedMMChain(b, 1) }
+func BenchmarkFusedMMChainThreads4(b *testing.B)   { benchmarkFusedMMChain(b, 4) }
+func BenchmarkUnfusedMMChainThreads1(b *testing.B) { benchmarkUnfusedMMChain(b, 1) }
+func BenchmarkUnfusedMMChainThreads4(b *testing.B) { benchmarkUnfusedMMChain(b, 4) }
+
+// Kernel-parallelism benchmarks: the formerly single-threaded elementwise and
+// aggregation kernels, at 1 vs 4 threads.
+
+func benchmarkKernelParallelCellwise(b *testing.B, threads int) {
+	x, y, _ := fusedBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.CellwiseOp(x, y, matrix.OpAdd, threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkKernelParallelSum(b *testing.B, threads int) {
+	x, _, _ := fusedBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = matrix.Sum(x, threads)
+	}
+}
+
+func benchmarkKernelParallelColSums(b *testing.B, threads int) {
+	x, _, _ := fusedBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = matrix.ColSums(x, threads)
+	}
+}
+
+func BenchmarkKernelParallelCellwiseThreads1(b *testing.B) { benchmarkKernelParallelCellwise(b, 1) }
+func BenchmarkKernelParallelCellwiseThreads4(b *testing.B) { benchmarkKernelParallelCellwise(b, 4) }
+func BenchmarkKernelParallelSumThreads1(b *testing.B)      { benchmarkKernelParallelSum(b, 1) }
+func BenchmarkKernelParallelSumThreads4(b *testing.B)      { benchmarkKernelParallelSum(b, 4) }
+func BenchmarkKernelParallelColSumsThreads1(b *testing.B)  { benchmarkKernelParallelColSums(b, 1) }
+func BenchmarkKernelParallelColSumsThreads4(b *testing.B)  { benchmarkKernelParallelColSums(b, 4) }
+
+// BenchmarkFusedPipelineEndToEnd measures the DML-level pipeline with fusion
+// on and off (compile + execute, fused counters verified in tests).
+func benchmarkFusedPipelineEndToEnd(b *testing.B, fusion bool) {
+	x := matrix.RandUniform(1024, 256, -1, 1, 1.0, 304)
+	y := matrix.RandUniform(1024, 256, -1, 1, 1.0, 305)
+	v := matrix.RandUniform(256, 1, -1, 1, 1.0, 306)
+	ctx := systemds.NewContext(systemds.WithFusion(fusion), systemds.WithLineage(false))
+	prepared, err := ctx.Prepare("s = sum(X * Y)\ng = t(X) %*% (X %*% v)\nq = sum(g)", "s", "q")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]any{"X": x, "Y": y, "v": v}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prepared.Execute(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFusedPipelineEndToEndOn(b *testing.B)  { benchmarkFusedPipelineEndToEnd(b, true) }
+func BenchmarkFusedPipelineEndToEndOff(b *testing.B) { benchmarkFusedPipelineEndToEnd(b, false) }

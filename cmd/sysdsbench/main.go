@@ -77,16 +77,12 @@ func main() {
 	run("fed", func() (*experiments.Figure, error) {
 		return experiments.AblationFederatedTSMM(scale.Rows, scale.Cols)
 	})
+	run("fusion", func() (*experiments.Figure, error) {
+		return experiments.AblationFusedPipelines(scale.Rows, scale.Cols)
+	})
 	run("paramserv", func() (*experiments.Figure, error) {
 		return experiments.AblationParamServ(scale.Rows, min(scale.Cols, 50))
 	})
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func fatal(err error) {

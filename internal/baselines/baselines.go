@@ -182,9 +182,9 @@ func trainingLoss(x, y, beta *matrix.MatrixBlock, threads int) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	diff, err := matrix.CellwiseOp(pred, y, matrix.OpSub)
+	diff, err := matrix.CellwiseOp(pred, y, matrix.OpSub, threads)
 	if err != nil {
 		return 0, err
 	}
-	return matrix.SumSq(diff) / float64(x.Rows()), nil
+	return matrix.SumSq(diff, threads) / float64(x.Rows()), nil
 }

@@ -52,8 +52,8 @@ func TestBaselinesMatchClosedFormSolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	pred, _ := matrix.Multiply(x, beta, 0)
-	diff, _ := matrix.CellwiseOp(pred, y, matrix.OpSub)
-	mse := matrix.SumSq(diff) / float64(x.Rows())
+	diff, _ := matrix.CellwiseOp(pred, y, matrix.OpSub, 1)
+	mse := matrix.SumSq(diff, 1) / float64(x.Rows())
 	if mse > 0.01 {
 		t.Errorf("baseline model mse = %v", mse)
 	}

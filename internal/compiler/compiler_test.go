@@ -161,7 +161,7 @@ sub = X[2:3, ]
 	if !blk.Equals(matrix.TSMM(x, 1), 1e-12) {
 		t.Error("G wrong")
 	}
-	if res["s"].(*runtime.Scalar).Float64() != matrix.Sum(blk) {
+	if res["s"].(*runtime.Scalar).Float64() != matrix.Sum(blk, 1) {
 		t.Error("s wrong")
 	}
 	sub, _ := res["sub"].(*runtime.MatrixObject).Acquire()
@@ -243,7 +243,7 @@ s = sum(G)`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := matrix.Sum(matrix.TSMM(x, 1))
+	want := matrix.Sum(matrix.TSMM(x, 1), 1)
 	if diff := s.Float64() - want; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("recompiled result = %v, want %v", s.Float64(), want)
 	}

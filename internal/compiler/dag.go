@@ -2,6 +2,9 @@ package compiler
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/instructions"
@@ -37,12 +40,28 @@ func (c *Compiler) compileBasicBlock(stmts []lang.Statement, known map[string]ty
 		return nil, err
 	}
 	block := &runtime.BasicBlock{Instructions: bb.instrs, Deps: bb.tracker.Deps(), CleanupTemps: true}
-	if c.cfg.DistEnabled && bb.unknownSizes {
+	// dynamic recompilation against live sizes drives both exec-type
+	// selection (distributed backend) and operator fusion: loop and function
+	// bodies compile with unknown sizes, so without recompilation the fusion
+	// matcher could never prove shapes inside the hottest blocks
+	if (c.cfg.DistEnabled || !c.cfg.FusionDisabled) && bb.unknownSizes {
 		stmtsCopy := stmts
 		block.RequiresRecompile = true
+		// loop bodies recompile on every execution; memoize the lowered
+		// instructions by the live size signature so stable-size iterations
+		// (the common case) pay the HOP pipeline once, not per iteration.
+		// The mutex guards the memo against concurrent parfor workers; the
+		// cached instruction objects are immutable during execution, exactly
+		// like a block's statically compiled instruction list.
+		var mu sync.Mutex
+		var memoKey string
+		var memoInstrs []runtime.Instruction
 		block.Recompile = func(ctx *runtime.Context) ([]runtime.Instruction, error) {
 			liveKnown := map[string]types.DataCharacteristics{}
-			for _, name := range ctx.Variables() {
+			names := ctx.Variables()
+			sort.Strings(names)
+			var key strings.Builder
+			for _, name := range names {
 				d, err := ctx.Get(name)
 				if err != nil {
 					continue
@@ -54,14 +73,23 @@ func (c *Compiler) compileBasicBlock(stmts []lang.Statement, known map[string]ty
 				if mc, ok := d.(interface {
 					DataCharacteristics() types.DataCharacteristics
 				}); ok {
-					liveKnown[name] = mc.DataCharacteristics()
+					dc := mc.DataCharacteristics()
+					liveKnown[name] = dc
+					fmt.Fprintf(&key, "%s=%s;", name, dc)
 				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if memoInstrs != nil && memoKey == key.String() {
+				return memoInstrs, nil
 			}
 			rebuilt, err := c.buildBlock(stmtsCopy, liveKnown)
 			if err != nil {
 				return nil, err
 			}
-			return rebuilt.instrs, nil
+			memoKey = key.String()
+			memoInstrs = rebuilt.instrs
+			return memoInstrs, nil
 		}
 	}
 	return block, nil

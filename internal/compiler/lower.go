@@ -37,6 +37,15 @@ func (bb *blockBuilder) flush() error {
 	}
 	hops.Rewrite(bb.dag)
 	hops.PropagateSizes(bb.dag, bb.known)
+	// the fusion pattern matcher runs after rewrites/CSE (so shared
+	// subexpressions are single hops and consumer counts are exact) and
+	// before exec-type selection (fusion is gated on the operator budget so
+	// it never steals work from the blocked backend); sizes are re-propagated
+	// because fusion rewrites producer/consumer edges
+	if !bb.c.cfg.FusionDisabled {
+		hops.FuseOperators(bb.dag, bb.c.cfg.OperatorMemBudget, bb.c.cfg.DistEnabled)
+		hops.PropagateSizes(bb.dag, bb.known)
+	}
 	hops.SelectExecTypes(bb.dag, bb.c.cfg.OperatorMemBudget, bb.c.cfg.DistEnabled)
 	hops.PropagateBlockedOutputs(bb.dag)
 	instrs, hopDeps, unknown, err := lowerDAG(bb.dag)
@@ -211,6 +220,20 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 		inst := instructions.NewTSMM(out, in(0))
 		inst.ExecType = h.ExecType
 		return inst, nil
+	case hops.KindMMChain:
+		if len(h.Inputs) == 3 {
+			return instructions.NewMMChain(out, in(0), in(1), in(2), true), nil
+		}
+		return instructions.NewMMChain(out, in(0), in(1), instructions.Operand{}, false), nil
+	case hops.KindFusedAgg:
+		if h.FusedAgg == nil {
+			return nil, fmt.Errorf("compiler: fused aggregate %s without a plan", h.Op)
+		}
+		args := make([]instructions.Operand, len(h.Inputs))
+		for i := range h.Inputs {
+			args[i] = operandOf(h.Inputs[i])
+		}
+		return instructions.NewFusedAgg(h.FusedAgg.Kind, out, h.FusedAgg.Prog, args), nil
 	case hops.KindReorg:
 		var opcode string
 		switch h.Op {

@@ -36,6 +36,7 @@ type Stats struct {
 	CacheStats lineage.CacheStats
 	PoolStats  bufferpool.Stats
 	DistStats  runtime.DistStats
+	FusedStats runtime.FusedStats
 }
 
 // NewEngine creates an engine with the given configuration (nil uses the
@@ -133,7 +134,7 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 		}
 		results[name] = v
 	}
-	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats()}
+	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats(), FusedStats: ctx.FusedStats()}
 	return results, stats, nil
 }
 

@@ -364,7 +364,7 @@ func TestClassificationBuiltins(t *testing.T) {
 	e := newTestEngine()
 	x, y01 := matrix.SyntheticClassification(300, 5, 1.0, 41)
 	// l2svm expects -1/+1 labels
-	ypm := matrix.ScalarOp(matrix.ScalarOp(y01, 2, matrix.OpMul, false), 1, matrix.OpSub, false)
+	ypm := matrix.ScalarOp(matrix.ScalarOp(y01, 2, matrix.OpMul, false, 1), 1, matrix.OpSub, false, 1)
 	res := execScript(t, e, `
 w = l2svm(X, ypm, 0.0001, 0.1, 200)
 scores = X %*% w
@@ -397,12 +397,12 @@ W = winsorize(X, 0.25, 0.75)
 O = outlierByIQR(X, 1.5)
 `, map[string]any{"X": x, "Z": withNaN}, []string{"S", "N", "I", "W", "O"})
 	s := asMatrix(t, res["S"])
-	if math.Abs(matrix.Mean(s)) > 1e-9 {
-		t.Errorf("scaled mean = %v", matrix.Mean(s))
+	if math.Abs(matrix.Mean(s, 1)) > 1e-9 {
+		t.Errorf("scaled mean = %v", matrix.Mean(s, 1))
 	}
 	n := asMatrix(t, res["N"])
-	if matrix.Min(n) != 0 || matrix.Max(n) != 1 {
-		t.Errorf("normalize range [%v, %v]", matrix.Min(n), matrix.Max(n))
+	if matrix.Min(n, 1) != 0 || matrix.Max(n, 1) != 1 {
+		t.Errorf("normalize range [%v, %v]", matrix.Min(n, 1), matrix.Max(n, 1))
 	}
 	i := asMatrix(t, res["I"])
 	// NaN cell replaced by mean of remaining values (1+3+4)/3

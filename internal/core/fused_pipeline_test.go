@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+)
+
+// fusedEngine builds an engine with fusion toggled.
+func fusedEngine(fusion bool) *Engine {
+	cfg := runtime.DefaultConfig()
+	cfg.FusionDisabled = !fusion
+	return NewEngine(cfg)
+}
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	return d / math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestFusedPipelineAcceptance is the acceptance test of the fusion subsystem:
+// a DML script containing the mmchain pattern and cellwise-aggregate
+// pipelines must execute the fused instructions (visible through the
+// core.Stats fused counters) and produce results matching the unfused run
+// within 1e-9 relative error.
+func TestFusedPipelineAcceptance(t *testing.T) {
+	x := matrix.RandUniform(300, 40, -1, 1, 1.0, 11)
+	y := matrix.RandUniform(300, 40, -1, 1, 1.0, 12)
+	v := matrix.RandUniform(40, 1, -1, 1, 1.0, 13)
+	v2 := matrix.RandUniform(40, 1, -1, 1, 1.0, 15)
+	w := matrix.RandUniform(300, 1, 0, 1, 1.0, 14)
+	// g and h share t(X) after CSE — legal to fuse across (the fused kernel
+	// reads X directly) — while the compute-bearing X %*% v intermediates are
+	// distinct per chain
+	script := `s = sum(X * Y)
+q = sum((X - Y)^2)
+g = t(X) %*% (X %*% v)
+h = t(X) %*% (w * (X %*% v2))
+r = rowSums(X * X)`
+	inputs := map[string]any{"X": x, "Y": y, "v": v, "v2": v2, "w": w}
+	outputs := []string{"s", "q", "g", "h", "r"}
+
+	fused, fstats, err := fusedEngine(true).Execute(script, inputs, outputs)
+	if err != nil {
+		t.Fatalf("fused run failed: %v", err)
+	}
+	unfused, ustats, err := fusedEngine(false).Execute(script, inputs, outputs)
+	if err != nil {
+		t.Fatalf("unfused run failed: %v", err)
+	}
+
+	// the fused instructions actually fired
+	if fstats.FusedStats.MMChainOps != 2 {
+		t.Errorf("mmchain ops = %d, want 2 (xtxv and xtwxv)", fstats.FusedStats.MMChainOps)
+	}
+	if fstats.FusedStats.FusedAggOps != 3 {
+		t.Errorf("fused agg ops = %d, want 3 (s, q, r)", fstats.FusedStats.FusedAggOps)
+	}
+	// the unfused run used none
+	if ustats.FusedStats.MMChainOps != 0 || ustats.FusedStats.FusedAggOps != 0 {
+		t.Errorf("unfused run executed fused instructions: %+v", ustats.FusedStats)
+	}
+
+	// results match within 1e-9 relative error
+	for _, name := range []string{"s", "q"} {
+		fv := fused[name].(float64)
+		uv := unfused[name].(float64)
+		if relErr(fv, uv) > 1e-9 {
+			t.Errorf("%s: fused %v vs unfused %v", name, fv, uv)
+		}
+	}
+	for _, name := range []string{"g", "h", "r"} {
+		fm := fused[name].(*matrix.MatrixBlock)
+		um := unfused[name].(*matrix.MatrixBlock)
+		if fm.Rows() != um.Rows() || fm.Cols() != um.Cols() {
+			t.Fatalf("%s: shape %dx%d vs %dx%d", name, fm.Rows(), fm.Cols(), um.Rows(), um.Cols())
+		}
+		for r := 0; r < fm.Rows(); r++ {
+			for c := 0; c < fm.Cols(); c++ {
+				if relErr(fm.Get(r, c), um.Get(r, c)) > 1e-9 {
+					t.Fatalf("%s: cell (%d,%d) fused %v vs unfused %v", name, r, c, fm.Get(r, c), um.Get(r, c))
+				}
+			}
+		}
+	}
+}
+
+// TestFusedPipelineSparseInput drives the sparse-driver kernel through the
+// full engine: a sparse X with an annihilating pipeline.
+func TestFusedPipelineSparseInput(t *testing.T) {
+	x := matrix.RandUniform(400, 50, -1, 1, 0.08, 21)
+	x.ToSparse()
+	y := matrix.RandUniform(400, 50, -1, 1, 1.0, 22)
+	script := `s = sum(X * Y)`
+	fused, fstats, err := fusedEngine(true).Execute(script, map[string]any{"X": x, "Y": y}, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, _, err := fusedEngine(false).Execute(script, map[string]any{"X": x, "Y": y}, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fstats.FusedStats.FusedAggOps != 1 {
+		t.Errorf("fused agg ops = %d, want 1", fstats.FusedStats.FusedAggOps)
+	}
+	if relErr(fused["s"].(float64), unfused["s"].(float64)) > 1e-9 {
+		t.Errorf("sparse fused s = %v, unfused %v", fused["s"], unfused["s"])
+	}
+}
+
+// TestFusionMultiConsumerEndToEnd: when the cellwise intermediate is also a
+// script output, fusion must not fire and the intermediate must be intact.
+func TestFusionMultiConsumerEndToEnd(t *testing.T) {
+	x := matrix.RandUniform(60, 20, -1, 1, 1.0, 31)
+	y := matrix.RandUniform(60, 20, -1, 1, 1.0, 32)
+	script := `P = X * Y
+s = sum(P)`
+	res, stats, err := fusedEngine(true).Execute(script, map[string]any{"X": x, "Y": y}, []string{"P", "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FusedStats.FusedAggOps != 0 {
+		t.Errorf("fused agg ops = %d, want 0 (P is multi-consumer)", stats.FusedStats.FusedAggOps)
+	}
+	p := res["P"].(*matrix.MatrixBlock)
+	var want float64
+	for r := 0; r < p.Rows(); r++ {
+		for c := 0; c < p.Cols(); c++ {
+			want += p.Get(r, c)
+		}
+	}
+	if relErr(res["s"].(float64), want) > 1e-9 {
+		t.Errorf("s = %v, sum(P) = %v", res["s"], want)
+	}
+}
+
+// TestFusionInsideLoop exercises fusion through control flow and dynamic
+// recompilation: the lmDS-style iteration accumulates fused mmchain hits per
+// iteration.
+func TestFusionInsideLoop(t *testing.T) {
+	x := matrix.RandUniform(200, 30, -1, 1, 1.0, 41)
+	v := matrix.RandUniform(30, 1, -1, 1, 1.0, 42)
+	script := `acc = 0
+for (i in 1:3) {
+  g = t(X) %*% (X %*% v)
+  acc = acc + sum(g)
+}`
+	_, stats, err := fusedEngine(true).Execute(script, map[string]any{"X": x, "v": v}, []string{"acc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FusedStats.MMChainOps != 3 {
+		t.Errorf("mmchain ops = %d, want 3 (one per iteration)", stats.FusedStats.MMChainOps)
+	}
+}

@@ -167,7 +167,7 @@ func Cellwise(a, b *BlockedMatrix, op matrix.BinaryOp) (*BlockedMatrix, error) {
 		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
 	gc := a.GridCols()
 	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
-		res, err := matrix.CellwiseOp(a.Blocks[bi*gc+bj], b.Blocks[bi*gc+bj], op)
+		res, err := matrix.CellwiseOp(a.Blocks[bi*gc+bj], b.Blocks[bi*gc+bj], op, 1)
 		if err != nil {
 			return err
 		}
@@ -207,7 +207,7 @@ func MatMult(a *BlockedMatrix, b *matrix.MatrixBlock, threads int) (*BlockedMatr
 			}
 			if strip == nil {
 				strip = part
-			} else if strip, err = matrix.CellwiseOp(strip, part, matrix.OpAdd); err != nil {
+			} else if strip, err = matrix.CellwiseOp(strip, part, matrix.OpAdd, 1); err != nil {
 				return err
 			}
 		}
@@ -259,7 +259,7 @@ func TSMM(x *BlockedMatrix, threads int) (*matrix.MatrixBlock, error) {
 	}
 	out := partials[0]
 	for i := 1; i < gr; i++ {
-		out, err = matrix.CellwiseOp(out, partials[i], matrix.OpAdd)
+		out, err = matrix.CellwiseOp(out, partials[i], matrix.OpAdd, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -85,7 +85,7 @@ func TestCellwiseMatchesLocal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, _ := matrix.CellwiseOp(a, b, matrix.OpMul)
+		want, _ := matrix.CellwiseOp(a, b, matrix.OpMul, 1)
 		if !want.Equals(got, 0) {
 			t.Errorf("%dx%d/%d: cellwise differs", s.rows, s.cols, s.bs)
 		}
@@ -101,7 +101,7 @@ func TestScalarAndUnaryMatchLocal(t *testing.T) {
 			t.Fatal(err)
 		}
 		got, _ := sres.ToMatrixBlock()
-		if !matrix.ScalarOp(a, 2.5, matrix.OpMul, false).Equals(got, 0) {
+		if !matrix.ScalarOp(a, 2.5, matrix.OpMul, false, 1).Equals(got, 0) {
 			t.Errorf("%dx%d/%d: scalar op differs", s.rows, s.cols, s.bs)
 		}
 		ures, err := Unary(ba, matrix.OpAbs)
@@ -109,7 +109,7 @@ func TestScalarAndUnaryMatchLocal(t *testing.T) {
 			t.Fatal(err)
 		}
 		got, _ = ures.ToMatrixBlock()
-		if !matrix.UnaryApply(a, matrix.OpAbs).Equals(got, 0) {
+		if !matrix.UnaryApply(a, matrix.OpAbs, 1).Equals(got, 0) {
 			t.Errorf("%dx%d/%d: unary differs", s.rows, s.cols, s.bs)
 		}
 	}
@@ -230,8 +230,8 @@ func TestAggregationsMatchLocal(t *testing.T) {
 		a := testMatrix(s.rows, s.cols)
 		ba, _ := FromMatrixBlock(a, s.bs)
 		fulls := map[string]float64{
-			"sum": matrix.Sum(a), "sumsq": matrix.SumSq(a), "mean": matrix.Mean(a),
-			"min": matrix.Min(a), "max": matrix.Max(a),
+			"sum": matrix.Sum(a, 1), "sumsq": matrix.SumSq(a, 1), "mean": matrix.Mean(a, 1),
+			"min": matrix.Min(a, 1), "max": matrix.Max(a, 1),
 		}
 		for op, want := range fulls {
 			got, err := FullAgg(ba, op)
@@ -243,7 +243,7 @@ func TestAggregationsMatchLocal(t *testing.T) {
 			}
 		}
 		rows := map[string]*matrix.MatrixBlock{
-			"rowSums": matrix.RowSums(a), "rowMeans": matrix.RowMeans(a),
+			"rowSums": matrix.RowSums(a, 1), "rowMeans": matrix.RowMeans(a, 1),
 			"rowMaxs": matrix.RowMaxs(a), "rowMins": matrix.RowMins(a),
 		}
 		for op, want := range rows {
@@ -257,7 +257,7 @@ func TestAggregationsMatchLocal(t *testing.T) {
 			}
 		}
 		cols := map[string]*matrix.MatrixBlock{
-			"colSums": matrix.ColSums(a), "colMeans": matrix.ColMeans(a),
+			"colSums": matrix.ColSums(a, 1), "colMeans": matrix.ColMeans(a, 1),
 			"colMaxs": matrix.ColMaxs(a), "colMins": matrix.ColMins(a),
 		}
 		for op, want := range cols {

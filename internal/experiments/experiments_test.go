@@ -145,6 +145,16 @@ func TestAblationParamServ(t *testing.T) {
 	}
 }
 
+func TestAblationFusedPipelines(t *testing.T) {
+	fig, err := AblationFusedPipelines(300, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want unfused and fused", len(fig.Series))
+	}
+}
+
 func TestFigureRenderEmptyAndNotes(t *testing.T) {
 	empty := &Figure{Name: "F", Title: "T"}
 	if !strings.Contains(empty.Render(), "F — T") {

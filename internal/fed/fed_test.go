@@ -122,11 +122,11 @@ func TestWorkerExecOps(t *testing.T) {
 		t.Error("matvec wrong")
 	}
 	resp = w.Handle(&Request{Command: "exec", Op: "colSums", Operands: []string{"X"}})
-	if !resp.OK || !FromWire(resp.Matrix).Equals(matrix.ColSums(x), 1e-9) {
+	if !resp.OK || !FromWire(resp.Matrix).Equals(matrix.ColSums(x, 1), 1e-9) {
 		t.Error("colSums wrong")
 	}
 	resp = w.Handle(&Request{Command: "exec", Op: "sum", Operands: []string{"X"}})
-	if !resp.OK || resp.Scalar != matrix.Sum(x) {
+	if !resp.OK || resp.Scalar != matrix.Sum(x, 1) {
 		t.Error("sum wrong")
 	}
 	resp = w.Handle(&Request{Command: "exec", Op: "rowcount", Operands: []string{"X"}})
@@ -192,14 +192,14 @@ func TestFederatedOverNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cs.Equals(matrix.ColSums(x), 1e-9) {
+	if !cs.Equals(matrix.ColSums(x, 1), 1e-9) {
 		t.Error("federated ColSums disagrees with local")
 	}
 	s, err := fx.Sum()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := s - matrix.Sum(x); d > 1e-9 || d < -1e-9 {
+	if d := s - matrix.Sum(x, 1); d > 1e-9 || d < -1e-9 {
 		t.Error("federated Sum disagrees with local")
 	}
 	grad, err := fx.GradientLinReg(fy, matrix.NewDense(6, 1))
@@ -207,7 +207,7 @@ func TestFederatedOverNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	// gradient at w=0 is t(X) %*% (0 - y) = -t(X) y
-	wantGrad := matrix.ScalarOp(want, -1, matrix.OpMul, false)
+	wantGrad := matrix.ScalarOp(want, -1, matrix.OpMul, false, 1)
 	if !grad.Equals(wantGrad, 1e-9) {
 		t.Error("federated gradient disagrees with local")
 	}

@@ -106,7 +106,7 @@ func (fm *FederatedMatrix) TSMM() (*matrix.MatrixBlock, error) {
 		if acc == nil {
 			acc = part
 		} else {
-			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd)
+			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -145,7 +145,7 @@ func (fm *FederatedMatrix) XtY(y *FederatedMatrix) (*matrix.MatrixBlock, error) 
 		if acc == nil {
 			acc = part
 		} else {
-			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd)
+			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -188,7 +188,7 @@ func (fm *FederatedMatrix) XtLocalY(y *matrix.MatrixBlock) (*matrix.MatrixBlock,
 		if acc == nil {
 			acc = part
 		} else {
-			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd)
+			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -242,7 +242,7 @@ func (fm *FederatedMatrix) ColSums() (*matrix.MatrixBlock, error) {
 		if acc == nil {
 			acc = part
 		} else {
-			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd)
+			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -298,7 +298,7 @@ func (fm *FederatedMatrix) GradientLinReg(y *FederatedMatrix, w *matrix.MatrixBl
 		if acc == nil {
 			acc = part
 		} else {
-			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd)
+			acc, err = matrix.CellwiseOp(acc, part, matrix.OpAdd, 1)
 			if err != nil {
 				return nil, err
 			}

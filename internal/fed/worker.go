@@ -197,18 +197,18 @@ func (w *Worker) exec(req *Request) *Response {
 		}
 		return w.finish(req, res)
 	case "colSums":
-		return w.finish(req, matrix.ColSums(x))
+		return w.finish(req, matrix.ColSums(x, 0))
 	case "colSq":
-		sq := matrix.ScalarOp(x, 2, matrix.OpPow, false)
-		return w.finish(req, matrix.ColSums(sq))
+		sq := matrix.ScalarOp(x, 2, matrix.OpPow, false, 0)
+		return w.finish(req, matrix.ColSums(sq, 0))
 	case "sum":
-		return &Response{OK: true, Scalar: matrix.Sum(x)}
+		return &Response{OK: true, Scalar: matrix.Sum(x, 0)}
 	case "sumsq":
-		return &Response{OK: true, Scalar: matrix.SumSq(x)}
+		return &Response{OK: true, Scalar: matrix.SumSq(x, 0)}
 	case "rowcount":
 		return &Response{OK: true, Scalar: float64(x.Rows()), Rows: int64(x.Rows()), Cols: int64(x.Cols())}
 	case "scalarmult":
-		res := matrix.ScalarOp(x, req.Scalar, matrix.OpMul, false)
+		res := matrix.ScalarOp(x, req.Scalar, matrix.OpMul, false, 0)
 		return w.finish(req, res)
 	case "gradient_linreg":
 		// local gradient of squared loss: t(X) %*% (X %*% w - y)
@@ -224,7 +224,7 @@ func (w *Worker) exec(req *Request) *Response {
 		if err != nil {
 			return failf("gradient: %v", err)
 		}
-		diff, err := matrix.CellwiseOp(pred, y, matrix.OpSub)
+		diff, err := matrix.CellwiseOp(pred, y, matrix.OpSub, 0)
 		if err != nil {
 			return failf("gradient: %v", err)
 		}

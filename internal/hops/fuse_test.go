@@ -1,0 +1,247 @@
+package hops
+
+import (
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// matRead builds a transient read with known matrix characteristics.
+func matRead(name string, rows, cols int64) *Hop {
+	h := NewRead(name, types.Matrix)
+	h.DC = types.NewDataCharacteristics(rows, cols, types.DefaultBlocksize, -1)
+	return h
+}
+
+func binary(op string, a, b *Hop) *Hop {
+	h := NewHop(KindBinary, op, a, b)
+	h.DataType = types.Matrix
+	return h
+}
+
+func agg(op string, in *Hop) *Hop {
+	h := NewHop(KindAggUnary, op, in)
+	h.DataType = types.Scalar
+	return h
+}
+
+func prepare(d *DAG) {
+	PropagateSizes(d, nil)
+	FuseOperators(d, 0, false)
+}
+
+func TestFuseMMChainXtXv(t *testing.T) {
+	x := matRead("X", 100, 20)
+	v := matRead("v", 20, 1)
+	tx := NewHop(KindReorg, "t", x)
+	tx.DataType = types.Matrix
+	xv := NewHop(KindMatMult, "ba+*", x, v)
+	xv.DataType = types.Matrix
+	root := NewHop(KindMatMult, "ba+*", tx, xv)
+	root.DataType = types.Matrix
+	d := &DAG{Roots: []*Hop{NewWrite("g", root)}}
+	prepare(d)
+	if root.Kind != KindMMChain || len(root.Inputs) != 2 {
+		t.Fatalf("expected mmchain fusion, got %s with %d inputs", root.Kind, len(root.Inputs))
+	}
+	if root.Inputs[0] != x || root.Inputs[1] != v {
+		t.Error("mmchain inputs should be [X, v]")
+	}
+	if d.CountKind(KindReorg) != 0 || d.CountKind(KindMatMult) != 0 {
+		t.Error("interior transpose and matmult should be removed from the DAG")
+	}
+	if root.DC.Rows != 20 || root.DC.Cols != 1 {
+		t.Errorf("mmchain output characteristics = %v, want 20x1", root.DC)
+	}
+}
+
+func TestFuseMMChainWeighted(t *testing.T) {
+	x := matRead("X", 100, 20)
+	v := matRead("v", 20, 1)
+	w := matRead("w", 100, 1)
+	tx := NewHop(KindReorg, "t", x)
+	tx.DataType = types.Matrix
+	xv := NewHop(KindMatMult, "ba+*", x, v)
+	xv.DataType = types.Matrix
+	wxv := binary("*", w, xv)
+	root := NewHop(KindMatMult, "ba+*", tx, wxv)
+	root.DataType = types.Matrix
+	d := &DAG{Roots: []*Hop{NewWrite("g", root)}}
+	prepare(d)
+	if root.Kind != KindMMChain || len(root.Inputs) != 3 {
+		t.Fatalf("expected weighted mmchain fusion, got %s with %d inputs", root.Kind, len(root.Inputs))
+	}
+	if root.Inputs[0] != x || root.Inputs[1] != v || root.Inputs[2] != w {
+		t.Error("mmchain inputs should be [X, v, w]")
+	}
+}
+
+// TestNoFuseMMChainMultiConsumer: the X %*% v intermediate is also written to
+// a variable, so the chain must not fuse across it.
+func TestNoFuseMMChainMultiConsumer(t *testing.T) {
+	x := matRead("X", 100, 20)
+	v := matRead("v", 20, 1)
+	tx := NewHop(KindReorg, "t", x)
+	tx.DataType = types.Matrix
+	xv := NewHop(KindMatMult, "ba+*", x, v)
+	xv.DataType = types.Matrix
+	root := NewHop(KindMatMult, "ba+*", tx, xv)
+	root.DataType = types.Matrix
+	d := &DAG{Roots: []*Hop{NewWrite("g", root), NewWrite("p", xv)}}
+	prepare(d)
+	if root.Kind != KindMatMult {
+		t.Fatalf("chain with shared intermediate must not fuse, got %s", root.Kind)
+	}
+}
+
+func TestFuseAggPipeline(t *testing.T) {
+	x := matRead("X", 50, 30)
+	y := matRead("Y", 50, 30)
+	mul := binary("*", x, y)
+	root := agg("sum", mul)
+	d := &DAG{Roots: []*Hop{NewWrite("s", root)}}
+	prepare(d)
+	if root.Kind != KindFusedAgg || root.FusedAgg == nil {
+		t.Fatalf("expected fused aggregate, got %s", root.Kind)
+	}
+	if got := root.FusedAgg.Prog.Signature(); got != "L0;L1;B*" {
+		t.Errorf("program signature = %q, want L0;L1;B*", got)
+	}
+	if !root.FusedAgg.Prog.Annihilating {
+		t.Error("X*Y should annihilate on the driver")
+	}
+	if len(root.Inputs) != 2 || root.Inputs[0] != x || root.Inputs[1] != y {
+		t.Error("fused agg inputs should be the leaves [X, Y]")
+	}
+	if d.CountKind(KindBinary) != 0 {
+		t.Error("interior cellwise operator should be removed from the DAG")
+	}
+}
+
+// TestFuseAggSharedLeaf: sum(X*X) loads the shared leaf twice through one
+// argument slot.
+func TestFuseAggSharedLeaf(t *testing.T) {
+	x := matRead("X", 50, 30)
+	mul := binary("*", x, x)
+	root := agg("sum", mul)
+	d := &DAG{Roots: []*Hop{NewWrite("s", root)}}
+	prepare(d)
+	if root.Kind != KindFusedAgg {
+		t.Fatalf("expected fused aggregate, got %s", root.Kind)
+	}
+	if len(root.Inputs) != 1 {
+		t.Fatalf("shared leaf should deduplicate to one argument, got %d", len(root.Inputs))
+	}
+	if got := root.FusedAgg.Prog.Signature(); got != "L0;L0;B*" {
+		t.Errorf("program signature = %q, want L0;L0;B*", got)
+	}
+}
+
+// TestNoFuseAggMultiConsumer is the legality property: fusion never fires
+// across multi-consumer intermediates.
+func TestNoFuseAggMultiConsumer(t *testing.T) {
+	x := matRead("X", 50, 30)
+	y := matRead("Y", 50, 30)
+	mul := binary("*", x, y)
+	root := agg("sum", mul)
+	// the product is also a DAG output in its own right
+	d := &DAG{Roots: []*Hop{NewWrite("s", root), NewWrite("P", mul)}}
+	prepare(d)
+	if root.Kind != KindAggUnary {
+		t.Fatalf("aggregate over shared intermediate must not fuse, got %s", root.Kind)
+	}
+	if d.CountKind(KindFusedAgg) != 0 {
+		t.Error("no fused aggregate may exist in the DAG")
+	}
+}
+
+// TestNoFuseAggBroadcast: a column-vector broadcast operand makes the binary
+// a materialization boundary.
+func TestNoFuseAggBroadcast(t *testing.T) {
+	x := matRead("X", 50, 30)
+	col := matRead("c", 50, 1)
+	sub := binary("-", x, col)
+	root := agg("sum", sub)
+	d := &DAG{Roots: []*Hop{NewWrite("s", root)}}
+	prepare(d)
+	if root.Kind != KindAggUnary {
+		t.Fatalf("broadcast operand must not fuse, got %s", root.Kind)
+	}
+}
+
+// TestNoFuseAggUnknownShape: unknown sizes disable fusion.
+func TestNoFuseAggUnknownShape(t *testing.T) {
+	x := NewRead("X", types.Matrix) // unknown characteristics
+	y := NewRead("Y", types.Matrix)
+	mul := binary("*", x, y)
+	root := agg("sum", mul)
+	d := &DAG{Roots: []*Hop{NewWrite("s", root)}}
+	prepare(d)
+	if root.Kind != KindAggUnary {
+		t.Fatalf("unknown shapes must not fuse, got %s", root.Kind)
+	}
+}
+
+// TestNoFuseOverBudget: with the distributed backend enabled, operators whose
+// memory estimate exceeds the budget stay unfused (they belong to the blocked
+// backend).
+func TestNoFuseOverBudget(t *testing.T) {
+	x := matRead("X", 5000, 1000)
+	y := matRead("Y", 5000, 1000)
+	mul := binary("*", x, y)
+	root := agg("sum", mul)
+	d := &DAG{Roots: []*Hop{NewWrite("s", root)}}
+	PropagateSizes(d, nil)
+	FuseOperators(d, 1024, true) // tiny budget, dist enabled
+	if root.Kind != KindAggUnary {
+		t.Fatalf("over-budget pipeline must not fuse, got %s", root.Kind)
+	}
+	// without the distributed backend the same pipeline fuses
+	FuseOperators(d, 1024, false)
+	if root.Kind != KindFusedAgg {
+		t.Fatalf("CP-only pipeline should fuse, got %s", root.Kind)
+	}
+}
+
+// TestAnnihilationRules pins the structural sparse-safety analysis.
+func TestAnnihilationRules(t *testing.T) {
+	build := func(mk func(x, y *Hop) *Hop) *Hop {
+		x := matRead("X", 40, 10)
+		y := matRead("Y", 40, 10)
+		root := agg("sum", mk(x, y))
+		d := &DAG{Roots: []*Hop{NewWrite("s", root)}}
+		prepare(d)
+		if root.Kind != KindFusedAgg {
+			t.Fatalf("pipeline did not fuse")
+		}
+		return root
+	}
+	cases := []struct {
+		name string
+		mk   func(x, y *Hop) *Hop
+		want bool
+	}{
+		{"X*Y", func(x, y *Hop) *Hop { return binary("*", x, y) }, true},
+		{"X+Y", func(x, y *Hop) *Hop { return binary("+", x, y) }, false},
+		{"X-X? (abs(X)*Y)", func(x, y *Hop) *Hop {
+			a := NewHop(KindUnary, "abs", x)
+			a.DataType = types.Matrix
+			return binary("*", a, y)
+		}, true},
+		// driver is X; exp(X) is 1 at X=0, and Y is not the driver, so the
+		// product must NOT count as annihilating
+		{"exp(X)*Y", func(x, y *Hop) *Hop {
+			e := NewHop(KindUnary, "exp", x)
+			e.DataType = types.Matrix
+			return binary("*", e, y)
+		}, false},
+		{"X^2", func(x, y *Hop) *Hop { return binary("^", x, NewLiteralNumber(2)) }, true},
+		{"X/Y", func(x, y *Hop) *Hop { return binary("/", x, y) }, false},
+	}
+	for _, tc := range cases {
+		root := build(tc.mk)
+		if got := root.FusedAgg.Prog.Annihilating; got != tc.want {
+			t.Errorf("%s: annihilating = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

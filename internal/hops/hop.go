@@ -37,6 +37,8 @@ const (
 	KindFunctionCall             // call to a user or DML-bodied function
 	KindCast                     // as.scalar, as.matrix, as.double, ...
 	KindWrite                    // transient write of a variable (DAG output)
+	KindMMChain                  // fused t(X)%*%(X%*%v) / t(X)%*%(w*(X%*%v))
+	KindFusedAgg                 // fused cellwise pipeline under an aggregate
 )
 
 var kindNames = map[Kind]string{
@@ -45,6 +47,7 @@ var kindNames = map[Kind]string{
 	KindIndexing: "RightIndex", KindLeftIndex: "LeftIndex", KindDataGen: "DataGen",
 	KindNary: "Nary", KindTernary: "Ternary", KindParamBuiltin: "ParamBuiltin",
 	KindFunctionCall: "FCall", KindCast: "Cast", KindWrite: "TWrite",
+	KindMMChain: "MMChain", KindFusedAgg: "FusedAgg",
 }
 
 // String returns the kind name.
@@ -84,6 +87,10 @@ type Hop struct {
 
 	// Outputs for multi-return function calls
 	OutputNames []string
+
+	// FusedAgg carries the cell program of a fused cellwise-aggregate
+	// pipeline (valid when Kind == KindFusedAgg); set by FuseOperators.
+	FusedAgg *FusedAggPlan
 }
 
 // NewHop creates a HOP with a fresh ID.
@@ -178,6 +185,9 @@ func (h *Hop) signature() string {
 		for _, k := range keys {
 			fmt.Fprintf(&sb, ":%s=%d", k, h.Params[k].ID)
 		}
+	}
+	if h.FusedAgg != nil {
+		fmt.Fprintf(&sb, ":%s:%s", h.FusedAgg.Agg, h.FusedAgg.Prog.Signature())
 	}
 	return sb.String()
 }

@@ -84,6 +84,29 @@ func propagate(h *Hop, known map[string]types.DataCharacteristics) {
 			in := h.Inputs[0].DC
 			h.DC = types.NewDataCharacteristics(in.Cols, in.Cols, in.Blocksize, -1)
 		}
+	case KindMMChain:
+		if len(h.Inputs) >= 2 {
+			in := h.Inputs[0].DC
+			h.DC = types.NewDataCharacteristics(in.Cols, 1, in.Blocksize, -1)
+		}
+	case KindFusedAgg:
+		if h.FusedAgg != nil {
+			var in types.DataCharacteristics
+			for _, arg := range h.Inputs {
+				if arg.IsMatrix() {
+					in = arg.DC
+					break
+				}
+			}
+			switch h.FusedAgg.Agg {
+			case "colSums":
+				h.DC = types.NewDataCharacteristics(1, in.Cols, in.Blocksize, -1)
+			case "rowSums":
+				h.DC = types.NewDataCharacteristics(in.Rows, 1, in.Blocksize, -1)
+			default: // sum, min, max produce scalars
+				h.DC = types.NewDataCharacteristics(0, 0, 0, 0)
+			}
+		}
 	case KindReorg:
 		if len(h.Inputs) == 1 {
 			in := h.Inputs[0].DC

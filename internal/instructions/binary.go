@@ -85,7 +85,7 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		if err != nil {
 			return err
 		}
-		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(rb, ls.Float64(), op, true))
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(rb, ls.Float64(), op, true, ctx.Config.Threads()))
 		return nil
 	case !lIsScalar && rIsScalar:
 		if useDist(ctx, i.ExecType, l) {
@@ -103,7 +103,7 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		if err != nil {
 			return err
 		}
-		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(lb, rs.Float64(), op, false))
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(lb, rs.Float64(), op, false, ctx.Config.Threads()))
 		return nil
 	default:
 		// blocked cell-wise path for aligned operands; vector broadcasting
@@ -123,7 +123,7 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		if err != nil {
 			return err
 		}
-		res, err := matrix.CellwiseOp(lb, rb, op)
+		res, err := matrix.CellwiseOp(lb, rb, op, ctx.Config.Threads())
 		if err != nil {
 			return fmt.Errorf("instructions: %s: %w", i.opcode, err)
 		}

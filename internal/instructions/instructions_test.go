@@ -103,7 +103,7 @@ func TestDataGenInstructions(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := getMat(t, ctx, "P")
-	if p.Rows() != 5 || matrix.Max(p) > 10 || matrix.Min(p) < 1 {
+	if p.Rows() != 5 || matrix.Max(p, 1) > 10 || matrix.Min(p, 1) < 1 {
 		t.Errorf("sample = %v", p)
 	}
 }
@@ -358,7 +358,7 @@ func TestReorgIndexNaryInstructions(t *testing.T) {
 	if err := NewLeftIndex("L2", Var("X"), LitDouble(7), LitInt(1), LitInt(2), LitInt(1), LitInt(3)).Execute(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if matrix.Sum(getMat(t, ctx, "L2")) != 42 {
+	if matrix.Sum(getMat(t, ctx, "L2"), 1) != 42 {
 		t.Error("broadcast leftIndex wrong")
 	}
 }

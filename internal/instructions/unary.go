@@ -78,7 +78,7 @@ func (i *UnaryInst) Execute(ctx *runtime.Context) error {
 		if err != nil {
 			return err
 		}
-		ctx.SetMatrix(i.outs[0], matrix.UnaryApply(blk, op))
+		ctx.SetMatrix(i.outs[0], matrix.UnaryApply(blk, op, ctx.Config.Threads()))
 		return nil
 	default:
 		return fmt.Errorf("instructions: unary %s unsupported on %s", i.opcode, d.DataType())
@@ -172,15 +172,15 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 	}
 	switch i.opcode {
 	case "sum":
-		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Sum(blk)))
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Sum(blk, ctx.Config.Threads())))
 	case "sumsq":
-		ctx.Set(i.outs[0], runtime.NewDouble(matrix.SumSq(blk)))
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.SumSq(blk, ctx.Config.Threads())))
 	case "mean":
-		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Mean(blk)))
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Mean(blk, ctx.Config.Threads())))
 	case "min":
-		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Min(blk)))
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Min(blk, ctx.Config.Threads())))
 	case "max":
-		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Max(blk)))
+		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Max(blk, ctx.Config.Threads())))
 	case "var":
 		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Variance(blk)))
 	case "sd":
@@ -190,9 +190,9 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 	case "median":
 		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Median(blk)))
 	case "colSums":
-		ctx.SetMatrix(i.outs[0], matrix.ColSums(blk))
+		ctx.SetMatrix(i.outs[0], matrix.ColSums(blk, ctx.Config.Threads()))
 	case "colMeans":
-		ctx.SetMatrix(i.outs[0], matrix.ColMeans(blk))
+		ctx.SetMatrix(i.outs[0], matrix.ColMeans(blk, ctx.Config.Threads()))
 	case "colMaxs":
 		ctx.SetMatrix(i.outs[0], matrix.ColMaxs(blk))
 	case "colMins":
@@ -202,9 +202,9 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 	case "colSds":
 		ctx.SetMatrix(i.outs[0], matrix.ColSds(blk))
 	case "rowSums":
-		ctx.SetMatrix(i.outs[0], matrix.RowSums(blk))
+		ctx.SetMatrix(i.outs[0], matrix.RowSums(blk, ctx.Config.Threads()))
 	case "rowMeans":
-		ctx.SetMatrix(i.outs[0], matrix.RowMeans(blk))
+		ctx.SetMatrix(i.outs[0], matrix.RowMeans(blk, ctx.Config.Threads()))
 	case "rowMaxs":
 		ctx.SetMatrix(i.outs[0], matrix.RowMaxs(blk))
 	case "rowMins":
@@ -311,7 +311,7 @@ func (i *AggInst) executeFederated(ctx *runtime.Context, fo *runtime.FederatedOb
 		if err != nil {
 			return err
 		}
-		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(cs, float64(fo.Fed.Rows), matrix.OpDiv, false))
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(cs, float64(fo.Fed.Rows), matrix.OpDiv, false, ctx.Config.Threads()))
 	default:
 		return fmt.Errorf("instructions: aggregate %s not supported on federated matrices", i.opcode)
 	}

@@ -5,43 +5,43 @@ import (
 	"sort"
 )
 
-// Sum returns the sum of all cells.
-func Sum(m *MatrixBlock) float64 {
-	var s float64
-	if m.IsSparse() {
-		for _, v := range m.csr().Values {
-			s += v
-		}
-		return s
+// fullAgg runs the identity fused pipeline for a full aggregate; the identity
+// program over one matrix argument cannot fail validation.
+func fullAgg(m *MatrixBlock, agg AggKind, threads int) float64 {
+	out, err := FusedAgg(IdentityProgram(), agg, []CellArg{{Mat: m}}, threads)
+	if err != nil {
+		panic(err) // unreachable: identity program over one matrix
 	}
-	for _, v := range m.dense {
-		s += v
-	}
-	return s
+	return out.dense[0]
+}
+
+// Sum returns the sum of all cells, accumulated multi-threaded over fixed row
+// chunks (reproducible across thread counts).
+func Sum(m *MatrixBlock, threads int) float64 {
+	return fullAgg(m, AggSum, threads)
 }
 
 // SumSq returns the sum of squared cells.
-func SumSq(m *MatrixBlock) float64 {
-	var s float64
-	if m.IsSparse() {
-		for _, v := range m.csr().Values {
-			s += v * v
-		}
-		return s
+func SumSq(m *MatrixBlock, threads int) float64 {
+	prog := &CellProgram{
+		Instrs:       []CellInstr{{Code: CellLoad, Arg: 0}, {Code: CellLoad, Arg: 0}, {Code: CellBinary, Bin: OpMul}},
+		NumArgs:      1,
+		Annihilating: true,
 	}
-	for _, v := range m.dense {
-		s += v * v
+	out, err := FusedAgg(prog, AggSum, []CellArg{{Mat: m}}, threads)
+	if err != nil {
+		panic(err) // unreachable
 	}
-	return s
+	return out.dense[0]
 }
 
 // Mean returns the mean over all cells (including zeros).
-func Mean(m *MatrixBlock) float64 {
+func Mean(m *MatrixBlock, threads int) float64 {
 	cells := float64(m.rows * m.cols)
 	if cells == 0 {
 		return math.NaN()
 	}
-	return Sum(m) / cells
+	return Sum(m, threads) / cells
 }
 
 // Variance returns the sample variance over all cells.
@@ -50,7 +50,7 @@ func Variance(m *MatrixBlock) float64 {
 	if cells <= 1 {
 		return math.NaN()
 	}
-	mu := Mean(m)
+	mu := Mean(m, 1)
 	var s float64
 	for r := 0; r < m.rows; r++ {
 		for c := 0; c < m.cols; c++ {
@@ -62,47 +62,13 @@ func Variance(m *MatrixBlock) float64 {
 }
 
 // Min returns the minimum cell value.
-func Min(m *MatrixBlock) float64 {
-	minV := math.Inf(1)
-	if m.IsSparse() {
-		if m.nnz < int64(m.rows)*int64(m.cols) {
-			minV = 0
-		}
-		for _, v := range m.csr().Values {
-			if v < minV {
-				minV = v
-			}
-		}
-		return minV
-	}
-	for _, v := range m.dense {
-		if v < minV {
-			minV = v
-		}
-	}
-	return minV
+func Min(m *MatrixBlock, threads int) float64 {
+	return fullAgg(m, AggMin, threads)
 }
 
 // Max returns the maximum cell value.
-func Max(m *MatrixBlock) float64 {
-	maxV := math.Inf(-1)
-	if m.IsSparse() {
-		if m.nnz < int64(m.rows)*int64(m.cols) {
-			maxV = 0
-		}
-		for _, v := range m.csr().Values {
-			if v > maxV {
-				maxV = v
-			}
-		}
-		return maxV
-	}
-	for _, v := range m.dense {
-		if v > maxV {
-			maxV = v
-		}
-	}
-	return maxV
+func Max(m *MatrixBlock, threads int) float64 {
+	return fullAgg(m, AggMax, threads)
 }
 
 // Trace returns the sum of diagonal cells of a square matrix.
@@ -119,56 +85,26 @@ func Trace(m *MatrixBlock) float64 {
 }
 
 // ColSums returns a 1 x cols row vector with the per-column sums.
-func ColSums(m *MatrixBlock) *MatrixBlock {
-	out := NewDense(1, m.cols)
-	if m.IsSparse() {
-		s := m.csr()
-		for r := 0; r < m.rows; r++ {
-			for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
-				out.dense[s.ColIdx[p]] += s.Values[p]
-			}
-		}
-	} else {
-		for r := 0; r < m.rows; r++ {
-			base := r * m.cols
-			for c := 0; c < m.cols; c++ {
-				out.dense[c] += m.dense[base+c]
-			}
-		}
+func ColSums(m *MatrixBlock, threads int) *MatrixBlock {
+	out, err := FusedAgg(IdentityProgram(), AggColSums, []CellArg{{Mat: m}}, threads)
+	if err != nil {
+		panic(err) // unreachable
 	}
-	out.RecomputeNNZ()
 	return out
 }
 
 // RowSums returns a rows x 1 column vector with the per-row sums.
-func RowSums(m *MatrixBlock) *MatrixBlock {
-	out := NewDense(m.rows, 1)
-	if m.IsSparse() {
-		s := m.csr()
-		for r := 0; r < m.rows; r++ {
-			var sum float64
-			for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
-				sum += s.Values[p]
-			}
-			out.dense[r] = sum
-		}
-	} else {
-		for r := 0; r < m.rows; r++ {
-			base := r * m.cols
-			var sum float64
-			for c := 0; c < m.cols; c++ {
-				sum += m.dense[base+c]
-			}
-			out.dense[r] = sum
-		}
+func RowSums(m *MatrixBlock, threads int) *MatrixBlock {
+	out, err := FusedAgg(IdentityProgram(), AggRowSums, []CellArg{{Mat: m}}, threads)
+	if err != nil {
+		panic(err) // unreachable
 	}
-	out.RecomputeNNZ()
 	return out
 }
 
 // ColMeans returns a 1 x cols row vector with the per-column means.
-func ColMeans(m *MatrixBlock) *MatrixBlock {
-	out := ColSums(m)
+func ColMeans(m *MatrixBlock, threads int) *MatrixBlock {
+	out := ColSums(m, threads)
 	if m.rows > 0 {
 		for i := range out.dense {
 			out.dense[i] /= float64(m.rows)
@@ -179,8 +115,8 @@ func ColMeans(m *MatrixBlock) *MatrixBlock {
 }
 
 // RowMeans returns a rows x 1 column vector with the per-row means.
-func RowMeans(m *MatrixBlock) *MatrixBlock {
-	out := RowSums(m)
+func RowMeans(m *MatrixBlock, threads int) *MatrixBlock {
+	out := RowSums(m, threads)
 	if m.cols > 0 {
 		for i := range out.dense {
 			out.dense[i] /= float64(m.cols)
@@ -263,7 +199,7 @@ func RowIndexMax(m *MatrixBlock) *MatrixBlock {
 
 // ColVars returns the per-column sample variances as a 1 x cols vector.
 func ColVars(m *MatrixBlock) *MatrixBlock {
-	means := ColMeans(m)
+	means := ColMeans(m, 1)
 	out := NewDense(1, m.cols)
 	if m.rows <= 1 {
 		return out

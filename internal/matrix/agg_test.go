@@ -7,19 +7,19 @@ import (
 
 func TestSumMeanMinMax(t *testing.T) {
 	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
-	if got := Sum(m); got != 21 {
+	if got := Sum(m, 1); got != 21 {
 		t.Errorf("Sum = %v, want 21", got)
 	}
-	if got := Mean(m); got != 3.5 {
+	if got := Mean(m, 1); got != 3.5 {
 		t.Errorf("Mean = %v, want 3.5", got)
 	}
-	if got := Min(m); got != 1 {
+	if got := Min(m, 1); got != 1 {
 		t.Errorf("Min = %v, want 1", got)
 	}
-	if got := Max(m); got != 6 {
+	if got := Max(m, 1); got != 6 {
 		t.Errorf("Max = %v, want 6", got)
 	}
-	if got := SumSq(m); got != 91 {
+	if got := SumSq(m, 1); got != 91 {
 		t.Errorf("SumSq = %v, want 91", got)
 	}
 }
@@ -27,10 +27,10 @@ func TestSumMeanMinMax(t *testing.T) {
 func TestSumSparseMatchesDense(t *testing.T) {
 	m := RandUniform(50, 20, -1, 1, 0.2, 42)
 	d := m.Copy().ToDense()
-	if math.Abs(Sum(m)-Sum(d)) > 1e-9 {
+	if math.Abs(Sum(m, 1)-Sum(d, 1)) > 1e-9 {
 		t.Error("sparse and dense sums disagree")
 	}
-	if math.Abs(Min(m)-Min(d)) > 1e-12 || math.Abs(Max(m)-Max(d)) > 1e-12 {
+	if math.Abs(Min(m, 1)-Min(d, 1)) > 1e-12 || math.Abs(Max(m, 1)-Max(d, 1)) > 1e-12 {
 		t.Error("sparse and dense min/max disagree")
 	}
 }
@@ -41,32 +41,32 @@ func TestMinMaxSparseWithImplicitZeros(t *testing.T) {
 	b.Add(0, 0, 5)
 	b.Add(1, 1, 2)
 	m := b.Build()
-	if got := Min(m); got != 0 {
+	if got := Min(m, 1); got != 0 {
 		t.Errorf("Min = %v, want 0 (implicit zeros)", got)
 	}
-	if got := Max(m); got != 5 {
+	if got := Max(m, 1); got != 5 {
 		t.Errorf("Max = %v, want 5", got)
 	}
 }
 
 func TestRowColAggregates(t *testing.T) {
 	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
-	cs := ColSums(m)
+	cs := ColSums(m, 1)
 	if cs.Rows() != 1 || cs.Cols() != 3 {
 		t.Fatalf("ColSums dims %dx%d", cs.Rows(), cs.Cols())
 	}
 	if cs.Get(0, 0) != 5 || cs.Get(0, 1) != 7 || cs.Get(0, 2) != 9 {
 		t.Errorf("ColSums = %v", cs)
 	}
-	rs := RowSums(m)
+	rs := RowSums(m, 1)
 	if rs.Get(0, 0) != 6 || rs.Get(1, 0) != 15 {
 		t.Errorf("RowSums = %v", rs)
 	}
-	cm := ColMeans(m)
+	cm := ColMeans(m, 1)
 	if cm.Get(0, 0) != 2.5 {
 		t.Errorf("ColMeans = %v", cm)
 	}
-	rm := RowMeans(m)
+	rm := RowMeans(m, 1)
 	if rm.Get(1, 0) != 5 {
 		t.Errorf("RowMeans = %v", rm)
 	}
@@ -87,10 +87,10 @@ func TestRowColAggregates(t *testing.T) {
 func TestRowColAggregatesSparse(t *testing.T) {
 	m := RandUniform(30, 10, 0, 1, 0.2, 17)
 	d := m.Copy().ToDense()
-	if !ColSums(m).Equals(ColSums(d), 1e-9) {
+	if !ColSums(m, 1).Equals(ColSums(d, 1), 1e-9) {
 		t.Error("sparse ColSums disagrees with dense")
 	}
-	if !RowSums(m).Equals(RowSums(d), 1e-9) {
+	if !RowSums(m, 1).Equals(RowSums(d, 1), 1e-9) {
 		t.Error("sparse RowSums disagrees with dense")
 	}
 }

@@ -3,6 +3,7 @@ package matrix
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // BinaryOp identifies an element-wise binary operation.
@@ -120,6 +121,37 @@ func boolToF(b bool) float64 {
 	return 0
 }
 
+// binaryOpNames maps DML operator symbols back to kernel operations (inverse
+// of BinaryOp.String, shared by the instruction decoder and the HOP-level
+// fusion matcher).
+var binaryOpNames = map[string]BinaryOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "^": OpPow,
+	"min": OpMin, "max": OpMax, "==": OpEqual, "!=": OpNotEqual,
+	"<": OpLess, "<=": OpLessEqual, ">": OpGreater, ">=": OpGreaterEqual,
+	"&": OpAnd, "|": OpOr, "%%": OpModulus, "%/%": OpIntDiv,
+}
+
+// BinaryOpFromString resolves a DML binary operator symbol.
+func BinaryOpFromString(s string) (BinaryOp, bool) {
+	op, ok := binaryOpNames[s]
+	return op, ok
+}
+
+// unaryOpNames maps DML unary function names back to kernel operations
+// ("uminus" is the HOP/instruction spelling of unary minus).
+var unaryOpNames = map[string]UnaryOp{
+	"uminus": OpNeg, "-": OpNeg, "abs": OpAbs, "exp": OpExp, "log": OpLog,
+	"sqrt": OpSqrt, "round": OpRound, "floor": OpFloor, "ceil": OpCeil,
+	"sign": OpSign, "!": OpNot, "sin": OpSin, "cos": OpCos, "tan": OpTan,
+	"sigmoid": OpSigmoid, "is.nan": OpIsNaN,
+}
+
+// UnaryOpFromString resolves a DML unary function name.
+func UnaryOpFromString(s string) (UnaryOp, bool) {
+	op, ok := unaryOpNames[s]
+	return op, ok
+}
+
 // UnaryOp identifies an element-wise unary operation.
 type UnaryOp int
 
@@ -223,9 +255,19 @@ func (op UnaryOp) Apply(a float64) float64 {
 	}
 }
 
+// elemThreads resolves the worker count of an element-wise kernel: small
+// operands stay single-threaded (goroutine overhead dominates).
+func elemThreads(threads, cells int) int {
+	if cells < parallelMinCells {
+		return 1
+	}
+	return resolveThreads(threads)
+}
+
 // ScalarOp applies `m op s` cell-wise (or `s op m` when swap is true) and
-// returns a new matrix.
-func ScalarOp(m *MatrixBlock, s float64, op BinaryOp, swap bool) *MatrixBlock {
+// returns a new matrix. The dense path is row-partitioned across threads and
+// counts non-zeros during the write loop.
+func ScalarOp(m *MatrixBlock, s float64, op BinaryOp, swap bool, threads int) *MatrixBlock {
 	// Sparse-safe ops (f(0, s) == 0) can stay sparse when applied to a
 	// sparse block; everything else densifies.
 	sparseSafe := false
@@ -238,13 +280,15 @@ func ScalarOp(m *MatrixBlock, s float64, op BinaryOp, swap bool) *MatrixBlock {
 	if m.IsSparse() && sparseSafe {
 		out := m.Copy()
 		vals := out.csr().Values
-		for i, v := range vals {
-			if swap {
-				vals[i] = op.Apply(s, v)
-			} else {
-				vals[i] = op.Apply(v, s)
+		parallelRows(len(vals), elemThreads(threads, len(vals)), func(i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				if swap {
+					vals[i] = op.Apply(s, vals[i])
+				} else {
+					vals[i] = op.Apply(vals[i], s)
+				}
 			}
-		}
+		})
 		out.RecomputeNNZ()
 		return out
 	}
@@ -253,27 +297,40 @@ func ScalarOp(m *MatrixBlock, s float64, op BinaryOp, swap bool) *MatrixBlock {
 		src = m.Copy().ToDense()
 	}
 	out := NewDense(m.rows, m.cols)
-	for i, v := range src.dense {
-		if swap {
-			out.dense[i] = op.Apply(s, v)
-		} else {
-			out.dense[i] = op.Apply(v, s)
+	var nnz atomic.Int64
+	parallelRows(m.rows, elemThreads(threads, m.rows*m.cols), func(r0, r1 int) {
+		var n int64
+		for i := r0 * m.cols; i < r1*m.cols; i++ {
+			v := src.dense[i]
+			if swap {
+				out.dense[i] = op.Apply(s, v)
+			} else {
+				out.dense[i] = op.Apply(v, s)
+			}
+			if out.dense[i] != 0 {
+				n++
+			}
 		}
-	}
-	out.RecomputeNNZ()
+		nnz.Add(n)
+	})
+	out.nnz = nnz.Load()
 	return out
 }
 
 // UnaryApply applies the unary operation cell-wise and returns a new matrix.
-func UnaryApply(m *MatrixBlock, op UnaryOp) *MatrixBlock {
+// The dense path is row-partitioned across threads and counts non-zeros
+// during the write loop.
+func UnaryApply(m *MatrixBlock, op UnaryOp, threads int) *MatrixBlock {
 	sparseSafe := op == OpNeg || op == OpAbs || op == OpSqrt || op == OpRound ||
 		op == OpFloor || op == OpCeil || op == OpSign || op == OpSin || op == OpTan
 	if m.IsSparse() && sparseSafe {
 		out := m.Copy()
 		vals := out.csr().Values
-		for i, v := range vals {
-			vals[i] = op.Apply(v)
-		}
+		parallelRows(len(vals), elemThreads(threads, len(vals)), func(i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				vals[i] = op.Apply(vals[i])
+			}
+		})
 		out.RecomputeNNZ()
 		return out
 	}
@@ -282,10 +339,18 @@ func UnaryApply(m *MatrixBlock, op UnaryOp) *MatrixBlock {
 		src = m.Copy().ToDense()
 	}
 	out := NewDense(m.rows, m.cols)
-	for i, v := range src.dense {
-		out.dense[i] = op.Apply(v)
-	}
-	out.RecomputeNNZ()
+	var nnz atomic.Int64
+	parallelRows(m.rows, elemThreads(threads, m.rows*m.cols), func(r0, r1 int) {
+		var n int64
+		for i := r0 * m.cols; i < r1*m.cols; i++ {
+			out.dense[i] = op.Apply(src.dense[i])
+			if out.dense[i] != 0 {
+				n++
+			}
+		}
+		nnz.Add(n)
+	})
+	out.nnz = nnz.Load()
 	return out
 }
 
@@ -293,31 +358,31 @@ func UnaryApply(m *MatrixBlock, op UnaryOp) *MatrixBlock {
 // identical shape, or with row/column vector broadcasting when one operand
 // is a 1xN row vector or Nx1 column vector matching the other's dimensions
 // (mirroring R/DML broadcasting semantics for matrix-vector operations).
-func CellwiseOp(a, b *MatrixBlock, op BinaryOp) (*MatrixBlock, error) {
+func CellwiseOp(a, b *MatrixBlock, op BinaryOp, threads int) (*MatrixBlock, error) {
 	// exact shape match
 	if a.rows == b.rows && a.cols == b.cols {
-		return cellwiseSameDim(a, b, op), nil
+		return cellwiseSameDim(a, b, op, threads), nil
 	}
 	// column vector broadcast: b is a.rows x 1
 	if b.rows == a.rows && b.cols == 1 {
-		return cellwiseBroadcastCol(a, b, op, false), nil
+		return cellwiseBroadcastCol(a, b, op, false, threads), nil
 	}
 	// row vector broadcast: b is 1 x a.cols
 	if b.cols == a.cols && b.rows == 1 {
-		return cellwiseBroadcastRow(a, b, op, false), nil
+		return cellwiseBroadcastRow(a, b, op, false, threads), nil
 	}
 	// reversed broadcast (vector op matrix)
 	if a.rows == b.rows && a.cols == 1 {
-		return cellwiseBroadcastCol(b, a, op, true), nil
+		return cellwiseBroadcastCol(b, a, op, true, threads), nil
 	}
 	if a.cols == b.cols && a.rows == 1 {
-		return cellwiseBroadcastRow(b, a, op, true), nil
+		return cellwiseBroadcastRow(b, a, op, true, threads), nil
 	}
 	return nil, fmt.Errorf("matrix: cellwise op %s dimension mismatch %dx%d vs %dx%d",
 		op, a.rows, a.cols, b.rows, b.cols)
 }
 
-func cellwiseSameDim(a, b *MatrixBlock, op BinaryOp) *MatrixBlock {
+func cellwiseSameDim(a, b *MatrixBlock, op BinaryOp, threads int) *MatrixBlock {
 	ad := a
 	if ad.IsSparse() {
 		ad = a.Copy().ToDense()
@@ -327,54 +392,86 @@ func cellwiseSameDim(a, b *MatrixBlock, op BinaryOp) *MatrixBlock {
 		bd = b.Copy().ToDense()
 	}
 	out := NewDense(a.rows, a.cols)
-	for i := range out.dense {
-		out.dense[i] = op.Apply(ad.dense[i], bd.dense[i])
-	}
-	out.RecomputeNNZ()
+	var nnz atomic.Int64
+	parallelRows(a.rows, elemThreads(threads, a.rows*a.cols), func(r0, r1 int) {
+		var n int64
+		for i := r0 * a.cols; i < r1*a.cols; i++ {
+			out.dense[i] = op.Apply(ad.dense[i], bd.dense[i])
+			if out.dense[i] != 0 {
+				n++
+			}
+		}
+		nnz.Add(n)
+	})
+	out.nnz = nnz.Load()
 	out.ExamineAndApplySparsity()
 	return out
 }
 
-func cellwiseBroadcastCol(m, v *MatrixBlock, op BinaryOp, swap bool) *MatrixBlock {
+func cellwiseBroadcastCol(m, v *MatrixBlock, op BinaryOp, swap bool, threads int) *MatrixBlock {
 	md := m
 	if md.IsSparse() {
 		md = m.Copy().ToDense()
 	}
+	vd := v
+	if vd.IsSparse() {
+		vd = v.Copy().ToDense()
+	}
 	out := NewDense(m.rows, m.cols)
-	for r := 0; r < m.rows; r++ {
-		vv := v.Get(r, 0)
-		base := r * m.cols
-		for c := 0; c < m.cols; c++ {
-			if swap {
-				out.dense[base+c] = op.Apply(vv, md.dense[base+c])
-			} else {
-				out.dense[base+c] = op.Apply(md.dense[base+c], vv)
+	var nnz atomic.Int64
+	parallelRows(m.rows, elemThreads(threads, m.rows*m.cols), func(r0, r1 int) {
+		var n int64
+		for r := r0; r < r1; r++ {
+			vv := vd.dense[r]
+			base := r * m.cols
+			for c := 0; c < m.cols; c++ {
+				if swap {
+					out.dense[base+c] = op.Apply(vv, md.dense[base+c])
+				} else {
+					out.dense[base+c] = op.Apply(md.dense[base+c], vv)
+				}
+				if out.dense[base+c] != 0 {
+					n++
+				}
 			}
 		}
-	}
-	out.RecomputeNNZ()
+		nnz.Add(n)
+	})
+	out.nnz = nnz.Load()
 	out.ExamineAndApplySparsity()
 	return out
 }
 
-func cellwiseBroadcastRow(m, v *MatrixBlock, op BinaryOp, swap bool) *MatrixBlock {
+func cellwiseBroadcastRow(m, v *MatrixBlock, op BinaryOp, swap bool, threads int) *MatrixBlock {
 	md := m
 	if md.IsSparse() {
 		md = m.Copy().ToDense()
 	}
+	vd := v
+	if vd.IsSparse() {
+		vd = v.Copy().ToDense()
+	}
 	out := NewDense(m.rows, m.cols)
-	for r := 0; r < m.rows; r++ {
-		base := r * m.cols
-		for c := 0; c < m.cols; c++ {
-			vv := v.Get(0, c)
-			if swap {
-				out.dense[base+c] = op.Apply(vv, md.dense[base+c])
-			} else {
-				out.dense[base+c] = op.Apply(md.dense[base+c], vv)
+	var nnz atomic.Int64
+	parallelRows(m.rows, elemThreads(threads, m.rows*m.cols), func(r0, r1 int) {
+		var n int64
+		for r := r0; r < r1; r++ {
+			base := r * m.cols
+			for c := 0; c < m.cols; c++ {
+				vv := vd.dense[c]
+				if swap {
+					out.dense[base+c] = op.Apply(vv, md.dense[base+c])
+				} else {
+					out.dense[base+c] = op.Apply(md.dense[base+c], vv)
+				}
+				if out.dense[base+c] != 0 {
+					n++
+				}
 			}
 		}
-	}
-	out.RecomputeNNZ()
+		nnz.Add(n)
+	})
+	out.nnz = nnz.Load()
 	out.ExamineAndApplySparsity()
 	return out
 }

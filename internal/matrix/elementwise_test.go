@@ -7,22 +7,22 @@ import (
 
 func TestScalarOp(t *testing.T) {
 	m := FromRows([][]float64{{1, 2}, {3, 4}})
-	got := ScalarOp(m, 2, OpMul, false)
+	got := ScalarOp(m, 2, OpMul, false, 1)
 	want := FromRows([][]float64{{2, 4}, {6, 8}})
 	if !got.Equals(want, 0) {
 		t.Errorf("m*2 = %v", got)
 	}
-	got = ScalarOp(m, 10, OpSub, true) // 10 - m
+	got = ScalarOp(m, 10, OpSub, true, 1) // 10 - m
 	want = FromRows([][]float64{{9, 8}, {7, 6}})
 	if !got.Equals(want, 0) {
 		t.Errorf("10-m = %v", got)
 	}
-	got = ScalarOp(m, 2, OpPow, false)
+	got = ScalarOp(m, 2, OpPow, false, 1)
 	want = FromRows([][]float64{{1, 4}, {9, 16}})
 	if !got.Equals(want, 0) {
 		t.Errorf("m^2 = %v", got)
 	}
-	got = ScalarOp(m, 3, OpGreaterEqual, false)
+	got = ScalarOp(m, 3, OpGreaterEqual, false, 1)
 	want = FromRows([][]float64{{0, 0}, {1, 1}})
 	if !got.Equals(want, 0) {
 		t.Errorf("m>=3 = %v", got)
@@ -34,16 +34,16 @@ func TestScalarOpSparsePreserved(t *testing.T) {
 	if !m.IsSparse() {
 		t.Fatal("expected sparse input")
 	}
-	got := ScalarOp(m, 3, OpMul, false)
+	got := ScalarOp(m, 3, OpMul, false, 1)
 	if !got.IsSparse() {
 		t.Error("multiplication by scalar should preserve sparse representation")
 	}
-	want := ScalarOp(m.Copy().ToDense(), 3, OpMul, false)
+	want := ScalarOp(m.Copy().ToDense(), 3, OpMul, false, 1)
 	if !got.Equals(want, 1e-12) {
 		t.Error("sparse scalar op disagrees with dense")
 	}
 	// addition densifies because f(0,s) != 0
-	got = ScalarOp(m, 3, OpAdd, false)
+	got = ScalarOp(m, 3, OpAdd, false, 1)
 	if got.Get(0, 1) == 0 && m.Get(0, 1) == 0 {
 		// pick any zero cell and verify it became 3
 		found := false
@@ -62,20 +62,20 @@ func TestScalarOpSparsePreserved(t *testing.T) {
 
 func TestUnaryApply(t *testing.T) {
 	m := FromRows([][]float64{{-1, 4}, {9, -16}})
-	if got := UnaryApply(m, OpAbs); !got.Equals(FromRows([][]float64{{1, 4}, {9, 16}}), 0) {
+	if got := UnaryApply(m, OpAbs, 1); !got.Equals(FromRows([][]float64{{1, 4}, {9, 16}}), 0) {
 		t.Errorf("abs = %v", got)
 	}
-	if got := UnaryApply(FromRows([][]float64{{4, 9}}), OpSqrt); !got.Equals(FromRows([][]float64{{2, 3}}), 1e-12) {
+	if got := UnaryApply(FromRows([][]float64{{4, 9}}), OpSqrt, 1); !got.Equals(FromRows([][]float64{{2, 3}}), 1e-12) {
 		t.Errorf("sqrt = %v", got)
 	}
-	if got := UnaryApply(FromRows([][]float64{{0, 1}}), OpNot); !got.Equals(FromRows([][]float64{{1, 0}}), 0) {
+	if got := UnaryApply(FromRows([][]float64{{0, 1}}), OpNot, 1); !got.Equals(FromRows([][]float64{{1, 0}}), 0) {
 		t.Errorf("not = %v", got)
 	}
-	sig := UnaryApply(FromRows([][]float64{{0}}), OpSigmoid)
+	sig := UnaryApply(FromRows([][]float64{{0}}), OpSigmoid, 1)
 	if math.Abs(sig.Get(0, 0)-0.5) > 1e-12 {
 		t.Errorf("sigmoid(0) = %v", sig.Get(0, 0))
 	}
-	if got := UnaryApply(FromRows([][]float64{{1}}), OpExp).Get(0, 0); math.Abs(got-math.E) > 1e-12 {
+	if got := UnaryApply(FromRows([][]float64{{1}}), OpExp, 1).Get(0, 0); math.Abs(got-math.E) > 1e-12 {
 		t.Errorf("exp(1) = %v", got)
 	}
 }
@@ -83,18 +83,18 @@ func TestUnaryApply(t *testing.T) {
 func TestCellwiseOpSameDim(t *testing.T) {
 	a := FromRows([][]float64{{1, 2}, {3, 4}})
 	b := FromRows([][]float64{{10, 20}, {30, 40}})
-	got, err := CellwiseOp(a, b, OpAdd)
+	got, err := CellwiseOp(a, b, OpAdd, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !got.Equals(FromRows([][]float64{{11, 22}, {33, 44}}), 0) {
 		t.Errorf("a+b = %v", got)
 	}
-	got, _ = CellwiseOp(a, b, OpMul)
+	got, _ = CellwiseOp(a, b, OpMul, 1)
 	if !got.Equals(FromRows([][]float64{{10, 40}, {90, 160}}), 0) {
 		t.Errorf("a*b = %v", got)
 	}
-	if _, err := CellwiseOp(a, NewDense(3, 3), OpAdd); err == nil {
+	if _, err := CellwiseOp(a, NewDense(3, 3), OpAdd, 1); err == nil {
 		t.Error("expected dimension mismatch error")
 	}
 }
@@ -102,7 +102,7 @@ func TestCellwiseOpSameDim(t *testing.T) {
 func TestCellwiseBroadcast(t *testing.T) {
 	m := FromRows([][]float64{{1, 2}, {3, 4}})
 	col := FromRows([][]float64{{10}, {20}})
-	got, err := CellwiseOp(m, col, OpAdd)
+	got, err := CellwiseOp(m, col, OpAdd, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestCellwiseBroadcast(t *testing.T) {
 		t.Errorf("m + colvec = %v", got)
 	}
 	row := FromRows([][]float64{{100, 200}})
-	got, err = CellwiseOp(m, row, OpMul)
+	got, err = CellwiseOp(m, row, OpMul, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestCellwiseBroadcast(t *testing.T) {
 		t.Errorf("m * rowvec = %v", got)
 	}
 	// reversed: vector op matrix
-	got, err = CellwiseOp(col, m, OpSub)
+	got, err = CellwiseOp(col, m, OpSub, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

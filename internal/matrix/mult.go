@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultParallelism is the degree of parallelism used by multi-threaded
@@ -37,7 +38,6 @@ func Multiply(a, b *MatrixBlock, threads int) (*MatrixBlock, error) {
 	default:
 		out = multDenseDense(a, b, threads, false)
 	}
-	out.RecomputeNNZ()
 	return out, nil
 }
 
@@ -58,7 +58,6 @@ func MultiplyBLAS(a, b *MatrixBlock, threads int) (*MatrixBlock, error) {
 		bd = b.Copy().ToDense()
 	}
 	out := multDenseDense(ad, bd, threads, true)
-	out.RecomputeNNZ()
 	return out, nil
 }
 
@@ -92,6 +91,19 @@ func parallelRows(rows, threads int, fn func(r0, r1 int)) {
 	wg.Wait()
 }
 
+// countRowRangeNNZ counts the non-zeros of rows [r0, r1) of a dense n-column
+// output while the range is still cache-hot, so kernels can set the tracked
+// nnz during their final write loop instead of re-scanning the whole output.
+func countRowRangeNNZ(cv []float64, n, r0, r1 int) int64 {
+	var cnt int64
+	for i := r0 * n; i < r1*n; i++ {
+		if cv[i] != 0 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
 // multDenseDense is the dense GEMM kernel. The standard kernel uses an
 // i-k-j loop order with cache blocking over k and j; the "blas" variant adds
 // 4-way unrolling over j to approximate a vectorized library kernel.
@@ -99,6 +111,7 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 	m, k, n := a.rows, a.cols, b.cols
 	out := NewDense(m, n)
 	av, bv, cv := a.dense, b.dense, out.dense
+	var nnz atomic.Int64
 	const blkK, blkJ = 64, 512
 	parallelRows(m, threads, func(r0, r1 int) {
 		for kk := 0; kk < k; kk += blkK {
@@ -134,7 +147,9 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 				}
 			}
 		}
+		nnz.Add(countRowRangeNNZ(cv, n, r0, r1))
 	})
+	out.nnz = nnz.Load()
 	return out
 }
 
@@ -144,6 +159,7 @@ func multSparseDense(a, b *MatrixBlock, threads int) *MatrixBlock {
 	out := NewDense(m, n)
 	s := a.csr()
 	bv, cv := b.dense, out.dense
+	var nnz atomic.Int64
 	parallelRows(m, threads, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			ci := cv[i*n : (i+1)*n]
@@ -155,7 +171,9 @@ func multSparseDense(a, b *MatrixBlock, threads int) *MatrixBlock {
 				}
 			}
 		}
+		nnz.Add(countRowRangeNNZ(cv, n, r0, r1))
 	})
+	out.nnz = nnz.Load()
 	return out
 }
 
@@ -165,6 +183,7 @@ func multDenseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 	out := NewDense(m, n)
 	s := b.csr()
 	av, cv := a.dense, out.dense
+	var nnz atomic.Int64
 	parallelRows(m, threads, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			ci := cv[i*n : (i+1)*n]
@@ -179,7 +198,9 @@ func multDenseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 				}
 			}
 		}
+		nnz.Add(countRowRangeNNZ(cv, n, r0, r1))
 	})
+	out.nnz = nnz.Load()
 	return out
 }
 
@@ -190,6 +211,7 @@ func multSparseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 	out := NewDense(m, n)
 	sa, sb := a.csr(), b.csr()
 	cv := out.dense
+	var nnz atomic.Int64
 	parallelRows(m, threads, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			ci := cv[i*n : (i+1)*n]
@@ -200,7 +222,9 @@ func multSparseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 				}
 			}
 		}
+		nnz.Add(countRowRangeNNZ(cv, n, r0, r1))
 	})
+	out.nnz = nnz.Load()
 	out.ExamineAndApplySparsity()
 	return out
 }
@@ -217,14 +241,22 @@ func TSMM(x *MatrixBlock, threads int) *MatrixBlock {
 	} else {
 		tsmmDense(x, out, threads)
 	}
-	// mirror the upper triangle into the lower triangle
+	// mirror the upper triangle into the lower triangle, counting non-zeros
+	// in the same pass (each off-diagonal non-zero appears twice)
 	cv := out.dense
+	var nnz int64
 	for i := 0; i < n; i++ {
+		if cv[i*n+i] != 0 {
+			nnz++
+		}
 		for j := i + 1; j < n; j++ {
 			cv[j*n+i] = cv[i*n+j]
+			if cv[i*n+j] != 0 {
+				nnz += 2
+			}
 		}
 	}
-	out.RecomputeNNZ()
+	out.nnz = nnz
 	return out
 }
 
@@ -331,18 +363,4 @@ func MatVec(a, v *MatrixBlock, threads int) (*MatrixBlock, error) {
 		return nil, fmt.Errorf("matrix: matvec dimension mismatch %dx%d %%*%% %dx%d", a.rows, a.cols, v.rows, v.cols)
 	}
 	return Multiply(a, v, threads)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -61,7 +61,7 @@ func TestPropertyMultiplyDistributesOverAdd(t *testing.T) {
 		a := genMatrix(clampDim(r), clampDim(k), 1.0, seed)
 		b := genMatrix(clampDim(k), clampDim(c), 1.0, seed+1)
 		cc := genMatrix(clampDim(k), clampDim(c), 1.0, seed+2)
-		bc, err := CellwiseOp(b, cc, OpAdd)
+		bc, err := CellwiseOp(b, cc, OpAdd, 1)
 		if err != nil {
 			return false
 		}
@@ -71,7 +71,7 @@ func TestPropertyMultiplyDistributesOverAdd(t *testing.T) {
 		}
 		ab, _ := Multiply(a, b, 2)
 		ac, _ := Multiply(a, cc, 2)
-		right, err := CellwiseOp(ab, ac, OpAdd)
+		right, err := CellwiseOp(ab, ac, OpAdd, 1)
 		if err != nil {
 			return false
 		}
@@ -89,10 +89,10 @@ func TestPropertySparseDenseEquivalence(t *testing.T) {
 		m := genMatrix(rows, cols, clampSparsity(sp), seed)
 		dense := m.Copy().ToDense()
 		sparse := m.Copy().ToSparse()
-		if math.Abs(Sum(dense)-Sum(sparse)) > 1e-9 {
+		if math.Abs(Sum(dense, 1)-Sum(sparse, 1)) > 1e-9 {
 			return false
 		}
-		if !ColSums(dense).Equals(ColSums(sparse), 1e-9) {
+		if !ColSums(dense, 1).Equals(ColSums(sparse, 1), 1e-9) {
 			return false
 		}
 		if !Transpose(dense).Equals(Transpose(sparse), 1e-12) {
@@ -112,8 +112,8 @@ func TestPropertySumLinearity(t *testing.T) {
 	f := func(r, c uint8, seed int64, scale int8) bool {
 		m := genMatrix(clampDim(r), clampDim(c), 1.0, seed)
 		a := float64(scale)
-		scaled := ScalarOp(m, a, OpMul, false)
-		return math.Abs(Sum(scaled)-a*Sum(m)) < 1e-8*(1+math.Abs(a*Sum(m)))
+		scaled := ScalarOp(m, a, OpMul, false, 1)
+		return math.Abs(Sum(scaled, 1)-a*Sum(m, 1)) < 1e-8*(1+math.Abs(a*Sum(m, 1)))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -180,7 +180,7 @@ func TestPropertyOrderIsPermutation(t *testing.T) {
 			return false
 		}
 		// sums are invariant under row permutation
-		if math.Abs(Sum(sorted)-Sum(m)) > 1e-9 {
+		if math.Abs(Sum(sorted, 1)-Sum(m, 1)) > 1e-9 {
 			return false
 		}
 		// sorted column must be non-decreasing
@@ -201,9 +201,9 @@ func TestPropertyScalarCompareComplement(t *testing.T) {
 	f := func(r, c uint8, seed int64, sRaw int8) bool {
 		m := genMatrix(clampDim(r), clampDim(c), 1.0, seed)
 		s := float64(sRaw)
-		lt := ScalarOp(m, s, OpLess, false)
-		ge := ScalarOp(m, s, OpGreaterEqual, false)
-		sum, err := CellwiseOp(lt, ge, OpAdd)
+		lt := ScalarOp(m, s, OpLess, false, 1)
+		ge := ScalarOp(m, s, OpGreaterEqual, false, 1)
+		sum, err := CellwiseOp(lt, ge, OpAdd, 1)
 		if err != nil {
 			return false
 		}

@@ -113,7 +113,7 @@ func TestEigenSym(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		v, _ := Slice(vecs, 0, 3, i, i+1)
 		av, _ := Multiply(a, v, 1)
-		lv := ScalarOp(v, vals.Get(i, 0), OpMul, false)
+		lv := ScalarOp(v, vals.Get(i, 0), OpMul, false, 1)
 		if !av.Equals(lv, 1e-8) {
 			t.Errorf("eigenpair %d does not satisfy A v = lambda v", i)
 		}

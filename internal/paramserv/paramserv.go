@@ -75,8 +75,8 @@ func (s *server) pull() *matrix.MatrixBlock {
 func (s *server) push(grad *matrix.MatrixBlock) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	step := matrix.ScalarOp(grad, s.lr, matrix.OpMul, false)
-	updated, err := matrix.CellwiseOp(s.model, step, matrix.OpSub)
+	step := matrix.ScalarOp(grad, s.lr, matrix.OpMul, false, 1)
+	updated, err := matrix.CellwiseOp(s.model, step, matrix.OpSub, 1)
 	if err != nil {
 		return err
 	}
@@ -195,7 +195,7 @@ func runEpochBSP(srv *server, parts []partition, gradFn GradientFunc, cfg Config
 			if agg == nil {
 				agg = grads[w]
 			} else {
-				sum, err := matrix.CellwiseOp(agg, grads[w], matrix.OpAdd)
+				sum, err := matrix.CellwiseOp(agg, grads[w], matrix.OpAdd, 1)
 				if err != nil {
 					return err
 				}
@@ -206,7 +206,7 @@ func runEpochBSP(srv *server, parts []partition, gradFn GradientFunc, cfg Config
 		if agg == nil {
 			continue
 		}
-		avg := matrix.ScalarOp(agg, float64(count), matrix.OpDiv, false)
+		avg := matrix.ScalarOp(agg, float64(count), matrix.OpDiv, false, 1)
 		if err := srv.push(avg); err != nil {
 			return err
 		}
@@ -292,7 +292,7 @@ func LinRegGradient() GradientFunc {
 		if err != nil {
 			return nil, err
 		}
-		diff, err := matrix.CellwiseOp(pred, yb, matrix.OpSub)
+		diff, err := matrix.CellwiseOp(pred, yb, matrix.OpSub, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -300,7 +300,7 @@ func LinRegGradient() GradientFunc {
 		if err != nil {
 			return nil, err
 		}
-		return matrix.ScalarOp(grad, float64(xb.Rows()), matrix.OpDiv, false), nil
+		return matrix.ScalarOp(grad, float64(xb.Rows()), matrix.OpDiv, false, 1), nil
 	}
 }
 
@@ -312,8 +312,8 @@ func LogRegGradient() GradientFunc {
 		if err != nil {
 			return nil, err
 		}
-		p := matrix.UnaryApply(z, matrix.OpSigmoid)
-		diff, err := matrix.CellwiseOp(p, yb, matrix.OpSub)
+		p := matrix.UnaryApply(z, matrix.OpSigmoid, 1)
+		diff, err := matrix.CellwiseOp(p, yb, matrix.OpSub, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -321,7 +321,7 @@ func LogRegGradient() GradientFunc {
 		if err != nil {
 			return nil, err
 		}
-		return matrix.ScalarOp(grad, float64(xb.Rows()), matrix.OpDiv, false), nil
+		return matrix.ScalarOp(grad, float64(xb.Rows()), matrix.OpDiv, false, 1), nil
 	}
 }
 
@@ -332,9 +332,9 @@ func SquaredLoss(model, x, y *matrix.MatrixBlock) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	diff, err := matrix.CellwiseOp(pred, y, matrix.OpSub)
+	diff, err := matrix.CellwiseOp(pred, y, matrix.OpSub, 1)
 	if err != nil {
 		return 0, err
 	}
-	return matrix.SumSq(diff) / float64(x.Rows()), nil
+	return matrix.SumSq(diff, 1) / float64(x.Rows()), nil
 }

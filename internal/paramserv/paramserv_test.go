@@ -63,7 +63,7 @@ func TestTrainLogReg(t *testing.T) {
 	}
 	// training accuracy should be well above chance
 	z, _ := matrix.Multiply(x, model, 0)
-	p := matrix.UnaryApply(z, matrix.OpSigmoid)
+	p := matrix.UnaryApply(z, matrix.OpSigmoid, 1)
 	correct := 0
 	for i := 0; i < x.Rows(); i++ {
 		pred := 0.0

@@ -43,6 +43,31 @@ func (c *distCounters) snapshot() DistStats {
 	}
 }
 
+// FusedStats is a snapshot of the fused-operator hit counters of one context
+// tree: how many fused mmchain and fused cellwise-aggregate instructions
+// executed (the fusion analogue of DistStats, surfaced through core.Stats).
+type FusedStats struct {
+	MMChainOps  int64
+	FusedAggOps int64
+}
+
+// fusedCounters is the shared mutable counter state behind FusedStats; child
+// contexts share their parent's counters.
+type fusedCounters struct {
+	mmchain  atomic.Int64
+	fusedAgg atomic.Int64
+}
+
+func (c *fusedCounters) snapshot() FusedStats {
+	if c == nil {
+		return FusedStats{}
+	}
+	return FusedStats{
+		MMChainOps:  c.mmchain.Load(),
+		FusedAggOps: c.fusedAgg.Load(),
+	}
+}
+
 // BlockedMatrixObject is the first-class runtime handle of a blocked
 // ("distributed") matrix: it flows through the symbol table like any other
 // data object, so consecutive blocked operators hand the partitioned

@@ -41,6 +41,9 @@ type Config struct {
 	// DistEnabled allows the compiler to select the blocked distributed
 	// backend for large operations.
 	DistEnabled bool
+	// FusionDisabled turns off the HOP-level operator fusion pass (mmchain
+	// and cellwise-aggregate pipelines). Fusion is on by default.
+	FusionDisabled bool
 	// DistBlocksize is the block size of the distributed backend.
 	DistBlocksize int
 	// UseBLAS selects the register-blocked "native BLAS" dense kernel for
@@ -102,6 +105,9 @@ type Context struct {
 	// dist holds the distributed-backend counters, shared across child
 	// contexts (partition/collect/blocked-op accounting for one execution).
 	dist *distCounters
+	// fused holds the fused-operator hit counters, shared across child
+	// contexts.
+	fused *fusedCounters
 }
 
 // NewContext creates a root execution context.
@@ -116,6 +122,7 @@ func NewContext(cfg *Config) *Context {
 		Out:     os.Stdout,
 		vars:    map[string]Data{},
 		dist:    &distCounters{},
+		fused:   &fusedCounters{},
 	}
 	if cfg.ReuseEnabled {
 		ctx.Cache = lineage.NewCache(cfg.CacheBudget)
@@ -137,6 +144,7 @@ func (ctx *Context) ChildEmpty() *Context {
 		Out:     ctx.Out,
 		vars:    map[string]Data{},
 		dist:    ctx.dist,
+		fused:   ctx.fused,
 	}
 }
 
@@ -158,6 +166,7 @@ func (ctx *Context) ChildCopy() *Context {
 		Out:     ctx.Out,
 		vars:    vars,
 		dist:    ctx.dist,
+		fused:   ctx.fused,
 	}
 }
 
@@ -183,6 +192,23 @@ func (ctx *Context) CountDistCollect() {
 func (ctx *Context) CountBlockedOp() {
 	if ctx.dist != nil {
 		ctx.dist.blockedOps.Add(1)
+	}
+}
+
+// FusedStats returns a snapshot of the fused-operator hit counters.
+func (ctx *Context) FusedStats() FusedStats { return ctx.fused.snapshot() }
+
+// CountMMChain records one executed fused mmchain instruction.
+func (ctx *Context) CountMMChain() {
+	if ctx.fused != nil {
+		ctx.fused.mmchain.Add(1)
+	}
+}
+
+// CountFusedAgg records one executed fused cellwise-aggregate instruction.
+func (ctx *Context) CountFusedAgg() {
+	if ctx.fused != nil {
+		ctx.fused.fusedAgg.Add(1)
 	}
 }
 

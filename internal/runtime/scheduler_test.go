@@ -267,7 +267,7 @@ func TestSchedulerLineageAndReuseConcurrent(t *testing.T) {
 				if err != nil {
 					return err
 				}
-				c.SetMatrix(out, matrix.ScalarOp(blk, scale, matrix.OpMul, false))
+				c.SetMatrix(out, matrix.ScalarOp(blk, scale, matrix.OpMul, false, 1))
 				return nil
 			}})
 	}

@@ -115,6 +115,13 @@ func WithBLAS(enabled bool) Option {
 	return func(c *runtime.Config) { c.UseBLAS = enabled }
 }
 
+// WithFusion toggles the HOP-level operator fusion pass (fused mmchain and
+// cellwise-aggregate pipelines). Fusion is enabled by default; disabling it
+// is mainly useful for fused-vs-unfused comparisons.
+func WithFusion(enabled bool) Option {
+	return func(c *runtime.Config) { c.FusionDisabled = !enabled }
+}
+
 // WithTempDir sets the spill directory for the buffer pool.
 func WithTempDir(dir string) Option {
 	return func(c *runtime.Config) { c.TempDir = dir }
