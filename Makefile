@@ -21,10 +21,11 @@ test:
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/dist/... ./internal/fed/... ./internal/matrix/... ./internal/compiler/... .
 
-# Fused-vs-unfused and kernel-parallelism benchmarks with allocation stats;
-# the parsed results land in BENCH_pr3.json (the perf trajectory of the repo).
+# Planner-vs-forced matmult strategies, fused-vs-unfused and
+# kernel-parallelism benchmarks with allocation stats; the parsed results
+# land in BENCH_pr4.json (the perf trajectory of the repo).
 bench:
-	set -o pipefail; $(GO) test -bench 'Fused|Unfused|MMChain|KernelParallel' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	set -o pipefail; $(GO) test -bench 'MatMultStrategy|Fused|Unfused|MMChain|KernelParallel' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr4.json
 
 # Full benchmark sweep (single iteration per benchmark).
 bench-all:

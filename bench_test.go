@@ -11,6 +11,7 @@ import (
 
 	systemds "github.com/systemds/systemds-go"
 	"github.com/systemds/systemds-go/internal/baselines"
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/experiments"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/paramserv"
@@ -463,3 +464,75 @@ func benchmarkFusedPipelineEndToEnd(b *testing.B, fusion bool) {
 
 func BenchmarkFusedPipelineEndToEndOn(b *testing.B)  { benchmarkFusedPipelineEndToEnd(b, true) }
 func BenchmarkFusedPipelineEndToEndOff(b *testing.B) { benchmarkFusedPipelineEndToEnd(b, false) }
+
+// Planner-chosen vs forced-strategy matmult (ablation A6): the same
+// both-over-budget multiplication executed through the engine (the cost-based
+// planner picks the shuffle split) and through each forced dist executor.
+
+const mmStratM, mmStratK, mmStratN, mmStratBS = 128, 2048, 64, 64
+
+func mmStrategyData() (a, bm *matrix.MatrixBlock) {
+	a = matrix.RandUniform(mmStratM, mmStratK, -1, 1, 1.0, 401)
+	bm = matrix.RandUniform(mmStratK, mmStratN, -1, 1, 1.0, 402)
+	return
+}
+
+func BenchmarkMatMultStrategyPlanner(b *testing.B) {
+	x, y := mmStrategyData()
+	ctx := systemds.NewContext(
+		systemds.WithDistributedBackend(true),
+		systemds.WithDistBlocksize(mmStratBS),
+		systemds.WithOperatorMemBudget(int64(mmStratK*mmStratN*8/2)),
+		systemds.WithLineage(false),
+	)
+	prepared, err := ctx.Prepare("s = sum(A %*% B)", "s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]any{"A": x, "B": y}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prepared.Execute(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkMatMultStrategyForced(b *testing.B, run func(ba, bb *dist.BlockedMatrix, rb *matrix.MatrixBlock) error) {
+	x, y := mmStrategyData()
+	ba, err := dist.FromMatrixBlock(x, mmStratBS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb, err := dist.FromMatrixBlock(y, mmStratBS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(ba, bb, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMultStrategyForcedBR(b *testing.B) {
+	benchmarkMatMultStrategyForced(b, func(ba, _ *dist.BlockedMatrix, rb *matrix.MatrixBlock) error {
+		_, err := dist.MatMult(ba, rb, 0)
+		return err
+	})
+}
+
+func BenchmarkMatMultStrategyForcedGJ(b *testing.B) {
+	benchmarkMatMultStrategyForced(b, func(ba, bb *dist.BlockedMatrix, _ *matrix.MatrixBlock) error {
+		_, err := dist.MatMultBB(ba, bb, 0)
+		return err
+	})
+}
+
+func BenchmarkMatMultStrategyForcedSH(b *testing.B) {
+	benchmarkMatMultStrategyForced(b, func(ba, bb *dist.BlockedMatrix, _ *matrix.MatrixBlock) error {
+		_, err := dist.MatMultShuffle(ba, bb, 0)
+		return err
+	})
+}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "which experiment to run: 5a, 5b, 5c, 5d, steplm, dist, fed, paramserv, ablations, all")
+		figure   = flag.String("figure", "all", "which experiment to run: 5a, 5b, 5c, 5d, steplm, dist, distchain, fusion, mmplan, fed, paramserv, ablations, all")
 		scaleArg = flag.String("scale", "small", "data scale: tiny, small, paper")
 	)
 	flag.Parse()
@@ -79,6 +79,9 @@ func main() {
 	})
 	run("fusion", func() (*experiments.Figure, error) {
 		return experiments.AblationFusedPipelines(scale.Rows, scale.Cols)
+	})
+	run("mmplan", func() (*experiments.Figure, error) {
+		return experiments.AblationMatMultStrategies(scale.Rows, 64)
 	})
 	run("paramserv", func() (*experiments.Figure, error) {
 		return experiments.AblationParamServ(scale.Rows, min(scale.Cols, 50))

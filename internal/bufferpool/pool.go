@@ -35,6 +35,11 @@ type Stats struct {
 	Evictions  int64
 	Restores   int64
 	BytesSpilt int64
+	// BlocksRestored / BlocksSkipped account partial restores of per-block
+	// spilled entries: how many spill blocks an operator actually read back
+	// versus how many the partial access let it skip.
+	BlocksRestored int64
+	BlocksSkipped  int64
 }
 
 // Discarder is an optional Entry extension: entries that manage their own
@@ -167,6 +172,37 @@ func (p *Pool) enforceBudget() {
 		}
 		el = prev
 	}
+}
+
+// NotifyResize adjusts the running in-memory total after a registered
+// entry's resident size changed (e.g. a derived representation was memoized
+// on it), then re-enforces the budget. The caller reports the delta it is
+// responsible for; pairing every grow with the entry's MemorySize including
+// the grown bytes keeps the counter balanced regardless of how the resize
+// interleaves with an eviction.
+func (p *Pool) NotifyResize(e Entry, delta int64) {
+	if p == nil || delta == 0 {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.entries[e.PoolID()]; ok {
+		p.inMem += delta
+	}
+	p.mu.Unlock()
+	p.enforceBudget()
+}
+
+// RecordPartialRestore accounts a partial restore of a per-block spilled
+// entry: restored blocks were read back from their spill files, skipped
+// blocks stayed on disk because the operator did not touch them.
+func (p *Pool) RecordPartialRestore(restored, skipped int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.stats.BlocksRestored += restored
+	p.stats.BlocksSkipped += skipped
+	p.mu.Unlock()
 }
 
 // InMemoryBytes returns the total bytes currently held in memory by

@@ -13,6 +13,7 @@ package compiler
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/systemds/systemds-go/internal/lang"
 	"github.com/systemds/systemds-go/internal/runtime"
@@ -37,6 +38,9 @@ type Compiler struct {
 	compiling map[string]bool
 	tempSeq   int
 	predSeq   int
+	// explain, when non-nil, accumulates the planner's annotated DAG listing
+	// for every compiled basic block (the EXPLAIN hops-with-costs output).
+	explain *strings.Builder
 }
 
 // New creates a compiler.
@@ -59,6 +63,21 @@ func (c *Compiler) Compile(src string, knownInputs map[string]types.DataCharacte
 		return nil, err
 	}
 	return c.CompileProgram(prog, knownInputs)
+}
+
+// ExplainPlan compiles a DML script and returns the cost-annotated physical
+// plan of every basic block: per HOP the dimensions, memory estimate, the
+// plan chosen by the cost-based planner (CP, DIST, or DIST:<strategy> for
+// matmults), and the modeled compute/shuffle costs. Blocks compiled with
+// unknown sizes show their initial conservative plan; dynamic recompilation
+// re-plans them at runtime against live sizes.
+func (c *Compiler) ExplainPlan(src string, knownInputs map[string]types.DataCharacteristics) (string, error) {
+	c.explain = &strings.Builder{}
+	defer func() { c.explain = nil }()
+	if _, err := c.Compile(src, knownInputs); err != nil {
+		return "", err
+	}
+	return c.explain.String(), nil
 }
 
 // IsCallable returns a predicate that reports whether a function name can be

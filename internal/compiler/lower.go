@@ -37,17 +37,29 @@ func (bb *blockBuilder) flush() error {
 	}
 	hops.Rewrite(bb.dag)
 	hops.PropagateSizes(bb.dag, bb.known)
+	params := hops.PlannerParams{
+		MemBudget:   bb.c.cfg.OperatorMemBudget,
+		DistEnabled: bb.c.cfg.DistEnabled,
+		Blocksize:   bb.c.cfg.DistBlocksize,
+	}
 	// the fusion pattern matcher runs after rewrites/CSE (so shared
 	// subexpressions are single hops and consumer counts are exact) and
-	// before exec-type selection (fusion is gated on the operator budget so
-	// it never steals work from the blocked backend); sizes are re-propagated
-	// because fusion rewrites producer/consumer edges
+	// before exec-type selection (fusion is gated on the planner's own
+	// predicate over the same params, so it never steals work from the
+	// blocked backend); sizes are re-propagated because fusion rewrites
+	// producer/consumer edges
 	if !bb.c.cfg.FusionDisabled {
-		hops.FuseOperators(bb.dag, bb.c.cfg.OperatorMemBudget, bb.c.cfg.DistEnabled)
+		hops.FuseOperators(bb.dag, params)
 		hops.PropagateSizes(bb.dag, bb.known)
 	}
-	hops.SelectExecTypes(bb.dag, bb.c.cfg.OperatorMemBudget, bb.c.cfg.DistEnabled)
+	// the physical planner: one cost-based pass assigns execution types and
+	// matmult strategies from the same estimates the fusion gate consumed
+	hops.Plan(bb.dag, params)
 	hops.PropagateBlockedOutputs(bb.dag)
+	if bb.c.explain != nil {
+		bb.c.explain.WriteString(bb.dag.ExplainPlan())
+		bb.c.explain.WriteByte('\n')
+	}
 	instrs, hopDeps, unknown, err := lowerDAG(bb.dag)
 	if err != nil {
 		return err
@@ -131,7 +143,9 @@ func lowerDAG(dag *hops.DAG) ([]runtime.Instruction, [][]int, bool, error) {
 	var computes, aliasWrites, valueWrites []emitted
 	unknown := false
 	for _, h := range dag.Nodes() {
-		if h.MemEstimate < 0 && h.Kind != hops.KindRead && h.Kind != hops.KindLiteral && h.Kind != hops.KindWrite {
+		// recompile exactly when a size the planner's decisions depend on is
+		// still unknown (cost.go's predicate)
+		if hops.PlanRelevantUnknown(h) {
 			unknown = true
 		}
 		inst, err := lowerHop(h)
@@ -215,6 +229,11 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 		inst := instructions.NewMatMult(out, in(0), in(1))
 		inst.ExecType = h.ExecType
 		inst.BlockedOut = h.BlockedOutput
+		inst.Method = h.MMPlan
+		inst.EstBytes = -1
+		if h.CostEst.Known {
+			inst.EstBytes = h.CostEst.OutputBytes
+		}
 		return inst, nil
 	case hops.KindTSMM:
 		inst := instructions.NewTSMM(out, in(0))

@@ -37,6 +37,11 @@ type Stats struct {
 	PoolStats  bufferpool.Stats
 	DistStats  runtime.DistStats
 	FusedStats runtime.FusedStats
+	// PlanStats records, per executed distributed operator, the physical plan
+	// the compiler chose and its estimated vs actual output bytes. The
+	// recorder is capped; PlanRecordsDropped counts records past the cap.
+	PlanStats          []runtime.PlanRecord
+	PlanRecordsDropped int64
 }
 
 // NewEngine creates an engine with the given configuration (nil uses the
@@ -85,8 +90,9 @@ func (e *Engine) Execute(script string, inputs map[string]any, outputs []string)
 	return e.Run(prog, inputs, outputs)
 }
 
-// Compile compiles a script with size information from the given inputs.
-func (e *Engine) Compile(script string, inputs map[string]any) (*runtime.Program, error) {
+// knownCharacteristics extracts the data characteristics of matrix inputs so
+// the compiler can propagate sizes from the start.
+func knownCharacteristics(inputs map[string]any) map[string]types.DataCharacteristics {
 	known := map[string]types.DataCharacteristics{}
 	for name, v := range inputs {
 		if m, ok := v.(*matrix.MatrixBlock); ok {
@@ -96,8 +102,13 @@ func (e *Engine) Compile(script string, inputs map[string]any) (*runtime.Program
 			}
 		}
 	}
+	return known
+}
+
+// Compile compiles a script with size information from the given inputs.
+func (e *Engine) Compile(script string, inputs map[string]any) (*runtime.Program, error) {
 	comp := compiler.New(e.cfg, e.registry)
-	prog, err := comp.Compile(script, known)
+	prog, err := comp.Compile(script, knownCharacteristics(inputs))
 	if err != nil {
 		return nil, err
 	}
@@ -134,8 +145,19 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 		}
 		results[name] = v
 	}
-	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats(), FusedStats: ctx.FusedStats()}
+	plans, plansDropped := ctx.PlanStats()
+	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats(),
+		FusedStats: ctx.FusedStats(), PlanStats: plans, PlanRecordsDropped: plansDropped}
 	return results, stats, nil
+}
+
+// ExplainPlan compiles a script (with size information from the given inputs)
+// and returns the cost-annotated physical plan chosen by the compiler's
+// planner: per operator the dimensions, memory estimate, CP/DIST placement,
+// matmult strategy and modeled costs.
+func (e *Engine) ExplainPlan(script string, inputs map[string]any) (string, error) {
+	comp := compiler.New(e.cfg, e.registry)
+	return comp.ExplainPlan(script, knownCharacteristics(inputs))
 }
 
 // toRuntimeData converts an API value to a runtime data object.

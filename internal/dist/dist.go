@@ -180,6 +180,67 @@ func Cellwise(a, b *BlockedMatrix, op matrix.BinaryOp) (*BlockedMatrix, error) {
 	return out, nil
 }
 
+// CellwiseVector applies an element-wise binary operation between a blocked
+// matrix and a broadcast row or column vector: each block combines with the
+// matching slice of the vector, so cellwise pipelines with vector leaves stay
+// blocked instead of collecting the blocked operand. swap places the vector
+// on the left-hand side of the operator.
+func CellwiseVector(a *BlockedMatrix, v *matrix.MatrixBlock, op matrix.BinaryOp, swap bool) (*BlockedMatrix, error) {
+	colVec := v.Cols() == 1 && v.Rows() == a.Rows
+	rowVec := v.Rows() == 1 && v.Cols() == a.Cols
+	if !colVec && !rowVec {
+		return nil, fmt.Errorf("dist: cellwise vector %dx%d does not broadcast against %dx%d",
+			v.Rows(), v.Cols(), a.Rows, a.Cols)
+	}
+	out := &BlockedMatrix{Rows: a.Rows, Cols: a.Cols, Blocksize: a.Blocksize,
+		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
+	gr, gc := a.GridRows(), a.GridCols()
+	// the vector segment is shared by every block of a strip; slice once per
+	// block row (column vector) or block column (row vector), not per block
+	nseg := gr
+	if rowVec {
+		nseg = gc
+	}
+	segs := make([]*matrix.MatrixBlock, nseg)
+	for i := range segs {
+		lo := i * a.Blocksize
+		var err error
+		if colVec {
+			segs[i], err = matrix.Slice(v, lo, min(lo+a.Blocksize, a.Rows), 0, 1)
+		} else {
+			segs[i], err = matrix.Slice(v, 0, 1, lo, min(lo+a.Blocksize, a.Cols))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	err := forEachBlock(gr, gc, 0, func(bi, bj int) error {
+		blk := a.Blocks[bi*gc+bj]
+		var seg *matrix.MatrixBlock
+		if rowVec {
+			seg = segs[bj]
+		} else {
+			seg = segs[bi]
+		}
+		var res *matrix.MatrixBlock
+		var err error
+		if swap {
+			res, err = matrix.CellwiseOp(seg, blk, op, 1)
+		} else {
+			res, err = matrix.CellwiseOp(blk, seg, op, 1)
+		}
+		if err != nil {
+			return err
+		}
+		out.Blocks[bi*gc+bj] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // MatMult multiplies a blocked left operand with a local (broadcast) right
 // operand: every block-row strip of the left input is multiplied with the
 // matching row slice of the right operand independently — the map-side

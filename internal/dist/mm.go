@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// MatMultBL multiplies a local (broadcast) left operand with a blocked right
+// operand: every block-column strip of the right input is multiplied with the
+// matching column slice of the left operand independently — the mirror image
+// of the broadcast-right join in MatMult, chosen by the planner when only the
+// left operand fits the broadcast budget.
+func MatMultBL(a *matrix.MatrixBlock, b *BlockedMatrix, threads int) (*BlockedMatrix, error) {
+	if a.Cols() != b.Rows {
+		return nil, fmt.Errorf("dist: matmult dimension mismatch %dx%d %%*%% %dx%d",
+			a.Rows(), a.Cols(), b.Rows, b.Cols)
+	}
+	out := &BlockedMatrix{Rows: a.Rows(), Cols: b.Cols, Blocksize: b.Blocksize}
+	grOut, gcOut := out.GridRows(), out.GridCols()
+	bgr, bgc := b.GridRows(), b.GridCols()
+	out.Blocks = make([]*matrix.MatrixBlock, grOut*gcOut)
+	// the k-stripe slices of the broadcast operand are shared by every output
+	// block column; slice them once instead of once per (bj, bk) pair
+	aSlices := make([]*matrix.MatrixBlock, bgr)
+	for bk := 0; bk < bgr; bk++ {
+		cl := bk * b.Blocksize
+		cu := min(cl+b.Blocksize, b.Rows)
+		s, err := matrix.Slice(a, 0, a.Rows(), cl, cu)
+		if err != nil {
+			return nil, err
+		}
+		aSlices[bk] = s
+	}
+	// one dense strip per output block-column, accumulated in place across
+	// the k-stripes; narrow outputs (few block columns) hand the spare
+	// parallelism to the accumulate kernel instead
+	if threads <= 0 {
+		threads = matrix.DefaultParallelism()
+	}
+	inner := threads / gcOut
+	if inner < 1 {
+		inner = 1
+	}
+	err := forEachBlock(1, gcOut, threads, func(_, bj int) error {
+		width := min(out.Blocksize, out.Cols-bj*out.Blocksize)
+		strip := matrix.NewDense(a.Rows(), width)
+		for bk := 0; bk < bgr; bk++ {
+			if err := matrix.MultiplyAcc(strip, aSlices[bk], b.Blocks[bk*bgc+bj], inner); err != nil {
+				return err
+			}
+		}
+		// split the strip into output blocks
+		for bi := 0; bi < grOut; bi++ {
+			rl, ru := bi*out.Blocksize, min(bi*out.Blocksize+out.Blocksize, out.Rows)
+			blk, err := matrix.Slice(strip, rl, ru, 0, strip.Cols())
+			if err != nil {
+				return err
+			}
+			out.Blocks[bi*gcOut+bj] = blk
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MatMultShuffle multiplies two blocked operands with a shuffle-style split
+// over the common dimension: the k-stripes are processed one stage at a time,
+// each stage joining the co-partitioned block column k of the left input with
+// block row k of the right input and accumulating the partial products into
+// the output blocks — the cross-product (cpmm-style) join the planner picks
+// when both operands exceed the broadcast budget and the output is small
+// relative to the replicated grid-join reads. Stages run in ascending stripe
+// order and accumulate with matrix.MultiplyAcc, so the result is bitwise
+// identical to the local dense multiplication.
+func MatMultShuffle(a, b *BlockedMatrix, threads int) (*BlockedMatrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("dist: matmult dimension mismatch %dx%d %%*%% %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Blocksize != b.Blocksize {
+		return nil, fmt.Errorf("dist: matmult blocksize mismatch %d vs %d", a.Blocksize, b.Blocksize)
+	}
+	out := &BlockedMatrix{Rows: a.Rows, Cols: b.Cols, Blocksize: a.Blocksize}
+	gr, gc := out.GridRows(), out.GridCols()
+	agc, bgc := a.GridCols(), b.GridCols()
+	out.Blocks = make([]*matrix.MatrixBlock, gr*gc)
+	err := forEachBlock(gr, gc, threads, func(bi, bj int) error {
+		rows := min(out.Blocksize, out.Rows-bi*out.Blocksize)
+		cols := min(out.Blocksize, out.Cols-bj*out.Blocksize)
+		out.Blocks[bi*gc+bj] = matrix.NewDense(rows, cols)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bk := 0; bk < agc; bk++ {
+		err := forEachBlock(gr, gc, threads, func(bi, bj int) error {
+			return matrix.MultiplyAcc(out.Blocks[bi*gc+bj], a.Blocks[bi*agc+bk], b.Blocks[bk*bgc+bj], 1)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// InMemorySize returns the total in-memory bytes of all blocks (the "actual
+// bytes" side of the planner's estimated-vs-actual plan statistics).
+func (b *BlockedMatrix) InMemorySize() int64 {
+	var total int64
+	for _, blk := range b.Blocks {
+		if blk != nil {
+			total += blk.InMemorySize()
+		}
+	}
+	return total
+}

@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// seqMatrix builds a deterministic dense matrix with non-trivial FP values.
+func seqMatrix(rows, cols int, seed int64) *matrix.MatrixBlock {
+	return matrix.RandUniform(rows, cols, -1, 1, 1.0, seed)
+}
+
+func TestMatMultBLMatchesLocal(t *testing.T) {
+	for _, tc := range []struct{ m, k, n, bs int }{
+		{8, 96, 64, 32},  // boundary blocks in every dimension
+		{40, 64, 30, 32}, // non-aligned output grid
+		{5, 33, 7, 16},
+	} {
+		a := seqMatrix(tc.m, tc.k, 11)
+		b := seqMatrix(tc.k, tc.n, 12)
+		bb, err := FromMatrixBlock(b, tc.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatMultBL(a, bb, 0)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		gotLocal, err := got.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := matrix.Multiply(a, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// BL accumulates k-stripes in place in ascending order, so it shares
+		// the shuffle split's bitwise-equality guarantee
+		if !want.Equals(gotLocal, 0) {
+			t.Errorf("%+v: broadcast-left result differs from local multiply", tc)
+		}
+	}
+}
+
+// TestMatMultShuffleBitwiseEqualsLocal asserts the shuffle split's defining
+// property: accumulating co-partitioned k-stripes in ascending order with the
+// multiply-accumulate kernel reproduces the local dense multiplication
+// bitwise, for aligned and boundary grids alike.
+func TestMatMultShuffleBitwiseEqualsLocal(t *testing.T) {
+	for _, tc := range []struct{ m, k, n, bs int }{
+		{64, 128, 64, 32}, // aligned, 4 k-stripes
+		{40, 100, 24, 32}, // boundary blocks, k not a stripe multiple
+		{8, 256, 8, 32},   // long common dimension
+	} {
+		a := seqMatrix(tc.m, tc.k, 21)
+		b := seqMatrix(tc.k, tc.n, 22)
+		ba, err := FromMatrixBlock(a, tc.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := FromMatrixBlock(b, tc.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatMultShuffle(ba, bb, 0)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		gotLocal, err := got.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := matrix.Multiply(a, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equals(gotLocal, 0) {
+			t.Errorf("%+v: shuffle result is not bitwise-equal to the local multiply", tc)
+		}
+	}
+}
+
+func TestMatMultShuffleDimensionErrors(t *testing.T) {
+	a, _ := FromMatrixBlock(seqMatrix(8, 8, 1), 4)
+	b, _ := FromMatrixBlock(seqMatrix(9, 8, 2), 4)
+	if _, err := MatMultShuffle(a, b, 0); err == nil {
+		t.Error("dimension mismatch not rejected")
+	}
+	c, _ := FromMatrixBlock(seqMatrix(8, 8, 3), 8)
+	if _, err := MatMultShuffle(a, c, 0); err == nil {
+		t.Error("blocksize mismatch not rejected")
+	}
+}
+
+func TestCellwiseVector(t *testing.T) {
+	x := seqMatrix(40, 24, 31)
+	col := seqMatrix(40, 1, 32)
+	row := seqMatrix(1, 24, 33)
+	bx, err := FromMatrixBlock(x, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		v    *matrix.MatrixBlock
+		op   matrix.BinaryOp
+		swap bool
+	}{
+		{"col-add", col, matrix.OpAdd, false},
+		{"row-sub", row, matrix.OpSub, false},
+		{"col-sub-swapped", col, matrix.OpSub, true},
+		{"row-div-swapped", row, matrix.OpDiv, true},
+	} {
+		got, err := CellwiseVector(bx, tc.v, tc.op, tc.swap)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		gotLocal, err := got.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *matrix.MatrixBlock
+		if tc.swap {
+			want, err = matrix.CellwiseOp(tc.v, x, tc.op, 1)
+		} else {
+			want, err = matrix.CellwiseOp(x, tc.v, tc.op, 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equals(gotLocal, 0) {
+			t.Errorf("%s: blocked broadcast differs from local kernel", tc.name)
+		}
+	}
+	if _, err := CellwiseVector(bx, seqMatrix(7, 1, 9), matrix.OpAdd, false); err == nil {
+		t.Error("non-broadcastable vector not rejected")
+	}
+}

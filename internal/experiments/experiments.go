@@ -22,6 +22,7 @@ import (
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/paramserv"
 	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
 )
 
 // Scale configures the data sizes of the hyper-parameter workload.
@@ -547,6 +548,88 @@ r = sum(g)`
 	fig.Series = []Series{
 		{Label: "unfused", Points: []Point{{X: 0, Seconds: elUnfused.Seconds()}}},
 		{Label: "fused", Points: []Point{{X: 1, Seconds: elFused.Seconds()}}},
+	}
+	return fig, nil
+}
+
+// AblationMatMultStrategies (A6) measures the cost-based matmult planner: a
+// multiplication whose operands both exceed the broadcast budget is executed
+// once through the engine (the planner picks the strategy, asserted via the
+// plan statistics) and once per forced physical strategy through the dist
+// executors directly (broadcast join, grid join, shuffle split). All four
+// paths must agree with the local result; the planner point should track the
+// cheapest forced strategy.
+func AblationMatMultStrategies(k, blocksize int) (*Figure, error) {
+	m, n := 2*blocksize, blocksize
+	a := matrix.RandUniform(m, k, -1, 1, 1.0, 8008)
+	b := matrix.RandUniform(k, n, -1, 1, 1.0, 8009)
+	want, err := matrix.Multiply(a, b, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{Name: "Ablation A6", Title: "Planner-chosen vs forced matmult strategy", XLabel: "mode"}
+
+	// planner-chosen, through the compiler and runtime
+	cfg := runtime.DefaultConfig()
+	cfg.DistEnabled = true
+	cfg.DistBlocksize = blocksize
+	cfg.OperatorMemBudget = types.EstimateSizeDense(int64(k), int64(n)) / 2 // both operands exceed it
+	engine := core.NewEngine(cfg)
+	engine.SetOutput(discard{})
+	inputs := map[string]any{"A": a, "B": b}
+	start := time.Now()
+	res, stats, err := engine.Execute(`C = A %*% B`, inputs, []string{"C"})
+	if err != nil {
+		return nil, err
+	}
+	planned := time.Since(start)
+	chosen := "none"
+	for _, r := range stats.PlanStats {
+		if r.Op == "ba+*" {
+			chosen = r.Plan
+		}
+	}
+	if !want.Equals(res["C"].(*matrix.MatrixBlock), 0) {
+		return nil, fmt.Errorf("planner-chosen matmult differs from local result")
+	}
+	fig.Series = append(fig.Series, Series{Label: "planner (" + chosen + ")",
+		Points: []Point{{X: 0, Seconds: planned.Seconds()}}})
+	fig.Notes = append(fig.Notes, fmt.Sprintf("planner chose strategy %q", chosen))
+
+	// forced strategies on pre-partitioned operands
+	ba, err := dist.FromMatrixBlock(a, blocksize)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := dist.FromMatrixBlock(b, blocksize)
+	if err != nil {
+		return nil, err
+	}
+	forced := []struct {
+		label string
+		run   func() (*dist.BlockedMatrix, error)
+	}{
+		{"forced-br", func() (*dist.BlockedMatrix, error) { return dist.MatMult(ba, b, 0) }},
+		{"forced-gj", func() (*dist.BlockedMatrix, error) { return dist.MatMultBB(ba, bb, 0) }},
+		{"forced-sh", func() (*dist.BlockedMatrix, error) { return dist.MatMultShuffle(ba, bb, 0) }},
+	}
+	for i, f := range forced {
+		start := time.Now()
+		bm, err := f.run()
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		local, err := bm.ToMatrixBlock()
+		if err != nil {
+			return nil, err
+		}
+		if !want.Equals(local, 1e-9) {
+			return nil, fmt.Errorf("%s result differs from local multiply", f.label)
+		}
+		fig.Series = append(fig.Series, Series{Label: f.label,
+			Points: []Point{{X: float64(i + 1), Seconds: elapsed.Seconds()}}})
 	}
 	return fig, nil
 }

@@ -155,6 +155,21 @@ func TestAblationFusedPipelines(t *testing.T) {
 	}
 }
 
+func TestAblationMatMultStrategies(t *testing.T) {
+	fig, err := AblationMatMultStrategies(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want planner + 3 forced strategies", len(fig.Series))
+	}
+	// k=512 with a 128x512 left and 512x64 right operand sits past the
+	// gj<->sh crossover, so the planner must have picked the shuffle split
+	if fig.Series[0].Label != "planner (sh)" {
+		t.Errorf("planner series label = %q, want planner (sh)", fig.Series[0].Label)
+	}
+}
+
 func TestFigureRenderEmptyAndNotes(t *testing.T) {
 	empty := &Figure{Name: "F", Title: "T"}
 	if !strings.Contains(empty.Render(), "F — T") {

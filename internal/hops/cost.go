@@ -1,0 +1,380 @@
+// Cost-model-driven physical planning (the compiler-side operator selection
+// of Section 2.3): a per-HOP cost estimate derived from the size/sparsity
+// propagation in sizeprop.go, consumed by every physical decision the
+// compiler makes — CP vs blocked-distributed execution, the physical matmult
+// strategy (broadcast-left/right, grid join, shuffle-style split), the fusion
+// budget gate, and the dynamic-recompilation trigger. The runtime executes
+// the named plan; it never re-decides against ad-hoc size checks.
+//
+// Cost units are deliberately simple and deterministic: compute is counted in
+// FLOPs, data movement in bytes. For the blocked backend, ShuffleBytes models
+// the bytes a data-parallel engine would move for the chosen join strategy
+// (replicated broadcast copies, replicated grid-join reads, or the one-pass
+// shuffle plus output aggregation). Unknown shapes fall back to worst-case
+// behavior: the operator stays in CP and the block is marked for dynamic
+// recompilation, so the plan is re-derived the moment a cost-relevant size
+// becomes known.
+package hops
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// PlannerParams collects the compiler-side knobs of the physical planner.
+type PlannerParams struct {
+	// MemBudget is the per-operator memory budget in bytes: the CP residency
+	// limit and the broadcast budget of the blocked backend.
+	MemBudget int64
+	// DistEnabled allows the planner to place operators on the blocked
+	// distributed backend at all.
+	DistEnabled bool
+	// Blocksize is the block side length of the blocked backend, needed to
+	// derive grid dimensions for the matmult strategy costs.
+	Blocksize int
+}
+
+// Cost is the estimated execution cost of one HOP under its chosen plan.
+type Cost struct {
+	// Compute is the floating-point operation count.
+	Compute float64
+	// InputBytes is the total size of all inputs, OutputBytes the size of the
+	// result (worst-case dense unless sparsity is known).
+	InputBytes  int64
+	OutputBytes int64
+	// ShuffleBytes models the partition/broadcast/replication bytes of the
+	// chosen blocked-backend strategy; 0 for CP plans.
+	ShuffleBytes int64
+	// Known reports whether every size feeding the estimate was known; when
+	// false the byte fields are worst-case placeholders (-1).
+	Known bool
+}
+
+// EstimateCost derives the cost estimate of one size-annotated HOP. It only
+// reads the data characteristics already produced by PropagateSizes.
+func EstimateCost(h *Hop) Cost {
+	c := Cost{Known: true}
+	out := types.EstimateSize(h.DC)
+	if h.DataType == types.Scalar {
+		out = 64
+	}
+	var in int64
+	for _, op := range h.Inputs {
+		s := types.EstimateSize(op.DC)
+		if op.DataType == types.Scalar {
+			s = 64
+		}
+		if s < 0 {
+			c.Known = false
+		} else {
+			in += s
+		}
+	}
+	if out < 0 {
+		c.Known = false
+	}
+	c.InputBytes, c.OutputBytes = in, out
+	c.Compute = estimateFLOPs(h)
+	if c.Compute < 0 {
+		c.Known = false
+	}
+	if !c.Known {
+		c.InputBytes, c.OutputBytes = -1, -1
+	}
+	return c
+}
+
+// estimateFLOPs counts floating-point operations per HOP kind, or -1 when the
+// shapes are unknown.
+func estimateFLOPs(h *Hop) float64 {
+	cells := func(dc types.DataCharacteristics) float64 {
+		n := dc.Cells()
+		if n < 0 {
+			return -1
+		}
+		return float64(n)
+	}
+	switch h.Kind {
+	case KindRead, KindLiteral, KindWrite, KindCast:
+		return 0
+	case KindMatMult:
+		if len(h.Inputs) != 2 {
+			return -1
+		}
+		a, b := h.Inputs[0].DC, h.Inputs[1].DC
+		if a.Rows < 0 || a.Cols < 0 || b.Cols < 0 {
+			return -1
+		}
+		// 2*m*k*n scaled by the left operand's sparsity when known
+		return 2 * float64(a.Rows) * float64(a.Cols) * float64(b.Cols) * a.Sparsity()
+	case KindTSMM:
+		if len(h.Inputs) != 1 {
+			return -1
+		}
+		in := h.Inputs[0].DC
+		if in.Rows < 0 || in.Cols < 0 {
+			return -1
+		}
+		return float64(in.Rows) * float64(in.Cols) * float64(in.Cols)
+	case KindMMChain:
+		if len(h.Inputs) < 1 {
+			return -1
+		}
+		n := cells(h.Inputs[0].DC)
+		if n < 0 {
+			return -1
+		}
+		// two passes over X (X%*%v and t(X)%*%·), plus the optional weighting
+		f := 4 * n
+		if len(h.Inputs) == 3 {
+			f += n
+		}
+		return f
+	case KindFusedAgg:
+		if h.FusedAgg == nil {
+			return -1
+		}
+		n := cells(h.DC)
+		for _, in := range h.Inputs {
+			if in.IsMatrix() {
+				n = cells(in.DC)
+				break
+			}
+		}
+		if n < 0 {
+			return -1
+		}
+		return n * float64(len(h.FusedAgg.Prog.Instrs))
+	case KindBinary, KindUnary, KindAggUnary, KindTernary, KindReorg, KindDataGen:
+		// one pass over the larger of the output and the inputs
+		n := cells(h.DC)
+		for _, in := range h.Inputs {
+			if m := cells(in.DC); m > n {
+				n = m
+			}
+		}
+		return n
+	default:
+		return cells(h.DC)
+	}
+}
+
+// distEligibleKinds are the operator kinds the blocked backend implements;
+// everything else always runs in CP.
+func distEligible(h *Hop) bool {
+	switch h.Kind {
+	case KindMatMult, KindTSMM, KindBinary, KindUnary, KindAggUnary, KindReorg:
+		return true
+	case KindNary:
+		return h.Op == "rbind" || h.Op == "cbind"
+	}
+	return false
+}
+
+// WouldRunDist reports whether the planner would place this operator on the
+// blocked distributed backend. It is the single predicate shared by execution
+// -type selection, the fusion budget gate and the recompilation trigger, so
+// the three decision sites can never drift apart.
+func WouldRunDist(h *Hop, p PlannerParams) bool {
+	if !p.DistEnabled || p.MemBudget <= 0 || !distEligible(h) {
+		return false
+	}
+	// unknown sizes stay in CP conservatively; dynamic recompilation re-plans
+	// once the sizes are known
+	return h.MemEstimate > p.MemBudget
+}
+
+// PlanRelevantUnknown reports whether a HOP with unknown sizes should trigger
+// dynamic recompilation: only operators whose physical plan (exec type,
+// matmult strategy, fusion eligibility) depends on the estimate qualify —
+// an unknown size that no decision consumes cannot change the plan. The
+// already-fused kinds are included so a fused operator whose shapes turn out
+// unknown still re-plans against live sizes.
+func PlanRelevantUnknown(h *Hop) bool {
+	return h.MemEstimate < 0 &&
+		(distEligible(h) || h.Kind == KindMMChain || h.Kind == KindFusedAgg)
+}
+
+// gridDim returns ceil(n/blocksize) for a known dimension.
+func gridDim(n int64, blocksize int) int64 {
+	if blocksize <= 0 {
+		blocksize = types.DefaultBlocksize
+	}
+	return (n + int64(blocksize) - 1) / int64(blocksize)
+}
+
+// matMultStrategyCost returns the modeled shuffle bytes of one matmult
+// strategy, or -1 when the strategy is infeasible for the given operands.
+//
+// The formulas model the data movement of the paper's data-parallel backend:
+// each strategy pays a worst-case partition cost for the operands it needs in
+// blocked form, plus the bytes its join moves:
+//
+//	br: partition left, broadcast the right operand to every block-row strip
+//	                        -> sizeL + sizeR*gridRows(out)
+//	bl: partition right, broadcast the left operand to every block-col strip
+//	                        -> sizeR + sizeL*gridCols(out)
+//	gj: partition both; the replication join re-reads every block row of the
+//	    left per output column and every block column of the right per output
+//	    row              -> (sizeL+sizeR) + sizeL*gridCols(out) + sizeR*gridRows(out)
+//	sh: partition both, shuffle each input once by its common-dimension
+//	    stripe, and aggregate the per-stripe partial outputs
+//	                        -> 2*(sizeL+sizeR) + 2*sizeOut
+//
+// An operand that already arrives in blocked representation (produced by an
+// upstream distributed operator) drops its partition charge; broadcasting
+// such an operand instead pays a collect charge of its full size, which
+// steers broadcast plans away from already-partitioned inputs. Broadcasts
+// are only feasible when the broadcast side fits the per-operator memory
+// budget.
+func matMultStrategyCost(m types.MatMultMethod, sizeL, sizeR, sizeOut, grOut, gcOut, budget int64, leftBlocked, rightBlocked bool) int64 {
+	partL, partR := sizeL, sizeR
+	if leftBlocked {
+		partL = 0
+	}
+	if rightBlocked {
+		partR = 0
+	}
+	switch m {
+	case types.MMBroadcastRight:
+		if sizeR > budget {
+			return -1
+		}
+		collect := int64(0)
+		if rightBlocked {
+			collect = sizeR
+		}
+		return partL + collect + sizeR*grOut
+	case types.MMBroadcastLeft:
+		if sizeL > budget {
+			return -1
+		}
+		collect := int64(0)
+		if leftBlocked {
+			collect = sizeL
+		}
+		return partR + collect + sizeL*gcOut
+	case types.MMGridJoin:
+		return partL + partR + sizeL*gcOut + sizeR*grOut
+	case types.MMShuffle:
+		return partL + partR + (sizeL + sizeR) + 2*sizeOut
+	}
+	return -1
+}
+
+// ChooseMatMultStrategy picks the cheapest feasible physical strategy for a
+// blocked matrix multiplication with the given operand characteristics
+// (assuming both operands arrive as local matrices). It returns the strategy
+// and its modeled shuffle bytes.
+func ChooseMatMultStrategy(left, right types.DataCharacteristics, blocksize int, memBudget int64) (types.MatMultMethod, int64) {
+	return chooseMatMultStrategy(left, right, blocksize, memBudget, false, false)
+}
+
+// chooseMatMultStrategy is the blocked-representation-aware core of
+// ChooseMatMultStrategy. Ties break towards the earlier candidate in
+// (br, bl, gj, sh) order, so the decision is deterministic.
+func chooseMatMultStrategy(left, right types.DataCharacteristics, blocksize int, memBudget int64, leftBlocked, rightBlocked bool) (types.MatMultMethod, int64) {
+	sizeL, sizeR := types.EstimateSize(left), types.EstimateSize(right)
+	outDC := types.NewDataCharacteristics(left.Rows, right.Cols, blocksize, -1)
+	sizeOut := types.EstimateSize(outDC)
+	if sizeL < 0 || sizeR < 0 || sizeOut < 0 {
+		// unknown shapes: defer the decision — the instruction re-invokes
+		// this chooser at runtime with the operands' actual characteristics,
+		// so the strategy is still decided here, just with late-bound sizes
+		return types.MMAuto, -1
+	}
+	grOut, gcOut := gridDim(left.Rows, blocksize), gridDim(right.Cols, blocksize)
+	best, bestCost := types.MMAuto, int64(-1)
+	for _, m := range []types.MatMultMethod{
+		types.MMBroadcastRight, types.MMBroadcastLeft, types.MMGridJoin, types.MMShuffle,
+	} {
+		c := matMultStrategyCost(m, sizeL, sizeR, sizeOut, grOut, gcOut, memBudget, leftBlocked, rightBlocked)
+		if c < 0 {
+			continue
+		}
+		if bestCost < 0 || c < bestCost {
+			best, bestCost = m, c
+		}
+	}
+	return best, bestCost
+}
+
+// blockedProducer reports whether a HOP's result will arrive in blocked
+// representation at runtime: a distributed matrix producer whose kind keeps
+// blocked outputs (PropagateBlockedOutputs' keepsBlockedOutput). Because
+// Plan visits inputs before consumers, the input's ExecType is final when a
+// matmult consults it.
+func blockedProducer(h *Hop) bool {
+	return h.ExecType == types.ExecDist && h.DataType != types.Scalar && keepsBlockedOutput(h)
+}
+
+// Plan runs the physical planner over a rewritten, size-annotated DAG: it
+// attaches cost estimates, selects execution types by comparing the modeled
+// costs of the feasible placements, and chooses the physical matmult strategy
+// for distributed multiplications. It replaces the former threshold-only
+// SelectExecTypes as the single decision site.
+func Plan(d *DAG, p PlannerParams) {
+	for _, h := range d.Nodes() {
+		h.ExecType = types.ExecCP
+		h.MMPlan = types.MMAuto
+		h.CostEst = EstimateCost(h)
+		if !WouldRunDist(h, p) {
+			// CP is feasible (or forced by unknown sizes / disabled backend):
+			// CP touches the operands exactly once with no partition or
+			// shuffle cost, so it dominates every distributed plan whenever
+			// the operator fits the memory budget.
+			continue
+		}
+		h.ExecType = types.ExecDist
+		if h.Kind == KindMatMult && len(h.Inputs) == 2 {
+			l, r := h.Inputs[0], h.Inputs[1]
+			m, shuffle := chooseMatMultStrategy(l.DC, r.DC, p.Blocksize, p.MemBudget,
+				blockedProducer(l), blockedProducer(r))
+			h.MMPlan = m
+			h.CostEst.ShuffleBytes = shuffle
+		} else if h.CostEst.Known {
+			// non-matmult blocked operators partition unpartitioned inputs and
+			// stream every block once
+			h.CostEst.ShuffleBytes = h.CostEst.InputBytes
+		}
+	}
+}
+
+// PlanString renders the physical plan annotation of a HOP ("CP", "DIST", or
+// "DIST:sh" for distributed matmults with a chosen strategy).
+func (h *Hop) PlanString() string {
+	if h.ExecType != types.ExecDist {
+		return h.ExecType.String()
+	}
+	if h.Kind == KindMatMult && h.MMPlan != types.MMAuto {
+		return fmt.Sprintf("%s:%s", h.ExecType, h.MMPlan)
+	}
+	return h.ExecType.String()
+}
+
+// ExplainPlan renders the planned DAG as an operator listing with the cost
+// annotations the planner decided on: dimensions, memory estimate, plan
+// string, and the modeled compute/shuffle costs (EXPLAIN hops with costs).
+func (d *DAG) ExplainPlan() string {
+	var sb strings.Builder
+	for _, h := range d.Nodes() {
+		ins := make([]string, len(h.Inputs))
+		for i, in := range h.Inputs {
+			ins[i] = fmt.Sprint(in.ID)
+		}
+		fmt.Fprintf(&sb, "(%d) %s %s [%s] %s mem=%d plan=%s",
+			h.ID, h.Kind, h.Op, strings.Join(ins, ","), h.DC, h.MemEstimate, h.PlanString())
+		if h.CostEst.Known {
+			fmt.Fprintf(&sb, " flops=%.3g out=%dB", h.CostEst.Compute, h.CostEst.OutputBytes)
+			if h.CostEst.ShuffleBytes > 0 {
+				fmt.Fprintf(&sb, " shuffle=%dB", h.CostEst.ShuffleBytes)
+			}
+		} else {
+			sb.WriteString(" cost=unknown")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package hops
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// dc builds dense characteristics with unknown nnz.
+func dc(rows, cols int64) types.DataCharacteristics {
+	return types.NewDataCharacteristics(rows, cols, types.DefaultBlocksize, -1)
+}
+
+// matmultDAG builds A %*% B with known input characteristics.
+func matmultDAG(a, b types.DataCharacteristics) (*DAG, *Hop) {
+	ra := NewRead("A", types.Matrix)
+	rb := NewRead("B", types.Matrix)
+	mm := NewHop(KindMatMult, "ba+*", ra, rb)
+	mm.DataType = types.Matrix
+	d := &DAG{Roots: []*Hop{NewWrite("C", mm)}}
+	PropagateSizes(d, map[string]types.DataCharacteristics{"A": a, "B": b})
+	return d, mm
+}
+
+// TestExecTypeCrossoverAtBudget asserts that the CP->Dist decision flips
+// exactly at the operator's memory estimate: one byte of budget above keeps
+// CP, one byte below selects the blocked backend.
+func TestExecTypeCrossoverAtBudget(t *testing.T) {
+	d, mm := matmultDAG(dc(512, 256), dc(256, 64))
+	if mm.MemEstimate <= 0 {
+		t.Fatalf("matmult estimate unknown: %d", mm.MemEstimate)
+	}
+	Plan(d, PlannerParams{MemBudget: mm.MemEstimate, DistEnabled: true, Blocksize: 128})
+	if mm.ExecType != types.ExecCP {
+		t.Errorf("estimate == budget: exec = %s, want CP", mm.ExecType)
+	}
+	Plan(d, PlannerParams{MemBudget: mm.MemEstimate - 1, DistEnabled: true, Blocksize: 128})
+	if mm.ExecType != types.ExecDist {
+		t.Errorf("estimate > budget: exec = %s, want DIST", mm.ExecType)
+	}
+	// disabled backend never distributes
+	Plan(d, PlannerParams{MemBudget: mm.MemEstimate - 1, DistEnabled: false, Blocksize: 128})
+	if mm.ExecType != types.ExecCP {
+		t.Errorf("dist disabled: exec = %s, want CP", mm.ExecType)
+	}
+}
+
+// TestMatMultBroadcastSideSelection asserts the broadcast strategy follows
+// the operand that fits the budget: a small right operand broadcasts right, a
+// small left operand broadcasts left.
+func TestMatMultBroadcastSideSelection(t *testing.T) {
+	const bs = 128
+	budget := int64(96 << 10)
+	big := dc(1024, 512)  // 4 MB
+	small := dc(512, 8)   // ~32 KB <= budget
+	smallL := dc(8, 1024) // ~64 KB <= budget
+
+	if m, _ := ChooseMatMultStrategy(big, small, bs, budget); m != types.MMBroadcastRight {
+		t.Errorf("small right operand: strategy = %s, want br", m)
+	}
+	if m, _ := ChooseMatMultStrategy(smallL, dc(1024, 512), bs, budget); m != types.MMBroadcastLeft {
+		t.Errorf("small left operand: strategy = %s, want bl", m)
+	}
+}
+
+// TestMatMultGridVsShuffleCrossover pins the gj<->sh decision to its computed
+// crossover. For A: 256 x k, B: k x 128 with blocksize 128 the modeled costs
+// are gj = 2*sizeL + 3*sizeR and sh = 2*sizeL + 2*sizeR + 2*sizeOut, so the
+// strategies cross where sizeR = 2*sizeOut, i.e. k = 512: the grid join wins
+// below, the shuffle split above.
+func TestMatMultGridVsShuffleCrossover(t *testing.T) {
+	const bs = 128
+	budget := int64(16 << 10) // both operands exceed it at every tested k
+	for _, tc := range []struct {
+		k    int64
+		want types.MatMultMethod
+	}{
+		{384, types.MMGridJoin},
+		{768, types.MMShuffle},
+	} {
+		left, right := dc(256, tc.k), dc(tc.k, 128)
+		if types.EstimateSize(left) <= budget || types.EstimateSize(right) <= budget {
+			t.Fatalf("k=%d: operands must exceed the broadcast budget", tc.k)
+		}
+		m, shuffleBytes := ChooseMatMultStrategy(left, right, bs, budget)
+		if m != tc.want {
+			t.Errorf("k=%d: strategy = %s, want %s", tc.k, m, tc.want)
+		}
+		if shuffleBytes <= 0 {
+			t.Errorf("k=%d: shuffle bytes = %d, want > 0", tc.k, shuffleBytes)
+		}
+	}
+}
+
+// TestPlanAnnotatesMatMult checks that Plan writes the strategy and cost
+// annotations onto the HOP and that ExplainPlan renders them.
+func TestPlanAnnotatesMatMult(t *testing.T) {
+	// both operands over budget, k large -> shuffle split
+	d, mm := matmultDAG(dc(256, 768), dc(768, 128))
+	Plan(d, PlannerParams{MemBudget: 16 << 10, DistEnabled: true, Blocksize: 128})
+	if mm.ExecType != types.ExecDist || mm.MMPlan != types.MMShuffle {
+		t.Fatalf("plan = %s, want DIST:sh", mm.PlanString())
+	}
+	if !mm.CostEst.Known || mm.CostEst.Compute <= 0 || mm.CostEst.OutputBytes <= 0 || mm.CostEst.ShuffleBytes <= 0 {
+		t.Errorf("cost estimate not populated: %+v", mm.CostEst)
+	}
+	explain := d.ExplainPlan()
+	if !strings.Contains(explain, "plan=DIST:sh") {
+		t.Errorf("ExplainPlan misses the strategy:\n%s", explain)
+	}
+	if !strings.Contains(explain, "shuffle=") || !strings.Contains(explain, "flops=") {
+		t.Errorf("ExplainPlan misses cost annotations:\n%s", explain)
+	}
+}
+
+// TestFusionGateMatchesPlanner asserts the fuse<->no-fuse decision flips at
+// the same budget the execution-type selection uses: an aggregate just inside
+// the budget fuses, one step below the estimate sends the pipeline to the
+// blocked backend unfused.
+func TestFusionGateMatchesPlanner(t *testing.T) {
+	build := func() (*DAG, *Hop) {
+		x := NewRead("X", types.Matrix)
+		y := NewRead("Y", types.Matrix)
+		mul := NewHop(KindBinary, "*", x, y)
+		mul.DataType = types.Matrix
+		sum := NewHop(KindAggUnary, "sum", mul)
+		sum.DataType = types.Scalar
+		d := &DAG{Roots: []*Hop{NewWrite("s", sum)}}
+		PropagateSizes(d, map[string]types.DataCharacteristics{
+			"X": dc(512, 256), "Y": dc(512, 256),
+		})
+		return d, sum
+	}
+
+	d, sum := build()
+	root := sum.Inputs[0]
+	budget := root.MemEstimate // the cellwise root dominates the pipeline
+	FuseOperators(d, PlannerParams{MemBudget: budget, DistEnabled: true})
+	if sum.Kind != KindFusedAgg {
+		t.Errorf("estimate == budget: aggregate did not fuse")
+	}
+
+	d, sum = build()
+	FuseOperators(d, PlannerParams{MemBudget: budget - 1, DistEnabled: true})
+	if sum.Kind == KindFusedAgg {
+		t.Errorf("estimate > budget: aggregate fused although the planner would distribute it")
+	}
+	Plan(d, PlannerParams{MemBudget: budget - 1, DistEnabled: true, Blocksize: types.DefaultBlocksize})
+	if sum.Inputs[0].ExecType != types.ExecDist {
+		t.Errorf("planner kept the over-budget cellwise root in CP")
+	}
+}
+
+// TestPlanRelevantUnknown checks the refined recompilation trigger: unknown
+// sizes on operators the planner decides about fire it, unknown sizes no
+// decision consumes do not.
+func TestPlanRelevantUnknown(t *testing.T) {
+	x := NewRead("X", types.Matrix) // unknown characteristics
+	add := NewHop(KindBinary, "+", x, NewLiteralNumber(1))
+	add.DataType = types.Matrix
+	d := &DAG{Roots: []*Hop{NewWrite("y", add)}}
+	PropagateSizes(d, nil)
+	if !PlanRelevantUnknown(add) {
+		t.Errorf("unknown-size binary must trigger recompilation")
+	}
+
+	fc := NewHop(KindFunctionCall, "f", x)
+	fc.DataType = types.Matrix
+	d2 := &DAG{Roots: []*Hop{NewWrite("z", fc)}}
+	PropagateSizes(d2, nil)
+	if PlanRelevantUnknown(fc) {
+		t.Errorf("bare function call has no physical-plan decision; must not trigger recompilation")
+	}
+
+	// known sizes never trigger
+	d3, mm := matmultDAG(dc(64, 64), dc(64, 64))
+	_ = d3
+	if PlanRelevantUnknown(mm) {
+		t.Errorf("known-size matmult must not trigger recompilation")
+	}
+}

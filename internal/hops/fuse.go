@@ -40,11 +40,14 @@ var fusableAggs = map[string]matrix.AggKind{
 }
 
 // FuseOperators runs the fusion pattern matcher over a rewritten,
-// size-annotated DAG. memBudget/distEnabled gate fusion for operators that
-// exec-type selection would send to the distributed backend.
-func FuseOperators(d *DAG, memBudget int64, distEnabled bool) {
-	fuseMMChains(d, memBudget, distEnabled)
-	fuseAggPipelines(d, memBudget, distEnabled)
+// size-annotated DAG. The params gate fusion for operators that the physical
+// planner would send to the distributed backend; the gate is the planner's
+// own WouldRunDist predicate (cost.go) over the same params Plan receives,
+// so fusion and execution-type selection can never disagree about where an
+// operator runs.
+func FuseOperators(d *DAG, p PlannerParams) {
+	fuseMMChains(d, p)
+	fuseAggPipelines(d, p)
 }
 
 // consumerCounts returns, per HOP id, the number of consuming edges in the
@@ -62,17 +65,11 @@ func consumerCounts(d *DAG) map[int64]int {
 	return counts
 }
 
-// overBudget reports whether an operator would be selected for the
-// distributed backend (whose kernels are unfused).
-func overBudget(h *Hop, memBudget int64, distEnabled bool) bool {
-	return distEnabled && memBudget > 0 && h.MemEstimate > memBudget
-}
-
 // --- mmchain ----------------------------------------------------------------
 
 // fuseMMChains rewrites t(X) %*% (X %*% v) and t(X) %*% (w * (X %*% v)) into
 // KindMMChain hops with inputs [X, v] or [X, v, w].
-func fuseMMChains(d *DAG, memBudget int64, distEnabled bool) {
+func fuseMMChains(d *DAG, p PlannerParams) {
 	consumers := consumerCounts(d)
 	for _, h := range d.Nodes() {
 		if h.Kind != KindMatMult || len(h.Inputs) != 2 {
@@ -110,7 +107,7 @@ func fuseMMChains(d *DAG, memBudget int64, distEnabled bool) {
 		if v == nil || !isColVector(v, x.DC.Cols) {
 			continue
 		}
-		if overBudget(h, memBudget, distEnabled) {
+		if WouldRunDist(h, p) {
 			continue
 		}
 		h.Kind = KindMMChain
@@ -139,7 +136,7 @@ func isColVector(h *Hop, rows int64) bool {
 
 // fuseAggPipelines rewrites aggregates over single-consumer cellwise trees
 // into KindFusedAgg hops carrying a cell program.
-func fuseAggPipelines(d *DAG, memBudget int64, distEnabled bool) {
+func fuseAggPipelines(d *DAG, p PlannerParams) {
 	consumers := consumerCounts(d)
 	for _, h := range d.Nodes() {
 		aggKind, ok := fusableAggs[h.Op]
@@ -152,7 +149,7 @@ func fuseAggPipelines(d *DAG, memBudget int64, distEnabled bool) {
 		if root.Kind != KindBinary && root.Kind != KindUnary {
 			continue
 		}
-		if overBudget(h, memBudget, distEnabled) || overBudget(root, memBudget, distEnabled) {
+		if WouldRunDist(h, p) || WouldRunDist(root, p) {
 			continue
 		}
 		b := &cellBuilder{consumers: consumers, dims: root.DC, argIdx: map[int64]int{}, firstMat: -1}

@@ -27,7 +27,7 @@ func agg(op string, in *Hop) *Hop {
 
 func prepare(d *DAG) {
 	PropagateSizes(d, nil)
-	FuseOperators(d, 0, false)
+	FuseOperators(d, PlannerParams{})
 }
 
 func TestFuseMMChainXtXv(t *testing.T) {
@@ -192,12 +192,12 @@ func TestNoFuseOverBudget(t *testing.T) {
 	root := agg("sum", mul)
 	d := &DAG{Roots: []*Hop{NewWrite("s", root)}}
 	PropagateSizes(d, nil)
-	FuseOperators(d, 1024, true) // tiny budget, dist enabled
+	FuseOperators(d, PlannerParams{MemBudget: 1024, DistEnabled: true}) // tiny budget, dist enabled
 	if root.Kind != KindAggUnary {
 		t.Fatalf("over-budget pipeline must not fuse, got %s", root.Kind)
 	}
 	// without the distributed backend the same pipeline fuses
-	FuseOperators(d, 1024, false)
+	FuseOperators(d, PlannerParams{MemBudget: 1024})
 	if root.Kind != KindFusedAgg {
 		t.Fatalf("CP-only pipeline should fuse, got %s", root.Kind)
 	}

@@ -79,6 +79,11 @@ type Hop struct {
 	// Compiler annotations
 	ExecType    types.ExecType
 	MemEstimate int64
+	// MMPlan is the physical matmult strategy chosen by the cost-based
+	// planner (valid when Kind == KindMatMult and ExecType == ExecDist).
+	MMPlan types.MatMultMethod
+	// CostEst is the planner's cost estimate (set by Plan).
+	CostEst Cost
 	// BlockedOutput marks Dist operators whose result stays in the blocked
 	// representation (a BlockedMatrixObject in the symbol table) instead of
 	// being collected into a local block after execution; set by

@@ -269,29 +269,14 @@ func estimateMemory(h *Hop) int64 {
 	return out + maxIn
 }
 
-// SelectExecTypes assigns an execution type to every operator based on its
-// memory estimate and the available memory budget: operators whose estimate
-// fits in the budget run in the local control program (CP), larger ones are
-// compiled to the blocked distributed backend (the Spark substitute).
-// Operators with unknown sizes conservatively run in CP and are subject to
-// dynamic recompilation once sizes are known.
+// SelectExecTypes assigns an execution type to every operator by running the
+// cost-based physical planner (cost.go) with the default block size:
+// operators whose estimate fits in the budget run in the local control
+// program (CP), larger ones are compiled to the blocked distributed backend
+// (the Spark substitute). Operators with unknown sizes conservatively run in
+// CP and are subject to dynamic recompilation once sizes are known.
 func SelectExecTypes(d *DAG, memBudget int64, distEnabled bool) {
-	for _, h := range d.Nodes() {
-		h.ExecType = types.ExecCP
-		if !distEnabled || memBudget <= 0 {
-			continue
-		}
-		if h.MemEstimate > memBudget {
-			switch h.Kind {
-			case KindMatMult, KindTSMM, KindBinary, KindUnary, KindAggUnary, KindReorg:
-				h.ExecType = types.ExecDist
-			case KindNary:
-				if h.Op == "rbind" || h.Op == "cbind" {
-					h.ExecType = types.ExecDist
-				}
-			}
-		}
-	}
+	Plan(d, PlannerParams{MemBudget: memBudget, DistEnabled: distEnabled, Blocksize: types.DefaultBlocksize})
 }
 
 // rowColAggs are the aggregations with matrix (vector) outputs that the
@@ -299,6 +284,14 @@ func SelectExecTypes(d *DAG, memBudget int64, distEnabled bool) {
 var rowColAggs = map[string]bool{
 	"rowSums": true, "rowMeans": true, "rowMaxs": true, "rowMins": true,
 	"colSums": true, "colMeans": true, "colMaxs": true, "colMins": true,
+}
+
+// keepsBlockedOutput reports whether a distributed operator's kind produces a
+// blocked result at all — TSMM and full aggregates assemble small local
+// outputs instead. Shared by PropagateBlockedOutputs and the planner's
+// blocked-operand costing so the two can never disagree.
+func keepsBlockedOutput(h *Hop) bool {
+	return !(h.Kind == KindTSMM || (h.Kind == KindAggUnary && !rowColAggs[h.Op]))
 }
 
 // PropagateBlockedOutputs runs after SelectExecTypes and decides, per Dist
@@ -324,7 +317,7 @@ func PropagateBlockedOutputs(d *DAG) {
 			continue
 		}
 		// operators with small local outputs never stay blocked
-		if h.Kind == KindTSMM || (h.Kind == KindAggUnary && !rowColAggs[h.Op]) {
+		if !keepsBlockedOutput(h) {
 			continue
 		}
 		cons := consumers[h.ID]

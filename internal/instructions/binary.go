@@ -106,13 +106,30 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(lb, rs.Float64(), op, false, ctx.Config.Threads()))
 		return nil
 	default:
-		// blocked cell-wise path for aligned operands; vector broadcasting
-		// falls back to the local kernel (collecting lazily if needed)
+		// blocked cell-wise path for aligned operands; row/column vector
+		// operands broadcast block-wise so the blocked side never collects.
+		// The vector paths additionally require the matrix side to be blocked
+		// (or the operator Dist-planned): a blocked *vector* alone must not
+		// drag a large CP-resident matrix through a partition round trip when
+		// collecting the small vector is all the local kernel needs.
 		if useDist(ctx, i.ExecType, l, r) {
 			lr, lc, lok := matrixDims(l)
 			rr, rc, rok := matrixDims(r)
-			if lok && rok && lr == rr && lc == rc {
-				return i.executeDistributed(ctx, op)
+			_, lBlocked := l.(*runtime.BlockedMatrixObject)
+			_, rBlocked := r.(*runtime.BlockedMatrixObject)
+			if lok && rok {
+				switch {
+				case lr == rr && lc == rc:
+					return i.executeDistributed(ctx, op)
+				case ((rr == lr && rc == 1) || (rr == 1 && rc == lc)) &&
+					(i.ExecType == types.ExecDist || lBlocked):
+					// matrix op vector: vector on the right
+					return i.executeDistributedVector(ctx, op, l, i.Left, i.Right, false)
+				case ((lr == rr && lc == 1) || (lr == 1 && lc == rc)) &&
+					(i.ExecType == types.ExecDist || rBlocked):
+					// vector op matrix: vector on the left
+					return i.executeDistributedVector(ctx, op, r, i.Right, i.Left, true)
+				}
 			}
 		}
 		lb, err := i.Left.MatrixBlock(ctx)
@@ -154,6 +171,26 @@ func (i *BinaryInst) executeDistributed(ctx *runtime.Context, op matrix.BinaryOp
 		return err
 	}
 	res, err := dist.Cellwise(bl, br, op)
+	if err != nil {
+		return err
+	}
+	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+}
+
+// executeDistributedVector runs a matrix±vector broadcast on the blocked
+// backend: the matrix side stays (or becomes) blocked, the vector side is a
+// small local operand sliced per block.
+func (i *BinaryInst) executeDistributedVector(ctx *runtime.Context, op matrix.BinaryOp,
+	matData runtime.Data, matOp, vecOp Operand, swap bool) error {
+	bm, err := resolveBlockedData(ctx, matData, matOp)
+	if err != nil {
+		return err
+	}
+	vb, err := vecOp.MatrixBlock(ctx)
+	if err != nil {
+		return err
+	}
+	res, err := dist.CellwiseVector(bm, vb, op, swap)
 	if err != nil {
 		return err
 	}

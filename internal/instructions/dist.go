@@ -27,17 +27,34 @@ func useDist(ctx *runtime.Context, et types.ExecType, data ...runtime.Data) bool
 
 // resolveBlockedData returns the blocked form of an already-resolved operand:
 // blocked objects are used as-is (restored from spill if evicted); local
-// matrices are partitioned once, counted on the context's dist counters.
+// matrix objects are partitioned once and the partitioned form is memoized on
+// the object — since rebinding a variable always creates a new object, the
+// memo is keyed by the symbol-table entry's version, and a named input
+// consumed by distributed operators in several DAGs partitions exactly once.
 func resolveBlockedData(ctx *runtime.Context, d runtime.Data, o Operand) (*dist.BlockedMatrix, error) {
 	if bo, ok := d.(*runtime.BlockedMatrixObject); ok {
 		return bo.Blocked()
+	}
+	bs := ctx.Config.DistBlocksize
+	mo, isMO := d.(*runtime.MatrixObject)
+	if isMO {
+		if bm, ok := mo.CachedBlocked(bs); ok {
+			return bm, nil
+		}
 	}
 	blk, err := o.MatrixBlock(ctx)
 	if err != nil {
 		return nil, err
 	}
 	ctx.CountDistPartition()
-	return dist.FromMatrixBlock(blk, ctx.Config.DistBlocksize)
+	bm, err := dist.FromMatrixBlock(blk, bs)
+	if err != nil {
+		return nil, err
+	}
+	if isMO {
+		mo.StoreBlocked(bm, bs)
+	}
+	return bm, nil
 }
 
 // resolveBlocked resolves an operand into blocked form.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/systemds/systemds-go/internal/dist"
+	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/runtime"
 	"github.com/systemds/systemds-go/internal/types"
@@ -25,7 +26,11 @@ func (t *TransposedFederated) String() string {
 }
 
 // MatMultInst computes matrix multiplication (opcode "ba+*") with local,
-// BLAS-like, distributed and federated execution paths.
+// BLAS-like, distributed and federated execution paths. For distributed
+// execution the instruction is the executor of a named physical plan: the
+// compiler's cost-based planner (hops/cost.go) decides the strategy at
+// compile time and annotates it here; the runtime never re-decides against
+// ad-hoc size checks.
 type MatMultInst struct {
 	base
 	Left, Right Operand
@@ -33,11 +38,18 @@ type MatMultInst struct {
 	// BlockedOut keeps the result in blocked representation (set by the
 	// compiler when a downstream consumer is also a Dist operator).
 	BlockedOut bool
+	// Method is the physical strategy chosen by the planner for distributed
+	// execution (broadcast-left/right, grid join, shuffle); MMAuto for CP
+	// plans or plans compiled before sizes were known.
+	Method types.MatMultMethod
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// surfaced next to the actual bytes in the plan statistics.
+	EstBytes int64
 }
 
 // NewMatMult creates a matrix multiplication instruction.
 func NewMatMult(out string, left, right Operand) *MatMultInst {
-	inst := &MatMultInst{Left: left, Right: right}
+	inst := &MatMultInst{Left: left, Right: right, EstBytes: -1}
 	inst.base = newBase("ba+*", []string{out}, "", left, right)
 	return inst
 }
@@ -69,48 +81,8 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 		return nil
 	}
 	threads := ctx.Config.Threads()
-	// distributed paths: blocked x blocked via a grid join when both operands
-	// exceed the broadcast budget (or already live blocked), otherwise the
-	// map-side broadcast join with a blocked left and local right operand
 	if useDist(ctx, i.ExecType, l, r) {
-		bl, err := resolveBlockedData(ctx, l, i.Left)
-		if err != nil {
-			return err
-		}
-		if rbo, ok := r.(*runtime.BlockedMatrixObject); ok {
-			br, err := rbo.Blocked()
-			if err != nil {
-				return err
-			}
-			res, err := dist.MatMultBB(bl, br, threads)
-			if err != nil {
-				return err
-			}
-			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
-		}
-		rb, err := i.Right.MatrixBlock(ctx)
-		if err != nil {
-			return err
-		}
-		// a right operand exceeding the per-operator budget cannot be
-		// broadcast; partition it too and run the blocked grid join
-		if budget := ctx.Config.OperatorMemBudget; budget > 0 && rb.InMemorySize() > budget {
-			br, err := dist.FromMatrixBlock(rb, ctx.Config.DistBlocksize)
-			if err != nil {
-				return err
-			}
-			ctx.CountDistPartition()
-			res, err := dist.MatMultBB(bl, br, threads)
-			if err != nil {
-				return err
-			}
-			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
-		}
-		res, err := dist.MatMult(bl, rb, threads)
-		if err != nil {
-			return err
-		}
-		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		return i.executeDistributed(ctx, l, r, threads)
 	}
 	lb, err := i.Left.MatrixBlock(ctx)
 	if err != nil {
@@ -131,6 +103,101 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 	}
 	ctx.SetMatrix(i.outs[0], res)
 	return nil
+}
+
+// executeDistributed runs the physical matmult plan named by the compiler on
+// the blocked backend. Without a compile-time plan (sizes were unknown at
+// compile time, or an operand became blocked at runtime while the operator
+// itself compiled to CP) the instruction re-invokes the planner's own
+// strategy chooser with the operands' actual characteristics — the decision
+// still lives in hops/cost.go, just with late-bound sizes. A stale broadcast
+// plan whose broadcast side arrives blocked (possible when the operand
+// stayed blocked across DAGs, invisible to the compiler) is downgraded to
+// the grid join by representation: grid-joining the already-partitioned
+// operands avoids the collect the broadcast would force.
+func (i *MatMultInst) executeDistributed(ctx *runtime.Context, l, r runtime.Data, threads int) error {
+	method := i.Method
+	if method == types.MMAuto {
+		method = lateBoundStrategy(ctx, l, r)
+	}
+	if method == types.MMBroadcastRight {
+		if _, ok := r.(*runtime.BlockedMatrixObject); ok {
+			method = types.MMGridJoin
+		}
+	}
+	if method == types.MMBroadcastLeft {
+		if _, ok := l.(*runtime.BlockedMatrixObject); ok {
+			method = types.MMGridJoin
+		}
+	}
+	var res *dist.BlockedMatrix
+	switch method {
+	case types.MMBroadcastRight:
+		bl, err := resolveBlocked(ctx, i.Left)
+		if err != nil {
+			return err
+		}
+		rb, err := i.Right.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		if res, err = dist.MatMult(bl, rb, threads); err != nil {
+			return err
+		}
+	case types.MMBroadcastLeft:
+		lb, err := i.Left.MatrixBlock(ctx)
+		if err != nil {
+			return err
+		}
+		br, err := resolveBlocked(ctx, i.Right)
+		if err != nil {
+			return err
+		}
+		if res, err = dist.MatMultBL(lb, br, threads); err != nil {
+			return err
+		}
+	case types.MMGridJoin, types.MMShuffle:
+		bl, br, err := resolveBlockedPair(ctx, i.Left, i.Right)
+		if err != nil {
+			return err
+		}
+		if method == types.MMGridJoin {
+			res, err = dist.MatMultBB(bl, br, threads)
+		} else {
+			res, err = dist.MatMultShuffle(bl, br, threads)
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("instructions: unknown matmult strategy %s", method)
+	}
+	ctx.RecordPlan(i.opcode, method.String(), i.EstBytes, res.InMemorySize())
+	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+}
+
+// lateBoundStrategy resolves a matmult without a compile-time plan by running
+// the compiler's cost-based chooser against the operands' runtime
+// characteristics (metadata only — no data is touched). Operands without
+// matrix metadata fall back to the representation default: broadcast a local
+// right operand, grid-join a blocked one.
+func lateBoundStrategy(ctx *runtime.Context, l, r runtime.Data) types.MatMultMethod {
+	lr, lc, lok := matrixDims(l)
+	rr, rc, rok := matrixDims(r)
+	if lok && rok {
+		bs := ctx.Config.DistBlocksize
+		m, _ := hops.ChooseMatMultStrategy(
+			types.NewDataCharacteristics(lr, lc, bs, -1),
+			types.NewDataCharacteristics(rr, rc, bs, -1),
+			bs, ctx.Config.OperatorMemBudget)
+		if m != types.MMAuto {
+			return m
+		}
+	}
+	if _, ok := r.(*runtime.BlockedMatrixObject); ok {
+		return types.MMGridJoin
+	}
+	return types.MMBroadcastRight
 }
 
 // executeTransposedFederated handles t(X) %*% Y where X is federated: when Y

@@ -218,6 +218,25 @@ func resolveBounds(ctx *runtime.Context, rows, cols int, rl, ru, cl, cu Operand)
 
 // Execute implements runtime.Instruction.
 func (i *IndexInst) Execute(ctx *runtime.Context) error {
+	d, err := i.Target.Resolve(ctx)
+	if err != nil {
+		return err
+	}
+	// blocked targets assemble the region from the covering blocks only: no
+	// full collect, and a spilled object restores just the touched blocks
+	if bo, ok := d.(*runtime.BlockedMatrixObject); ok {
+		dc := bo.DataCharacteristics()
+		r0, r1, c0, c1, err := resolveBounds(ctx, int(dc.Rows), int(dc.Cols), i.RL, i.RU, i.CL, i.CU)
+		if err != nil {
+			return err
+		}
+		res, err := bo.Region(r0, r1, c0, c1)
+		if err != nil {
+			return err
+		}
+		ctx.SetMatrix(i.outs[0], res)
+		return nil
+	}
 	blk, err := i.Target.MatrixBlock(ctx)
 	if err != nil {
 		return err

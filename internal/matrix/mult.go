@@ -110,6 +110,14 @@ func countRowRangeNNZ(cv []float64, n, r0, r1 int) int64 {
 func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 	m, k, n := a.rows, a.cols, b.cols
 	out := NewDense(m, n)
+	if !blas {
+		// the standard kernel IS one accumulate pass into a zeroed output;
+		// sharing accDenseDense keeps its per-cell accumulation order
+		// structurally identical to MultiplyAcc (the bitwise-equality
+		// contract of the blocked shuffle/broadcast-left executors)
+		out.nnz = accDenseDense(out, a, b, threads)
+		return out
+	}
 	av, bv, cv := a.dense, b.dense, out.dense
 	var nnz atomic.Int64
 	const blkK, blkJ = 64, 512
@@ -127,21 +135,15 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 							continue
 						}
 						brow := bv[kp*n : (kp+1)*n]
-						if blas {
-							j := jj
-							for ; j+4 <= jmax; j += 4 {
-								ci[j] += aval * brow[j]
-								ci[j+1] += aval * brow[j+1]
-								ci[j+2] += aval * brow[j+2]
-								ci[j+3] += aval * brow[j+3]
-							}
-							for ; j < jmax; j++ {
-								ci[j] += aval * brow[j]
-							}
-						} else {
-							for j := jj; j < jmax; j++ {
-								ci[j] += aval * brow[j]
-							}
+						j := jj
+						for ; j+4 <= jmax; j += 4 {
+							ci[j] += aval * brow[j]
+							ci[j+1] += aval * brow[j+1]
+							ci[j+2] += aval * brow[j+2]
+							ci[j+3] += aval * brow[j+3]
+						}
+						for ; j < jmax; j++ {
+							ci[j] += aval * brow[j]
 						}
 					}
 				}
@@ -151,6 +153,42 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 	})
 	out.nnz = nnz.Load()
 	return out
+}
+
+// accDenseDense accumulates dense(a) %*% dense(b) into the dense accumulator
+// with i-k-j loop order, cache blocking over k and j, and contributions
+// arriving in ascending k order per output cell. It is the single kernel
+// behind both the standard Multiply dense path and MultiplyAcc, and returns
+// the recounted non-zero total of the accumulator.
+func accDenseDense(acc, a, b *MatrixBlock, threads int) int64 {
+	m, k, n := a.rows, a.cols, b.cols
+	av, bv, cv := a.dense, b.dense, acc.dense
+	var nnz atomic.Int64
+	const blkK, blkJ = 64, 512
+	parallelRows(m, threads, func(r0, r1 int) {
+		for kk := 0; kk < k; kk += blkK {
+			kmax := min(kk+blkK, k)
+			for jj := 0; jj < n; jj += blkJ {
+				jmax := min(jj+blkJ, n)
+				for i := r0; i < r1; i++ {
+					ci := cv[i*n : (i+1)*n]
+					ai := av[i*k : (i+1)*k]
+					for kp := kk; kp < kmax; kp++ {
+						aval := ai[kp]
+						if aval == 0 {
+							continue
+						}
+						brow := bv[kp*n : (kp+1)*n]
+						for j := jj; j < jmax; j++ {
+							ci[j] += aval * brow[j]
+						}
+					}
+				}
+			}
+		}
+		nnz.Add(countRowRangeNNZ(cv, n, r0, r1))
+	})
+	return nnz.Load()
 }
 
 // multSparseDense computes sparse(a) %*% dense(b).
@@ -227,6 +265,34 @@ func multSparseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 	out.nnz = nnz.Load()
 	out.ExamineAndApplySparsity()
 	return out
+}
+
+// MultiplyAcc accumulates a %*% b into acc (acc += a %*% b). The kernel
+// mirrors the dense GEMM loop order exactly, so for every output cell the
+// contributions arrive in ascending k order: splitting the common dimension
+// into stripes and accumulating them with MultiplyAcc in ascending stripe
+// order is bitwise-identical to one Multiply over the full common dimension.
+// This is the legality property the shuffle-style blocked matmult relies on.
+// The accumulator is densified in place; sparse inputs are multiplied through
+// densified copies so the accumulation order stays the same.
+func MultiplyAcc(acc, a, b *MatrixBlock, threads int) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("matrix: multiply-acc dimension mismatch %dx%d %%*%% %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	if acc.rows != a.rows || acc.cols != b.cols {
+		return fmt.Errorf("matrix: multiply-acc accumulator is %dx%d, want %dx%d", acc.rows, acc.cols, a.rows, b.cols)
+	}
+	acc.ToDense()
+	ad := a
+	if ad.IsSparse() {
+		ad = a.Copy().ToDense()
+	}
+	bd := b
+	if bd.IsSparse() {
+		bd = b.Copy().ToDense()
+	}
+	acc.nnz = accDenseDense(acc, ad, bd, resolveThreads(threads))
+	return nil
 }
 
 // TSMM computes t(X) %*% X directly without materializing the transpose.

@@ -169,3 +169,65 @@ func TestMultiplyEmptyOperand(t *testing.T) {
 		t.Errorf("zero matrix product has nnz = %d", c.NNZ())
 	}
 }
+
+// TestMultiplyAccStripesBitwise verifies the multiply-accumulate contract the
+// shuffle-style blocked matmult relies on: accumulating k-stripes in
+// ascending order reproduces the one-shot multiply bitwise.
+func TestMultiplyAccStripesBitwise(t *testing.T) {
+	const m, k, n, stripe = 37, 200, 23, 48
+	a := RandUniform(m, k, -1, 1, 1.0, 61)
+	b := RandUniform(k, n, -1, 1, 1.0, 62)
+	want, err := Multiply(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewDense(m, n)
+	for k0 := 0; k0 < k; k0 += stripe {
+		k1 := min(k0+stripe, k)
+		as, err := Slice(a, 0, m, k0, k1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := Slice(b, k0, k1, 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := MultiplyAcc(acc, as, bs, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !want.Equals(acc, 0) {
+		t.Error("stripe-accumulated product is not bitwise-equal to one multiply")
+	}
+	if want.NNZ() != acc.NNZ() {
+		t.Errorf("nnz = %d, want %d", acc.NNZ(), want.NNZ())
+	}
+}
+
+func TestMultiplyAccErrors(t *testing.T) {
+	a, b := NewDense(4, 5), NewDense(6, 3)
+	if err := MultiplyAcc(NewDense(4, 3), a, b, 1); err == nil {
+		t.Error("inner dimension mismatch not rejected")
+	}
+	if err := MultiplyAcc(NewDense(3, 3), a, NewDense(5, 3), 1); err == nil {
+		t.Error("accumulator shape mismatch not rejected")
+	}
+}
+
+// TestMultiplyAccSparseInputs checks the densified sparse path agrees with
+// the dense kernel on the same values.
+func TestMultiplyAccSparseInputs(t *testing.T) {
+	a := RandUniform(30, 40, -1, 1, 0.1, 63).ToSparse()
+	b := RandUniform(40, 20, -1, 1, 0.1, 64).ToSparse()
+	acc := NewDense(30, 20)
+	if err := MultiplyAcc(acc, a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Multiply(a.Copy().ToDense(), b.Copy().ToDense(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equals(acc, 0) {
+		t.Error("sparse-input multiply-acc differs from the dense kernel")
+	}
+}

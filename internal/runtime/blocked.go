@@ -159,6 +159,63 @@ func (b *BlockedMatrixObject) Blocked() (*dist.BlockedMatrix, error) {
 	return bm, nil
 }
 
+// Region assembles the sub-matrix covering rows [rl, ru) and columns
+// [cl, cu). When the object lives in memory this delegates to the blocked
+// matrix directly; when it was evicted, only the spill files of the blocks
+// the region touches are read back (partial restore) — the object itself
+// stays spilled and the skipped blocks never leave disk. Restored-vs-skipped
+// block counts are recorded on the buffer pool.
+func (b *BlockedMatrixObject) Region(rl, ru, cl, cu int) (*matrix.MatrixBlock, error) {
+	b.mu.Lock()
+	if b.bm != nil {
+		bm := b.bm
+		b.mu.Unlock()
+		if b.pool != nil {
+			b.pool.NotifyAccess(b, false)
+		}
+		res, err := bm.Region(rl, ru, cl, cu)
+		if err != nil {
+			return nil, err
+		}
+		// Region assembles densely; sparse sources get their representation back
+		return res.ExamineAndApplySparsity(), nil
+	}
+	if b.spillBase == "" {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("runtime: blocked matrix object %d has neither data nor spill files", b.id)
+	}
+	bm := b.meta
+	base, nblocks := b.spillBase, b.nblocks
+	b.mu.Unlock()
+	if rl < 0 || ru > bm.Rows || cl < 0 || cu > bm.Cols || rl >= ru || cl >= cu {
+		return nil, fmt.Errorf("runtime: region [%d:%d,%d:%d] out of bounds for %dx%d", rl, ru, cl, cu, bm.Rows, bm.Cols)
+	}
+	// restore only the covering blocks into a sparse grid copy; Region walks
+	// exactly these coordinates
+	bm.Blocks = make([]*matrix.MatrixBlock, nblocks)
+	gc := bm.GridCols()
+	var restored int64
+	for bi := rl / bm.Blocksize; bi <= (ru-1)/bm.Blocksize; bi++ {
+		for bj := cl / bm.Blocksize; bj <= (cu-1)/bm.Blocksize; bj++ {
+			idx := bi*gc + bj
+			blk, err := sdsio.ReadMatrixBinary(blockSpillPath(base, idx))
+			if err != nil {
+				return nil, fmt.Errorf("runtime: partial restore of block (%d,%d): %w", bi, bj, err)
+			}
+			bm.Blocks[idx] = blk
+			restored++
+		}
+	}
+	if b.pool != nil {
+		b.pool.RecordPartialRestore(restored, int64(nblocks)-restored)
+	}
+	res, err := bm.Region(rl, ru, cl, cu)
+	if err != nil {
+		return nil, err
+	}
+	return res.ExamineAndApplySparsity(), nil
+}
+
 // Collect assembles the blocked matrix into one local matrix block — the
 // lazy collect performed only when a CP consumer or sink needs local data.
 // The assembled block is memoized, so only the first consumer pays (and
@@ -203,13 +260,7 @@ func (b *BlockedMatrixObject) MemorySize() int64 {
 	if b.bm == nil {
 		return 0
 	}
-	var total int64
-	for _, blk := range b.bm.Blocks {
-		if blk != nil {
-			total += blk.InMemorySize()
-		}
-	}
-	return total
+	return b.bm.InMemorySize()
 }
 
 // Evict implements bufferpool.Entry: every block is written to its own spill

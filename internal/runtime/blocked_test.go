@@ -177,3 +177,67 @@ func TestBlockedObjectFlowsThroughSymbolTable(t *testing.T) {
 		t.Error("SizeOf must account blocked objects")
 	}
 }
+
+// TestRegionPartialRestore verifies that a region read of a spilled blocked
+// object restores only the covering blocks from their per-block spill files,
+// leaves the object spilled, and accounts restored-vs-skipped blocks on the
+// buffer pool.
+func TestRegionPartialRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.BufferPoolBudget = 40_000
+	cfg.TempDir = dir
+	ctx := NewContext(cfg)
+
+	m := blockedTestMatrix(70, 70) // 3x3 grid at blocksize 32 => 9 spill blocks
+	bm, err := dist.FromMatrixBlock(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetBlocked("B", bm)
+	d, _ := ctx.Get("B")
+	bo := d.(*BlockedMatrixObject)
+
+	// the in-memory path needs no restore bookkeeping
+	got, err := bo.Region(0, 10, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ctx.Pool.Stats(); s.BlocksRestored != 0 || s.BlocksSkipped != 0 {
+		t.Errorf("in-memory region recorded restores: %+v", s)
+	}
+
+	ctx.SetMatrix("C", blockedTestMatrix(70, 70)) // evicts B to per-block spill
+	if bo.IsInMemory() {
+		t.Fatal("blocked object should have been evicted")
+	}
+
+	// a region inside the top-left block touches exactly one of nine blocks
+	got, err = bo.Region(0, 10, 0, 10)
+	if err != nil {
+		t.Fatalf("partial restore: %v", err)
+	}
+	for r := 0; r < 10; r++ {
+		for c := 0; c < 10; c++ {
+			if got.Get(r, c) != m.Get(r, c) {
+				t.Fatalf("restored region differs at (%d,%d)", r, c)
+			}
+		}
+	}
+	if bo.IsInMemory() {
+		t.Error("partial restore must not promote the object back into memory")
+	}
+	s := ctx.Pool.Stats()
+	if s.BlocksRestored != 1 || s.BlocksSkipped != 8 {
+		t.Errorf("restored/skipped = %d/%d, want 1/8", s.BlocksRestored, s.BlocksSkipped)
+	}
+
+	// a region spanning the bottom-right boundary touches four blocks
+	if _, err := bo.Region(40, 70, 40, 70); err != nil {
+		t.Fatalf("boundary region: %v", err)
+	}
+	s = ctx.Pool.Stats()
+	if s.BlocksRestored != 1+4 || s.BlocksSkipped != 8+5 {
+		t.Errorf("restored/skipped = %d/%d, want 5/13", s.BlocksRestored, s.BlocksSkipped)
+	}
+}

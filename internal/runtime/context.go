@@ -108,6 +108,9 @@ type Context struct {
 	// fused holds the fused-operator hit counters, shared across child
 	// contexts.
 	fused *fusedCounters
+	// plans records the executed physical-plan decisions, shared across child
+	// contexts.
+	plans *planRecorder
 }
 
 // NewContext creates a root execution context.
@@ -123,6 +126,7 @@ func NewContext(cfg *Config) *Context {
 		vars:    map[string]Data{},
 		dist:    &distCounters{},
 		fused:   &fusedCounters{},
+		plans:   &planRecorder{},
 	}
 	if cfg.ReuseEnabled {
 		ctx.Cache = lineage.NewCache(cfg.CacheBudget)
@@ -145,6 +149,7 @@ func (ctx *Context) ChildEmpty() *Context {
 		vars:    map[string]Data{},
 		dist:    ctx.dist,
 		fused:   ctx.fused,
+		plans:   ctx.plans,
 	}
 }
 
@@ -167,6 +172,7 @@ func (ctx *Context) ChildCopy() *Context {
 		vars:    vars,
 		dist:    ctx.dist,
 		fused:   ctx.fused,
+		plans:   ctx.plans,
 	}
 }
 
@@ -193,6 +199,17 @@ func (ctx *Context) CountBlockedOp() {
 	if ctx.dist != nil {
 		ctx.dist.blockedOps.Add(1)
 	}
+}
+
+// PlanStats returns the executed physical-plan records of this context tree,
+// plus how many records were dropped once the recorder's cap was reached (so
+// a missing record is distinguishable from an operator that never ran).
+func (ctx *Context) PlanStats() ([]PlanRecord, int64) { return ctx.plans.snapshot() }
+
+// RecordPlan records one executed physical-plan decision (opcode, plan
+// string, compiler-estimated vs actual output bytes).
+func (ctx *Context) RecordPlan(op, plan string, estBytes, actualBytes int64) {
+	ctx.plans.add(PlanRecord{Op: op, Plan: plan, EstBytes: estBytes, ActualBytes: actualBytes})
 }
 
 // FusedStats returns a snapshot of the fused-operator hit counters.

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/fed"
 	"github.com/systemds/systemds-go/internal/frame"
 	sdsio "github.com/systemds/systemds-go/internal/io"
@@ -115,6 +116,15 @@ type MatrixObject struct {
 	block     *matrix.MatrixBlock
 	spillPath string
 	pool      *bufferpool.Pool
+	// blocked memoizes the partitioned form of this object so named inputs
+	// consumed by distributed operators in several DAGs partition once, not
+	// once per DAG. Data objects are immutable — rebinding a variable creates
+	// a new object — so the object identity IS the symbol-table entry's
+	// version and the cache can never serve stale data. The memo is counted
+	// in MemorySize (the pool is notified of the growth when it is stored)
+	// and eviction drops it, so budget enforcement stays honest.
+	blocked   *dist.BlockedMatrix
+	blockedBS int
 }
 
 // NewMatrixObject wraps a matrix block into a managed matrix object and
@@ -171,14 +181,19 @@ func (m *MatrixObject) Acquire() (*matrix.MatrixBlock, error) {
 // PoolID implements bufferpool.Entry.
 func (m *MatrixObject) PoolID() int64 { return m.id }
 
-// MemorySize implements bufferpool.Entry.
+// MemorySize implements bufferpool.Entry: the local block plus the memoized
+// blocked form, if one is stored.
 func (m *MatrixObject) MemorySize() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.block == nil {
 		return 0
 	}
-	return m.block.InMemorySize()
+	size := m.block.InMemorySize()
+	if m.blocked != nil {
+		size += m.blocked.InMemorySize()
+	}
+	return size
 }
 
 // Evict implements bufferpool.Entry: the block is written to the spill file
@@ -194,7 +209,38 @@ func (m *MatrixObject) Evict(path string) error {
 	}
 	m.spillPath = path
 	m.block = nil
+	m.blocked = nil
 	return nil
+}
+
+// CachedBlocked returns the memoized partitioned form of the matrix for the
+// given block size, if one was stored since the last eviction.
+func (m *MatrixObject) CachedBlocked(blocksize int) (*dist.BlockedMatrix, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.blocked != nil && m.blockedBS == blocksize {
+		return m.blocked, true
+	}
+	return nil, false
+}
+
+// StoreBlocked memoizes the partitioned form of the matrix so later
+// distributed consumers of the same symbol-table entry reuse it, and reports
+// the growth to the buffer pool so budget enforcement sees the copy. The
+// first store wins: concurrent instructions racing to memoize the same input
+// must notify the pool exactly once, and storing on an object the pool has
+// already spilled is a no-op (the memo never outlives an eviction).
+func (m *MatrixObject) StoreBlocked(bm *dist.BlockedMatrix, blocksize int) {
+	m.mu.Lock()
+	stored := false
+	if m.block != nil && m.blocked == nil {
+		m.blocked, m.blockedBS = bm, blocksize
+		stored = true
+	}
+	m.mu.Unlock()
+	if stored && m.pool != nil {
+		m.pool.NotifyResize(m, bm.InMemorySize())
+	}
 }
 
 // IsPinned implements bufferpool.Entry. Matrix data is immutable, so in-flight

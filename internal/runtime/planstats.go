@@ -1,0 +1,55 @@
+package runtime
+
+import "sync"
+
+// PlanRecord reports one executed physical-plan decision of the cost-based
+// planner: the instruction opcode, the plan string chosen at compile time
+// (e.g. "br", "gj", "sh" for matmult strategies), the compiler's estimated
+// output bytes (-1 when the sizes were unknown at compile time) and the bytes
+// the operator actually produced. The records let tests and users audit that
+// the plan named by ExplainPlan is the plan that executed, and how far the
+// estimates were off.
+type PlanRecord struct {
+	Op          string
+	Plan        string
+	EstBytes    int64
+	ActualBytes int64
+}
+
+// planRecordCap bounds the recorder: the records are an audit sample, not an
+// event log, so iterative workloads executing thousands of distributed
+// operators keep O(1)-bounded memory. Records past the cap are counted but
+// not stored.
+const planRecordCap = 4096
+
+// planRecorder is the shared mutable state behind PlanStats; child contexts
+// share their parent's recorder (like the dist and fused counters).
+type planRecorder struct {
+	mu      sync.Mutex
+	records []PlanRecord
+	dropped int64
+}
+
+func (p *planRecorder) add(r PlanRecord) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.records) < planRecordCap {
+		p.records = append(p.records, r)
+	} else {
+		p.dropped++
+	}
+	p.mu.Unlock()
+}
+
+func (p *planRecorder) snapshot() ([]PlanRecord, int64) {
+	if p == nil {
+		return nil, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PlanRecord, len(p.records))
+	copy(out, p.records)
+	return out, p.dropped
+}

@@ -280,6 +280,49 @@ func EstimateSize(dc DataCharacteristics) int64 {
 // representation.
 const SparseThreshold = 0.4
 
+// MatMultMethod names the physical matrix-multiplication strategy chosen by
+// the compiler's cost-based planner for operators on the blocked distributed
+// backend (hops/cost.go). The runtime executes the named plan; it does not
+// re-decide.
+type MatMultMethod int
+
+// Physical matmult strategies.
+const (
+	// MMAuto means no compile-time decision (CP operators, or plans compiled
+	// before sizes were known); the instruction falls back to a
+	// representation-driven default at runtime.
+	MMAuto MatMultMethod = iota
+	// MMBroadcastRight partitions the left operand and broadcasts the local
+	// right operand to every block-row strip (the map-side broadcast join).
+	MMBroadcastRight
+	// MMBroadcastLeft partitions the right operand and broadcasts the local
+	// left operand to every block-column strip.
+	MMBroadcastLeft
+	// MMGridJoin partitions both operands and joins block row i with block
+	// column j per output cell (the replication-based join).
+	MMGridJoin
+	// MMShuffle partitions both operands and processes co-partitioned
+	// k-stripes one at a time, accumulating partial products into the output
+	// blocks (the shuffle/cross-product join for two large operands).
+	MMShuffle
+)
+
+// String returns the short plan name used in EXPLAIN output and plan stats.
+func (m MatMultMethod) String() string {
+	switch m {
+	case MMBroadcastRight:
+		return "br"
+	case MMBroadcastLeft:
+		return "bl"
+	case MMGridJoin:
+		return "gj"
+	case MMShuffle:
+		return "sh"
+	default:
+		return "auto"
+	}
+}
+
 // ExecType describes where an operation is executed: in the local control
 // program (CP), on the blocked distributed backend (DIST, the Spark
 // substitute), or on federated workers (FED).

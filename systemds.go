@@ -109,6 +109,13 @@ func WithOperatorMemBudget(bytes int64) Option {
 	return func(c *runtime.Config) { c.OperatorMemBudget = bytes }
 }
 
+// WithDistBlocksize sets the block side length of the blocked distributed
+// backend (default 1024). The planner's grid-based matmult strategy costs
+// are derived from it.
+func WithDistBlocksize(n int) Option {
+	return func(c *runtime.Config) { c.DistBlocksize = n }
+}
+
 // WithBLAS selects the register-blocked "native BLAS"-style dense kernel for
 // matrix multiplications (SysDS-B in the paper's Figure 5(a)).
 func WithBLAS(enabled bool) Option {
@@ -169,6 +176,16 @@ func (c *Context) Execute(script string, inputs map[string]any, outputs ...strin
 		return nil, err
 	}
 	return Results(res), nil
+}
+
+// ExplainPlan compiles a DML script against the given inputs and returns the
+// physical plan chosen by the cost-based planner: per operator the
+// dimensions, memory estimate, CP/DIST placement, the matmult strategy
+// (broadcast-left/right, grid join, shuffle) and the modeled compute and
+// shuffle costs. Blocks whose sizes are unknown at compile time show their
+// conservative initial plan; dynamic recompilation re-plans them at runtime.
+func (c *Context) ExplainPlan(script string, inputs map[string]any) (string, error) {
+	return c.engine.ExplainPlan(script, inputs)
 }
 
 // ExecuteFile reads a DML script from a file and executes it.

@@ -383,3 +383,28 @@ print("script done")
 		}
 	}
 }
+
+func TestPublicAPIExplainPlan(t *testing.T) {
+	ctx := systemds.NewContext(
+		systemds.WithDistributedBackend(true),
+		systemds.WithOperatorMemBudget(16_000),
+	)
+	A := systemds.RandMatrix(64, 256, 1.0, 71)
+	B := systemds.RandMatrix(256, 32, 1.0, 72)
+	explain, err := ctx.ExplainPlan(`C = A %*% B`, map[string]any{"A": A, "B": B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "MatMult") || !strings.Contains(explain, "plan=DIST:") {
+		t.Errorf("ExplainPlan output misses the annotated matmult plan:\n%s", explain)
+	}
+	// CP-only sessions plan everything locally
+	cp := systemds.NewContext()
+	explain, err = cp.ExplainPlan(`C = A %*% B`, map[string]any{"A": A, "B": B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(explain, "DIST") {
+		t.Errorf("CP session must not plan distributed operators:\n%s", explain)
+	}
+}
