@@ -19,13 +19,15 @@ test:
 # worker, the sparse edit overlay, and the compiler/public-API differential
 # tests that drive them.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/dist/... ./internal/fed/... ./internal/matrix/... ./internal/compiler/... .
+	$(GO) test -race ./internal/runtime/... ./internal/dist/... ./internal/fed/... ./internal/matrix/... ./internal/compress/... ./internal/compiler/... .
 
-# Planner-vs-forced matmult strategies, fused-vs-unfused and
-# kernel-parallelism benchmarks with allocation stats; the parsed results
-# land in BENCH_pr4.json (the perf trajectory of the repo).
+# Compressed-vs-dense MV kernels, planner-vs-forced matmult strategies,
+# fused-vs-unfused and kernel-parallelism benchmarks with allocation stats;
+# the parsed results land in BENCH_pr5.json (the perf trajectory of the
+# repo). The compressed benchmarks additionally report databytes/op — the
+# bytes of matrix representation streamed per operation.
 bench:
-	set -o pipefail; $(GO) test -bench 'MatMultStrategy|Fused|Unfused|MMChain|KernelParallel' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr4.json
+	set -o pipefail; $(GO) test -bench 'Compressed|LoopEpoch|MatMultStrategy|Fused|Unfused|MMChain|KernelParallel' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr5.json
 
 # Full benchmark sweep (single iteration per benchmark).
 bench-all:

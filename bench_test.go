@@ -11,6 +11,7 @@ import (
 
 	systemds "github.com/systemds/systemds-go"
 	"github.com/systemds/systemds-go/internal/baselines"
+	"github.com/systemds/systemds-go/internal/compress"
 	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/experiments"
 	"github.com/systemds/systemds-go/internal/matrix"
@@ -535,4 +536,106 @@ func BenchmarkMatMultStrategyForcedSH(b *testing.B) {
 		_, err := dist.MatMultShuffle(ba, bb, 0)
 		return err
 	})
+}
+
+// --- PR 5: compressed linear algebra ---------------------------------------
+//
+// BenchmarkCompressedMV{DDC,RLE,Uncompressed} time the matrix-vector product
+// on a 16384 x 128 matrix under the three column-group encodings. The
+// "databytes/op" metric reports the bytes of matrix representation the kernel
+// streams per operation (the quantity compression shrinks); with -benchmem
+// the usual B/op column reports per-op allocations (both paths allocate the
+// same output vector).
+
+func compressedMVBench(b *testing.B, x *matrix.MatrixBlock) {
+	b.Helper()
+	cm, plan, ok := compress.Compress(x, compress.PlannerConfig{}, 1)
+	if !ok {
+		b.Fatalf("benchmark input did not compress: %v", plan)
+	}
+	v := matrix.RandUniform(x.Cols(), 1, -1, 1, 1.0, 77)
+	dataBytes := cm.InMemorySize() + int64(x.Cols()+x.Rows())*8
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cm.MatVec(v, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+}
+
+// ddcBenchMatrix has 8 distinct values per column in random row order: the
+// dense-dictionary-coding regime.
+func ddcBenchMatrix() *matrix.MatrixBlock {
+	noise := matrix.RandUniform(16384, 128, 0, 1, 1.0, 501)
+	x := matrix.NewDense(16384, 128)
+	for r := 0; r < 16384; r++ {
+		for c := 0; c < 128; c++ {
+			x.Set(r, c, float64(int(noise.Get(r, c)*8)))
+		}
+	}
+	x.RecomputeNNZ()
+	return x
+}
+
+// rleBenchMatrix changes value every 256 rows: the run-length regime.
+func rleBenchMatrix() *matrix.MatrixBlock {
+	x := matrix.NewDense(16384, 128)
+	for r := 0; r < 16384; r++ {
+		for c := 0; c < 128; c++ {
+			x.Set(r, c, float64(((r/256)+c)%16))
+		}
+	}
+	x.RecomputeNNZ()
+	return x
+}
+
+func BenchmarkCompressedMVDDC(b *testing.B) { compressedMVBench(b, ddcBenchMatrix()) }
+
+func BenchmarkCompressedMVRLE(b *testing.B) { compressedMVBench(b, rleBenchMatrix()) }
+
+// BenchmarkCompressedMVUncompressed is the dense-kernel baseline over the
+// same logical matrix.
+func BenchmarkCompressedMVUncompressed(b *testing.B) {
+	x := ddcBenchMatrix()
+	v := matrix.RandUniform(x.Cols(), 1, -1, 1, 1.0, 77)
+	dataBytes := x.InMemorySize() + int64(x.Cols()+x.Rows())*8
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.Multiply(x, v, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+}
+
+// BenchmarkCompressedLoopEpoch times one epoch of the compressed gradient
+// step (X %*% w, then t(X) %*% r via the vector-matrix kernel) against the
+// same epoch on the dense block.
+func BenchmarkCompressedLoopEpoch(b *testing.B) {
+	x := ddcBenchMatrix()
+	cm, _, ok := compress.Compress(x, compress.PlannerConfig{}, 1)
+	if !ok {
+		b.Fatal("benchmark input did not compress")
+	}
+	w := matrix.RandUniform(x.Cols(), 1, -1, 1, 1.0, 78)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cm.MMChain(w, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUncompressedLoopEpoch(b *testing.B) {
+	x := ddcBenchMatrix()
+	w := matrix.RandUniform(x.Cols(), 1, -1, 1, 1.0, 78)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.MMChain(x, w, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -25,6 +25,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// DataBytesPerOp is the custom "databytes/op" metric reported by the
+	// compressed-kernel benchmarks: the bytes of matrix representation the
+	// kernel streams per operation.
+	DataBytesPerOp float64 `json:"data_bytes_per_op,omitempty"`
 }
 
 // Report is the JSON document written to -out.
@@ -93,6 +97,12 @@ func parseBenchLine(line string) (Result, bool) {
 	}
 	r := Result{Name: name, Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
+		if fields[i+1] == "databytes/op" {
+			if f, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				r.DataBytesPerOp = f
+			}
+			continue
+		}
 		v, err := strconv.ParseInt(fields[i], 10, 64)
 		if err != nil {
 			continue

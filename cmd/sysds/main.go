@@ -42,6 +42,7 @@ func main() {
 		interOp     = flag.Int("inter-op", 1, "inter-operator scheduler workers (<=1 = sequential execution)")
 		useBLAS     = flag.Bool("blas", false, "use the BLAS-like dense multiply kernel")
 		distributed = flag.Bool("distributed", false, "enable the blocked distributed backend for large operations")
+		compression = flag.Bool("compress", false, "enable compressed linear algebra for loop-reused operands")
 		memBudget   = flag.Int64("mem-budget", 0, "per-operator memory budget in bytes for CP-vs-distributed selection (0 = default)")
 		explainErr  = flag.Bool("stats", false, "print reuse-cache statistics after execution")
 	)
@@ -61,6 +62,7 @@ func main() {
 		systemds.WithReuse(*reuse),
 		systemds.WithBLAS(*useBLAS),
 		systemds.WithDistributedBackend(*distributed),
+		systemds.WithCompression(*compression),
 	}
 	if *memBudget > 0 {
 		opts = append(opts, systemds.WithOperatorMemBudget(*memBudget))

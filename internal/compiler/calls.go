@@ -29,7 +29,7 @@ var nativeBuiltins = map[string]bool{
 	"removeEmpty": true, "replace": true, "order": true, "table": true, "quantile": true,
 	"print": true, "stop": true, "assert": true, "write": true, "read": true,
 	"transformencode": true, "transformapply": true,
-	"nnz": true,
+	"nnz": true, "compress": true,
 }
 
 // isNativeBuiltin reports whether the function name is a native builtin.
@@ -66,6 +66,26 @@ func (bb *blockBuilder) buildCall(call *lang.CallExpr) (*hops.Hop, error) {
 		return positional[i], nil
 	}
 	switch {
+	case name == "compress":
+		// a compression decision site: planted by the compiler before loops
+		// that re-read large operands, or called explicitly. The optional
+		// second argument is the compiler's reuse estimate; whether the site
+		// fires is decided by the planner (hops.ShouldCompress), and whether
+		// the data actually compresses by the runtime's sample-based planner.
+		in, err := argHop(0)
+		if err != nil {
+			return nil, err
+		}
+		h := hops.NewHop(hops.KindCompress, "compress", in)
+		h.DataType = types.Matrix
+		// an explicit compress(X) without a reuse estimate asserts the data
+		// will be re-read: default to the assumed loop reuse so the site can
+		// fire (the runtime sample planner still rejects incompressible data)
+		h.CompressReuse = hops.CompressAssumedLoopTrips
+		if len(positional) >= 2 && positional[1].IsLiteralNumber() {
+			h.CompressReuse = int(positional[1].LitValue)
+		}
+		return h, nil
 	case name == "t" || name == "diag" || name == "rev":
 		in, err := argHop(0)
 		if err != nil {

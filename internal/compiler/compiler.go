@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/lang"
 	"github.com/systemds/systemds-go/internal/runtime"
 	"github.com/systemds/systemds-go/internal/types"
@@ -240,6 +241,19 @@ func (c *Compiler) isUserOrDMLFunction(name string) bool {
 func (c *Compiler) compileStatements(stmts []lang.Statement, knownInputs map[string]types.DataCharacteristics) ([]runtime.ProgramBlock, error) {
 	var out []runtime.ProgramBlock
 	var straight []lang.Statement
+	// available tracks variables certainly bound when control reaches the
+	// current statement: script inputs with known characteristics plus
+	// unconditional assignments at this nesting level. Compression decision
+	// sites are only planted for such variables, so a planted site can never
+	// fail on an unbound name (e.g. ahead of a zero-trip loop).
+	available := map[string]bool{}
+	for name := range knownInputs {
+		available[name] = true
+	}
+	// reassigned tracks variables redefined at this level: their knownInputs
+	// characteristics (if any) are stale, so compression sites for them must
+	// compile size-unknown and re-decide at recompile time against live sizes
+	reassigned := map[string]bool{}
 	flush := func() error {
 		if len(straight) == 0 {
 			return nil
@@ -252,10 +266,26 @@ func (c *Compiler) compileStatements(stmts []lang.Statement, knownInputs map[str
 		straight = nil
 		return nil
 	}
+	emitCompressionSites := func(body []lang.Statement, loopVar string) error {
+		blk, err := c.compressionSites(body, loopVar, available, reassigned, knownInputs)
+		if err != nil {
+			return err
+		}
+		if blk != nil {
+			out = append(out, blk)
+		}
+		return nil
+	}
 	for _, s := range stmts {
 		switch v := s.(type) {
 		case *lang.AssignStmt, *lang.ExprStmt:
 			straight = append(straight, s)
+			if a, ok := s.(*lang.AssignStmt); ok {
+				for name := range lang.StatementWrites(a) {
+					available[name] = true
+					reassigned[name] = true
+				}
+			}
 		case *lang.IfStmt:
 			if err := flush(); err != nil {
 				return nil, err
@@ -265,8 +295,12 @@ func (c *Compiler) compileStatements(stmts []lang.Statement, knownInputs map[str
 				return nil, err
 			}
 			out = append(out, blk)
+			markReassigned(reassigned, s)
 		case *lang.WhileStmt:
 			if err := flush(); err != nil {
+				return nil, err
+			}
+			if err := emitCompressionSites(v.Body, ""); err != nil {
 				return nil, err
 			}
 			blk, err := c.compileWhile(v)
@@ -274,8 +308,12 @@ func (c *Compiler) compileStatements(stmts []lang.Statement, knownInputs map[str
 				return nil, err
 			}
 			out = append(out, blk)
+			markReassigned(reassigned, s)
 		case *lang.ForStmt:
 			if err := flush(); err != nil {
+				return nil, err
+			}
+			if err := emitCompressionSites(v.Body, v.Var); err != nil {
 				return nil, err
 			}
 			blk, err := c.compileFor(v)
@@ -283,6 +321,7 @@ func (c *Compiler) compileStatements(stmts []lang.Statement, knownInputs map[str
 				return nil, err
 			}
 			out = append(out, blk)
+			markReassigned(reassigned, s)
 		default:
 			return nil, fmt.Errorf("compiler: unsupported statement type %T", s)
 		}
@@ -291,6 +330,76 @@ func (c *Compiler) compileStatements(stmts []lang.Statement, knownInputs map[str
 		return nil, err
 	}
 	return out, nil
+}
+
+// markReassigned records every variable a statement may write (including
+// writes nested in control-flow bodies): their compile-time characteristics
+// are stale for any later compression site, which must therefore compile
+// size-unknown and re-decide against live sizes. Conditional writes do NOT
+// mark a variable `available` — only unconditional same-level assignments
+// and known script inputs do.
+func markReassigned(reassigned map[string]bool, s lang.Statement) {
+	for name := range lang.StatementWrites(s) {
+		reassigned[name] = true
+	}
+}
+
+// compressionSites synthesizes the pre-loop compression decision block: for
+// every matrix-candidate variable the loop body re-reads but never redefines,
+// a "X = compress(X, reuse)" statement is compiled through the regular HOP
+// pipeline. The planner (hops.ShouldCompress) decides per site whether it
+// lowers to a compress instruction or a no-op alias; sites whose operand
+// sizes are unknown at compile time recompile against live sizes like any
+// other plan-relevant block. Loops are the reuse scope compression exists
+// for: the one-time encode amortizes over every iteration's re-read.
+func (c *Compiler) compressionSites(body []lang.Statement, loopVar string,
+	available, reassigned map[string]bool, known map[string]types.DataCharacteristics) (*runtime.BasicBlock, error) {
+	if !c.cfg.CompressionEnabled {
+		return nil, nil
+	}
+	written := map[string]bool{}
+	for _, w := range lang.BlockWrites(body) {
+		written[w] = true
+	}
+	// characteristics of variables redefined before the loop are stale (or
+	// absent): compile their sites size-unknown so the block recompiles and
+	// the fire decision uses the live symbol-table sizes
+	siteKnown := known
+	var stmts []lang.Statement
+	for _, name := range lang.BlockReads(body) {
+		if name == loopVar || written[name] || !available[name] {
+			continue
+		}
+		if reassigned[name] {
+			if _, stale := siteKnown[name]; stale {
+				pruned := make(map[string]types.DataCharacteristics, len(known))
+				for k, v := range siteKnown {
+					pruned[k] = v
+				}
+				delete(pruned, name)
+				siteKnown = pruned
+			}
+		}
+		// reuse estimate: statements reading the variable per iteration times
+		// the assumed trip count (loop bounds are rarely compile-time known)
+		reads := 0
+		for _, s := range body {
+			if lang.StatementReads(s)[name] {
+				reads++
+			}
+		}
+		stmts = append(stmts, &lang.AssignStmt{
+			Targets: []lang.AssignTarget{{Name: name}},
+			Value: &lang.CallExpr{Name: "compress", Args: []lang.Arg{
+				{Value: &lang.Ident{Name: name}},
+				{Value: &lang.NumLit{Value: float64(reads * hops.CompressAssumedLoopTrips), IsInt: true}},
+			}},
+		})
+	}
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	return c.compileBasicBlock(stmts, siteKnown)
 }
 
 // compileIf compiles an if statement.

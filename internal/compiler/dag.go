@@ -44,7 +44,7 @@ func (c *Compiler) compileBasicBlock(stmts []lang.Statement, known map[string]ty
 	// selection (distributed backend) and operator fusion: loop and function
 	// bodies compile with unknown sizes, so without recompilation the fusion
 	// matcher could never prove shapes inside the hottest blocks
-	if (c.cfg.DistEnabled || !c.cfg.FusionDisabled) && bb.unknownSizes {
+	if (c.cfg.DistEnabled || !c.cfg.FusionDisabled || c.cfg.CompressionEnabled) && bb.unknownSizes {
 		stmtsCopy := stmts
 		block.RequiresRecompile = true
 		// loop bodies recompile on every execution; memoize the lowered

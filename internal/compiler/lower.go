@@ -38,9 +38,10 @@ func (bb *blockBuilder) flush() error {
 	hops.Rewrite(bb.dag)
 	hops.PropagateSizes(bb.dag, bb.known)
 	params := hops.PlannerParams{
-		MemBudget:   bb.c.cfg.OperatorMemBudget,
-		DistEnabled: bb.c.cfg.DistEnabled,
-		Blocksize:   bb.c.cfg.DistBlocksize,
+		MemBudget:          bb.c.cfg.OperatorMemBudget,
+		DistEnabled:        bb.c.cfg.DistEnabled,
+		Blocksize:          bb.c.cfg.DistBlocksize,
+		CompressionEnabled: bb.c.cfg.CompressionEnabled,
 	}
 	// the fusion pattern matcher runs after rewrites/CSE (so shared
 	// subexpressions are single hops and consumer counts are exact) and
@@ -196,6 +197,16 @@ func lowerDAG(dag *hops.DAG) ([]runtime.Instruction, [][]int, bool, error) {
 	return instrs, deps, unknown, nil
 }
 
+// estBytesOf returns the planner's estimated output bytes of a HOP, or -1
+// when the estimate was unknown at compile time; instructions surface it next
+// to the actual output bytes in the plan records.
+func estBytesOf(h *hops.Hop) int64 {
+	if h.CostEst.Known {
+		return h.CostEst.OutputBytes
+	}
+	return -1
+}
+
 // lowerHop lowers one HOP into an instruction (or nil for reads/literals).
 func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 	out := tempNameOf(h)
@@ -210,11 +221,13 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 		inst := instructions.NewBinary(h.Op, out, in(0), in(1))
 		inst.ExecType = h.ExecType
 		inst.BlockedOut = h.BlockedOutput
+		inst.EstBytes = estBytesOf(h)
 		return inst, nil
 	case hops.KindUnary:
 		inst := instructions.NewUnary(h.Op, out, in(0))
 		inst.ExecType = h.ExecType
 		inst.BlockedOut = h.BlockedOutput
+		inst.EstBytes = estBytesOf(h)
 		return inst, nil
 	case hops.KindAggUnary:
 		op := h.Op
@@ -224,20 +237,28 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 		inst := instructions.NewAgg(op, out, in(0))
 		inst.ExecType = h.ExecType
 		inst.BlockedOut = h.BlockedOutput
+		inst.EstBytes = estBytesOf(h)
 		return inst, nil
 	case hops.KindMatMult:
 		inst := instructions.NewMatMult(out, in(0), in(1))
 		inst.ExecType = h.ExecType
 		inst.BlockedOut = h.BlockedOutput
 		inst.Method = h.MMPlan
-		inst.EstBytes = -1
-		if h.CostEst.Known {
-			inst.EstBytes = h.CostEst.OutputBytes
+		inst.EstBytes = estBytesOf(h)
+		return inst, nil
+	case hops.KindCompress:
+		if !h.CompressFire {
+			// the planner declined the site: lower to a no-op alias so the
+			// variable flow stays intact at zero runtime cost
+			return instructions.NewAssign(out, operandOf(h.Inputs[0])), nil
 		}
+		inst := instructions.NewCompress(out, operandOf(h.Inputs[0]))
+		inst.EstBytes = estBytesOf(h)
 		return inst, nil
 	case hops.KindTSMM:
 		inst := instructions.NewTSMM(out, in(0))
 		inst.ExecType = h.ExecType
+		inst.EstBytes = estBytesOf(h)
 		return inst, nil
 	case hops.KindMMChain:
 		if len(h.Inputs) == 3 {
@@ -268,6 +289,7 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 		inst := instructions.NewReorg(opcode, out, in(0))
 		inst.ExecType = h.ExecType
 		inst.BlockedOut = h.BlockedOutput
+		inst.EstBytes = estBytesOf(h)
 		return inst, nil
 	case hops.KindIndexing:
 		return instructions.NewRightIndex(out, in(0), in(1), in(2), in(3), in(4)), nil
@@ -281,6 +303,7 @@ func lowerHop(h *hops.Hop) (runtime.Instruction, error) {
 		inst := instructions.NewNary(h.Op, out, ops...)
 		inst.ExecType = h.ExecType
 		inst.BlockedOut = h.BlockedOutput
+		inst.EstBytes = estBytesOf(h)
 		return inst, nil
 	case hops.KindTernary:
 		return instructions.NewTernary(out, in(0), in(1), in(2)), nil
@@ -304,15 +327,23 @@ func lowerDataGen(h *hops.Hop, out string) (runtime.Instruction, error) {
 	}
 	switch h.Op {
 	case "rand":
-		return instructions.NewRand(out,
+		inst := instructions.NewRand(out,
 			p("rows", instructions.LitInt(1)), p("cols", instructions.LitInt(1)),
 			p("min", instructions.LitDouble(0)), p("max", instructions.LitDouble(1)),
 			p("sparsity", instructions.LitDouble(1)), p("pdf", instructions.LitString("uniform")),
-			p("seed", instructions.LitInt(42))), nil
+			p("seed", instructions.LitInt(42)))
+		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
+		inst.EstBytes = estBytesOf(h)
+		return inst, nil
 	case "seq":
-		return instructions.NewSeq(out,
+		inst := instructions.NewSeq(out,
 			p("from", instructions.LitDouble(1)), p("to", instructions.LitDouble(1)),
-			p("incr", instructions.LitDouble(1))), nil
+			p("incr", instructions.LitDouble(1)))
+		inst.ExecType = h.ExecType
+		inst.BlockedOut = h.BlockedOutput
+		inst.EstBytes = estBytesOf(h)
+		return inst, nil
 	case "fill":
 		return instructions.NewFill(out,
 			p("value", instructions.LitDouble(0)),

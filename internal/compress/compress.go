@@ -1,0 +1,151 @@
+package compress
+
+import (
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// Compress runs the sample-based planner over a matrix block and, when the
+// estimated compression ratio clears the threshold, encodes each column under
+// its chosen scheme. It returns the compressed matrix, the plan, and whether
+// compression was accepted; a rejected plan returns (nil, plan, false) and
+// the caller keeps the uncompressed block.
+//
+// Encoding is exact and deterministic: dictionaries are built in
+// first-occurrence order by a sequential row scan per column, so the same
+// input always yields the same compressed bytes (bitwise-reproducible runs).
+// Columns whose exact dictionary overflows MaxDictSize, or whose exact run
+// count makes RLE larger than the plain column, fall back to the
+// uncompressed group; adjacent fallback columns coalesce into one group.
+func Compress(m *matrix.MatrixBlock, cfg PlannerConfig, threads int) (*CompressedMatrix, *Plan, bool) {
+	plan := EstimatePlan(m, cfg)
+	if !plan.Accepted {
+		return nil, plan, false
+	}
+	rows, cols := m.Rows(), m.Cols()
+	encoded := make([]ColGroup, cols) // nil = uncompressed fallback
+	forEachGroup(planGroups(plan), threads, func(i int, _ ColGroup) {
+		c := plan.Cols[i].Col
+		switch plan.Cols[i].Enc {
+		case EncDDC:
+			encoded[c] = encodeDDC(m, c, rows)
+		case EncRLE:
+			encoded[c] = encodeRLE(m, c, rows)
+		}
+	})
+	// assemble groups in column order, coalescing adjacent uncompressed
+	// columns into one plain block group
+	out := &CompressedMatrix{NumRows: rows, NumCols: cols}
+	for c := 0; c < cols; {
+		if encoded[c] != nil {
+			out.Groups = append(out.Groups, encoded[c])
+			c++
+			continue
+		}
+		c0 := c
+		for c < cols && encoded[c] == nil {
+			c++
+		}
+		out.Groups = append(out.Groups, encodeUncompressed(m, c0, c, rows))
+	}
+	// the sample can be fooled (e.g. periodic data aligned with the stride):
+	// re-check the ACHIEVED ratio after exact encoding and reject compression
+	// that did not actually pay off — the caller keeps the original block
+	plan.ActualCompressedBytes = out.InMemorySize()
+	if float64(plan.UncompressedBytes) < cfg.minRatio()*float64(plan.ActualCompressedBytes) {
+		plan.Accepted = false
+		return nil, plan, false
+	}
+	return out, plan, true
+}
+
+// planGroups adapts the per-column loop to forEachGroup's worker scheduling
+// (the group values are unused; only the index drives the work).
+func planGroups(p *Plan) []ColGroup { return make([]ColGroup, len(p.Cols)) }
+
+// encodeDDC builds the exact dense-dictionary encoding of one column, or nil
+// when the exact dictionary overflows the addressable code space.
+func encodeDDC(m *matrix.MatrixBlock, col, rows int) ColGroup {
+	dictIdx := map[float64]int{}
+	var dict []float64
+	var counts []int32
+	codes := make([]uint16, rows)
+	for r := 0; r < rows; r++ {
+		v := m.Get(r, col)
+		k, ok := dictIdx[v]
+		if !ok {
+			if len(dict) >= MaxDictSize {
+				return nil
+			}
+			k = len(dict)
+			dictIdx[v] = k
+			dict = append(dict, v)
+			counts = append(counts, 0)
+		}
+		counts[k]++
+		codes[r] = uint16(k)
+	}
+	g := &DDCGroup{Col: col, Dict: dict, Counts: counts}
+	if len(dict) <= 256 {
+		c8 := make([]uint8, rows)
+		for r, k := range codes {
+			c8[r] = uint8(k)
+		}
+		g.Codes8 = c8
+	} else {
+		g.Codes16 = codes
+	}
+	// the exact dictionary can be far larger than the sample suggested; keep
+	// the plain column when the encoding does not actually shrink it
+	if g.InMemorySize() >= int64(rows)*8 {
+		return nil
+	}
+	return g
+}
+
+// encodeRLE builds the exact run-length encoding of one column, or nil when
+// the runs make it larger than the plain column.
+func encodeRLE(m *matrix.MatrixBlock, col, rows int) ColGroup {
+	if rows == 0 {
+		return &RLEGroup{Col: col}
+	}
+	g := &RLEGroup{Col: col}
+	cur := m.Get(0, col)
+	start := 0
+	for r := 1; r < rows; r++ {
+		v := m.Get(r, col)
+		if v != cur {
+			g.Values = append(g.Values, cur)
+			g.Starts = append(g.Starts, int32(start))
+			g.Lens = append(g.Lens, int32(r-start))
+			cur, start = v, r
+		}
+	}
+	g.Values = append(g.Values, cur)
+	g.Starts = append(g.Starts, int32(start))
+	g.Lens = append(g.Lens, int32(rows-start))
+	if g.InMemorySize() >= int64(rows)*8 {
+		return nil
+	}
+	return g
+}
+
+// encodeUncompressed slices columns [c0, c1) into one plain block group.
+func encodeUncompressed(m *matrix.MatrixBlock, c0, c1, rows int) ColGroup {
+	cols := make([]int, c1-c0)
+	for i := range cols {
+		cols[i] = c0 + i
+	}
+	blk, err := matrix.Slice(m, 0, rows, c0, c1)
+	if err != nil {
+		// the bounds are derived from the input's own shape; a failure here is
+		// a programming error, but fall back to a manual copy to stay total
+		blk = matrix.NewDense(rows, c1-c0)
+		for r := 0; r < rows; r++ {
+			for c := c0; c < c1; c++ {
+				blk.Set(r, c-c0, m.Get(r, c))
+			}
+		}
+		blk = blk.ExamineAndApplySparsity()
+	}
+	return &UncompressedGroup{ColIdx: cols, Data: blk}
+}

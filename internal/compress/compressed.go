@@ -1,0 +1,348 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// CompressedMatrix is a matrix stored as a set of compressed column groups.
+// Every column of the matrix belongs to exactly one group and every group
+// covers all rows, so kernels iterate groups independently and combine by
+// global row/column index. The representation is immutable, like
+// matrix.MatrixBlock results: kernels always build new objects.
+type CompressedMatrix struct {
+	NumRows, NumCols int
+	Groups           []ColGroup
+}
+
+// Rows returns the number of rows.
+func (c *CompressedMatrix) Rows() int { return c.NumRows }
+
+// Cols returns the number of columns.
+func (c *CompressedMatrix) Cols() int { return c.NumCols }
+
+// NNZ returns the exact number of non-zero cells.
+func (c *CompressedMatrix) NNZ() int64 {
+	var nnz int64
+	for _, g := range c.Groups {
+		nnz += g.NNZ()
+	}
+	return nnz
+}
+
+// InMemorySize estimates the in-memory footprint in bytes.
+func (c *CompressedMatrix) InMemorySize() int64 {
+	s := int64(64)
+	for _, g := range c.Groups {
+		s += g.InMemorySize()
+	}
+	return s
+}
+
+// String renders the compressed matrix for debugging.
+func (c *CompressedMatrix) String() string {
+	return fmt.Sprintf("CompressedMatrix[%dx%d, %d groups, %dB]",
+		c.NumRows, c.NumCols, len(c.Groups), c.InMemorySize())
+}
+
+// EncodingSummary renders the per-encoding group counts ("ddc=3,rle=1,unc=1"),
+// used in plan records and tests.
+func (c *CompressedMatrix) EncodingSummary() string {
+	var ddc, rle, unc int
+	for _, g := range c.Groups {
+		switch g.Encoding() {
+		case EncDDC:
+			ddc++
+		case EncRLE:
+			rle++
+		default:
+			unc++
+		}
+	}
+	return fmt.Sprintf("ddc=%d,rle=%d,unc=%d", ddc, rle, unc)
+}
+
+// Decompress materializes the compressed matrix into a plain matrix block
+// (the transparent fallback for operators without a compressed kernel).
+func (c *CompressedMatrix) Decompress() *matrix.MatrixBlock {
+	out := matrix.NewDense(c.NumRows, c.NumCols)
+	dst := out.DenseValues()
+	for _, g := range c.Groups {
+		g.DecompressInto(dst, c.NumCols, 0, c.NumRows)
+	}
+	out.RecomputeNNZ()
+	return out.ExamineAndApplySparsity()
+}
+
+// --- deterministic fixed-chunk row partitioning ------------------------------
+
+const (
+	// compressedChunkRows is the target rows per parallel chunk. Boundaries
+	// depend only on the row count, and every output row is written by exactly
+	// one chunk, so results are bitwise identical across thread counts.
+	compressedChunkRows = 1024
+)
+
+// rowChunks derives the fixed chunking of the row range: chunk size and count
+// are functions of the row count alone, never of the thread count.
+func rowChunks(rows int) (nChunks, chunkSize int) {
+	if rows <= compressedChunkRows {
+		return 1, rows
+	}
+	nChunks = (rows + compressedChunkRows - 1) / compressedChunkRows
+	return nChunks, compressedChunkRows
+}
+
+// forEachRowChunk runs fn over the fixed row chunks on up to `threads`
+// workers. Chunks own disjoint row ranges, so no synchronization of the
+// output is needed.
+func forEachRowChunk(rows, threads int, fn func(r0, r1 int)) {
+	nChunks, chunkSize := rowChunks(rows)
+	if threads <= 1 || nChunks == 1 {
+		for ci := 0; ci < nChunks; ci++ {
+			r0 := ci * chunkSize
+			r1 := min(r0+chunkSize, rows)
+			fn(r0, r1)
+		}
+		return
+	}
+	if threads > nChunks {
+		threads = nChunks
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				ci := next
+				next++
+				mu.Unlock()
+				if ci >= nChunks {
+					return
+				}
+				r0 := ci * chunkSize
+				r1 := min(r0+chunkSize, rows)
+				fn(r0, r1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forEachGroup runs fn over the column groups on up to `threads` workers.
+// Groups cover disjoint columns, so group-indexed outputs need no locking.
+func forEachGroup(groups []ColGroup, threads int, fn func(i int, g ColGroup)) {
+	if threads <= 1 || len(groups) <= 1 {
+		for i, g := range groups {
+			fn(i, g)
+		}
+		return
+	}
+	if threads > len(groups) {
+		threads = len(groups)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(groups) {
+					return
+				}
+				fn(i, groups[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MatVec computes the matrix-vector product c %*% v directly on the
+// compressed representation: per group, the dictionary (or run values) is
+// pre-scaled by the vector entry once, then rows gather by code — the CLA
+// pre-aggregation that touches the small encoded data instead of the dense
+// cells. The result is an m x 1 dense block.
+func (c *CompressedMatrix) MatVec(v *matrix.MatrixBlock, threads int) (*matrix.MatrixBlock, error) {
+	if v.Rows() != c.NumCols || v.Cols() != 1 {
+		return nil, fmt.Errorf("compress: matvec vector is %dx%d, want %dx1", v.Rows(), v.Cols(), c.NumCols)
+	}
+	vd := denseVector(v)
+	out := matrix.NewDense(c.NumRows, 1)
+	dst := out.DenseValues()
+	// the largest dictionary bounds the pre-scaling scratch one chunk needs,
+	// so each chunk allocates one buffer for all of its groups
+	maxDict := 0
+	for _, g := range c.Groups {
+		if d, ok := g.(*DDCGroup); ok && len(d.Dict) > maxDict {
+			maxDict = len(d.Dict)
+		}
+	}
+	// rows are partitioned into fixed chunks; within a chunk, groups are
+	// accumulated in group order, so the summation order per output row is
+	// independent of the thread count
+	forEachRowChunk(c.NumRows, threads, func(r0, r1 int) {
+		seg := dst[r0:r1]
+		scratch := make([]float64, maxDict)
+		for _, g := range c.Groups {
+			g.MatVecAccum(seg, vd, r0, r1, scratch)
+		}
+	})
+	out.RecomputeNNZ()
+	return out, nil
+}
+
+// VecMat computes the vector-matrix product v %*% c directly on the
+// compressed representation: per group, the vector entries are aggregated by
+// dictionary code (or run) first, then combined with the values once. The
+// result is a 1 x n dense block. Groups cover disjoint output columns, so the
+// group-parallel execution is deterministic.
+func (c *CompressedMatrix) VecMat(v *matrix.MatrixBlock, threads int) (*matrix.MatrixBlock, error) {
+	if v.Rows() != 1 || v.Cols() != c.NumRows {
+		return nil, fmt.Errorf("compress: vecmat vector is %dx%d, want 1x%d", v.Rows(), v.Cols(), c.NumRows)
+	}
+	vd := denseVector(v)
+	out := matrix.NewDense(1, c.NumCols)
+	dst := out.DenseValues()
+	forEachGroup(c.Groups, threads, func(_ int, g ColGroup) {
+		g.VecMatAccum(dst, vd)
+	})
+	out.RecomputeNNZ()
+	return out, nil
+}
+
+// MMChain computes t(X) %*% (X %*% v), optionally weighted as
+// t(X) %*% (w * (X %*% v)), entirely on the compressed representation: one
+// MatVec pass, a cheap dense scaling of the m x 1 intermediate, and one
+// VecMat pass. The n x 1 result matches the uncompressed fused mmchain.
+func (c *CompressedMatrix) MMChain(v, w *matrix.MatrixBlock, threads int) (*matrix.MatrixBlock, error) {
+	t, err := c.MatVec(v, threads)
+	if err != nil {
+		return nil, err
+	}
+	td := t.DenseValues()
+	if w != nil {
+		if w.Rows() != c.NumRows || w.Cols() != 1 {
+			return nil, fmt.Errorf("compress: mmchain weights are %dx%d, want %dx1", w.Rows(), w.Cols(), c.NumRows)
+		}
+		wd := denseVector(w)
+		for i := range td {
+			td[i] *= wd[i]
+		}
+	}
+	// reshape the m x 1 intermediate as the 1 x m left operand of VecMat
+	tr, err := t.Reshape(1, c.NumRows, true)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.VecMat(tr, threads)
+	if err != nil {
+		return nil, err
+	}
+	return res.Reshape(c.NumCols, 1, true)
+}
+
+// MapValues applies fn to every cell and returns a new compressed matrix.
+// Encoding structure (codes, run positions) is shared with the receiver; only
+// the value dictionaries are rewritten — scalar operations and cellwise
+// unaries on compressed data are dictionary-only updates.
+func (c *CompressedMatrix) MapValues(fn func(float64) float64, threads int) *CompressedMatrix {
+	out := &CompressedMatrix{NumRows: c.NumRows, NumCols: c.NumCols, Groups: make([]ColGroup, len(c.Groups))}
+	forEachGroup(c.Groups, threads, func(i int, g ColGroup) {
+		out.Groups[i] = g.MapValues(fn)
+	})
+	return out
+}
+
+// Sum returns the sum of all cells (dictionary-weighted counts; no cell scan).
+func (c *CompressedMatrix) Sum() float64 {
+	var s float64
+	for _, g := range c.Groups {
+		s += g.Sum()
+	}
+	return s
+}
+
+// SumSq returns the sum of squared cells.
+func (c *CompressedMatrix) SumSq() float64 {
+	var s float64
+	for _, g := range c.Groups {
+		s += g.SumSq()
+	}
+	return s
+}
+
+// Mean returns the mean cell value.
+func (c *CompressedMatrix) Mean() float64 {
+	cells := float64(c.NumRows) * float64(c.NumCols)
+	if cells == 0 {
+		return 0
+	}
+	return c.Sum() / cells
+}
+
+// Min returns the smallest cell value.
+func (c *CompressedMatrix) Min() float64 {
+	mn := math.Inf(1)
+	for _, g := range c.Groups {
+		m, _ := g.MinMax()
+		mn = math.Min(mn, m)
+	}
+	return mn
+}
+
+// Max returns the largest cell value.
+func (c *CompressedMatrix) Max() float64 {
+	mx := math.Inf(-1)
+	for _, g := range c.Groups {
+		_, m := g.MinMax()
+		mx = math.Max(mx, m)
+	}
+	return mx
+}
+
+// ColSums returns the per-column sums as a 1 x n block.
+func (c *CompressedMatrix) ColSums() *matrix.MatrixBlock {
+	out := matrix.NewDense(1, c.NumCols)
+	dst := out.DenseValues()
+	for _, g := range c.Groups {
+		g.ColSumsInto(dst)
+	}
+	out.RecomputeNNZ()
+	return out
+}
+
+// RowSums returns the per-row sums as an m x 1 block.
+func (c *CompressedMatrix) RowSums(threads int) *matrix.MatrixBlock {
+	out := matrix.NewDense(c.NumRows, 1)
+	dst := out.DenseValues()
+	forEachRowChunk(c.NumRows, threads, func(r0, r1 int) {
+		seg := dst[r0:r1]
+		for _, g := range c.Groups {
+			g.RowSumsAccum(seg, r0, r1)
+		}
+	})
+	out.RecomputeNNZ()
+	return out
+}
+
+// denseVector returns the dense values of a vector block without mutating the
+// caller's representation.
+func denseVector(v *matrix.MatrixBlock) []float64 {
+	if !v.IsSparse() {
+		return v.DenseValues()
+	}
+	return v.Copy().DenseValues()
+}

@@ -1,0 +1,180 @@
+package compress
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// Planner knobs. The sample-based estimates are deliberately deterministic
+// (systematic row sampling, no RNG), so the same input always produces the
+// same plan and compressed runs are bitwise reproducible.
+const (
+	// DefaultSampleRows is the number of rows the planner inspects per column.
+	DefaultSampleRows = 2048
+	// DefaultMinRatio is the estimated compression ratio below which
+	// compression is rejected: the encoded form would not pay for the encode
+	// pass and the per-group overheads.
+	DefaultMinRatio = 1.2
+	// MaxDictSize is the largest dictionary a DDC group can address (two-byte
+	// codes); columns with more distinct values fall back to the uncompressed
+	// group.
+	MaxDictSize = 65536
+	// groupOverheadBytes is the fixed per-group bookkeeping charge used by the
+	// size estimates (headers, slices, the interface value).
+	groupOverheadBytes = 64
+)
+
+// PlannerConfig parameterizes the sample-based compression planner.
+type PlannerConfig struct {
+	// SampleRows is the number of rows sampled per column (systematic
+	// sampling with a fixed stride); <= 0 uses DefaultSampleRows.
+	SampleRows int
+	// MinRatio is the estimated-ratio acceptance threshold; <= 0 uses
+	// DefaultMinRatio.
+	MinRatio float64
+}
+
+func (c PlannerConfig) sampleRows() int {
+	if c.SampleRows <= 0 {
+		return DefaultSampleRows
+	}
+	return c.SampleRows
+}
+
+func (c PlannerConfig) minRatio() float64 {
+	if c.MinRatio <= 0 {
+		return DefaultMinRatio
+	}
+	return c.MinRatio
+}
+
+// ColPlan is the planner's per-column estimate and encoding choice.
+type ColPlan struct {
+	Col int
+	// Enc is the chosen encoding (cheapest estimated size).
+	Enc Encoding
+	// EstCard is the estimated number of distinct values, EstRuns the
+	// estimated number of value runs.
+	EstCard, EstRuns int
+	// EstBytes is the estimated encoded size under Enc.
+	EstBytes int64
+}
+
+// Plan is the output of the sample-based compression planner: per-column
+// encoding choices, the estimated total size, and the accept/reject decision
+// against the minimum-ratio threshold.
+type Plan struct {
+	Cols []ColPlan
+	// UncompressedBytes is the actual in-memory size of the input block (CSR
+	// for sparse inputs — the representation compression must beat, so a
+	// sparse matrix is never "compressed" into something larger than its CSR
+	// form); EstCompressedBytes is the estimated size of the chosen
+	// encodings.
+	UncompressedBytes  int64
+	EstCompressedBytes int64
+	// EstRatio is UncompressedBytes / EstCompressedBytes.
+	EstRatio float64
+	// ActualCompressedBytes is the exact encoded size (set by Compress after
+	// encoding; 0 when the plan was rejected before encoding). Compress
+	// re-checks the achieved ratio against it and rejects encodings that did
+	// not actually shrink the data.
+	ActualCompressedBytes int64
+	// Accepted reports whether the estimated ratio clears the threshold.
+	Accepted bool
+	// SampledRows is the number of rows the estimates were derived from.
+	SampledRows int
+}
+
+// String renders the plan decision for explain output and tests.
+func (p *Plan) String() string {
+	return fmt.Sprintf("compress plan: ratio=%.2f (est %dB of %dB) accepted=%v",
+		p.EstRatio, p.EstCompressedBytes, p.UncompressedBytes, p.Accepted)
+}
+
+// EstimatePlan runs the sample-based planner over a matrix block: a
+// systematic row sample is scanned once per column to estimate cardinality
+// and run structure, each column is priced under DDC, RLE and the
+// uncompressed fallback, and the cheapest encoding wins. Compression is
+// accepted only when the estimated overall ratio clears cfg.MinRatio.
+func EstimatePlan(m *matrix.MatrixBlock, cfg PlannerConfig) *Plan {
+	rows, cols := m.Rows(), m.Cols()
+	plan := &Plan{UncompressedBytes: m.InMemorySize()}
+	if rows == 0 || cols == 0 {
+		return plan
+	}
+	step := 1
+	if s := cfg.sampleRows(); rows > s {
+		step = rows / s
+	}
+	sampleIdx := make([]int, 0, rows/step+1)
+	for r := 0; r < rows; r += step {
+		sampleIdx = append(sampleIdx, r)
+	}
+	n := len(sampleIdx)
+	plan.SampledRows = n
+	plan.Cols = make([]ColPlan, cols)
+	var total int64
+	for c := 0; c < cols; c++ {
+		distinct := map[float64]struct{}{}
+		changes := 0
+		prev := 0.0
+		for i, r := range sampleIdx {
+			v := m.Get(r, c)
+			distinct[v] = struct{}{}
+			if i > 0 && v != prev {
+				changes++
+			}
+			prev = v
+		}
+		cp := estimateColumn(rows, n, len(distinct), changes)
+		cp.Col = c
+		plan.Cols[c] = cp
+		total += cp.EstBytes + groupOverheadBytes
+	}
+	plan.EstCompressedBytes = total
+	if total > 0 {
+		plan.EstRatio = float64(plan.UncompressedBytes) / float64(total)
+	}
+	plan.Accepted = plan.EstRatio >= cfg.minRatio()
+	return plan
+}
+
+// estimateColumn prices one column under each encoding from its sample
+// statistics and picks the cheapest.
+func estimateColumn(rows, sampled, sampleCard, sampleChanges int) ColPlan {
+	// Cardinality: the sample's distinct count is a lower bound. When the
+	// sample looks mostly-distinct the column is treated as incompressible
+	// (card scales with the rows); otherwise the low-cardinality assumption
+	// card ≈ sampleCard holds (the case DDC exists for).
+	card := sampleCard
+	if sampled > 0 && sampleCard > sampled/2 {
+		card = int(float64(rows) * float64(sampleCard) / float64(sampled))
+	}
+	// Runs: the fraction of adjacent sampled pairs that differ, scaled to all
+	// row adjacencies (a change between two sampled rows implies at least one
+	// change in the gap; for stride 1 the count is exact).
+	runs := 1
+	if sampled > 1 {
+		runs = int(float64(rows-1)*float64(sampleChanges)/float64(sampled-1)) + 1
+	}
+	ddcBytes := int64(-1)
+	if card <= MaxDictSize {
+		codeBytes := int64(1)
+		if card > 256 {
+			codeBytes = 2
+		}
+		ddcBytes = int64(rows)*codeBytes + int64(card)*12 // dict (8) + counts (4)
+	}
+	rleBytes := int64(runs) * 16 // value (8) + start (4) + len (4)
+	uncBytes := int64(rows) * 8
+
+	cp := ColPlan{Enc: EncUncompressed, EstCard: card, EstRuns: runs, EstBytes: uncBytes}
+	if rleBytes < cp.EstBytes {
+		cp.Enc, cp.EstBytes = EncRLE, rleBytes
+	}
+	if ddcBytes >= 0 && ddcBytes < cp.EstBytes {
+		cp.Enc, cp.EstBytes = EncDDC, ddcBytes
+	}
+	return cp
+}

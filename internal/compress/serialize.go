@@ -1,0 +1,200 @@
+package compress
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// Binary serialization of compressed matrices for buffer-pool spill files.
+// The point of spilling a compressed matrix is that the *compressed* bytes
+// hit disk: the format writes dictionaries, codes and runs directly, never a
+// decompressed cell image.
+
+const serializeMagic = uint32(0x53445343) // "SDSC"
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) write(v any) {
+	if b.err == nil {
+		b.err = binary.Write(b.w, binary.LittleEndian, v)
+	}
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) read(v any) {
+	if b.err == nil {
+		b.err = binary.Read(b.r, binary.LittleEndian, v)
+	}
+}
+
+// Write serializes the compressed matrix.
+func (c *CompressedMatrix) Write(w io.Writer) error {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	bw.write(serializeMagic)
+	bw.write(int64(c.NumRows))
+	bw.write(int64(c.NumCols))
+	bw.write(int32(len(c.Groups)))
+	for _, g := range c.Groups {
+		switch t := g.(type) {
+		case *DDCGroup:
+			bw.write(uint8(EncDDC))
+			bw.write(int32(t.Col))
+			bw.write(int32(len(t.Dict)))
+			bw.write(t.Dict)
+			bw.write(t.Counts)
+			if t.Codes8 != nil {
+				bw.write(uint8(1))
+				bw.write(int64(len(t.Codes8)))
+				bw.write(t.Codes8)
+			} else {
+				bw.write(uint8(2))
+				bw.write(int64(len(t.Codes16)))
+				bw.write(t.Codes16)
+			}
+		case *RLEGroup:
+			bw.write(uint8(EncRLE))
+			bw.write(int32(t.Col))
+			bw.write(int32(len(t.Values)))
+			bw.write(t.Values)
+			bw.write(t.Starts)
+			bw.write(t.Lens)
+		case *UncompressedGroup:
+			bw.write(uint8(EncUncompressed))
+			bw.write(int32(len(t.ColIdx)))
+			for _, ci := range t.ColIdx {
+				bw.write(int32(ci))
+			}
+			rows, cols := t.Data.Rows(), t.Data.Cols()
+			bw.write(int64(rows))
+			bw.write(int64(cols))
+			// dense row-major cell image of just this group's columns
+			for r := 0; r < rows; r++ {
+				for cc := 0; cc < cols; cc++ {
+					bw.write(t.Data.Get(r, cc))
+				}
+			}
+		default:
+			return fmt.Errorf("compress: cannot serialize column group %T", g)
+		}
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+// Read deserializes a compressed matrix written by Write.
+func Read(r io.Reader) (*CompressedMatrix, error) {
+	br := &binReader{r: bufio.NewReader(r)}
+	var magic uint32
+	br.read(&magic)
+	if br.err == nil && magic != serializeMagic {
+		return nil, fmt.Errorf("compress: bad magic %#x in compressed spill file", magic)
+	}
+	var rows64, cols64 int64
+	var ngroups int32
+	br.read(&rows64)
+	br.read(&cols64)
+	br.read(&ngroups)
+	if br.err != nil {
+		return nil, br.err
+	}
+	out := &CompressedMatrix{NumRows: int(rows64), NumCols: int(cols64)}
+	for gi := int32(0); gi < ngroups; gi++ {
+		var tag uint8
+		br.read(&tag)
+		switch Encoding(tag) {
+		case EncDDC:
+			var col, dictLen int32
+			br.read(&col)
+			br.read(&dictLen)
+			g := &DDCGroup{Col: int(col), Dict: make([]float64, dictLen), Counts: make([]int32, dictLen)}
+			br.read(g.Dict)
+			br.read(g.Counts)
+			var width uint8
+			var n int64
+			br.read(&width)
+			br.read(&n)
+			if width == 1 {
+				g.Codes8 = make([]uint8, n)
+				br.read(g.Codes8)
+			} else {
+				g.Codes16 = make([]uint16, n)
+				br.read(g.Codes16)
+			}
+			out.Groups = append(out.Groups, g)
+		case EncRLE:
+			var col, nruns int32
+			br.read(&col)
+			br.read(&nruns)
+			g := &RLEGroup{Col: int(col), Values: make([]float64, nruns), Starts: make([]int32, nruns), Lens: make([]int32, nruns)}
+			br.read(g.Values)
+			br.read(g.Starts)
+			br.read(g.Lens)
+			out.Groups = append(out.Groups, g)
+		case EncUncompressed:
+			var ncols int32
+			br.read(&ncols)
+			idx := make([]int, ncols)
+			for i := range idx {
+				var ci int32
+				br.read(&ci)
+				idx[i] = int(ci)
+			}
+			var grows, gcols int64
+			br.read(&grows)
+			br.read(&gcols)
+			vals := make([]float64, grows*gcols)
+			br.read(vals)
+			if br.err != nil {
+				return nil, br.err
+			}
+			blk := matrix.NewDenseFromSlice(int(grows), int(gcols), vals)
+			out.Groups = append(out.Groups, &UncompressedGroup{ColIdx: idx, Data: blk.ExamineAndApplySparsity()})
+		default:
+			if br.err == nil {
+				return nil, fmt.Errorf("compress: unknown column-group tag %d", tag)
+			}
+		}
+		if br.err != nil {
+			return nil, br.err
+		}
+	}
+	return out, nil
+}
+
+// WriteFile spills the compressed matrix to a file.
+func (c *CompressedMatrix) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Write(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile restores a compressed matrix from a spill file.
+func ReadFile(path string) (*CompressedMatrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -42,6 +42,10 @@ type Stats struct {
 	// recorder is capped; PlanRecordsDropped counts records past the cap.
 	PlanStats          []runtime.PlanRecord
 	PlanRecordsDropped int64
+	// CompressStats reports compressed-linear-algebra activity: compressions,
+	// planner rejections, operators executed directly on compressed data, and
+	// transparent decompress fallbacks.
+	CompressStats runtime.CompressStats
 }
 
 // NewEngine creates an engine with the given configuration (nil uses the
@@ -147,7 +151,8 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 	}
 	plans, plansDropped := ctx.PlanStats()
 	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats(),
-		FusedStats: ctx.FusedStats(), PlanStats: plans, PlanRecordsDropped: plansDropped}
+		FusedStats: ctx.FusedStats(), PlanStats: plans, PlanRecordsDropped: plansDropped,
+		CompressStats: ctx.CompressStats()}
 	return results, stats, nil
 }
 
@@ -205,6 +210,11 @@ func fromRuntimeData(d runtime.Data) (any, error) {
 	case *runtime.BlockedMatrixObject:
 		// API outputs are sinks: collect the blocked matrix lazily here
 		return x.Collect()
+	case *runtime.CompressedMatrixObject:
+		// API outputs are sinks: decompress transparently (counted)
+		return x.Decompress()
+	case *runtime.TransposedCompressedObject:
+		return x.Materialize()
 	case *runtime.FrameObject:
 		return x.Frame, nil
 	case *runtime.FederatedObject:

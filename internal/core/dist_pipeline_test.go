@@ -148,3 +148,73 @@ r = rowSums(Z)`
 		t.Error("blocked rowSums differs from CP result")
 	}
 }
+
+// TestRandGeneratesBlockedDirectly asserts the distributed-datagen path: a
+// rand above the operator budget produces blocked partitions directly — the
+// downstream blocked operators consume them with ZERO local-to-blocked
+// repartitions — and a blocked seq is bitwise identical to the local kernel.
+func TestRandGeneratesBlockedDirectly(t *testing.T) {
+	cfg := runtime.DefaultConfig()
+	cfg.DistEnabled = true
+	cfg.OperatorMemBudget = 8 * 1024
+	cfg.DistBlocksize = 32
+	eng := NewEngine(cfg)
+	script := `X = rand(rows=96, cols=96, seed=7)
+Y = X + X
+s = sum(Y)`
+	res, stats, err := eng.Execute(script, nil, []string{"s"})
+	if err != nil {
+		t.Fatalf("execution failed: %v", err)
+	}
+	if stats.DistStats.Partitions != 0 {
+		t.Errorf("partitions = %d, want 0: rand must generate blocked partitions directly", stats.DistStats.Partitions)
+	}
+	if stats.DistStats.BlockedOps < 2 {
+		t.Errorf("blocked ops = %d, want >= 2 (rand and the cellwise add)", stats.DistStats.BlockedOps)
+	}
+	if rec, ok := planOf(stats, "rand"); !ok {
+		t.Errorf("no plan record for blocked rand")
+	} else if rec.ActualBytes <= 0 {
+		t.Errorf("rand record has actual bytes %d", rec.ActualBytes)
+	}
+	if s := res["s"].(float64); s <= 0 {
+		t.Errorf("sum of uniform rand = %v, want > 0", s)
+	}
+	// the same seed generates the same blocked content (deterministic per-block seeds)
+	res2, _, err := NewEngine(cfg).Execute(script, nil, []string{"s"})
+	if err != nil {
+		t.Fatalf("second run failed: %v", err)
+	}
+	if res["s"].(float64) != res2["s"].(float64) {
+		t.Errorf("blocked rand not deterministic: %v vs %v", res["s"], res2["s"])
+	}
+}
+
+// TestSeqGeneratesBlockedBitwiseEqual asserts a blocked seq matches the local
+// kernel bit for bit: the accumulation streams straight into the blocks.
+func TestSeqGeneratesBlockedBitwiseEqual(t *testing.T) {
+	cfg := runtime.DefaultConfig()
+	cfg.DistEnabled = true
+	cfg.OperatorMemBudget = 1024
+	cfg.DistBlocksize = 32
+	script := `v = seq(0.1, 2000.0, 0.25)
+w = v * 1.0
+s = sum(w)`
+	res, stats, err := NewEngine(cfg).Execute(script, nil, []string{"v"})
+	if err != nil {
+		t.Fatalf("execution failed: %v", err)
+	}
+	if stats.DistStats.Partitions != 0 {
+		t.Errorf("partitions = %d, want 0: seq must generate blocked partitions directly", stats.DistStats.Partitions)
+	}
+	got := res["v"].(*matrix.MatrixBlock)
+	want := matrix.Seq(0.1, 2000.0, 0.25)
+	if got.Rows() != want.Rows() {
+		t.Fatalf("blocked seq has %d rows, want %d", got.Rows(), want.Rows())
+	}
+	for r := 0; r < want.Rows(); r++ {
+		if got.Get(r, 0) != want.Get(r, 0) {
+			t.Fatalf("row %d: blocked seq %v != local seq %v", r, got.Get(r, 0), want.Get(r, 0))
+		}
+	}
+}

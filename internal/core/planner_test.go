@@ -215,3 +215,34 @@ C = A %*% B`
 		t.Error("late-bound distributed matmult differs from CP")
 	}
 }
+
+// TestPlanRecordsCoverAllBlockedOperators asserts that estimated-vs-actual
+// plan tracking is not a matmult-only feature: every blocked operator class —
+// cellwise binary, unary, row/column and full aggregates, transpose — leaves
+// a record with the compiler's estimate next to the actual output bytes.
+func TestPlanRecordsCoverAllBlockedOperators(t *testing.T) {
+	x := matrix.RandUniform(64, 64, -1, 1, 1.0, 5001) // 32 KB
+	inputs := map[string]any{"X": x}
+	script := `a = X + X
+b = abs(a)
+c = t(b)
+r = rowSums(c)
+s = sum(b)`
+	_, stats, err := plannerEngine(8*1024).Execute(script, inputs, []string{"r", "s"})
+	if err != nil {
+		t.Fatalf("execution failed: %v", err)
+	}
+	for _, op := range []string{"+", "abs", "r'", "rowSums", "sum"} {
+		rec, ok := planOf(stats, op)
+		if !ok {
+			t.Errorf("no plan record for blocked operator %q", op)
+			continue
+		}
+		if rec.ActualBytes <= 0 {
+			t.Errorf("%q record has actual bytes %d, want > 0", op, rec.ActualBytes)
+		}
+		if rec.EstBytes <= 0 {
+			t.Errorf("%q record has estimated bytes %d, want a known compile-time estimate", op, rec.EstBytes)
+		}
+	}
+}

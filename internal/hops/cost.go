@@ -34,6 +34,9 @@ type PlannerParams struct {
 	// Blocksize is the block side length of the blocked backend, needed to
 	// derive grid dimensions for the matmult strategy costs.
 	Blocksize int
+	// CompressionEnabled allows the planner to fire compression decision
+	// sites (KindCompress hops planted by the compiler before reuse scopes).
+	CompressionEnabled bool
 }
 
 // Cost is the estimated execution cost of one HOP under its chosen plan.
@@ -161,6 +164,60 @@ func estimateFLOPs(h *Hop) float64 {
 	}
 }
 
+// Compression decision-site constants. The HOP-level site decides *where*
+// compression is worth attempting (a loop or recompile scope re-reads a
+// sufficiently large operand, so the one-time encode amortizes); whether the
+// data actually compresses is decided at runtime by the sample-based planner
+// in internal/compress (which rejects ratios below its threshold). Both
+// halves are deliberately cheap to be wrong about: a fired site on
+// incompressible data costs one rejected sampling pass, an unfired site on
+// compressible data just keeps today's behavior.
+const (
+	// CompressMinBytes is the smallest operand worth a compression attempt;
+	// below it the sampling pass costs more than the encoding can save.
+	CompressMinBytes = int64(1) << 18 // 256 KB
+	// compressEncodeFactor models the one-time encode cost in passes over the
+	// input (sampling plus dictionary/run construction).
+	compressEncodeFactor = 1.5
+	// compressAssumedRatio is the conservative compression ratio assumed
+	// before sampling, aligned with the runtime planner's acceptance
+	// threshold (compress.DefaultMinRatio adds headroom above 1).
+	compressAssumedRatio = 2.0
+	// CompressAssumedLoopTrips is the trip count assumed for loops whose
+	// bounds are unknown at compile time, multiplying the per-iteration read
+	// count into the site's reuse estimate.
+	CompressAssumedLoopTrips = 10
+)
+
+// ShouldCompress is the compile-time half of the compression decision: fire
+// the site when the operand is known to be large enough and the modeled
+// savings of the reuse scope (reuse re-reads at the assumed ratio) cover the
+// one-time encode cost. Unknown sizes keep the site armed — the block is
+// recompile-relevant, so the decision is re-derived against live sizes.
+func ShouldCompress(h *Hop, p PlannerParams) bool {
+	if !p.CompressionEnabled || h.Kind != KindCompress || len(h.Inputs) != 1 {
+		return false
+	}
+	in := h.Inputs[0]
+	if in.DataType == types.Scalar || in.DataType == types.Frame {
+		return false
+	}
+	size := types.EstimateSize(in.DC)
+	if size < 0 {
+		return true
+	}
+	if size < CompressMinBytes {
+		return false
+	}
+	reuse := h.CompressReuse
+	if reuse < 1 {
+		reuse = 1
+	}
+	encodeCost := float64(size) * compressEncodeFactor
+	saved := float64(reuse) * float64(size) * (1 - 1/compressAssumedRatio)
+	return saved >= encodeCost
+}
+
 // distEligibleKinds are the operator kinds the blocked backend implements;
 // everything else always runs in CP.
 func distEligible(h *Hop) bool {
@@ -169,6 +226,10 @@ func distEligible(h *Hop) bool {
 		return true
 	case KindNary:
 		return h.Op == "rbind" || h.Op == "cbind"
+	case KindDataGen:
+		// rand/seq above the budget generate blocked partitions directly
+		// instead of materializing a huge local matrix and repartitioning it
+		return h.Op == "rand" || h.Op == "seq"
 	}
 	return false
 }
@@ -194,7 +255,90 @@ func WouldRunDist(h *Hop, p PlannerParams) bool {
 // unknown still re-plans against live sizes.
 func PlanRelevantUnknown(h *Hop) bool {
 	return h.MemEstimate < 0 &&
-		(distEligible(h) || h.Kind == KindMMChain || h.Kind == KindFusedAgg)
+		(distEligible(h) || h.Kind == KindMMChain || h.Kind == KindFusedAgg ||
+			h.Kind == KindCompress)
+}
+
+// --- cellwise nnz upper bounds ----------------------------------------------
+//
+// Worst-case dense output estimates over-provision sparse chains: a chain of
+// cellwise operators over sparse operands was priced as if every intermediate
+// were dense, inflating memory estimates and pushing operators over the
+// budget gate for no reason. The bounds below propagate a simple nnz upper
+// bound by operator class; they are deliberately conservative (an upper
+// bound, never an exact count) so the budget gate errs on the safe side.
+
+// zeroAnnihilating lists binary ops whose output cell is zero whenever either
+// input cell is zero: nnz(out) <= min(nnz(a), nnz(b)).
+var zeroAnnihilating = map[string]bool{"*": true, "&": true}
+
+// zeroPreserving lists binary ops whose output cell is zero whenever both
+// input cells are zero: nnz(out) <= nnz(a) + nnz(b). (Comparisons, division
+// and power are excluded: 0==0, 0/0 and 0^0 produce non-zeros from zero
+// pairs.)
+var zeroPreserving = map[string]bool{"+": true, "-": true, "|": true, "min": true, "max": true}
+
+// zeroPreservingUnary lists unary ops with f(0) == 0, which keep the input's
+// nnz as an upper bound.
+var zeroPreservingUnary = map[string]bool{
+	"uminus": true, "abs": true, "sqrt": true, "round": true, "floor": true,
+	"ceil": true, "sign": true, "sin": true, "tan": true,
+}
+
+// CellwiseNNZBound returns an nnz upper bound for a cell-wise binary operator
+// over two matrices of identical shape, or -1 when no bound is known (unknown
+// input nnz, broadcasting shapes, or an op that creates non-zeros from zero
+// pairs).
+func CellwiseNNZBound(op string, a, b types.DataCharacteristics) int64 {
+	if !a.NNZKnown() || !b.NNZKnown() || a.Rows != b.Rows || a.Cols != b.Cols {
+		return -1
+	}
+	switch {
+	case zeroAnnihilating[op]:
+		return min(a.NNZ, b.NNZ)
+	case zeroPreserving[op]:
+		return min(a.NNZ+b.NNZ, a.Cells())
+	}
+	return -1
+}
+
+// ScalarNNZBound returns an nnz upper bound for a matrix-scalar cellwise
+// operator when the scalar value is a compile-time literal, or -1.
+// matrixLeft reports the operand order: x/s and x^s preserve zeros, while
+// s/x and s^x turn zero cells into non-zeros (Inf, NaN, 1) and get no bound.
+func ScalarNNZBound(op string, m types.DataCharacteristics, scalar float64, matrixLeft bool) int64 {
+	if !m.NNZKnown() {
+		return -1
+	}
+	switch op {
+	case "*":
+		if scalar == 0 {
+			return 0
+		}
+		return m.NNZ
+	case "/":
+		if matrixLeft && scalar != 0 {
+			return m.NNZ
+		}
+	case "^":
+		if matrixLeft && scalar > 0 {
+			return m.NNZ
+		}
+	case "+", "-":
+		if scalar == 0 {
+			return m.NNZ
+		}
+	}
+	return -1
+}
+
+// UnaryNNZBound returns an nnz upper bound for a cell-wise unary operator, or
+// -1 when the op can turn zeros into non-zeros.
+func UnaryNNZBound(op string, in types.DataCharacteristics) int64 {
+	if !in.NNZKnown() || !zeroPreservingUnary[op] {
+		return -1
+	}
+	return in.NNZ
 }
 
 // gridDim returns ceil(n/blocksize) for a known dimension.
@@ -320,6 +464,12 @@ func Plan(d *DAG, p PlannerParams) {
 		h.ExecType = types.ExecCP
 		h.MMPlan = types.MMAuto
 		h.CostEst = EstimateCost(h)
+		if h.Kind == KindCompress {
+			// compression sites always execute in CP; the decision is whether
+			// they lower to a compress instruction or to a no-op alias
+			h.CompressFire = ShouldCompress(h, p)
+			continue
+		}
 		if !WouldRunDist(h, p) {
 			// CP is feasible (or forced by unknown sizes / disabled backend):
 			// CP touches the operands exactly once with no partition or
@@ -345,6 +495,14 @@ func Plan(d *DAG, p PlannerParams) {
 // PlanString renders the physical plan annotation of a HOP ("CP", "DIST", or
 // "DIST:sh" for distributed matmults with a chosen strategy).
 func (h *Hop) PlanString() string {
+	if h.Kind == KindCompress {
+		// surface the fire/no-fire decision so a user can audit why a loop
+		// operand did or did not compress
+		if h.CompressFire {
+			return fmt.Sprintf("%s:compress", h.ExecType)
+		}
+		return fmt.Sprintf("%s:nocompress", h.ExecType)
+	}
 	if h.ExecType != types.ExecDist {
 		return h.ExecType.String()
 	}

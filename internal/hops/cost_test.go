@@ -180,3 +180,153 @@ func TestPlanRelevantUnknown(t *testing.T) {
 		t.Errorf("known-size matmult must not trigger recompilation")
 	}
 }
+
+// --- cellwise nnz bounds -----------------------------------------------------
+
+func TestCellwiseNNZBounds(t *testing.T) {
+	a := types.NewDataCharacteristics(100, 100, types.DefaultBlocksize, 500)
+	b := types.NewDataCharacteristics(100, 100, types.DefaultBlocksize, 300)
+	if got := CellwiseNNZBound("*", a, b); got != 300 {
+		t.Errorf("* bound = %d, want min(nnz) = 300", got)
+	}
+	if got := CellwiseNNZBound("+", a, b); got != 800 {
+		t.Errorf("+ bound = %d, want sum(nnz) = 800", got)
+	}
+	// the sum bound caps at the cell count
+	dense := types.NewDataCharacteristics(10, 10, types.DefaultBlocksize, 90)
+	if got := CellwiseNNZBound("+", dense, dense); got != 100 {
+		t.Errorf("+ bound = %d, want capped at 100 cells", got)
+	}
+	// comparisons create non-zeros from zero pairs: no bound
+	if got := CellwiseNNZBound("==", a, b); got != -1 {
+		t.Errorf("== bound = %d, want -1", got)
+	}
+	// broadcasting shapes get no bound
+	vec := types.NewDataCharacteristics(100, 1, types.DefaultBlocksize, 50)
+	if got := CellwiseNNZBound("*", a, vec); got != -1 {
+		t.Errorf("broadcast bound = %d, want -1", got)
+	}
+	// unknown input nnz gets no bound
+	unk := types.NewDataCharacteristics(100, 100, types.DefaultBlocksize, -1)
+	if got := CellwiseNNZBound("*", a, unk); got != -1 {
+		t.Errorf("unknown-nnz bound = %d, want -1", got)
+	}
+}
+
+func TestScalarNNZBounds(t *testing.T) {
+	m := types.NewDataCharacteristics(100, 100, types.DefaultBlocksize, 500)
+	if got := ScalarNNZBound("*", m, 2.5, true); got != 500 {
+		t.Errorf("X*2.5 bound = %d, want 500", got)
+	}
+	if got := ScalarNNZBound("*", m, 0, true); got != 0 {
+		t.Errorf("X*0 bound = %d, want 0", got)
+	}
+	if got := ScalarNNZBound("/", m, 2, true); got != 500 {
+		t.Errorf("X/2 bound = %d, want 500", got)
+	}
+	// s/X turns zeros into Inf: no bound
+	if got := ScalarNNZBound("/", m, 2, false); got != -1 {
+		t.Errorf("2/X bound = %d, want -1", got)
+	}
+	// s^X: 2^0 = 1 is dense
+	if got := ScalarNNZBound("^", m, 2, false); got != -1 {
+		t.Errorf("2^X bound = %d, want -1", got)
+	}
+	if got := ScalarNNZBound("+", m, 0, true); got != 500 {
+		t.Errorf("X+0 bound = %d, want 500", got)
+	}
+	if got := ScalarNNZBound("+", m, 1, true); got != -1 {
+		t.Errorf("X+1 bound = %d, want -1 (dense)", got)
+	}
+}
+
+func TestUnaryNNZBounds(t *testing.T) {
+	m := types.NewDataCharacteristics(100, 100, types.DefaultBlocksize, 500)
+	if got := UnaryNNZBound("abs", m); got != 500 {
+		t.Errorf("abs bound = %d, want 500", got)
+	}
+	if got := UnaryNNZBound("exp", m); got != -1 {
+		t.Errorf("exp bound = %d, want -1 (exp(0)=1 is dense)", got)
+	}
+}
+
+// TestSparseChainMemEstimate asserts the satellite's goal end to end: a
+// cellwise multiply of two sparse operands no longer carries a worst-case
+// dense estimate, so a sparse chain stops over-provisioning the budget gate.
+func TestSparseChainMemEstimate(t *testing.T) {
+	sparse := types.NewDataCharacteristics(1000, 1000, types.DefaultBlocksize, 10000) // 1% nnz
+	a, b := NewRead("a", types.Matrix), NewRead("b", types.Matrix)
+	mul := NewHop(KindBinary, "*", a, b)
+	mul.DataType = types.Matrix
+	d := &DAG{Roots: []*Hop{NewWrite("y", mul)}}
+	PropagateSizes(d, map[string]types.DataCharacteristics{"a": sparse, "b": sparse})
+	if mul.DC.NNZ != 10000 {
+		t.Errorf("output nnz bound = %d, want 10000", mul.DC.NNZ)
+	}
+	denseBytes := types.EstimateSizeDense(1000, 1000)
+	if mul.MemEstimate >= 2*denseBytes {
+		t.Errorf("sparse chain estimate %d not below worst-case dense %d", mul.MemEstimate, 2*denseBytes)
+	}
+}
+
+// --- compression decision site ----------------------------------------------
+
+func TestShouldCompressFireAndNoFire(t *testing.T) {
+	params := PlannerParams{MemBudget: 2 << 30, CompressionEnabled: true}
+	site := func(rows, cols int64, reuse int) *Hop {
+		in := NewRead("X", types.Matrix)
+		in.DC = types.NewDataCharacteristics(rows, cols, types.DefaultBlocksize, -1)
+		h := NewHop(KindCompress, "compress", in)
+		h.DataType = types.Matrix
+		h.CompressReuse = reuse
+		return h
+	}
+	// large operand, loop-scale reuse: fire
+	if !ShouldCompress(site(2000, 200, 20), params) {
+		t.Errorf("large re-read operand should fire")
+	}
+	// below the size floor: never fire regardless of reuse
+	if ShouldCompress(site(100, 20, 100), params) {
+		t.Errorf("operand below CompressMinBytes should not fire")
+	}
+	// single-read operand: the encode pass cannot amortize
+	if ShouldCompress(site(2000, 200, 1), params) {
+		t.Errorf("single-use operand should not fire")
+	}
+	// unknown size: stay armed, recompilation re-decides
+	unk := site(-1, -1, 20)
+	unk.Inputs[0].DC = types.UnknownCharacteristics()
+	if !ShouldCompress(unk, params) {
+		t.Errorf("unknown-size site should stay armed for recompilation")
+	}
+	if !PlanRelevantUnknown(&Hop{Kind: KindCompress, MemEstimate: -1}) {
+		t.Errorf("unknown compress site must be recompile-relevant")
+	}
+	// compression disabled: never fire
+	if ShouldCompress(site(2000, 200, 20), PlannerParams{MemBudget: 2 << 30}) {
+		t.Errorf("disabled compression should not fire")
+	}
+}
+
+// TestPlanSetsCompressFire asserts the planner pass annotates the decision on
+// the HOP, mirroring the matmult-strategy annotation flow.
+func TestPlanSetsCompressFire(t *testing.T) {
+	in := NewRead("X", types.Matrix)
+	in.DC = types.NewDataCharacteristics(2000, 200, types.DefaultBlocksize, -1)
+	h := NewHop(KindCompress, "compress", in)
+	h.DataType = types.Matrix
+	h.CompressReuse = 20
+	d := &DAG{Roots: []*Hop{NewWrite("X", h)}}
+	PropagateSizes(d, nil)
+	Plan(d, PlannerParams{MemBudget: 2 << 30, CompressionEnabled: true})
+	if !h.CompressFire {
+		t.Errorf("planner did not fire the compression site")
+	}
+	if h.ExecType != types.ExecCP {
+		t.Errorf("compression site exec type = %s, want CP", h.ExecType)
+	}
+	Plan(d, PlannerParams{MemBudget: 2 << 30})
+	if h.CompressFire {
+		t.Errorf("planner fired with compression disabled")
+	}
+}

@@ -39,6 +39,7 @@ const (
 	KindWrite                    // transient write of a variable (DAG output)
 	KindMMChain                  // fused t(X)%*%(X%*%v) / t(X)%*%(w*(X%*%v))
 	KindFusedAgg                 // fused cellwise pipeline under an aggregate
+	KindCompress                 // compression decision site before a reuse scope
 )
 
 var kindNames = map[Kind]string{
@@ -47,7 +48,7 @@ var kindNames = map[Kind]string{
 	KindIndexing: "RightIndex", KindLeftIndex: "LeftIndex", KindDataGen: "DataGen",
 	KindNary: "Nary", KindTernary: "Ternary", KindParamBuiltin: "ParamBuiltin",
 	KindFunctionCall: "FCall", KindCast: "Cast", KindWrite: "TWrite",
-	KindMMChain: "MMChain", KindFusedAgg: "FusedAgg",
+	KindMMChain: "MMChain", KindFusedAgg: "FusedAgg", KindCompress: "Compress",
 }
 
 // String returns the kind name.
@@ -96,6 +97,14 @@ type Hop struct {
 	// FusedAgg carries the cell program of a fused cellwise-aggregate
 	// pipeline (valid when Kind == KindFusedAgg); set by FuseOperators.
 	FusedAgg *FusedAggPlan
+
+	// CompressReuse estimates how often the reuse scope behind a compression
+	// decision site (Kind == KindCompress) re-reads the operand; set by the
+	// compiler from the loop body's read count.
+	CompressReuse int
+	// CompressFire is the planner's decision for a compression site: lower to
+	// a compress instruction (true) or to a no-op alias (false). Set by Plan.
+	CompressFire bool
 }
 
 // NewHop creates a HOP with a fresh ID.

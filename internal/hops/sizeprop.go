@@ -42,12 +42,13 @@ func propagate(h *Hop, known map[string]types.DataCharacteristics) {
 			switch {
 			case a.IsMatrix() && b.IsMatrix():
 				h.DC = combineBinary(a.DC, b.DC)
+				h.DC.NNZ = CellwiseNNZBound(h.Op, a.DC, b.DC)
 			case a.IsMatrix():
 				h.DC = a.DC
-				h.DC.NNZ = -1
+				h.DC.NNZ = scalarOperandNNZBound(h.Op, a.DC, b, true)
 			case b.IsMatrix():
 				h.DC = b.DC
-				h.DC.NNZ = -1
+				h.DC.NNZ = scalarOperandNNZBound(h.Op, b.DC, a, false)
 			default:
 				h.DC = types.NewDataCharacteristics(0, 0, 0, 0)
 			}
@@ -56,10 +57,16 @@ func propagate(h *Hop, known map[string]types.DataCharacteristics) {
 		if len(h.Inputs) == 1 {
 			h.DC = h.Inputs[0].DC
 			if h.DataType == types.Matrix {
-				h.DC.NNZ = -1
+				h.DC.NNZ = UnaryNNZBound(h.Op, h.Inputs[0].DC)
 			} else {
 				h.DC = types.NewDataCharacteristics(0, 0, 0, 0)
 			}
+		}
+	case KindCompress:
+		// a compression site is representation-only: dimensions, sparsity and
+		// values pass through untouched
+		if len(h.Inputs) == 1 {
+			h.DC = h.Inputs[0].DC
 		}
 	case KindAggUnary:
 		if len(h.Inputs) == 1 {
@@ -225,6 +232,16 @@ func propagate(h *Hop, known map[string]types.DataCharacteristics) {
 	case KindParamBuiltin, KindFunctionCall:
 		h.DC = types.UnknownCharacteristics()
 	}
+}
+
+// scalarOperandNNZBound derives the matrix-scalar nnz bound when the scalar
+// side is a compile-time numeric literal (the only case where the value, and
+// therefore its zero-behavior, is known).
+func scalarOperandNNZBound(op string, m types.DataCharacteristics, scalar *Hop, matrixLeft bool) int64 {
+	if !scalar.IsLiteralNumber() {
+		return -1
+	}
+	return ScalarNNZBound(op, m, scalar.LitValue, matrixLeft)
 }
 
 func combineBinary(a, b types.DataCharacteristics) types.DataCharacteristics {

@@ -35,11 +35,14 @@ type BinaryInst struct {
 	// BlockedOut keeps the result in blocked representation (set by the
 	// compiler when a downstream consumer is also a Dist operator).
 	BlockedOut bool
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// recorded next to the actual bytes when the operator runs blocked.
+	EstBytes int64
 }
 
 // NewBinary creates a binary instruction.
 func NewBinary(op string, out string, left, right Operand) *BinaryInst {
-	inst := &BinaryInst{Left: left, Right: right}
+	inst := &BinaryInst{Left: left, Right: right, EstBytes: -1}
 	inst.base = newBase(op, []string{out}, "", left, right)
 	return inst
 }
@@ -70,6 +73,9 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		ctx.Set(i.outs[0], scalarResult(i.opcode, res))
 		return nil
 	case lIsScalar && !rIsScalar:
+		if co, ok := resolveCompressed(r); ok {
+			return i.executeCompressedScalar(ctx, co, op, ls.Float64(), true)
+		}
 		if useDist(ctx, i.ExecType, r) {
 			bm, err := resolveBlockedData(ctx, r, i.Right)
 			if err != nil {
@@ -79,7 +85,7 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 			if err != nil {
 				return err
 			}
-			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
 		rb, err := i.Right.MatrixBlock(ctx)
 		if err != nil {
@@ -88,6 +94,9 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(rb, ls.Float64(), op, true, ctx.Config.Threads()))
 		return nil
 	case !lIsScalar && rIsScalar:
+		if co, ok := resolveCompressed(l); ok {
+			return i.executeCompressedScalar(ctx, co, op, rs.Float64(), false)
+		}
 		if useDist(ctx, i.ExecType, l) {
 			bm, err := resolveBlockedData(ctx, l, i.Left)
 			if err != nil {
@@ -97,7 +106,7 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 			if err != nil {
 				return err
 			}
-			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
 		lb, err := i.Left.MatrixBlock(ctx)
 		if err != nil {
@@ -149,6 +158,24 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 	}
 }
 
+// executeCompressedScalar applies a matrix-scalar operation to a compressed
+// matrix as a dictionary-only update: every distinct value is rewritten once,
+// the per-row encoding is untouched. swap marks a scalar left operand.
+func (i *BinaryInst) executeCompressedScalar(ctx *runtime.Context, co *runtime.CompressedMatrixObject,
+	op matrix.BinaryOp, scalar float64, swap bool) error {
+	cm, err := co.Compressed()
+	if err != nil {
+		return err
+	}
+	fn := func(x float64) float64 { return op.Apply(x, scalar) }
+	if swap {
+		fn = func(x float64) float64 { return op.Apply(scalar, x) }
+	}
+	ctx.CountCompressedOp()
+	ctx.SetCompressed(i.outs[0], cm.MapValues(fn, ctx.Config.Threads()))
+	return nil
+}
+
 func (i *BinaryInst) executeStringScalar(ctx *runtime.Context, l, r *runtime.Scalar) error {
 	switch i.opcode {
 	case "+":
@@ -174,7 +201,7 @@ func (i *BinaryInst) executeDistributed(ctx *runtime.Context, op matrix.BinaryOp
 	if err != nil {
 		return err
 	}
-	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 }
 
 // executeDistributedVector runs a matrix±vector broadcast on the blocked
@@ -194,7 +221,7 @@ func (i *BinaryInst) executeDistributedVector(ctx *runtime.Context, op matrix.Bi
 	if err != nil {
 		return err
 	}
-	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 }
 
 // scalarResult wraps a numeric result, using boolean scalars for comparison

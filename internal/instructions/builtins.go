@@ -113,7 +113,8 @@ func (i *CastInst) Execute(ctx *runtime.Context) error {
 		switch v := d.(type) {
 		case *runtime.Scalar:
 			ctx.Set(i.outs[0], v)
-		case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+		case *runtime.MatrixObject, *runtime.BlockedMatrixObject,
+			*runtime.CompressedMatrixObject, *runtime.TransposedCompressedObject:
 			blk, err := i.In.MatrixBlock(ctx)
 			if err != nil {
 				return err
@@ -130,6 +131,10 @@ func (i *CastInst) Execute(ctx *runtime.Context) error {
 		case *runtime.MatrixObject:
 			ctx.Set(i.outs[0], v)
 		case *runtime.BlockedMatrixObject:
+			ctx.Set(i.outs[0], v)
+		case *runtime.CompressedMatrixObject, *runtime.TransposedCompressedObject:
+			// as.matrix of a compressed value is the value itself: keep the
+			// compressed representation, consumers dispatch as usual
 			ctx.Set(i.outs[0], v)
 		case *runtime.Scalar:
 			m := matrix.NewDense(1, 1)
@@ -445,6 +450,18 @@ func resolveFrame(ctx *runtime.Context, op Operand) (*frame.FrameBlock, error) {
 		return frame.FromMatrix(blk), nil
 	case *runtime.BlockedMatrixObject:
 		blk, err := v.Collect()
+		if err != nil {
+			return nil, err
+		}
+		return frame.FromMatrix(blk), nil
+	case *runtime.CompressedMatrixObject:
+		blk, err := v.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		return frame.FromMatrix(blk), nil
+	case *runtime.TransposedCompressedObject:
+		blk, err := v.Materialize()
 		if err != nil {
 			return nil, err
 		}

@@ -57,8 +57,10 @@ func (i *PrintInst) Execute(ctx *runtime.Context) error {
 	switch v := d.(type) {
 	case *runtime.Scalar:
 		fmt.Fprintln(ctx.Out, v.StringValue())
-	case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
-		// sinks acquire local matrices and lazily collect blocked ones
+	case *runtime.MatrixObject, *runtime.BlockedMatrixObject,
+		*runtime.CompressedMatrixObject, *runtime.TransposedCompressedObject:
+		// sinks acquire local matrices, lazily collect blocked ones and
+		// transparently decompress compressed ones
 		blk, err := i.In.MatrixBlock(ctx)
 		if err != nil {
 			return err
@@ -225,8 +227,10 @@ func (i *WriteInst) Execute(ctx *runtime.Context) error {
 		return err
 	}
 	switch v := d.(type) {
-	case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
-		// sinks acquire local matrices and lazily collect blocked ones
+	case *runtime.MatrixObject, *runtime.BlockedMatrixObject,
+		*runtime.CompressedMatrixObject, *runtime.TransposedCompressedObject:
+		// sinks acquire local matrices, lazily collect blocked ones and
+		// transparently decompress compressed ones
 		blk, err := i.In.MatrixBlock(ctx)
 		if err != nil {
 			return err

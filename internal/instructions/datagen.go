@@ -3,15 +3,27 @@ package instructions
 import (
 	"fmt"
 
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
 )
 
 // DataGenInst generates matrices: rand (uniform or normal), seq, and fill
-// (the matrix(value, rows, cols) constructor).
+// (the matrix(value, rows, cols) constructor). rand/seq planned for the
+// blocked backend generate the partitions directly — block by block, with
+// per-block derived seeds — so a huge generated matrix never materializes as
+// one local allocation just to be cut apart again.
 type DataGenInst struct {
 	base
 	Kind string // "rand", "seq", "fill", "sample"
+	// ExecType selects blocked generation for outputs above the dist budget.
+	ExecType types.ExecType
+	// BlockedOut keeps the generated result in blocked representation.
+	BlockedOut bool
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// recorded next to the actual bytes when the operator runs blocked.
+	EstBytes int64
 	// rand parameters
 	Rows, Cols         Operand
 	Min, Max, Sparsity Operand
@@ -28,14 +40,14 @@ type DataGenInst struct {
 
 // NewRand creates a rand data generation instruction.
 func NewRand(out string, rows, cols, minV, maxV, sparsity, pdf, seed Operand) *DataGenInst {
-	inst := &DataGenInst{Kind: "rand", Rows: rows, Cols: cols, Min: minV, Max: maxV, Sparsity: sparsity, PDF: pdf, Seed: seed}
+	inst := &DataGenInst{Kind: "rand", Rows: rows, Cols: cols, Min: minV, Max: maxV, Sparsity: sparsity, PDF: pdf, Seed: seed, EstBytes: -1}
 	inst.base = newBase("rand", []string{out}, "", rows, cols, minV, maxV, sparsity, pdf, seed)
 	return inst
 }
 
 // NewSeq creates a seq data generation instruction.
 func NewSeq(out string, from, to, incr Operand) *DataGenInst {
-	inst := &DataGenInst{Kind: "seq", From: from, To: to, Incr: incr}
+	inst := &DataGenInst{Kind: "seq", From: from, To: to, Incr: incr, EstBytes: -1}
 	inst.base = newBase("seq", []string{out}, "", from, to, incr)
 	return inst
 }
@@ -90,6 +102,9 @@ func (i *DataGenInst) Execute(ctx *runtime.Context) error {
 		if seed < 0 {
 			seed = 42
 		}
+		if i.ExecType == types.ExecDist && ctx.Config.DistEnabled {
+			return i.generateBlockedRand(ctx, rows, cols, minV, maxV, sp, pdf, seed)
+		}
 		var m *matrix.MatrixBlock
 		if pdf == "normal" {
 			m = matrix.RandNormal(rows, cols, sp, seed)
@@ -116,6 +131,9 @@ func (i *DataGenInst) Execute(ctx *runtime.Context) error {
 		}
 		if to < from && incr > 0 {
 			incr = -incr
+		}
+		if i.ExecType == types.ExecDist && ctx.Config.DistEnabled {
+			return i.generateBlockedSeq(ctx, from, to, incr)
 		}
 		ctx.SetMatrix(i.outs[0], matrix.Seq(from, to, incr))
 		return nil
@@ -163,4 +181,66 @@ func (i *DataGenInst) Execute(ctx *runtime.Context) error {
 	default:
 		return fmt.Errorf("instructions: unknown datagen kind %q", i.Kind)
 	}
+}
+
+// mixSeed derives a per-block seed from the root seed and the block index
+// with a splitmix64-style finalizer, so block streams are decorrelated and
+// the blocked generation stays deterministic for a given root seed.
+func mixSeed(seed int64, idx int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// generateBlockedRand builds the blocked matrix partition-by-partition: each
+// block is generated with its own derived seed and boundary-clipped shape, so
+// the full matrix never exists as one local allocation and no repartition is
+// ever paid (DistStats.Partitions stays untouched).
+func (i *DataGenInst) generateBlockedRand(ctx *runtime.Context, rows, cols int, minV, maxV, sp float64, pdf string, seed int64) error {
+	bs := ctx.Config.DistBlocksize
+	if bs <= 0 {
+		bs = types.DefaultBlocksize
+	}
+	bm := &dist.BlockedMatrix{Rows: rows, Cols: cols, Blocksize: bs}
+	gr, gc := bm.GridRows(), bm.GridCols()
+	bm.Blocks = make([]*matrix.MatrixBlock, gr*gc)
+	for bi := 0; bi < gr; bi++ {
+		for bj := 0; bj < gc; bj++ {
+			idx := bi*gc + bj
+			br := min(bs, rows-bi*bs)
+			bc := min(bs, cols-bj*bs)
+			if pdf == "normal" {
+				bm.Blocks[idx] = matrix.RandNormal(br, bc, sp, mixSeed(seed, idx))
+			} else {
+				bm.Blocks[idx] = matrix.RandUniform(br, bc, minV, maxV, sp, mixSeed(seed, idx))
+			}
+		}
+	}
+	return bindBlockedResult(ctx, i.outs[0], bm, i.BlockedOut, i.opcode, "dist", i.EstBytes)
+}
+
+// generateBlockedSeq streams the sequence straight into its blocks with the
+// same accumulation the local kernel uses, so the blocked result is bitwise
+// identical to matrix.Seq without ever materializing the full vector.
+func (i *DataGenInst) generateBlockedSeq(ctx *runtime.Context, from, to, incr float64) error {
+	bs := ctx.Config.DistBlocksize
+	if bs <= 0 {
+		bs = types.DefaultBlocksize
+	}
+	n := matrix.SeqLength(from, to, incr)
+	bm := &dist.BlockedMatrix{Rows: n, Cols: 1, Blocksize: bs}
+	gr := bm.GridRows()
+	bm.Blocks = make([]*matrix.MatrixBlock, gr)
+	v := from
+	for bi := 0; bi < gr; bi++ {
+		br := min(bs, n-bi*bs)
+		blk := matrix.NewDense(br, 1)
+		for r := 0; r < br; r++ {
+			blk.Set(r, 0, v)
+			v += incr
+		}
+		bm.Blocks[bi] = blk
+	}
+	return bindBlockedResult(ctx, i.outs[0], bm, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 }

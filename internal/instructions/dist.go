@@ -93,9 +93,14 @@ func resolveBlockedPair(ctx *runtime.Context, a, b Operand) (*dist.BlockedMatrix
 
 // bindBlockedResult binds the result of a blocked operator: as a first-class
 // blocked object when the compiler marked the output as staying blocked, or
-// eagerly collected into a local matrix when every consumer runs in CP.
-func bindBlockedResult(ctx *runtime.Context, name string, bm *dist.BlockedMatrix, keepBlocked bool) error {
+// eagerly collected into a local matrix when every consumer runs in CP. Every
+// blocked operator records a plan entry (opcode, plan string, estimated vs
+// actual output bytes), so estimated-vs-actual tracking covers the whole
+// blocked instruction set, not just matmults.
+func bindBlockedResult(ctx *runtime.Context, name string, bm *dist.BlockedMatrix, keepBlocked bool,
+	op, plan string, estBytes int64) error {
 	ctx.CountBlockedOp()
+	ctx.RecordPlan(op, plan, estBytes, bm.InMemorySize())
 	if keepBlocked {
 		ctx.SetBlocked(name, bm)
 		return nil
@@ -117,6 +122,12 @@ func matrixDims(d runtime.Data) (rows, cols int64, ok bool) {
 		dc := v.DataCharacteristics()
 		return dc.Rows, dc.Cols, true
 	case *runtime.BlockedMatrixObject:
+		dc := v.DataCharacteristics()
+		return dc.Rows, dc.Cols, true
+	case *runtime.CompressedMatrixObject:
+		dc := v.DataCharacteristics()
+		return dc.Rows, dc.Cols, true
+	case *runtime.TransposedCompressedObject:
 		dc := v.DataCharacteristics()
 		return dc.Rows, dc.Cols, true
 	}

@@ -31,10 +31,6 @@ func NewMMChain(out string, x, v, w Operand, weighted bool) *MMChainInst {
 
 // Execute implements runtime.Instruction.
 func (i *MMChainInst) Execute(ctx *runtime.Context) error {
-	xb, err := i.X.MatrixBlock(ctx)
-	if err != nil {
-		return err
-	}
 	vb, err := i.V.MatrixBlock(ctx)
 	if err != nil {
 		return err
@@ -44,6 +40,29 @@ func (i *MMChainInst) Execute(ctx *runtime.Context) error {
 		if wb, err = i.W.MatrixBlock(ctx); err != nil {
 			return err
 		}
+	}
+	// the chain over a compressed X runs both passes directly on the column
+	// groups — the hot gradient step of iterative algorithms never
+	// decompresses
+	if xd, err := i.X.Resolve(ctx); err == nil {
+		if co, ok := resolveCompressed(xd); ok {
+			cm, err := co.Compressed()
+			if err != nil {
+				return err
+			}
+			res, err := cm.MMChain(vb, wb, ctx.Config.Threads())
+			if err != nil {
+				return fmt.Errorf("instructions: compressed mmchain: %w", err)
+			}
+			ctx.CountCompressedOp()
+			ctx.CountMMChain()
+			ctx.SetMatrix(i.outs[0], res)
+			return nil
+		}
+	}
+	xb, err := i.X.MatrixBlock(ctx)
+	if err != nil {
+		return err
 	}
 	res, err := matrix.MMChain(xb, vb, wb, ctx.Config.Threads())
 	if err != nil {

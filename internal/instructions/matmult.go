@@ -81,6 +81,12 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 		return nil
 	}
 	threads := ctx.Config.Threads()
+	// compressed paths: the hot MV/VM products of iterative algorithms run
+	// directly on the compressed representation; any other shape combination
+	// falls through and decompresses transparently (counted)
+	if done, err := i.executeCompressed(ctx, l, r, threads); done {
+		return err
+	}
 	if useDist(ctx, i.ExecType, l, r) {
 		return i.executeDistributed(ctx, l, r, threads)
 	}
@@ -103,6 +109,84 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 	}
 	ctx.SetMatrix(i.outs[0], res)
 	return nil
+}
+
+// executeCompressed runs matrix multiplications with a compressed operand
+// directly on the column groups when the shape is one of the kernels CLA
+// pre-aggregates: X %*% v (matrix-vector), t(X) %*% v on the lazy transpose
+// marker, and u %*% X (vector-matrix). It reports whether it handled the
+// operation.
+func (i *MatMultInst) executeCompressed(ctx *runtime.Context, l, r runtime.Data, threads int) (bool, error) {
+	// X %*% v with compressed X and a column vector v
+	if co, ok := resolveCompressed(l); ok {
+		if _, rc, rok := matrixDims(r); rok && rc == 1 {
+			cm, err := co.Compressed()
+			if err != nil {
+				return true, err
+			}
+			rb, err := i.Right.MatrixBlock(ctx)
+			if err != nil {
+				return true, err
+			}
+			res, err := cm.MatVec(rb, threads)
+			if err != nil {
+				return true, err
+			}
+			ctx.CountCompressedOp()
+			ctx.SetMatrix(i.outs[0], res)
+			return true, nil
+		}
+	}
+	// t(X) %*% v with the lazy transpose of compressed X: the vector-matrix
+	// kernel over X itself, no transpose ever materializes
+	if tc, ok := l.(*runtime.TransposedCompressedObject); ok {
+		if _, rc, rok := matrixDims(r); rok && rc == 1 {
+			cm, err := tc.Source.Compressed()
+			if err != nil {
+				return true, err
+			}
+			rb, err := i.Right.MatrixBlock(ctx)
+			if err != nil {
+				return true, err
+			}
+			rowVec, err := rb.Reshape(1, rb.Rows(), true)
+			if err != nil {
+				return true, err
+			}
+			res, err := cm.VecMat(rowVec, threads)
+			if err != nil {
+				return true, err
+			}
+			col, err := res.Reshape(res.Cols(), 1, true)
+			if err != nil {
+				return true, err
+			}
+			ctx.CountCompressedOp()
+			ctx.SetMatrix(i.outs[0], col)
+			return true, nil
+		}
+	}
+	// u %*% X with compressed X and a row vector u
+	if co, ok := resolveCompressed(r); ok {
+		if lr, _, lok := matrixDims(l); lok && lr == 1 {
+			cm, err := co.Compressed()
+			if err != nil {
+				return true, err
+			}
+			lb, err := i.Left.MatrixBlock(ctx)
+			if err != nil {
+				return true, err
+			}
+			res, err := cm.VecMat(lb, threads)
+			if err != nil {
+				return true, err
+			}
+			ctx.CountCompressedOp()
+			ctx.SetMatrix(i.outs[0], res)
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // executeDistributed runs the physical matmult plan named by the compiler on
@@ -172,8 +256,7 @@ func (i *MatMultInst) executeDistributed(ctx *runtime.Context, l, r runtime.Data
 	default:
 		return fmt.Errorf("instructions: unknown matmult strategy %s", method)
 	}
-	ctx.RecordPlan(i.opcode, method.String(), i.EstBytes, res.InMemorySize())
-	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+	return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, method.String(), i.EstBytes)
 }
 
 // lateBoundStrategy resolves a matmult without a compile-time plan by running
@@ -233,11 +316,14 @@ type TSMMInst struct {
 	base
 	In       Operand
 	ExecType types.ExecType
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// recorded next to the actual bytes when the operator runs blocked.
+	EstBytes int64
 }
 
 // NewTSMM creates a tsmm instruction.
 func NewTSMM(out string, in Operand) *TSMMInst {
-	inst := &TSMMInst{In: in}
+	inst := &TSMMInst{In: in, EstBytes: -1}
 	inst.base = newBase("tsmm", []string{out}, "", in)
 	return inst
 }
@@ -267,6 +353,7 @@ func (i *TSMMInst) Execute(ctx *runtime.Context) error {
 			return err
 		}
 		ctx.CountBlockedOp()
+		ctx.RecordPlan(i.opcode, "dist", i.EstBytes, res.InMemorySize())
 		ctx.SetMatrix(i.outs[0], res)
 		return nil
 	}

@@ -18,11 +18,14 @@ type ReorgInst struct {
 	ExecType types.ExecType
 	// BlockedOut keeps the result in blocked representation.
 	BlockedOut bool
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// recorded next to the actual bytes when the operator runs blocked.
+	EstBytes int64
 }
 
 // NewReorg creates a reorg instruction with the given opcode.
 func NewReorg(opcode, out string, in Operand) *ReorgInst {
-	inst := &ReorgInst{In: in}
+	inst := &ReorgInst{In: in, EstBytes: -1}
 	inst.base = newBase(opcode, []string{out}, "", in)
 	return inst
 }
@@ -38,6 +41,21 @@ func (i *ReorgInst) Execute(ctx *runtime.Context) error {
 		ctx.Set(i.outs[0], &TransposedFederated{Source: fo})
 		return nil
 	}
+	// transpose of a compressed matrix stays a zero-cost view: t(X) %*% v
+	// consumers run the vector-matrix kernel over the groups, and t(t(X))
+	// folds back to the source
+	if i.opcode == "r'" {
+		if co, ok := resolveCompressed(d); ok {
+			ctx.CountCompressedOp()
+			ctx.Set(i.outs[0], &runtime.TransposedCompressedObject{Source: co})
+			return nil
+		}
+		if tc, ok := d.(*runtime.TransposedCompressedObject); ok {
+			ctx.CountCompressedOp()
+			ctx.Set(i.outs[0], tc.Source)
+			return nil
+		}
+	}
 	// blocked transpose: per-block transpose with mirrored grid coordinates;
 	// other reorg ops fall back to the local kernel (collecting lazily)
 	if i.opcode == "r'" && useDist(ctx, i.ExecType, d) {
@@ -50,7 +68,7 @@ func (i *ReorgInst) Execute(ctx *runtime.Context) error {
 			if err != nil {
 				return err
 			}
-			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
 	}
 	blk, err := i.In.MatrixBlock(ctx)
@@ -82,11 +100,14 @@ type NaryInst struct {
 	ExecType types.ExecType
 	// BlockedOut keeps the result in blocked representation.
 	BlockedOut bool
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// recorded next to the actual bytes when the operator runs blocked.
+	EstBytes int64
 }
 
 // NewNary creates a cbind/rbind instruction.
 func NewNary(opcode, out string, ins ...Operand) *NaryInst {
-	inst := &NaryInst{Ins: ins}
+	inst := &NaryInst{Ins: ins, EstBytes: -1}
 	inst.base = newBase(opcode, []string{out}, "", ins...)
 	return inst
 }
@@ -162,7 +183,7 @@ func (i *NaryInst) tryDistributed(ctx *runtime.Context) error {
 			return err
 		}
 	}
-	return bindBlockedResult(ctx, i.outs[0], acc, i.BlockedOut)
+	return bindBlockedResult(ctx, i.outs[0], acc, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 }
 
 // IndexInst implements right indexing X[rl:ru, cl:cu] with 1-based inclusive

@@ -34,11 +34,14 @@ type UnaryInst struct {
 	ExecType types.ExecType
 	// BlockedOut keeps the result in blocked representation.
 	BlockedOut bool
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// recorded next to the actual bytes when the operator runs blocked.
+	EstBytes int64
 }
 
 // NewUnary creates a unary instruction.
 func NewUnary(op string, out string, in Operand) *UnaryInst {
-	inst := &UnaryInst{In: in}
+	inst := &UnaryInst{In: in, EstBytes: -1}
 	inst.base = newBase(op, []string{out}, "", in)
 	return inst
 }
@@ -62,7 +65,17 @@ func (i *UnaryInst) Execute(ctx *runtime.Context) error {
 			ctx.Set(i.outs[0], runtime.NewDouble(res))
 		}
 		return nil
-	case *runtime.MatrixObject, *runtime.BlockedMatrixObject:
+	case *runtime.CompressedMatrixObject:
+		// cellwise unary on compressed data is a dictionary-only update: the
+		// encoding structure is shared, only the distinct values are rewritten
+		cm, err := v.Compressed()
+		if err != nil {
+			return err
+		}
+		ctx.CountCompressedOp()
+		ctx.SetCompressed(i.outs[0], cm.MapValues(op.Apply, ctx.Config.Threads()))
+		return nil
+	case *runtime.MatrixObject, *runtime.BlockedMatrixObject, *runtime.TransposedCompressedObject:
 		if useDist(ctx, i.ExecType, d) {
 			bm, err := resolveBlockedData(ctx, d, i.In)
 			if err != nil {
@@ -72,7 +85,7 @@ func (i *UnaryInst) Execute(ctx *runtime.Context) error {
 			if err != nil {
 				return err
 			}
-			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
 		blk, err := i.In.MatrixBlock(ctx)
 		if err != nil {
@@ -109,11 +122,14 @@ type AggInst struct {
 	ExecType types.ExecType
 	// BlockedOut keeps row/column aggregate results in blocked representation.
 	BlockedOut bool
+	// EstBytes is the planner's estimated output size in bytes (-1 unknown),
+	// recorded next to the actual bytes when the operator runs blocked.
+	EstBytes int64
 }
 
 // NewAgg creates an aggregation instruction.
 func NewAgg(op string, out string, in Operand) *AggInst {
-	inst := &AggInst{In: in}
+	inst := &AggInst{In: in, EstBytes: -1}
 	inst.base = newBase(op, []string{out}, "", in)
 	return inst
 }
@@ -136,6 +152,11 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 		case "length":
 			ctx.Set(i.outs[0], runtime.NewInt(rows*cols))
 			return nil
+		}
+	}
+	if co, ok := resolveCompressed(d); ok {
+		if handled, err := i.tryCompressed(ctx, co); handled {
+			return err
 		}
 	}
 	if err := i.tryDistributed(ctx, d); err == nil || err != errNotDist {
@@ -225,6 +246,44 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 	return nil
 }
 
+// tryCompressed executes supported aggregates directly on the compressed
+// representation: sums and extrema reduce over the value dictionaries
+// weighted by their occurrence counts, never touching cell images. It
+// reports whether it handled the aggregate; unsupported aggregates fall
+// through (and decompress transparently via the local kernels).
+func (i *AggInst) tryCompressed(ctx *runtime.Context, co *runtime.CompressedMatrixObject) (bool, error) {
+	cm, err := co.Compressed()
+	if err != nil {
+		return true, err
+	}
+	threads := ctx.Config.Threads()
+	rows, cols := cm.Rows(), cm.Cols()
+	switch i.opcode {
+	case "sum":
+		ctx.Set(i.outs[0], runtime.NewDouble(cm.Sum()))
+	case "sumsq":
+		ctx.Set(i.outs[0], runtime.NewDouble(cm.SumSq()))
+	case "mean":
+		ctx.Set(i.outs[0], runtime.NewDouble(cm.Mean()))
+	case "min":
+		ctx.Set(i.outs[0], runtime.NewDouble(cm.Min()))
+	case "max":
+		ctx.Set(i.outs[0], runtime.NewDouble(cm.Max()))
+	case "colSums":
+		ctx.SetMatrix(i.outs[0], cm.ColSums())
+	case "colMeans":
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(cm.ColSums(), float64(rows), matrix.OpDiv, false, threads))
+	case "rowSums":
+		ctx.SetMatrix(i.outs[0], cm.RowSums(threads))
+	case "rowMeans":
+		ctx.SetMatrix(i.outs[0], matrix.ScalarOp(cm.RowSums(threads), float64(cols), matrix.OpDiv, false, threads))
+	default:
+		return false, nil
+	}
+	ctx.CountCompressedOp()
+	return true, nil
+}
+
 // errNotDist signals that an aggregate is not handled by the blocked
 // backend and should fall through to the local kernels.
 var errNotDist = errors.New("instructions: aggregate not distributed")
@@ -253,6 +312,7 @@ func (i *AggInst) tryDistributed(ctx *runtime.Context, d runtime.Data) error {
 			return err
 		}
 		ctx.CountBlockedOp()
+		ctx.RecordPlan(i.opcode, "dist", i.EstBytes, 64)
 		ctx.Set(i.outs[0], runtime.NewDouble(v))
 		return nil
 	case "rowSums", "rowMeans", "rowMaxs", "rowMins":
@@ -264,7 +324,7 @@ func (i *AggInst) tryDistributed(ctx *runtime.Context, d runtime.Data) error {
 		if err != nil {
 			return err
 		}
-		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 	case "colSums", "colMeans", "colMaxs", "colMins":
 		bm, err := resolveBlockedData(ctx, d, i.In)
 		if err != nil {
@@ -274,7 +334,7 @@ func (i *AggInst) tryDistributed(ctx *runtime.Context, d runtime.Data) error {
 		if err != nil {
 			return err
 		}
-		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut)
+		return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 	}
 	return errNotDist
 }

@@ -81,7 +81,10 @@ func RandNormal(rows, cols int, sparsity float64, seed int64) *MatrixBlock {
 
 // Seq returns the column vector (from, from+incr, ..., to) following DML seq
 // semantics.
-func Seq(from, to, incr float64) *MatrixBlock {
+// SeqLength returns the number of values of seq(from, to, incr) — the single
+// definition shared by the local kernel and the blocked generator, so the two
+// can never disagree on boundary cases.
+func SeqLength(from, to, incr float64) int {
 	if incr == 0 {
 		incr = 1
 	}
@@ -89,6 +92,14 @@ func Seq(from, to, incr float64) *MatrixBlock {
 	if n < 0 {
 		n = 0
 	}
+	return n
+}
+
+func Seq(from, to, incr float64) *MatrixBlock {
+	if incr == 0 {
+		incr = 1
+	}
+	n := SeqLength(from, to, incr)
 	out := NewDense(n, 1)
 	v := from
 	for i := 0; i < n; i++ {

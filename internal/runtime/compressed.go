@@ -1,0 +1,269 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/compress"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/types"
+)
+
+// CompressStats is a snapshot of the compressed-linear-algebra counters of
+// one context tree: how many matrices were compressed (and how many the
+// sample-based planner rejected), how many operators executed directly on the
+// compressed representation, and how often an unsupported operator fell back
+// to transparent decompression. An iterative workload on the compressed hot
+// path should show compressions and compressed ops but zero decompressions.
+type CompressStats struct {
+	Compressions      int64
+	Rejected          int64
+	CompressedOps     int64
+	Decompressions    int64
+	BytesUncompressed int64
+	BytesCompressed   int64
+}
+
+// compressCounters is the shared mutable counter state behind CompressStats;
+// child contexts share their parent's counters.
+type compressCounters struct {
+	compressions   atomic.Int64
+	rejected       atomic.Int64
+	compressedOps  atomic.Int64
+	decompressions atomic.Int64
+	bytesUncomp    atomic.Int64
+	bytesComp      atomic.Int64
+}
+
+func (c *compressCounters) snapshot() CompressStats {
+	if c == nil {
+		return CompressStats{}
+	}
+	return CompressStats{
+		Compressions:      c.compressions.Load(),
+		Rejected:          c.rejected.Load(),
+		CompressedOps:     c.compressedOps.Load(),
+		Decompressions:    c.decompressions.Load(),
+		BytesUncompressed: c.bytesUncomp.Load(),
+		BytesCompressed:   c.bytesComp.Load(),
+	}
+}
+
+// CompressedMatrixObject is the first-class runtime handle of a column-group
+// compressed matrix: it flows through the symbol table like any other matrix
+// value, supported operators execute directly on the compressed groups, and
+// unsupported consumers decompress transparently (counted, memoized). The
+// object participates in the buffer pool; eviction spills the *compressed*
+// bytes, never a decompressed cell image.
+type CompressedMatrixObject struct {
+	id        int64
+	mu        sync.Mutex
+	dc        types.DataCharacteristics
+	cm        *compress.CompressedMatrix // nil when spilled
+	spillPath string
+	// local memoizes the decompressed form so repeated fallback consumers of
+	// the same compressed variable pay (and count) the decompression once. It
+	// is a reader-held view like BlockedMatrixObject's collect memo: not part
+	// of MemorySize, dropped on eviction.
+	local *matrix.MatrixBlock
+	pool  *bufferpool.Pool
+	ctr   *compressCounters
+}
+
+// NewCompressedMatrixObject wraps a compressed matrix into a managed object
+// and registers it with the buffer pool. The counters may be nil.
+func NewCompressedMatrixObject(cm *compress.CompressedMatrix, pool *bufferpool.Pool, ctr *compressCounters) *CompressedMatrixObject {
+	co := &CompressedMatrixObject{
+		dc: types.DataCharacteristics{
+			Rows: int64(cm.Rows()), Cols: int64(cm.Cols()),
+			Blocksize: types.DefaultBlocksize, NNZ: cm.NNZ(),
+		},
+		cm:   cm,
+		pool: pool,
+		ctr:  ctr,
+	}
+	if pool != nil {
+		co.id = pool.NextID()
+		pool.Register(co)
+	}
+	return co
+}
+
+// DataType returns types.Matrix: a compressed matrix is a matrix to the
+// compiler; only the runtime representation differs.
+func (c *CompressedMatrixObject) DataType() types.DataType { return types.Matrix }
+
+// DataCharacteristics returns the matrix metadata without touching the data.
+func (c *CompressedMatrixObject) DataCharacteristics() types.DataCharacteristics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dc
+}
+
+// String implements Data.
+func (c *CompressedMatrixObject) String() string {
+	dc := c.DataCharacteristics()
+	return fmt.Sprintf("CompressedMatrix[%dx%d]", dc.Rows, dc.Cols)
+}
+
+// Compressed returns the in-memory compressed matrix, restoring it from the
+// spill file if the object was evicted.
+func (c *CompressedMatrixObject) Compressed() (*compress.CompressedMatrix, error) {
+	c.mu.Lock()
+	restored := false
+	if c.cm == nil {
+		if c.spillPath == "" {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("runtime: compressed matrix object %d has neither data nor spill file", c.id)
+		}
+		cm, err := compress.ReadFile(c.spillPath)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("runtime: restore evicted compressed matrix: %w", err)
+		}
+		c.cm = cm
+		restored = true
+	}
+	cm := c.cm
+	c.mu.Unlock()
+	if c.pool != nil {
+		c.pool.NotifyAccess(c, restored)
+	}
+	return cm, nil
+}
+
+// Decompress materializes the local block — the transparent fallback for
+// consumers without a compressed kernel. The block is memoized so only the
+// first consumer pays (and counts) the decompression.
+func (c *CompressedMatrixObject) Decompress() (*matrix.MatrixBlock, error) {
+	c.mu.Lock()
+	if c.local != nil {
+		blk := c.local
+		c.mu.Unlock()
+		return blk, nil
+	}
+	c.mu.Unlock()
+	cm, err := c.Compressed()
+	if err != nil {
+		return nil, err
+	}
+	blk := cm.Decompress()
+	won := false
+	c.mu.Lock()
+	if c.local == nil {
+		c.local = blk
+		won = true
+	}
+	blk = c.local
+	c.mu.Unlock()
+	if won && c.ctr != nil {
+		c.ctr.decompressions.Add(1)
+	}
+	return blk, nil
+}
+
+// CountCompressedOp records one operator executed directly on the compressed
+// representation of this object.
+func (c *CompressedMatrixObject) CountCompressedOp() {
+	if c.ctr != nil {
+		c.ctr.compressedOps.Add(1)
+	}
+}
+
+// PoolID implements bufferpool.Entry.
+func (c *CompressedMatrixObject) PoolID() int64 { return c.id }
+
+// MemorySize implements bufferpool.Entry.
+func (c *CompressedMatrixObject) MemorySize() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cm == nil {
+		return 0
+	}
+	return c.cm.InMemorySize()
+}
+
+// Evict implements bufferpool.Entry: the compressed bytes are written to the
+// spill file — the compressed form is what hits disk — and both the
+// compressed matrix and any decompression memo are dropped from memory.
+func (c *CompressedMatrixObject) Evict(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cm == nil {
+		return nil
+	}
+	if err := c.cm.WriteFile(path); err != nil {
+		return err
+	}
+	c.spillPath = path
+	c.cm = nil
+	c.local = nil
+	return nil
+}
+
+// IsPinned implements bufferpool.Entry. Compressed matrices are immutable, so
+// in-flight readers keep their own reference and eviction is always safe.
+func (c *CompressedMatrixObject) IsPinned() bool { return false }
+
+// IsInMemory implements bufferpool.Entry.
+func (c *CompressedMatrixObject) IsInMemory() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cm != nil
+}
+
+// TransposedCompressedObject marks the transpose of a compressed matrix in
+// the symbol table without materializing it: t(X) %*% v on compressed X is
+// the vector-matrix kernel over X itself (the hot gradient step of iterative
+// algorithms), so the transpose stays a zero-cost view on the compressed
+// groups. Consumers without a compressed kernel decompress the source and
+// transpose, via GetMatrixBlock's fallback.
+type TransposedCompressedObject struct {
+	Source *CompressedMatrixObject
+
+	mu sync.Mutex
+	// local memoizes the materialized transpose so repeated fallback
+	// consumers of the same view pay the O(m*n) transpose once (the
+	// decompression of the source is memoized there separately).
+	local *matrix.MatrixBlock
+}
+
+// Materialize returns the transposed local block — the fallback for
+// consumers without a compressed kernel — memoized on the view.
+func (t *TransposedCompressedObject) Materialize() (*matrix.MatrixBlock, error) {
+	t.mu.Lock()
+	if t.local != nil {
+		blk := t.local
+		t.mu.Unlock()
+		return blk, nil
+	}
+	t.mu.Unlock()
+	blk, err := t.Source.Decompress()
+	if err != nil {
+		return nil, err
+	}
+	tr := matrix.Transpose(blk)
+	t.mu.Lock()
+	if t.local == nil {
+		t.local = tr
+	}
+	tr = t.local
+	t.mu.Unlock()
+	return tr, nil
+}
+
+// DataType implements Data.
+func (t *TransposedCompressedObject) DataType() types.DataType { return types.Matrix }
+
+// DataCharacteristics returns the transposed metadata.
+func (t *TransposedCompressedObject) DataCharacteristics() types.DataCharacteristics {
+	dc := t.Source.DataCharacteristics()
+	return types.DataCharacteristics{Rows: dc.Cols, Cols: dc.Rows, Blocksize: dc.Blocksize, NNZ: dc.NNZ}
+}
+
+// String implements Data.
+func (t *TransposedCompressedObject) String() string {
+	return fmt.Sprintf("t(%s)", t.Source.String())
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/systemds/systemds-go/internal/bufferpool"
+	"github.com/systemds/systemds-go/internal/compress"
 	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
@@ -44,6 +45,12 @@ type Config struct {
 	// FusionDisabled turns off the HOP-level operator fusion pass (mmchain
 	// and cellwise-aggregate pipelines). Fusion is on by default.
 	FusionDisabled bool
+	// CompressionEnabled turns on compressed linear algebra: the compiler
+	// plants compression decision sites before loops that re-read large
+	// operands, the runtime's sample-based planner picks per-column encodings
+	// (or rejects), and supported operators execute directly on the
+	// compressed representation.
+	CompressionEnabled bool
 	// DistBlocksize is the block size of the distributed backend.
 	DistBlocksize int
 	// UseBLAS selects the register-blocked "native BLAS" dense kernel for
@@ -111,6 +118,9 @@ type Context struct {
 	// plans records the executed physical-plan decisions, shared across child
 	// contexts.
 	plans *planRecorder
+	// compressed holds the compressed-linear-algebra counters, shared across
+	// child contexts.
+	compressed *compressCounters
 }
 
 // NewContext creates a root execution context.
@@ -123,10 +133,11 @@ func NewContext(cfg *Config) *Context {
 		Lineage: lineage.NewTracer(),
 		Pool:    bufferpool.New(cfg.BufferPoolBudget, cfg.TempDir),
 		Out:     os.Stdout,
-		vars:    map[string]Data{},
-		dist:    &distCounters{},
-		fused:   &fusedCounters{},
-		plans:   &planRecorder{},
+		vars:       map[string]Data{},
+		dist:       &distCounters{},
+		fused:      &fusedCounters{},
+		plans:      &planRecorder{},
+		compressed: &compressCounters{},
 	}
 	if cfg.ReuseEnabled {
 		ctx.Cache = lineage.NewCache(cfg.CacheBudget)
@@ -146,10 +157,11 @@ func (ctx *Context) ChildEmpty() *Context {
 		Pool:    ctx.Pool,
 		Prog:    ctx.Prog,
 		Out:     ctx.Out,
-		vars:    map[string]Data{},
-		dist:    ctx.dist,
-		fused:   ctx.fused,
-		plans:   ctx.plans,
+		vars:       map[string]Data{},
+		dist:       ctx.dist,
+		fused:      ctx.fused,
+		plans:      ctx.plans,
+		compressed: ctx.compressed,
 	}
 }
 
@@ -169,10 +181,11 @@ func (ctx *Context) ChildCopy() *Context {
 		Pool:    ctx.Pool,
 		Prog:    ctx.Prog,
 		Out:     ctx.Out,
-		vars:    vars,
-		dist:    ctx.dist,
-		fused:   ctx.fused,
-		plans:   ctx.plans,
+		vars:       vars,
+		dist:       ctx.dist,
+		fused:      ctx.fused,
+		plans:      ctx.plans,
+		compressed: ctx.compressed,
 	}
 }
 
@@ -210,6 +223,35 @@ func (ctx *Context) PlanStats() ([]PlanRecord, int64) { return ctx.plans.snapsho
 // string, compiler-estimated vs actual output bytes).
 func (ctx *Context) RecordPlan(op, plan string, estBytes, actualBytes int64) {
 	ctx.plans.add(PlanRecord{Op: op, Plan: plan, EstBytes: estBytes, ActualBytes: actualBytes})
+}
+
+// CompressStats returns a snapshot of the compressed-linear-algebra counters.
+func (ctx *Context) CompressStats() CompressStats { return ctx.compressed.snapshot() }
+
+// CountCompression records one accepted compression with its before/after
+// byte sizes.
+func (ctx *Context) CountCompression(uncompressedBytes, compressedBytes int64) {
+	if ctx.compressed != nil {
+		ctx.compressed.compressions.Add(1)
+		ctx.compressed.bytesUncomp.Add(uncompressedBytes)
+		ctx.compressed.bytesComp.Add(compressedBytes)
+	}
+}
+
+// CountCompressionRejected records a compression attempt the sample-based
+// planner rejected (estimated ratio below threshold).
+func (ctx *Context) CountCompressionRejected() {
+	if ctx.compressed != nil {
+		ctx.compressed.rejected.Add(1)
+	}
+}
+
+// CountCompressedOp records one operator executed directly on a compressed
+// representation.
+func (ctx *Context) CountCompressedOp() {
+	if ctx.compressed != nil {
+		ctx.compressed.compressedOps.Add(1)
+	}
 }
 
 // FusedStats returns a snapshot of the fused-operator hit counters.
@@ -344,6 +386,13 @@ func (ctx *Context) GetMatrixBlock(name string) (*matrix.MatrixBlock, error) {
 	case *BlockedMatrixObject:
 		// lazy collect: a CP consumer or sink actually needs the local block
 		return v.Collect()
+	case *CompressedMatrixObject:
+		// transparent decompress fallback: a consumer without a compressed
+		// kernel gets the local block; the (memoized) decompression is counted
+		// so the fallback is observable, and nothing breaks
+		return v.Decompress()
+	case *TransposedCompressedObject:
+		return v.Materialize()
 	case *Scalar:
 		m := matrix.NewDense(1, 1)
 		m.Set(0, 0, v.Float64())
@@ -377,6 +426,12 @@ func (ctx *Context) SetMatrix(name string, block *matrix.MatrixBlock) {
 // binds it; downstream blocked operators consume it without re-partitioning.
 func (ctx *Context) SetBlocked(name string, bm *dist.BlockedMatrix) {
 	ctx.Set(name, NewBlockedMatrixObject(bm, ctx.Pool, ctx.dist))
+}
+
+// SetCompressed wraps a compressed matrix into a first-class compressed
+// object and binds it; downstream compressed kernels consume it directly.
+func (ctx *Context) SetCompressed(name string, cm *compress.CompressedMatrix) {
+	ctx.Set(name, NewCompressedMatrixObject(cm, ctx.Pool, ctx.compressed))
 }
 
 // CleanupTemporaries removes temporary variables created by DAG lowering

@@ -428,6 +428,12 @@ func localMatrixOf(d Data) (*matrix.MatrixBlock, bool, error) {
 	case *BlockedMatrixObject:
 		blk, err := v.Collect()
 		return blk, true, err
+	case *CompressedMatrixObject:
+		blk, err := v.Decompress()
+		return blk, true, err
+	case *TransposedCompressedObject:
+		blk, err := v.Materialize()
+		return blk, true, err
 	}
 	return nil, false, nil
 }

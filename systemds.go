@@ -129,6 +129,19 @@ func WithFusion(enabled bool) Option {
 	return func(c *runtime.Config) { c.FusionDisabled = !enabled }
 }
 
+// WithCompression toggles compressed linear algebra: before loops that
+// re-read large operands, the compiler plants cost-gated compression sites;
+// the runtime's sample-based planner picks per-column encodings (dense
+// dictionary coding, run-length encoding, or an uncompressed fallback) or
+// rejects compression when the estimated ratio is too small, and supported
+// operators (matrix-vector and vector-matrix products, scalar and cellwise
+// unary operations, sums and extrema) execute directly on the compressed
+// representation. Unsupported operators decompress transparently (counted in
+// the execution statistics). Compression is disabled by default.
+func WithCompression(enabled bool) Option {
+	return func(c *runtime.Config) { c.CompressionEnabled = enabled }
+}
+
 // WithTempDir sets the spill directory for the buffer pool.
 func WithTempDir(dir string) Option {
 	return func(c *runtime.Config) { c.TempDir = dir }
