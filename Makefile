@@ -17,17 +17,20 @@ test:
 # Race-enabled run of the concurrency-bearing packages: the inter-operator
 # scheduler and parfor backend, the blocked distributed backend, the federated
 # worker, the sparse edit overlay, and the compiler/public-API differential
-# tests that drive them.
+# tests that drive them. The trailing bench smoke drives the tiled GEMM
+# engine's multi-threaded row-panel workers under the race detector.
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/dist/... ./internal/fed/... ./internal/matrix/... ./internal/compress/... ./internal/compiler/... .
+	$(GO) test -race -bench 'KernelGEMMTiled512|KernelMultiplyAccTiled' -benchtime=1x -run '^$$' .
 
 # Compressed-vs-dense MV kernels, planner-vs-forced matmult strategies,
-# fused-vs-unfused and kernel-parallelism benchmarks with allocation stats;
-# the parsed results land in BENCH_pr5.json (the perf trajectory of the
-# repo). The compressed benchmarks additionally report databytes/op — the
-# bytes of matrix representation streamed per operation.
+# fused-vs-unfused, kernel-parallelism and tiled-vs-simple GEMM/TSMM/
+# MultiplyAcc benchmarks with allocation stats; the parsed results land in
+# BENCH_pr6.json (the perf trajectory of the repo). The compressed benchmarks
+# additionally report databytes/op (bytes of matrix representation streamed
+# per operation) and the dense kernel benchmarks report gflops.
 bench:
-	set -o pipefail; $(GO) test -bench 'Compressed|LoopEpoch|MatMultStrategy|Fused|Unfused|MMChain|KernelParallel' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr5.json
+	set -o pipefail; $(GO) test -bench 'Compressed|LoopEpoch|MatMultStrategy|Fused|Unfused|MMChain|KernelParallel|KernelGEMM|KernelTSMM|KernelMultiplyAcc' -benchmem -timeout 30m -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr6.json
 
 # Full benchmark sweep (single iteration per benchmark).
 bench-all:

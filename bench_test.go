@@ -231,15 +231,44 @@ func BenchmarkAblationParamServ(b *testing.B) {
 
 // --- Kernel micro-benchmarks (supporting data for Figure 5(a)) -------------
 
-func BenchmarkKernelGEMMStandard(b *testing.B) {
-	x := matrix.RandUniform(512, 256, -1, 1, 1.0, 5)
-	y := matrix.RandUniform(256, 128, -1, 1, 1.0, 6)
+// benchGEMMKernel times m x k %*% k x n with the given kernel forced and
+// reports arithmetic throughput (gflops) alongside ns/op.
+func benchGEMMKernel(b *testing.B, m, k, n int, kern matrix.GEMMKernel) {
+	prev := matrix.SetGEMMKernel(kern)
+	defer matrix.SetGEMMKernel(prev)
+	x := matrix.RandUniform(m, k, -1, 1, 1.0, 5)
+	y := matrix.RandUniform(k, n, -1, 1, 1.0, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := matrix.Multiply(x, y, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+// BenchmarkKernelGEMMStandard pins the simple blocked i-k-j kernel (the
+// pre-tiled baseline); without the forced mode its shape now auto-selects the
+// tiled engine and the benchmark would stop measuring the baseline.
+func BenchmarkKernelGEMMStandard(b *testing.B) {
+	benchGEMMKernel(b, 512, 256, 128, matrix.GEMMSimple)
+}
+
+func BenchmarkKernelGEMMStandard1024(b *testing.B) {
+	benchGEMMKernel(b, 1024, 1024, 1024, matrix.GEMMSimple)
+}
+
+func BenchmarkKernelGEMMTiled512(b *testing.B) {
+	benchGEMMKernel(b, 512, 512, 512, matrix.GEMMTiled)
+}
+
+func BenchmarkKernelGEMMTiled1024(b *testing.B) {
+	benchGEMMKernel(b, 1024, 1024, 1024, matrix.GEMMTiled)
+}
+
+func BenchmarkKernelGEMMTiled2048(b *testing.B) {
+	benchGEMMKernel(b, 2048, 2048, 2048, matrix.GEMMTiled)
 }
 
 func BenchmarkKernelGEMMBLASLike(b *testing.B) {
@@ -251,6 +280,54 @@ func BenchmarkKernelGEMMBLASLike(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchMultiplyAccKernel times the accumulate form the blocked dist executors
+// run stage-by-stage (acc += a %*% b into a preallocated accumulator).
+func benchMultiplyAccKernel(b *testing.B, dim int, kern matrix.GEMMKernel) {
+	prev := matrix.SetGEMMKernel(kern)
+	defer matrix.SetGEMMKernel(prev)
+	x := matrix.RandUniform(dim, dim, -1, 1, 1.0, 5)
+	y := matrix.RandUniform(dim, dim, -1, 1, 1.0, 6)
+	acc := matrix.NewDense(dim, dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := matrix.MultiplyAcc(acc, x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flops := 2 * float64(dim) * float64(dim) * float64(dim)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkKernelMultiplyAccStandard1024(b *testing.B) {
+	benchMultiplyAccKernel(b, 1024, matrix.GEMMSimple)
+}
+
+func BenchmarkKernelMultiplyAccTiled1024(b *testing.B) {
+	benchMultiplyAccKernel(b, 1024, matrix.GEMMTiled)
+}
+
+// benchTSMMKernel times t(X) %*% X; flops counts the upper triangle both
+// kernels compute (the lower half is mirrored, not recomputed).
+func benchTSMMKernel(b *testing.B, rows, cols int, kern matrix.GEMMKernel) {
+	prev := matrix.SetGEMMKernel(kern)
+	defer matrix.SetGEMMKernel(prev)
+	x := matrix.RandUniform(rows, cols, -1, 1, 1.0, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.TSMM(x, 0)
+	}
+	flops := float64(rows) * float64(cols+1) * float64(cols)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkKernelTSMMStandard4096x512(b *testing.B) {
+	benchTSMMKernel(b, 4096, 512, matrix.GEMMSimple)
+}
+
+func BenchmarkKernelTSMMTiled4096x512(b *testing.B) {
+	benchTSMMKernel(b, 4096, 512, matrix.GEMMTiled)
 }
 
 func BenchmarkKernelTSMMDense(b *testing.B) {

@@ -29,6 +29,10 @@ type Result struct {
 	// compressed-kernel benchmarks: the bytes of matrix representation the
 	// kernel streams per operation.
 	DataBytesPerOp float64 `json:"data_bytes_per_op,omitempty"`
+	// Gflops is the custom "gflops" metric reported by the dense GEMM/TSMM
+	// kernel benchmarks: sustained arithmetic throughput in billions of
+	// floating-point operations per second.
+	Gflops float64 `json:"gflops,omitempty"`
 }
 
 // Report is the JSON document written to -out.
@@ -100,6 +104,12 @@ func parseBenchLine(line string) (Result, bool) {
 		if fields[i+1] == "databytes/op" {
 			if f, err := strconv.ParseFloat(fields[i], 64); err == nil {
 				r.DataBytesPerOp = f
+			}
+			continue
+		}
+		if fields[i+1] == "gflops" {
+			if f, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				r.Gflops = f
 			}
 			continue
 		}

@@ -81,6 +81,47 @@ func TestMatMultShuffleBitwiseEqualsLocal(t *testing.T) {
 	}
 }
 
+// TestMatMultShuffleBitwiseAboveTiledCrossover re-runs the shuffle-split
+// acceptance at shapes where the local one-shot multiply selects the tiled
+// GEMM engine: with bs=64 each k-stripe product stays below the crossover
+// (simple-kernel stripes accumulate onto a tiled-sized reference), while
+// bs=256 pushes the stripe products themselves onto the tiled kernel. Both
+// mixes must stay bitwise-equal to CP, which is exactly the
+// accumulation-order contract the tiled engine preserves.
+func TestMatMultShuffleBitwiseAboveTiledCrossover(t *testing.T) {
+	const m, k, n = 160, 1024, 144
+	if 2*m*k*n < matrix.TiledGEMMCrossoverFLOPs {
+		t.Fatal("test shape no longer exceeds the tiled-kernel crossover")
+	}
+	a := seqMatrix(m, k, 31)
+	b := seqMatrix(k, n, 32)
+	want, err := matrix.Multiply(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{64, 256} {
+		ba, err := FromMatrixBlock(a, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := FromMatrixBlock(b, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatMultShuffle(ba, bb, 0)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		gotLocal, err := got.ToMatrixBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equals(gotLocal, 0) {
+			t.Errorf("bs=%d: shuffle result is not bitwise-equal to the tiled local multiply", bs)
+		}
+	}
+}
+
 func TestMatMultShuffleDimensionErrors(t *testing.T) {
 	a, _ := FromMatrixBlock(seqMatrix(8, 8, 1), 4)
 	b, _ := FromMatrixBlock(seqMatrix(9, 8, 2), 4)

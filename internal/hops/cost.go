@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/types"
 )
 
@@ -528,6 +529,13 @@ func (d *DAG) ExplainPlan() string {
 			fmt.Fprintf(&sb, " flops=%.3g out=%dB", h.CostEst.Compute, h.CostEst.OutputBytes)
 			if h.CostEst.ShuffleBytes > 0 {
 				fmt.Fprintf(&sb, " shuffle=%dB", h.CostEst.ShuffleBytes)
+			}
+			// dense matmult-family operators above the runtime's shared
+			// crossover run on the tiled register-blocked kernel; surface the
+			// kernel class so EXPLAIN reflects the physical execution path
+			if (h.Kind == KindMatMult || h.Kind == KindTSMM) &&
+				h.CostEst.Compute >= matrix.TiledGEMMCrossoverFLOPs {
+				sb.WriteString(" kernel=tiled")
 			}
 		} else {
 			sb.WriteString(" cost=unknown")

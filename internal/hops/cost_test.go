@@ -112,6 +112,11 @@ func TestPlanAnnotatesMatMult(t *testing.T) {
 	if !strings.Contains(explain, "shuffle=") || !strings.Contains(explain, "flops=") {
 		t.Errorf("ExplainPlan misses cost annotations:\n%s", explain)
 	}
+	// 2*256*768*128 flops is far above matrix.TiledGEMMCrossoverFLOPs, so the
+	// listing must surface the tiled kernel class the runtime will pick
+	if !strings.Contains(explain, "kernel=tiled") {
+		t.Errorf("ExplainPlan misses the kernel class:\n%s", explain)
+	}
 }
 
 // TestFusionGateMatchesPlanner asserts the fuse<->no-fuse decision flips at

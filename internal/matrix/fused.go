@@ -780,7 +780,37 @@ func MMChain(x, v, w *MatrixBlock, threads int) (*MatrixBlock, error) {
 				}
 			}
 		} else {
-			for r := r0; r < r1; r++ {
+			// Register-blocked dense leg: four rows per step share one pass
+			// over v, with four independent dot accumulators (breaking the
+			// loop-carried add dependency of the row-at-a-time loop), then
+			// scatter row by row in ascending order — each dot and each
+			// buf[j] update sequence is exactly the one the single-row loop
+			// produces, so results stay bitwise-identical.
+			r := r0
+			for ; r+4 <= r1; r += 4 {
+				row0 := x.dense[r*n : (r+1)*n]
+				row1 := x.dense[(r+1)*n : (r+2)*n]
+				row2 := x.dense[(r+2)*n : (r+3)*n]
+				row3 := x.dense[(r+3)*n : (r+4)*n]
+				var d0, d1, d2, d3 float64
+				for j, vj := range vd {
+					d0 += row0[j] * vj
+					d1 += row1[j] * vj
+					d2 += row2[j] * vj
+					d3 += row3[j] * vj
+				}
+				if wd != nil {
+					d0 *= wd[r]
+					d1 *= wd[r+1]
+					d2 *= wd[r+2]
+					d3 *= wd[r+3]
+				}
+				mmchainScatter(buf, row0, d0)
+				mmchainScatter(buf, row1, d1)
+				mmchainScatter(buf, row2, d2)
+				mmchainScatter(buf, row3, d3)
+			}
+			for ; r < r1; r++ {
 				row := x.dense[r*n : (r+1)*n]
 				var dot float64
 				for j, xv := range row {
@@ -789,12 +819,7 @@ func MMChain(x, v, w *MatrixBlock, threads int) (*MatrixBlock, error) {
 				if wd != nil {
 					dot *= wd[r]
 				}
-				if dot == 0 {
-					continue
-				}
-				for j, xv := range row {
-					buf[j] += dot * xv
-				}
+				mmchainScatter(buf, row, dot)
 			}
 		}
 		parts[ci] = buf
@@ -817,11 +842,20 @@ func MMChain(x, v, w *MatrixBlock, threads int) (*MatrixBlock, error) {
 	return out, nil
 }
 
-// vectorValues returns the dense values of a column vector (densifying a
-// copy of sparse vectors; vectors are small relative to the fused pass).
-func vectorValues(v *MatrixBlock) []float64 {
-	if v.IsSparse() {
-		return v.Copy().ToDense().dense
+// mmchainScatter accumulates dot * row into buf, skipping zero dots (the
+// annihilation short-cut of the row-at-a-time mmchain loop).
+func mmchainScatter(buf, row []float64, dot float64) {
+	if dot == 0 {
+		return
 	}
-	return v.dense
+	for j, xv := range row {
+		buf[j] += dot * xv
+	}
+}
+
+// vectorValues returns the dense values of a column vector (densifying
+// sparse vectors directly into a fresh dense image; vectors are small
+// relative to the fused pass).
+func vectorValues(v *MatrixBlock) []float64 {
+	return asDense(v).dense
 }

@@ -1,0 +1,131 @@
+// AVX2 dense GEMM micro-kernel (see gemm.go). The kernel vectorizes ACROSS
+// the gemmNR output columns of one register tile: each accumulator lane is one
+// output cell, updated with VMULPD (round the product) followed by VADDPD
+// (round the sum) — exactly the mul-then-add rounding sequence the scalar
+// kernels compile to, with k ascending. FMA is deliberately NOT used: fusing
+// would skip the intermediate rounding and break the bitwise
+// accumulation-order contract shared with the simple blocked kernel.
+
+#include "textflag.h"
+
+// func gemmMicroAVX2Asm(ap, bp *float64, kc int, c *float64, ldb int)
+//
+// ap: packed A micro-panel, gemmMR (4) values per k step, k-major
+// bp: packed B micro-panel, gemmNR (4) values per k step, k-major
+// c:  top-left cell of the 4x4 output tile
+// ldb: row stride of c in BYTES
+TEXT ·gemmMicroAVX2Asm(SB), NOSPLIT, $0-40
+	MOVQ ap+0(FP), AX
+	MOVQ bp+8(FP), BX
+	MOVQ kc+16(FP), CX
+	MOVQ c+24(FP), DX
+	MOVQ ldb+32(FP), SI
+	LEAQ (DX)(SI*2), DI // row 2 base
+
+	// load the 4x4 C tile: one ymm per row
+	VMOVUPD (DX), Y0
+	VMOVUPD (DX)(SI*1), Y1
+	VMOVUPD (DI), Y2
+	VMOVUPD (DI)(SI*1), Y3
+
+	TESTQ CX, CX
+	JEQ   store
+	MOVQ  CX, R8
+	SHRQ  $1, R8 // R8 = kc/2 (paired iterations)
+	TESTQ R8, R8
+	JEQ   tail
+
+loop2:
+	// k step 0
+	VMOVUPD      (BX), Y4
+	VBROADCASTSD (AX), Y5
+	VBROADCASTSD 8(AX), Y6
+	VBROADCASTSD 16(AX), Y7
+	VBROADCASTSD 24(AX), Y8
+	VMULPD       Y4, Y5, Y5
+	VADDPD       Y5, Y0, Y0
+	VMULPD       Y4, Y6, Y6
+	VADDPD       Y6, Y1, Y1
+	VMULPD       Y4, Y7, Y7
+	VADDPD       Y7, Y2, Y2
+	VMULPD       Y4, Y8, Y8
+	VADDPD       Y8, Y3, Y3
+
+	// k step 1
+	VMOVUPD      32(BX), Y9
+	VBROADCASTSD 32(AX), Y10
+	VBROADCASTSD 40(AX), Y11
+	VBROADCASTSD 48(AX), Y12
+	VBROADCASTSD 56(AX), Y13
+	VMULPD       Y9, Y10, Y10
+	VADDPD       Y10, Y0, Y0
+	VMULPD       Y9, Y11, Y11
+	VADDPD       Y11, Y1, Y1
+	VMULPD       Y9, Y12, Y12
+	VADDPD       Y12, Y2, Y2
+	VMULPD       Y9, Y13, Y13
+	VADDPD       Y13, Y3, Y3
+
+	ADDQ $64, AX
+	ADDQ $64, BX
+	DECQ R8
+	JNE  loop2
+
+	ANDQ $1, CX
+	JEQ  store
+
+tail:
+	VMOVUPD      (BX), Y4
+	VBROADCASTSD (AX), Y5
+	VBROADCASTSD 8(AX), Y6
+	VBROADCASTSD 16(AX), Y7
+	VBROADCASTSD 24(AX), Y8
+	VMULPD       Y4, Y5, Y5
+	VADDPD       Y5, Y0, Y0
+	VMULPD       Y4, Y6, Y6
+	VADDPD       Y6, Y1, Y1
+	VMULPD       Y4, Y7, Y7
+	VADDPD       Y7, Y2, Y2
+	VMULPD       Y4, Y8, Y8
+	VADDPD       Y8, Y3, Y3
+
+store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, (DX)(SI*1)
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, (DI)(SI*1)
+	VZEROUPPER
+	RET
+
+// func x86HasAVX2() bool
+//
+// AVX2 usable iff: max CPUID leaf >= 7, CPUID.1:ECX has OSXSAVE|AVX,
+// XCR0 enables XMM+YMM state, and CPUID.7.0:EBX has AVX2.
+TEXT ·x86HasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JCS  none
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18000000, R8
+	CMPL R8, $0x18000000
+	JNE  none
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  none
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $0x20, BX
+	JEQ   none
+	MOVB  $1, ret+0(FP)
+	RET
+
+none:
+	MOVB $0, ret+0(FP)
+	RET

@@ -41,28 +41,49 @@ func Multiply(a, b *MatrixBlock, threads int) (*MatrixBlock, error) {
 	return out, nil
 }
 
-// MultiplyBLAS computes a %*% b with a register-blocked, unrolled dense
-// kernel that stands in for a native BLAS library (SysDS-B in Figure 5(a)).
+// MultiplyBLAS computes a %*% b with the register-blocked dense engine that
+// stands in for a native BLAS library (SysDS-B in Figure 5(a)): the tiled
+// micro-kernel above the size crossover, the unrolled blocked loop below it.
 // Sparse inputs are densified first.
 func MultiplyBLAS(a, b *MatrixBlock, threads int) (*MatrixBlock, error) {
 	if a.cols != b.rows {
 		return nil, fmt.Errorf("matrix: multiply dimension mismatch %dx%d %%*%% %dx%d", a.rows, a.cols, b.rows, b.cols)
 	}
 	threads = resolveThreads(threads)
-	ad := a
-	if ad.IsSparse() {
-		ad = a.Copy().ToDense()
+	ad, bd := asDense(a), asDense(b)
+	if gemmUseTiled(ad.rows, ad.cols, bd.cols) {
+		out := NewDense(ad.rows, bd.cols)
+		out.nnz = accDenseDenseTiled(out, ad, bd, threads)
+		return out, nil
 	}
-	bd := b
-	if bd.IsSparse() {
-		bd = b.Copy().ToDense()
+	return multDenseDense(ad, bd, threads, true), nil
+}
+
+// asDense returns m itself when already dense, or a fresh dense block
+// densified directly from the sparse structure — no intermediate sparse copy.
+func asDense(m *MatrixBlock) *MatrixBlock {
+	if !m.IsSparse() {
+		return m
 	}
-	out := multDenseDense(ad, bd, threads, true)
-	return out, nil
+	out := NewDense(m.rows, m.cols)
+	s := m.csr()
+	for r := 0; r < m.rows; r++ {
+		base := r * m.cols
+		for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
+			out.dense[base+s.ColIdx[p]] = s.Values[p]
+		}
+	}
+	out.nnz = m.nnz
+	return out
 }
 
 // parallelRows partitions [0, rows) into contiguous chunks and runs fn on
-// each chunk in its own goroutine.
+// each chunk in its own goroutine. Rows are distributed evenly: chunk sizes
+// differ by at most one row and exactly min(threads, rows) workers launch, so
+// no worker receives a short or empty chunk. Chunk boundaries depend only on
+// (rows, threads); every kernel built on parallelRows writes disjoint output
+// cells with a fixed per-cell order, so results do not depend on the
+// partition at all.
 func parallelRows(rows, threads int, fn func(r0, r1 int)) {
 	if threads <= 1 || rows <= 1 {
 		fn(0, rows)
@@ -71,22 +92,20 @@ func parallelRows(rows, threads int, fn func(r0, r1 int)) {
 	if threads > rows {
 		threads = rows
 	}
-	chunk := (rows + threads - 1) / threads
+	base, rem := rows/threads, rows%threads
 	var wg sync.WaitGroup
+	r0 := 0
 	for t := 0; t < threads; t++ {
-		r0 := t * chunk
-		r1 := r0 + chunk
-		if r0 >= rows {
-			break
-		}
-		if r1 > rows {
-			r1 = rows
+		r1 := r0 + base
+		if t < rem {
+			r1++
 		}
 		wg.Add(1)
 		go func(r0, r1 int) {
 			defer wg.Done()
 			fn(r0, r1)
 		}(r0, r1)
+		r0 = r1
 	}
 	wg.Wait()
 }
@@ -112,10 +131,10 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 	out := NewDense(m, n)
 	if !blas {
 		// the standard kernel IS one accumulate pass into a zeroed output;
-		// sharing accDenseDense keeps its per-cell accumulation order
-		// structurally identical to MultiplyAcc (the bitwise-equality
-		// contract of the blocked shuffle/broadcast-left executors)
-		out.nnz = accDenseDense(out, a, b, threads)
+		// sharing gemmAcc keeps its per-cell accumulation order structurally
+		// identical to MultiplyAcc (the bitwise-equality contract of the
+		// blocked shuffle/broadcast-left executors)
+		out.nnz = gemmAcc(out, a, b, threads)
 		return out
 	}
 	av, bv, cv := a.dense, b.dense, out.dense
@@ -155,11 +174,27 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 	return out
 }
 
+// gemmAcc accumulates dense(a) %*% dense(b) into the dense accumulator with
+// the kernel matching the problem size — the tiled engine (gemm.go) above
+// TiledGEMMCrossoverFLOPs, the simple blocked loop below it — and returns the
+// recounted non-zero total. It is the single dispatch behind the standard
+// Multiply dense path and MultiplyAcc. Both kernels add each output cell's
+// contributions one at a time in ascending-k order, so they are bitwise
+// interchangeable for finite inputs and the stripe-accumulation contract
+// holds across the crossover (a stripe small enough for the simple loop
+// accumulates onto a tiled full product without any drift).
+func gemmAcc(acc, a, b *MatrixBlock, threads int) int64 {
+	if gemmUseTiled(a.rows, a.cols, b.cols) {
+		return accDenseDenseTiled(acc, a, b, threads)
+	}
+	return accDenseDense(acc, a, b, threads)
+}
+
 // accDenseDense accumulates dense(a) %*% dense(b) into the dense accumulator
 // with i-k-j loop order, cache blocking over k and j, and contributions
-// arriving in ascending k order per output cell. It is the single kernel
-// behind both the standard Multiply dense path and MultiplyAcc, and returns
-// the recounted non-zero total of the accumulator.
+// arriving in ascending k order per output cell. It is the below-crossover
+// kernel behind gemmAcc, and returns the recounted non-zero total of the
+// accumulator.
 func accDenseDense(acc, a, b *MatrixBlock, threads int) int64 {
 	m, k, n := a.rows, a.cols, b.cols
 	av, bv, cv := a.dense, b.dense, acc.dense
@@ -283,15 +318,8 @@ func MultiplyAcc(acc, a, b *MatrixBlock, threads int) error {
 		return fmt.Errorf("matrix: multiply-acc accumulator is %dx%d, want %dx%d", acc.rows, acc.cols, a.rows, b.cols)
 	}
 	acc.ToDense()
-	ad := a
-	if ad.IsSparse() {
-		ad = a.Copy().ToDense()
-	}
-	bd := b
-	if bd.IsSparse() {
-		bd = b.Copy().ToDense()
-	}
-	acc.nnz = accDenseDense(acc, ad, bd, resolveThreads(threads))
+	ad, bd := asDense(a), asDense(b)
+	acc.nnz = gemmAcc(acc, ad, bd, resolveThreads(threads))
 	return nil
 }
 
@@ -330,13 +358,15 @@ func tsmmDense(x, out *MatrixBlock, threads int) {
 	m, n := x.rows, x.cols
 	xv := x.dense
 	// Each worker accumulates a private upper-triangular result over a chunk
-	// of rows; partial results are summed at the end.
-	type partial struct{ buf []float64 }
+	// of rows (through the tiled engine for chunks above the crossover, the
+	// simple triangular loop below it — identical per-cell ascending-row
+	// accumulation order either way); partial results are summed in chunk
+	// order at the end.
 	numChunks := threads
 	if numChunks > m {
 		numChunks = max(1, m)
 	}
-	partials := make([]partial, numChunks)
+	partials := make([]*gemmBuf, numChunks)
 	chunk := (m + numChunks - 1) / numChunks
 	var wg sync.WaitGroup
 	for t := 0; t < numChunks; t++ {
@@ -348,31 +378,44 @@ func tsmmDense(x, out *MatrixBlock, threads int) {
 		wg.Add(1)
 		go func(t, r0, r1 int) {
 			defer wg.Done()
-			buf := make([]float64, n*n)
-			for r := r0; r < r1; r++ {
-				row := xv[r*n : (r+1)*n]
-				for i := 0; i < n; i++ {
-					vi := row[i]
-					if vi == 0 {
-						continue
-					}
-					bi := buf[i*n:]
-					for j := i; j < n; j++ {
-						bi[j] += vi * row[j]
-					}
-				}
+			buf := gemmZeroBuf(n * n)
+			if tsmmUseTiled(r1-r0, n) {
+				tsmmTiledChunk(buf.f, xv, n, r0, r1)
+			} else {
+				tsmmSimpleChunk(buf.f, xv, n, r0, r1)
 			}
-			partials[t].buf = buf
+			partials[t] = buf
 		}(t, r0, r1)
 	}
 	wg.Wait()
 	cv := out.dense
 	for _, p := range partials {
-		if p.buf == nil {
+		if p == nil {
 			continue
 		}
 		for i := range cv {
-			cv[i] += p.buf[i]
+			cv[i] += p.f[i]
+		}
+		gemmPutBuf(p)
+	}
+}
+
+// tsmmSimpleChunk accumulates the upper triangle of t(Xc) %*% Xc for the row
+// chunk [r0, r1) of x into buf: per row, every pairwise column product with
+// j >= i, rows ascending — the per-cell order the tiled chunk kernel
+// reproduces exactly.
+func tsmmSimpleChunk(buf, xv []float64, n, r0, r1 int) {
+	for r := r0; r < r1; r++ {
+		row := xv[r*n : (r+1)*n]
+		for i := 0; i < n; i++ {
+			vi := row[i]
+			if vi == 0 {
+				continue
+			}
+			bi := buf[i*n:]
+			for j := i; j < n; j++ {
+				bi[j] += vi * row[j]
+			}
 		}
 	}
 }
