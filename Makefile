@@ -1,9 +1,9 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: all build vet test race bench bench-all
+.PHONY: all build vet lint test race bench bench-all
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -11,16 +11,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static contract checks: go vet plus sysdslint, the in-repo analyzer suite
+# enforcing the determinism, layering, and concurrency contracts (maporder,
+# nofma, threadplumb, layering, goroutineerr; see DESIGN.md "Enforced
+# invariants"). Suppressions require a written //sysds:ok(<analyzer>): reason.
+lint: vet
+	$(GO) run ./cmd/sysdslint ./...
+
 test:
 	$(GO) test ./...
 
-# Race-enabled run of the concurrency-bearing packages: the inter-operator
-# scheduler and parfor backend, the blocked distributed backend, the federated
-# worker, the sparse edit overlay, and the compiler/public-API differential
-# tests that drive them. The trailing bench smoke drives the tiled GEMM
-# engine's multi-threaded row-panel workers under the race detector.
+# Race-enabled run of the full module (bufferpool, paramserv, frame, tensor
+# and lineage included — nothing is skipped), followed by the compressed
+# lm-loop determinism gate run twice in one process (-count=2 compares
+# fingerprints across invocations via package state), and a bench smoke that
+# drives the tiled GEMM engine's multi-threaded row-panel workers under the
+# race detector.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/dist/... ./internal/fed/... ./internal/matrix/... ./internal/compress/... ./internal/compiler/... .
+	$(GO) test -race ./...
+	$(GO) test -race -run TestCompressedLmLoopDeterminism -count=2 ./internal/core/
 	$(GO) test -race -bench 'KernelGEMMTiled512|KernelMultiplyAccTiled' -benchtime=1x -run '^$$' .
 
 # Compressed-vs-dense MV kernels, planner-vs-forced matmult strategies,

@@ -1,0 +1,77 @@
+// Command sysdslint runs the sysdslint static-analysis suite — the custom
+// analyzers that machine-check the runtime's determinism, layering, and
+// concurrency contracts (see DESIGN.md "Enforced invariants") — over the
+// given package patterns.
+//
+// Usage:
+//
+//	sysdslint [-only analyzer[,analyzer…]] [-list] packages…
+//
+// Findings print one per line as file:line:col: message (analyzer), and the
+// process exits 1 when any finding survives suppression. Suppress a finding
+// with a justified directive on or directly above the offending line:
+//
+//	//sysds:ok(<analyzer>): <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/systemds/systemds-go/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sysdslint [-only analyzer,…] [-list] packages…\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sysdslint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	diags, err := analysis.Lint("", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sysdslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sysdslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,140 @@
+// Package analysis implements sysdslint, a suite of custom static-analysis
+// passes that machine-check the runtime's determinism, layering, and
+// concurrency contracts (DESIGN.md "Enforced invariants").
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is implemented entirely on the standard
+// library: this repository builds in hermetic environments without a module
+// proxy, so x/tools cannot be a dependency. Packages under analysis are
+// loaded with `go list -export` and type-checked from source with go/types,
+// resolving imports through the build cache's export data (see load.go).
+//
+// Findings can be suppressed with a written justification:
+//
+//	//sysds:ok(<analyzer>): <reason>
+//
+// either trailing the offending line or on the line directly above it. A
+// suppression without a reason, or naming an unknown analyzer, is itself a
+// diagnostic (see suppress.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named static-analysis pass.
+type Analyzer struct {
+	// Name is the analyzer identifier used in diagnostics and in
+	// //sysds:ok(<name>) suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the contract the analyzer
+	// enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries the per-package inputs of one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed non-test Go files of the package, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// PkgPath is the declared import path of the package under analysis. For
+	// repository packages it equals Pkg.Path(); the test harness loads
+	// testdata packages under synthetic paths.
+	PkgPath string
+	// TypesInfo holds the type-checking results for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full sysdslint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrderAnalyzer,
+		NoFMAAnalyzer,
+		ThreadPlumbAnalyzer,
+		LayeringAnalyzer,
+		GoroutineErrAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the set of valid analyzer names, including the
+// pseudo-analyzer that validates suppression directives themselves.
+func AnalyzerNames() map[string]bool {
+	names := map[string]bool{SuppressAnalyzerName: true}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// RunAnalyzers runs the given analyzers over one loaded package, applies
+// //sysds:ok suppressions, validates the suppression directives, and returns
+// the surviving diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.Path,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sups := collectSuppressions(pkg.Fset, pkg.Files)
+	diags = applySuppressions(diags, sups)
+	diags = append(diags, validateSuppressions(sups, AnalyzerNames())...)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func suite(name string) string { return filepath.Join("testdata", "src", name) }
+
+func TestMapOrder(t *testing.T) {
+	runTestdata(t, []*Analyzer{MapOrderAnalyzer}, suite("maporder"))
+}
+
+func TestNoFMA(t *testing.T) {
+	runTestdata(t, []*Analyzer{NoFMAAnalyzer}, suite("nofma"))
+}
+
+func TestThreadPlumb(t *testing.T) {
+	runTestdata(t, []*Analyzer{ThreadPlumbAnalyzer}, suite("threadplumb"))
+}
+
+func TestLayering(t *testing.T) {
+	runTestdata(t, []*Analyzer{LayeringAnalyzer}, suite("layering"))
+}
+
+func TestGoroutineErr(t *testing.T) {
+	runTestdata(t, []*Analyzer{GoroutineErrAnalyzer}, suite("goroutineerr"))
+}
+
+// TestSuppressDirectives checks the //sysds:ok pipeline programmatically: a
+// want comment cannot share a line with a directive (it would be parsed as
+// the directive's reason), so the expectations live here instead.
+func TestSuppressDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	srcs := parseTestdata(t, fset, suite("suppress"))
+	diags := lintTestdata(t, fset, srcs, []*Analyzer{MapOrderAnalyzer})
+
+	expect := []struct{ analyzer, substr string }{
+		{SuppressAnalyzerName, "requires a written justification"},
+		{SuppressAnalyzerName, `unknown analyzer "bogus"`},
+		{MapOrderAnalyzer.Name, "accumulates floating-point"},
+	}
+	if len(diags) != len(expect) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(expect))
+	}
+	for _, e := range expect {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == e.analyzer && strings.Contains(d.Message, e.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic containing %q", e.analyzer, e.substr)
+		}
+	}
+	// The surviving maporder finding must be the one under the bogus
+	// directive (sumUnknown); the justified and reason-less directives both
+	// suppress theirs.
+	for _, d := range diags {
+		if d.Analyzer == MapOrderAnalyzer.Name && d.Pos.Line < 40 {
+			t.Errorf("maporder finding escaped a valid suppression: %s", d)
+		}
+	}
+}

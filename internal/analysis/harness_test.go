@@ -1,0 +1,219 @@
+package analysis
+
+// This file is the stdlib-only equivalent of x/tools' analysistest: each
+// testdata/src/<suite> tree holds Go packages whose directory path below the
+// suite root is their import path (e.g. testdata/src/maporder/example.com/
+// internal/runtime declares import path "example.com/internal/runtime", which
+// internalName maps onto the real "runtime" layer). Expected findings are
+// written as trailing comments of the form
+//
+//	// want "regexp"
+//
+// on the exact line a diagnostic is reported at; a test fails on any
+// diagnostic without a matching want and on any want without a matching
+// diagnostic. Packages may import each other — the harness type-checks them
+// recursively from source — and stdlib imports resolve through the same lazy
+// `go list -export` lookup the production loader uses.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testdataPkg is one package parsed out of a testdata suite.
+type testdataPkg struct {
+	path  string
+	files []*ast.File
+}
+
+// parseTestdata parses every Go file under root into packages keyed by their
+// synthetic import path (the slash-form path relative to root).
+func parseTestdata(t *testing.T, fset *token.FileSet, root string) map[string]*testdataPkg {
+	t.Helper()
+	pkgs := map[string]*testdataPkg{}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		path := filepath.ToSlash(rel)
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pkg := pkgs[path]
+		if pkg == nil {
+			pkg = &testdataPkg{path: path}
+			pkgs[path] = pkg
+		}
+		pkg.files = append(pkg.files, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("parse testdata %s: %v", root, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no testdata packages under %s", root)
+	}
+	return pkgs
+}
+
+// testdataImporter type-checks testdata packages recursively from source and
+// defers every other path (stdlib) to the build cache's export data.
+type testdataImporter struct {
+	fset    *token.FileSet
+	srcs    map[string]*testdataPkg
+	checked map[string]*types.Package
+	infos   map[string]*types.Info
+	std     types.Importer
+}
+
+func newTestdataImporter(fset *token.FileSet, srcs map[string]*testdataPkg) *testdataImporter {
+	table := &exportTable{exports: map[string]string{}}
+	return &testdataImporter{
+		fset:    fset,
+		srcs:    srcs,
+		checked: map[string]*types.Package{},
+		infos:   map[string]*types.Info{},
+		std:     importer.ForCompiler(fset, "gc", table.lookup),
+	}
+}
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti.checked[path]; ok {
+		return p, nil
+	}
+	src, ok := ti.srcs[path]
+	if !ok {
+		return ti.std.Import(path)
+	}
+	info := newTypesInfo()
+	conf := &types.Config{Importer: ti}
+	tpkg, err := conf.Check(path, ti.fset, src.files, info)
+	if err != nil {
+		return nil, err
+	}
+	ti.checked[path] = tpkg
+	ti.infos[path] = info
+	return tpkg, nil
+}
+
+// lintTestdata type-checks every testdata package and runs the analyzers
+// (including the suppression pipeline) over each, in sorted package order.
+func lintTestdata(t *testing.T, fset *token.FileSet, srcs map[string]*testdataPkg, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	ti := newTestdataImporter(fset, srcs)
+	paths := make([]string, 0, len(srcs))
+	for p := range srcs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var diags []Diagnostic
+	for _, path := range paths {
+		tpkg, err := ti.Import(path)
+		if err != nil {
+			t.Fatalf("typecheck testdata package %s: %v", path, err)
+		}
+		pkg := &Package{Path: path, Fset: fset, Files: srcs[path].files, Types: tpkg, Info: ti.infos[path]}
+		ds, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("run analyzers on %s: %v", path, err)
+		}
+		diags = append(diags, ds...)
+	}
+	return diags
+}
+
+// want is one expected diagnostic: a message pattern anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantLineRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+	wantArgRe  = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+func collectWants(t *testing.T, fset *token.FileSet, srcs map[string]*testdataPkg) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range srcs {
+		for _, f := range pkg.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantLineRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					args := wantArgRe.FindAllString(m[1], -1)
+					if len(args) == 0 {
+						t.Errorf("%s: want comment has no quoted pattern", pos)
+						continue
+					}
+					for _, q := range args {
+						s, err := strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+							continue
+						}
+						re, err := regexp.Compile(s)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, s, err)
+							continue
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runTestdata lints one testdata suite with the given analyzers and checks
+// the diagnostics against the suite's want comments, both ways.
+func runTestdata(t *testing.T, analyzers []*Analyzer, root string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	srcs := parseTestdata(t, fset, root)
+	diags := lintTestdata(t, fset, srcs, analyzers)
+	wants := collectWants(t, fset, srcs)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import "strconv"
+
+// LayeringAnalyzer enforces the package import DAG documented in DESIGN.md:
+//
+//	types → matrix/compress → dist/hops → instructions/runtime → compiler → core
+//
+// Each internal package carries a layer rank (pkgs.go); an import is legal
+// only when the importer's rank is strictly greater than the importee's.
+// This keeps kernels (matrix, compress) from ever importing the planner
+// (hops) or runtime packages, and keeps the DAG acyclic by construction. A
+// ranked package importing an internal package missing from the layer map is
+// also flagged, so new packages must be placed in a layer before anything
+// can depend on them.
+var LayeringAnalyzer = &Analyzer{
+	Name: "layering",
+	Doc: "enforces the import DAG types → matrix/compress → dist/hops → " +
+		"instructions/runtime → compiler → core; kernels never import planner or runtime packages",
+	Run: runLayering,
+}
+
+func runLayering(pass *Pass) error {
+	self := internalName(pass.PkgPath)
+	selfRank, ranked := layerRank[self]
+	if !ranked {
+		return nil // cmd/, examples/, and the root package sit above the DAG
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			dep := internalName(path)
+			if dep == "" || dep == self {
+				continue // stdlib or external imports are not layered
+			}
+			depRank, ok := layerRank[dep]
+			if !ok {
+				pass.Reportf(imp.Pos(), "package %s imports internal package %s which has no layer rank: add it to the layer map in internal/analysis/pkgs.go", self, dep)
+				continue
+			}
+			if depRank >= selfRank {
+				pass.Reportf(imp.Pos(), "layering violation: %s (layer %d) must not import %s (layer %d); the import DAG is types → matrix/compress → dist/hops → instructions/runtime → compiler → core",
+					self, selfRank, dep, depRank)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRepoLintClean is the standing acceptance gate: the full sysdslint
+// suite over the whole repository must report nothing. Any new violation —
+// or an invalid //sysds:ok directive — fails the build here as well as in
+// `make lint`.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks every package in the repository")
+	}
+	diags, err := Lint("../..", Analyzers(), "./...")
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLayerMapCoversRepo keeps the layering analyzer honest: every internal
+// package that exists must carry a layer rank, so a new package cannot slip
+// into the tree unranked (imports of it would only be flagged at the
+// importer, and only if the importer is itself ranked).
+func TestLayerMapCoversRepo(t *testing.T) {
+	cmd := exec.Command("go", "list", "./internal/...")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	for _, path := range strings.Fields(string(out)) {
+		name := internalName(path)
+		if name == "" {
+			t.Errorf("package %s is under internal/ but internalName is empty", path)
+			continue
+		}
+		if _, ok := layerRank[name]; !ok {
+			t.Errorf("internal package %q has no layer rank: add it to layerRank in pkgs.go", name)
+		}
+	}
+}

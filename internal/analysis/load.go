@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// exportTable resolves import paths to build-cache export data, shared by
+// every type-check of one Load call so cross-package type identities agree.
+type exportTable struct {
+	mu      sync.Mutex
+	exports map[string]string // import path -> export file
+}
+
+func (t *exportTable) lookup(path string) (io.ReadCloser, error) {
+	t.mu.Lock()
+	file, ok := t.exports[path]
+	t.mu.Unlock()
+	if !ok {
+		// Lazy fallback for paths outside the eager -deps listing (the test
+		// harness type-checks testdata packages whose stdlib imports are not
+		// deps of the repository).
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		t.mu.Lock()
+		t.exports[path] = file
+		t.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// Load lists the packages matching the patterns (relative to dir, "" = cwd),
+// parses their non-test Go files, and type-checks them. Imports — including
+// sibling packages under analysis — are resolved through the build cache's
+// export data produced by `go list -export`, so no package is type-checked
+// more than once from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	table := &exportTable{exports: map[string]string{}}
+	var targets []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			table.exports[p.ImportPath] = p.Export
+		}
+		for src, mapped := range p.ImportMap {
+			if _, seen := table.exports[src]; !seen {
+				if exp, ok := table.exports[mapped]; ok {
+					table.exports[src] = exp
+				}
+			}
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", table.lookup)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Lint loads the packages matching the patterns and runs the analyzers over
+// each, returning all surviving diagnostics.
+func Lint(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

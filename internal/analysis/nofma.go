@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NoFMAAnalyzer forbids fused multiply-add in the kernel packages. The dense
+// GEMM engine's bitwise contract (DESIGN.md) requires every product and
+// every sum to round separately — the AVX2 micro-kernel deliberately emits
+// VMULPD-then-VADDPD — so the scalar Go paths must not give the compiler
+// license to fuse. The Go spec allows an implementation to fuse a
+// floating-point multiply feeding an add/sub within one expression (and gc
+// does on arm64/ppc64), which would make scalar results diverge from the
+// assembly kernel and from amd64. Flagged shapes:
+//
+//   - calls to math.FMA (explicit fusion);
+//   - x*y + z, z - x*y, and compound forms s += x*y / s -= x*y where the
+//     product is not explicitly rounded.
+//
+// The sanctioned fix wraps the product in an explicit conversion —
+// s += float64(x*y) — which the spec defines as a rounding point, forbidding
+// fusion while compiling to nothing on targets without FMA.
+var NoFMAAnalyzer = &Analyzer{
+	Name: "nofma",
+	Doc: "forbids math.FMA and fusible multiply-add expression shapes in kernel " +
+		"packages (matrix, compress, dist); wrap products in float64(…) to force rounding",
+	Run: runNoFMA,
+}
+
+func runNoFMA(pass *Pass) error {
+	if !kernelPkgs[internalName(pass.PkgPath)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok &&
+					pkgNameOf(pass, sel.X) == "math" && sel.Sel.Name == "FMA" {
+					pass.Reportf(e.Pos(), "math.FMA is forbidden in kernel packages: products and sums must round separately (bitwise kernel contract)")
+				}
+			case *ast.BinaryExpr:
+				checkFusibleAdd(pass, e)
+			case *ast.AssignStmt:
+				if e.Tok == token.ADD_ASSIGN || e.Tok == token.SUB_ASSIGN {
+					if isFloat(pass.TypesInfo.TypeOf(e.Lhs[0])) && isUnroundedProduct(pass, e.Rhs[0]) {
+						pass.Reportf(e.Pos(), "fusible multiply-add: the compiler may contract %s into an FMA, breaking the bitwise kernel contract; write %s float64(…) to force rounding of the product",
+							e.Tok.String(), e.Tok.String())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFusibleAdd flags float additions/subtractions with an unrounded
+// product operand.
+func checkFusibleAdd(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.ADD && e.Op != token.SUB {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || !isFloat(tv.Type) || tv.Value != nil { // constants fold exactly
+		return
+	}
+	if isUnroundedProduct(pass, e.X) || isUnroundedProduct(pass, e.Y) {
+		pass.Reportf(e.Pos(), "fusible multiply-add: the compiler may contract this expression into an FMA, breaking the bitwise kernel contract; wrap the product in float64(…) to force rounding")
+	}
+}
+
+// isUnroundedProduct reports whether e is a floating-point multiplication
+// whose result feeds the enclosing expression without an explicit rounding
+// point (parentheses do not round; conversions do).
+func isUnroundedProduct(pass *Pass, e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	mul, ok := e.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[mul]
+	if !ok || !isFloat(tv.Type) || tv.Value != nil {
+		return false
+	}
+	return true
+}

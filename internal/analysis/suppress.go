@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// SuppressAnalyzerName is the pseudo-analyzer that diagnostics about the
+// suppression directives themselves are attributed to.
+const SuppressAnalyzerName = "sysdsok"
+
+// suppression is one parsed //sysds:ok(<analyzers>): <reason> directive.
+type suppression struct {
+	pos       token.Position
+	analyzers []string // named analyzers, comma-separated in the directive
+	reason    string
+	// lines are the source lines (same file) the directive covers: its own
+	// line for a trailing comment, plus the following line for a comment that
+	// stands alone so it can annotate the statement beneath it.
+	lines []int
+}
+
+var suppressRe = regexp.MustCompile(`^//sysds:ok\(([^)]*)\)\s*:?\s*(.*?)\s*$`)
+
+// collectSuppressions parses all //sysds:ok directives of a package.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var sups []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := suppressRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				var names []string
+				for _, n := range strings.Split(m[1], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				sups = append(sups, suppression{
+					pos:       pos,
+					analyzers: names,
+					reason:    m[2],
+					lines:     []int{pos.Line, pos.Line + 1},
+				})
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions drops diagnostics covered by a directive naming their
+// analyzer. Directives with an empty reason still suppress — the missing
+// justification surfaces as its own diagnostic via validateSuppressions, so
+// the finding is not double-reported while the author writes the reason.
+func (s *suppression) covers(d Diagnostic) bool {
+	if s.pos.Filename != d.Pos.Filename {
+		return false
+	}
+	lineOK := false
+	for _, l := range s.lines {
+		if l == d.Pos.Line {
+			lineOK = true
+		}
+	}
+	if !lineOK {
+		return false
+	}
+	for _, a := range s.analyzers {
+		if a == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+func applySuppressions(diags []Diagnostic, sups []suppression) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		covered := false
+		for i := range sups {
+			if sups[i].covers(d) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// validateSuppressions reports directives that are not valid justifications:
+// an empty reason, or an analyzer name the suite does not know.
+func validateSuppressions(sups []suppression, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, s := range sups {
+		if len(s.analyzers) == 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: SuppressAnalyzerName,
+				Message:  "sysds:ok directive names no analyzer",
+			})
+		}
+		for _, a := range s.analyzers {
+			if !known[a] {
+				diags = append(diags, Diagnostic{
+					Pos:      s.pos,
+					Analyzer: SuppressAnalyzerName,
+					Message:  "sysds:ok directive names unknown analyzer " + quote(a),
+				})
+			}
+		}
+		if s.reason == "" {
+			diags = append(diags, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: SuppressAnalyzerName,
+				Message:  "sysds:ok suppression requires a written justification: //sysds:ok(<analyzer>): <reason>",
+			})
+		}
+	}
+	return diags
+}
+
+func quote(s string) string { return `"` + s + `"` }

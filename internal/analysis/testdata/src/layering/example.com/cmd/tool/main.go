@@ -1,0 +1,10 @@
+// Commands sit above the DAG: unranked packages outside internal/ may import
+// anything.
+package main
+
+import (
+	_ "example.com/internal/matrix"
+	_ "example.com/internal/runtime"
+)
+
+func main() {}

@@ -1,0 +1,9 @@
+// Package compiler (layer 7) may import the runtime, but importing an
+// internal package missing from the layer map fires: new packages must be
+// placed in a layer before anything can depend on them.
+package compiler
+
+import (
+	_ "example.com/internal/runtime"
+	_ "example.com/internal/unmapped" // want "no layer rank"
+)

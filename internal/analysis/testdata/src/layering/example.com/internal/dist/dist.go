@@ -1,0 +1,5 @@
+// Package dist (layer 3) importing hops (also layer 3) fires: ranks must be
+// strictly decreasing along imports, equal ranks are siblings, not a DAG edge.
+package dist
+
+import _ "example.com/internal/hops" // want "layering violation: dist .* must not import hops"

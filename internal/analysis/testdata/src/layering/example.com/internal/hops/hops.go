@@ -1,0 +1,5 @@
+// Package hops (layer 3) imports nothing; it exists so dist can try to
+// import a same-rank sibling.
+package hops
+
+type Plan struct{}

@@ -1,0 +1,8 @@
+// Package matrix is a kernel (layer 1): importing the runtime inverts the
+// DAG and fires; importing types (layer 0) is the legal direction.
+package matrix
+
+import (
+	_ "example.com/internal/runtime" // want "layering violation: matrix .* must not import runtime"
+	_ "example.com/internal/types"
+)

@@ -1,0 +1,4 @@
+// Package runtime (layer 5) may import lower layers.
+package runtime
+
+import _ "example.com/internal/types"

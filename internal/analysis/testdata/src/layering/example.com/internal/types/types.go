@@ -1,0 +1,4 @@
+// Package types sits at the bottom of the DAG (layer 0).
+package types
+
+type ID int

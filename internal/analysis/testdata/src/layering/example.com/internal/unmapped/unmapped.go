@@ -1,0 +1,5 @@
+// Package unmapped has no layer rank; it is itself unconstrained (the
+// violation is reported at the ranked importer), so nothing fires here.
+package unmapped
+
+import _ "example.com/internal/types"

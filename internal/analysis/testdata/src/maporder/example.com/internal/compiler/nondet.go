@@ -1,0 +1,19 @@
+// Package compiler is outside the deterministic set: the same risky loop
+// shapes must not fire here.
+package compiler
+
+func SumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

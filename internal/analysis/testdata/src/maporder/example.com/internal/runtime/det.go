@@ -1,0 +1,109 @@
+// Package runtime exercises maporder in a deterministic package: every
+// order-sensitive map-range shape fires, every sanctioned idiom stays quiet.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// fire: floating-point accumulation is rounding-order sensitive.
+func SumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "accumulates floating-point values"
+		total += v
+	}
+	return total
+}
+
+// fire: collecting into a slice without a subsequent sort.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to a slice in map order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// fire: goroutine dispatch order is observable (work stealing, pool warmup).
+func Dispatch(m map[string]int, fn func(string)) {
+	for k := range m { // want "dispatches goroutines in map order"
+		go fn(k)
+	}
+}
+
+// fire: channel sends publish elements in iteration order.
+func Stream(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel in map order"
+		ch <- k
+	}
+}
+
+// fire: returning from inside the loop selects a random element.
+func AnyKey(m map[string]int) string {
+	for k := range m { // want "returns a value selected by iteration order"
+		return k
+	}
+	return ""
+}
+
+// fire: last writer wins, so the surviving value is random.
+func LastName(m map[string]int) string {
+	name := ""
+	for k := range m { // want "last writer wins"
+		name = k
+	}
+	return name
+}
+
+// fire: formatted output inherits map order.
+func Dump(m map[string]int) {
+	for k, v := range m { // want "produces formatted output in map order"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// fire: writer methods emit bytes in map order.
+func Render(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want "writes output in map order"
+		sb.WriteString(k)
+	}
+}
+
+// no fire: collect-then-sort is the sanctioned sorted-iteration prologue.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// no fire: keyed writes into another map are order-insensitive.
+func Clone(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// no fire: integer accumulation is exact, any order gives the same sum.
+func SumInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// no fire: counting does not observe order at all.
+func Count(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,7 @@
+// Package hops is outside the kernel set: cost-model arithmetic may use any
+// expression shape, so nothing here fires.
+package hops
+
+func EstimateFlops(rows, cols, inner float64) float64 {
+	return rows*cols*inner*2 + rows*cols
+}

@@ -1,0 +1,69 @@
+// Package matrix exercises nofma inside a kernel package: every shape the
+// compiler may contract into a fused multiply-add fires, and the sanctioned
+// float64(…) rounding idiom stays quiet.
+package matrix
+
+import "math"
+
+// fire: explicit fusion.
+func FMACall(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want "math.FMA is forbidden in kernel packages"
+}
+
+// fire: product feeding an add within one expression.
+func MulAdd(a, b, c float64) float64 {
+	return a*b + c // want "fusible multiply-add"
+}
+
+// fire: parentheses are not a rounding point.
+func ParenMulAdd(a, b, c float64) float64 {
+	return (a * b) + c // want "fusible multiply-add"
+}
+
+// fire: product feeding a subtraction.
+func SubProduct(c, a, b float64) float64 {
+	return c - a*b // want "fusible multiply-add"
+}
+
+// fire: compound assignment accumulating a product.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i] // want "fusible multiply-add"
+	}
+	return s
+}
+
+// fire: compound subtraction of a product.
+func AxpyNeg(y []float64, alpha float64, x []float64) {
+	for i := range y {
+		y[i] -= alpha * x[i] // want "fusible multiply-add"
+	}
+}
+
+// no fire: the explicit conversion is a rounding point, fusion is forbidden.
+func MulAddRounded(a, b, c float64) float64 {
+	return float64(a*b) + c
+}
+
+// no fire: rounded compound accumulation, the sanctioned kernel idiom.
+func DotRounded(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += float64(a[i] * b[i])
+	}
+	return s
+}
+
+// no fire: integer arithmetic is exact.
+func IndexOf(row, cols, col int) int {
+	return row*cols + col
+}
+
+// no fire: constant expressions fold exactly at compile time.
+const scale = 2.0*3.0 + 1.0
+
+// no fire: addition without a product cannot fuse.
+func Sum3(a, b, c float64) float64 {
+	return a + b + c
+}

@@ -1,0 +1,46 @@
+// Package runtime exercises the //sysds:ok suppression pipeline (checked
+// programmatically by TestSuppressDirectives, not by want comments: a want
+// trailing a directive line would be parsed as the directive's reason).
+package runtime
+
+// sumJustified: a directive with a written reason suppresses the maporder
+// finding on the next line and produces no diagnostic of its own.
+func sumJustified(m map[string]float64) float64 {
+	s := 0.0
+	//sysds:ok(maporder): test fixture, summation declared order-insensitive
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// sumTrailing: a trailing directive on the offending line itself.
+func sumTrailing(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { //sysds:ok(maporder): test fixture, trailing form
+		s += v
+	}
+	return s
+}
+
+// sumNoReason: the directive still suppresses, but the missing justification
+// surfaces as a sysdsok diagnostic at the directive.
+func sumNoReason(m map[string]float64) float64 {
+	s := 0.0
+	//sysds:ok(maporder)
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// sumUnknown: naming an unknown analyzer yields a sysdsok diagnostic and
+// does not suppress the maporder finding.
+func sumUnknown(m map[string]float64) float64 {
+	s := 0.0
+	//sysds:ok(bogus): this analyzer does not exist
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -187,7 +187,7 @@ func (g *DDCGroup) VecMatAccum(out, v []float64) {
 	}
 	var s float64
 	for k, d := range g.Dict {
-		s += w[k] * d
+		s += float64(w[k] * d)
 	}
 	out[g.Col] += s
 }
@@ -206,7 +206,7 @@ func (g *DDCGroup) MapValues(fn func(float64) float64) ColGroup {
 func (g *DDCGroup) Sum() float64 {
 	var s float64
 	for k, d := range g.Dict {
-		s += float64(g.Counts[k]) * d
+		s += float64(float64(g.Counts[k]) * d)
 	}
 	return s
 }
@@ -215,7 +215,7 @@ func (g *DDCGroup) Sum() float64 {
 func (g *DDCGroup) SumSq() float64 {
 	var s float64
 	for k, d := range g.Dict {
-		s += float64(g.Counts[k]) * d * d
+		s += float64(float64(g.Counts[k]) * d * d)
 	}
 	return s
 }
@@ -343,7 +343,7 @@ func (g *RLEGroup) VecMatAccum(out, v []float64) {
 		for r := int(g.Starts[i]); r < int(g.Starts[i]+g.Lens[i]); r++ {
 			rs += v[r]
 		}
-		s += val * rs
+		s += float64(val * rs)
 	}
 	out[g.Col] += s
 }
@@ -361,7 +361,7 @@ func (g *RLEGroup) MapValues(fn func(float64) float64) ColGroup {
 func (g *RLEGroup) Sum() float64 {
 	var s float64
 	for i, v := range g.Values {
-		s += v * float64(g.Lens[i])
+		s += float64(v * float64(g.Lens[i]))
 	}
 	return s
 }
@@ -370,7 +370,7 @@ func (g *RLEGroup) Sum() float64 {
 func (g *RLEGroup) SumSq() float64 {
 	var s float64
 	for i, v := range g.Values {
-		s += v * v * float64(g.Lens[i])
+		s += float64(v * v * float64(g.Lens[i]))
 	}
 	return s
 }
@@ -437,7 +437,7 @@ func (g *UncompressedGroup) MatVecAccum(out, v []float64, r0, r1 int, _ []float6
 	for r := r0; r < r1; r++ {
 		var s float64
 		for j, c := range g.ColIdx {
-			s += g.Data.Get(r, j) * v[c]
+			s += float64(g.Data.Get(r, j) * v[c])
 		}
 		out[r-r0] += s
 	}
@@ -449,7 +449,7 @@ func (g *UncompressedGroup) VecMatAccum(out, v []float64) {
 	for j, c := range g.ColIdx {
 		var s float64
 		for r := 0; r < rows; r++ {
-			s += v[r] * g.Data.Get(r, j)
+			s += float64(v[r] * g.Data.Get(r, j))
 		}
 		out[c] += s
 	}
@@ -469,18 +469,24 @@ func (g *UncompressedGroup) MapValues(fn func(float64) float64) ColGroup {
 }
 
 // Sum implements ColGroup.
+//
+//sysds:ok(threadplumb): group-level aggregation is sequential by design — CompressedMatrix aggregates visit groups in order, and the uncompressed fallback group covers only the few incompressible columns
 func (g *UncompressedGroup) Sum() float64 { return matrix.Sum(g.Data, 1) }
 
 // SumSq implements ColGroup.
+//
+//sysds:ok(threadplumb): group-level aggregation is sequential by design (see Sum)
 func (g *UncompressedGroup) SumSq() float64 { return matrix.SumSq(g.Data, 1) }
 
 // MinMax implements ColGroup.
 func (g *UncompressedGroup) MinMax() (float64, float64) {
+	//sysds:ok(threadplumb): group-level aggregation is sequential by design (see Sum)
 	return matrix.Min(g.Data, 1), matrix.Max(g.Data, 1)
 }
 
 // ColSumsInto implements ColGroup.
 func (g *UncompressedGroup) ColSumsInto(out []float64) {
+	//sysds:ok(threadplumb): group-level aggregation is sequential by design (see Sum)
 	cs := matrix.ColSums(g.Data, 1)
 	for j, c := range g.ColIdx {
 		out[c] += cs.Get(0, j)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// determinismFingerprint survives across -count=N invocations of the test
+// binary: the first invocation records the run's fingerprint, later ones must
+// reproduce it exactly. (Fresh processes start empty again — cross-process
+// stability is what the in-process double run plus Go's per-run map-order
+// randomization make statistically meaningful: any surviving map iteration on
+// the execution path draws a new seed per process and per run.)
+var determinismFingerprint string
+
+// TestCompressedLmLoopDeterminism is the determinism regression gate behind
+// the maporder/nofma contracts: the compressed lm training loop (the PR 5
+// acceptance workload) must produce bitwise-identical outputs and an
+// identical ExplainPlan string when run twice in one process, and again when
+// the test is repeated in the same process with -count=2 (the race target
+// runs it that way).
+func TestCompressedLmLoopDeterminism(t *testing.T) {
+	x := lowCardFeatures(1500, 120, 81)
+	y := matrix.RandUniform(1500, 1, -1, 1, 1.0, 82)
+	inputs := map[string]any{"X": x, "y": y}
+
+	run := func() string {
+		t.Helper()
+		eng := compressEngine(true)
+		res, stats, err := eng.Execute(lmLoopScript, inputs, []string{"w", "s"})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if stats.CompressStats.Compressions < 1 {
+			t.Fatalf("compression did not fire (stats %+v)", stats.CompressStats)
+		}
+		explain, err := eng.ExplainPlan(lmLoopScript, inputs)
+		if err != nil {
+			t.Fatalf("explain failed: %v", err)
+		}
+
+		// Fingerprint the exact bit patterns, not rounded values: the bitwise
+		// kernel contract promises float-for-float reproducibility.
+		h := sha256.New()
+		w := res["w"].(*matrix.MatrixBlock)
+		var buf [8]byte
+		for r := 0; r < w.Rows(); r++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w.Get(r, 0)))
+			h.Write(buf[:])
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(res["s"].(float64)))
+		h.Write(buf[:])
+		h.Write([]byte(explain))
+		return hex.EncodeToString(h.Sum(nil))
+	}
+
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("two in-process runs diverged: %s vs %s", first, second)
+	}
+	if determinismFingerprint == "" {
+		determinismFingerprint = first
+	} else if determinismFingerprint != first {
+		t.Fatalf("repeated run (-count) diverged from the first: %s vs %s", determinismFingerprint, first)
+	}
+}

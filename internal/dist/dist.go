@@ -111,10 +111,13 @@ func (b *BlockedMatrix) Region(rl, ru, cl, cu int) (*matrix.MatrixBlock, error) 
 
 // forEachBlock runs fn for every grid coordinate on a bounded worker pool.
 // After the first error, the feed loop stops and workers drain the remaining
-// queued coordinates without executing them.
-func forEachBlock(gridRows, gridCols, threads int, fn func(bi, bj int) error) error {
-	if threads <= 0 {
-		threads = matrix.DefaultParallelism()
+// queued coordinates without executing them. workers is the pool width —
+// deliberately not a kernel thread count: the blocked backend parallelizes
+// across blocks (workers <= 0 means one worker per CPU) while the kernels it
+// invokes run single-threaded under the inner-pool contract.
+func forEachBlock(gridRows, gridCols, workers int, fn func(bi, bj int) error) error {
+	if workers <= 0 {
+		workers = matrix.DefaultParallelism()
 	}
 	type coord struct{ bi, bj int }
 	work := make(chan coord)
@@ -122,7 +125,7 @@ func forEachBlock(gridRows, gridCols, threads int, fn func(bi, bj int) error) er
 	errOnce := sync.Once{}
 	var firstErr error
 	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -518,13 +518,15 @@ func (h *Hop) PlanString() string {
 // string, and the modeled compute/shuffle costs (EXPLAIN hops with costs).
 func (d *DAG) ExplainPlan() string {
 	var sb strings.Builder
-	for _, h := range d.Nodes() {
+	nodes := d.Nodes()
+	ids := explainIDs(nodes)
+	for _, h := range nodes {
 		ins := make([]string, len(h.Inputs))
 		for i, in := range h.Inputs {
-			ins[i] = fmt.Sprint(in.ID)
+			ins[i] = fmt.Sprint(ids[in.ID])
 		}
 		fmt.Fprintf(&sb, "(%d) %s %s [%s] %s mem=%d plan=%s",
-			h.ID, h.Kind, h.Op, strings.Join(ins, ","), h.DC, h.MemEstimate, h.PlanString())
+			ids[h.ID], h.Kind, h.Op, strings.Join(ins, ","), h.DC, h.MemEstimate, h.PlanString())
 		if h.CostEst.Known {
 			fmt.Fprintf(&sb, " flops=%.3g out=%dB", h.CostEst.Compute, h.CostEst.OutputBytes)
 			if h.CostEst.ShuffleBytes > 0 {

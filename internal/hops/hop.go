@@ -226,8 +226,16 @@ func (d *DAG) Nodes() []*Hop {
 		for _, in := range h.Inputs {
 			visit(in)
 		}
-		for _, p := range h.Params {
-			visit(p)
+		// visit params in sorted key order: the post-order returned here
+		// decides EXPLAIN listings, consumer lists, and lowering order, all of
+		// which must be identical across runs
+		pkeys := make([]string, 0, len(h.Params))
+		for k := range h.Params {
+			pkeys = append(pkeys, k)
+		}
+		sort.Strings(pkeys)
+		for _, k := range pkeys {
+			visit(h.Params[k])
 		}
 		order = append(order, h)
 	}
@@ -237,16 +245,31 @@ func (d *DAG) Nodes() []*Hop {
 	return order
 }
 
+// explainIDs maps raw HOP IDs to DAG-local ordinals (post-order position,
+// starting at 1). Raw IDs come from a process-global counter, so printing
+// them would make EXPLAIN output depend on how many DAGs were built earlier
+// in the process; the ordinals make the listing of a given plan identical
+// across compilations and runs.
+func explainIDs(nodes []*Hop) map[int64]int {
+	ids := make(map[int64]int, len(nodes))
+	for i, h := range nodes {
+		ids[h.ID] = i + 1
+	}
+	return ids
+}
+
 // Explain renders the DAG as an indented operator listing (EXPLAIN hops).
 func (d *DAG) Explain() string {
 	var sb strings.Builder
-	for _, h := range d.Nodes() {
+	nodes := d.Nodes()
+	ids := explainIDs(nodes)
+	for _, h := range nodes {
 		ins := make([]string, len(h.Inputs))
 		for i, in := range h.Inputs {
-			ins[i] = fmt.Sprint(in.ID)
+			ins[i] = fmt.Sprint(ids[in.ID])
 		}
 		fmt.Fprintf(&sb, "(%d) %s %s [%s] %s mem=%d %s\n",
-			h.ID, h.Kind, h.Op, strings.Join(ins, ","), h.DC, h.MemEstimate, h.ExecType)
+			ids[h.ID], h.Kind, h.Op, strings.Join(ins, ","), h.DC, h.MemEstimate, h.ExecType)
 	}
 	return sb.String()
 }

@@ -2,6 +2,7 @@ package hops
 
 import (
 	"github.com/systemds/systemds-go/internal/types"
+	"sort"
 )
 
 // PropagateSizes performs size propagation over the DAG: starting from the
@@ -325,8 +326,15 @@ func PropagateBlockedOutputs(d *DAG) {
 		for _, in := range h.Inputs {
 			consumers[in.ID] = append(consumers[in.ID], h)
 		}
-		for _, p := range h.Params {
-			consumers[p.ID] = append(consumers[p.ID], h)
+		// visit params in sorted key order so every consumer list is built
+		// identically across runs (nodes is already a deterministic post-order)
+		pkeys := make([]string, 0, len(h.Params))
+		for k := range h.Params {
+			pkeys = append(pkeys, k)
+		}
+		sort.Strings(pkeys)
+		for _, k := range pkeys {
+			consumers[h.Params[k].ID] = append(consumers[h.Params[k].ID], h)
 		}
 	}
 	for _, h := range nodes {

@@ -55,7 +55,7 @@ func Variance(m *MatrixBlock) float64 {
 	for r := 0; r < m.rows; r++ {
 		for c := 0; c < m.cols; c++ {
 			d := m.Get(r, c) - mu
-			s += d * d
+			s += float64(d * d)
 		}
 	}
 	return s / (cells - 1)
@@ -209,7 +209,7 @@ func ColVars(m *MatrixBlock) *MatrixBlock {
 		mu := means.dense[c]
 		for r := 0; r < m.rows; r++ {
 			d := m.Get(r, c) - mu
-			s += d * d
+			s += float64(d * d)
 		}
 		out.dense[c] = s / float64(m.rows-1)
 	}

@@ -38,7 +38,7 @@ func RandUniform(rows, cols int, minV, maxV, sparsity float64, seed int64) *Matr
 		for r := 0; r < rows; r++ {
 			for c := 0; c < cols; c++ {
 				if rng.Float64() < sparsity {
-					b.Add(r, c, minV+rng.Float64()*(maxV-minV))
+					b.Add(r, c, minV+float64(rng.Float64()*(maxV-minV)))
 				}
 			}
 		}
@@ -48,7 +48,7 @@ func RandUniform(rows, cols int, minV, maxV, sparsity float64, seed int64) *Matr
 	}
 	out := NewDense(rows, cols)
 	for i := range out.dense {
-		out.dense[i] = minV + rng.Float64()*(maxV-minV)
+		out.dense[i] = minV + float64(rng.Float64()*(maxV-minV))
 	}
 	out.RecomputeNNZ()
 	return out
@@ -146,7 +146,7 @@ func SyntheticRegression(n, m int, sparsity float64, seed int64) (x, y *MatrixBl
 	}
 	y = NewDense(n, 1)
 	for i := 0; i < n; i++ {
-		y.dense[i] = xw.Get(i, 0) + 0.01*noise.Get(i, 0)
+		y.dense[i] = xw.Get(i, 0) + float64(0.01*noise.Get(i, 0))
 	}
 	y.RecomputeNNZ()
 	return x, y

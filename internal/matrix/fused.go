@@ -767,7 +767,7 @@ func MMChain(x, v, w *MatrixBlock, threads int) (*MatrixBlock, error) {
 				lo, hi := xs.RowPtr[r], xs.RowPtr[r+1]
 				var dot float64
 				for p := lo; p < hi; p++ {
-					dot += xs.Values[p] * vd[xs.ColIdx[p]]
+					dot += float64(xs.Values[p] * vd[xs.ColIdx[p]])
 				}
 				if wd != nil {
 					dot *= wd[r]
@@ -776,7 +776,7 @@ func MMChain(x, v, w *MatrixBlock, threads int) (*MatrixBlock, error) {
 					continue
 				}
 				for p := lo; p < hi; p++ {
-					buf[xs.ColIdx[p]] += dot * xs.Values[p]
+					buf[xs.ColIdx[p]] += float64(dot * xs.Values[p])
 				}
 			}
 		} else {
@@ -794,10 +794,10 @@ func MMChain(x, v, w *MatrixBlock, threads int) (*MatrixBlock, error) {
 				row3 := x.dense[(r+3)*n : (r+4)*n]
 				var d0, d1, d2, d3 float64
 				for j, vj := range vd {
-					d0 += row0[j] * vj
-					d1 += row1[j] * vj
-					d2 += row2[j] * vj
-					d3 += row3[j] * vj
+					d0 += float64(row0[j] * vj)
+					d1 += float64(row1[j] * vj)
+					d2 += float64(row2[j] * vj)
+					d3 += float64(row3[j] * vj)
 				}
 				if wd != nil {
 					d0 *= wd[r]
@@ -814,7 +814,7 @@ func MMChain(x, v, w *MatrixBlock, threads int) (*MatrixBlock, error) {
 				row := x.dense[r*n : (r+1)*n]
 				var dot float64
 				for j, xv := range row {
-					dot += xv * vd[j]
+					dot += float64(xv * vd[j])
 				}
 				if wd != nil {
 					dot *= wd[r]
@@ -849,7 +849,7 @@ func mmchainScatter(buf, row []float64, dot float64) {
 		return
 	}
 	for j, xv := range row {
-		buf[j] += dot * xv
+		buf[j] += float64(dot * xv)
 	}
 }
 

@@ -257,14 +257,14 @@ func gemmMicro4x2(ap, bp []float64, kc int, cv []float64, ci, ldc int) {
 		bv := bp[p*gemmNR : p*gemmNR+2]
 		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
 		b0, b1 := bv[0], bv[1]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c30 += a3 * b0
-		c31 += a3 * b1
+		c00 += float64(a0 * b0)
+		c01 += float64(a0 * b1)
+		c10 += float64(a1 * b0)
+		c11 += float64(a1 * b1)
+		c20 += float64(a2 * b0)
+		c21 += float64(a2 * b1)
+		c30 += float64(a3 * b0)
+		c31 += float64(a3 * b1)
 	}
 	cv[ci], cv[ci+1] = c00, c01
 	cv[r1], cv[r1+1] = c10, c11

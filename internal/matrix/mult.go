@@ -156,13 +156,13 @@ func multDenseDense(a, b *MatrixBlock, threads int, blas bool) *MatrixBlock {
 						brow := bv[kp*n : (kp+1)*n]
 						j := jj
 						for ; j+4 <= jmax; j += 4 {
-							ci[j] += aval * brow[j]
-							ci[j+1] += aval * brow[j+1]
-							ci[j+2] += aval * brow[j+2]
-							ci[j+3] += aval * brow[j+3]
+							ci[j] += float64(aval * brow[j])
+							ci[j+1] += float64(aval * brow[j+1])
+							ci[j+2] += float64(aval * brow[j+2])
+							ci[j+3] += float64(aval * brow[j+3])
 						}
 						for ; j < jmax; j++ {
-							ci[j] += aval * brow[j]
+							ci[j] += float64(aval * brow[j])
 						}
 					}
 				}
@@ -215,7 +215,7 @@ func accDenseDense(acc, a, b *MatrixBlock, threads int) int64 {
 						}
 						brow := bv[kp*n : (kp+1)*n]
 						for j := jj; j < jmax; j++ {
-							ci[j] += aval * brow[j]
+							ci[j] += float64(aval * brow[j])
 						}
 					}
 				}
@@ -240,7 +240,7 @@ func multSparseDense(a, b *MatrixBlock, threads int) *MatrixBlock {
 				kp, aval := s.ColIdx[p], s.Values[p]
 				brow := bv[kp*n : (kp+1)*n]
 				for j := 0; j < n; j++ {
-					ci[j] += aval * brow[j]
+					ci[j] += float64(aval * brow[j])
 				}
 			}
 		}
@@ -267,7 +267,7 @@ func multDenseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 					continue
 				}
 				for p := s.RowPtr[kp]; p < s.RowPtr[kp+1]; p++ {
-					ci[s.ColIdx[p]] += aval * s.Values[p]
+					ci[s.ColIdx[p]] += float64(aval * s.Values[p])
 				}
 			}
 		}
@@ -291,7 +291,7 @@ func multSparseSparse(a, b *MatrixBlock, threads int) *MatrixBlock {
 			for p := sa.RowPtr[i]; p < sa.RowPtr[i+1]; p++ {
 				kp, aval := sa.ColIdx[p], sa.Values[p]
 				for q := sb.RowPtr[kp]; q < sb.RowPtr[kp+1]; q++ {
-					ci[sb.ColIdx[q]] += aval * sb.Values[q]
+					ci[sb.ColIdx[q]] += float64(aval * sb.Values[q])
 				}
 			}
 		}
@@ -414,7 +414,7 @@ func tsmmSimpleChunk(buf, xv []float64, n, r0, r1 int) {
 			}
 			bi := buf[i*n:]
 			for j := i; j < n; j++ {
-				bi[j] += vi * row[j]
+				bi[j] += float64(vi * row[j])
 			}
 		}
 	}
@@ -446,7 +446,7 @@ func tsmmSparse(x, out *MatrixBlock, threads int) {
 					ci, vi := s.ColIdx[p], s.Values[p]
 					bi := buf[ci*n:]
 					for q := p; q < hi; q++ {
-						bi[s.ColIdx[q]] += vi * s.Values[q]
+						bi[s.ColIdx[q]] += float64(vi * s.Values[q])
 					}
 				}
 			}

@@ -51,7 +51,7 @@ func Cholesky(a *MatrixBlock) (*MatrixBlock, error) {
 	for j := 0; j < n; j++ {
 		var d float64
 		for k := 0; k < j; k++ {
-			d += l.dense[j*n+k] * l.dense[j*n+k]
+			d += float64(l.dense[j*n+k] * l.dense[j*n+k])
 		}
 		d = src.dense[j*n+j] - d
 		if d <= 0 {
@@ -61,7 +61,7 @@ func Cholesky(a *MatrixBlock) (*MatrixBlock, error) {
 		for i := j + 1; i < n; i++ {
 			var s float64
 			for k := 0; k < j; k++ {
-				s += l.dense[i*n+k] * l.dense[j*n+k]
+				s += float64(l.dense[i*n+k] * l.dense[j*n+k])
 			}
 			l.dense[i*n+j] = (src.dense[i*n+j] - s) / l.dense[j*n+j]
 		}
@@ -82,7 +82,7 @@ func solveCholesky(a, b *MatrixBlock) (*MatrixBlock, error) {
 		for i := 0; i < n; i++ {
 			s := b.dense[i*k+c]
 			for j := 0; j < i; j++ {
-				s -= l.dense[i*n+j] * y.dense[j*k+c]
+				s -= float64(l.dense[i*n+j] * y.dense[j*k+c])
 			}
 			y.dense[i*k+c] = s / l.dense[i*n+i]
 		}
@@ -93,7 +93,7 @@ func solveCholesky(a, b *MatrixBlock) (*MatrixBlock, error) {
 		for i := n - 1; i >= 0; i-- {
 			s := y.dense[i*k+c]
 			for j := i + 1; j < n; j++ {
-				s -= l.dense[j*n+i] * x.dense[j*k+c]
+				s -= float64(l.dense[j*n+i] * x.dense[j*k+c])
 			}
 			x.dense[i*k+c] = s / l.dense[i*n+i]
 		}
@@ -131,7 +131,7 @@ func solveLU(a, b *MatrixBlock) (*MatrixBlock, error) {
 			f := lu[r*n+col] * inv
 			lu[r*n+col] = f
 			for c := col + 1; c < n; c++ {
-				lu[r*n+c] -= f * lu[col*n+c]
+				lu[r*n+c] -= float64(f * lu[col*n+c])
 			}
 		}
 	}
@@ -142,7 +142,7 @@ func solveLU(a, b *MatrixBlock) (*MatrixBlock, error) {
 		for i := 0; i < n; i++ {
 			s := b.dense[perm[i]*k+c]
 			for j := 0; j < i; j++ {
-				s -= lu[i*n+j] * y[j]
+				s -= float64(lu[i*n+j] * y[j])
 			}
 			y[i] = s
 		}
@@ -150,7 +150,7 @@ func solveLU(a, b *MatrixBlock) (*MatrixBlock, error) {
 		for i := n - 1; i >= 0; i-- {
 			s := y[i]
 			for j := i + 1; j < n; j++ {
-				s -= lu[i*n+j] * x.dense[j*k+c]
+				s -= float64(lu[i*n+j] * x.dense[j*k+c])
 			}
 			x.dense[i*k+c] = s / lu[i*n+i]
 		}
@@ -196,7 +196,7 @@ func Det(a *MatrixBlock) (float64, error) {
 		for r := col + 1; r < n; r++ {
 			f := lu[r*n+col] * inv
 			for c := col + 1; c < n; c++ {
-				lu[r*n+c] -= f * lu[col*n+c]
+				lu[r*n+c] -= float64(f * lu[col*n+c])
 			}
 		}
 	}
@@ -223,7 +223,7 @@ func EigenSym(a *MatrixBlock) (values, vectors *MatrixBlock, err error) {
 		var off float64
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				off += m[i*n+j] * m[i*n+j]
+				off += float64(m[i*n+j] * m[i*n+j])
 			}
 		}
 		if off < 1e-20 {
@@ -237,23 +237,23 @@ func EigenSym(a *MatrixBlock) (values, vectors *MatrixBlock, err error) {
 				}
 				app, aqq := m[p*n+p], m[q*n+q]
 				theta := (aqq - app) / (2 * apq)
-				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
-				c := 1 / math.Sqrt(t*t+1)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(float64(theta*theta)+1))
+				c := 1 / math.Sqrt(float64(t*t)+1)
 				s := t * c
 				for k := 0; k < n; k++ {
 					mkp, mkq := m[k*n+p], m[k*n+q]
-					m[k*n+p] = c*mkp - s*mkq
-					m[k*n+q] = s*mkp + c*mkq
+					m[k*n+p] = float64(c*mkp) - float64(s*mkq)
+					m[k*n+q] = float64(s*mkp) + float64(c*mkq)
 				}
 				for k := 0; k < n; k++ {
 					mpk, mqk := m[p*n+k], m[q*n+k]
-					m[p*n+k] = c*mpk - s*mqk
-					m[q*n+k] = s*mpk + c*mqk
+					m[p*n+k] = float64(c*mpk) - float64(s*mqk)
+					m[q*n+k] = float64(s*mpk) + float64(c*mqk)
 				}
 				for k := 0; k < n; k++ {
 					vkp, vkq := v[k*n+p], v[k*n+q]
-					v[k*n+p] = c*vkp - s*vkq
-					v[k*n+q] = s*vkp + c*vkq
+					v[k*n+p] = float64(c*vkp) - float64(s*vkq)
+					v[k*n+q] = float64(s*vkp) + float64(c*vkq)
 				}
 			}
 		}

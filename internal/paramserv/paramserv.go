@@ -288,7 +288,7 @@ func batch(x, y *matrix.MatrixBlock, b, batchSize int) (*matrix.MatrixBlock, *ma
 // t(X) %*% (X %*% w - y) / n for linear regression.
 func LinRegGradient() GradientFunc {
 	return func(model, xb, yb *matrix.MatrixBlock) (*matrix.MatrixBlock, error) {
-		pred, err := matrix.Multiply(xb, model, 0)
+		pred, err := matrix.Multiply(xb, model, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +296,7 @@ func LinRegGradient() GradientFunc {
 		if err != nil {
 			return nil, err
 		}
-		grad, err := matrix.Multiply(matrix.Transpose(xb), diff, 0)
+		grad, err := matrix.Multiply(matrix.Transpose(xb), diff, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -308,7 +308,7 @@ func LinRegGradient() GradientFunc {
 // classification with labels in {0, 1}.
 func LogRegGradient() GradientFunc {
 	return func(model, xb, yb *matrix.MatrixBlock) (*matrix.MatrixBlock, error) {
-		z, err := matrix.Multiply(xb, model, 0)
+		z, err := matrix.Multiply(xb, model, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +317,7 @@ func LogRegGradient() GradientFunc {
 		if err != nil {
 			return nil, err
 		}
-		grad, err := matrix.Multiply(matrix.Transpose(xb), diff, 0)
+		grad, err := matrix.Multiply(matrix.Transpose(xb), diff, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -328,7 +328,7 @@ func LogRegGradient() GradientFunc {
 // SquaredLoss computes the mean squared error of a model on (x, y); used by
 // tests and the benchmark harness to verify convergence.
 func SquaredLoss(model, x, y *matrix.MatrixBlock) (float64, error) {
-	pred, err := matrix.Multiply(x, model, 0)
+	pred, err := matrix.Multiply(x, model, 1)
 	if err != nil {
 		return 0, err
 	}

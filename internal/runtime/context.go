@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"github.com/systemds/systemds-go/internal/bufferpool"
@@ -129,10 +130,10 @@ func NewContext(cfg *Config) *Context {
 		cfg = DefaultConfig()
 	}
 	ctx := &Context{
-		Config:  cfg,
-		Lineage: lineage.NewTracer(),
-		Pool:    bufferpool.New(cfg.BufferPoolBudget, cfg.TempDir),
-		Out:     os.Stdout,
+		Config:     cfg,
+		Lineage:    lineage.NewTracer(),
+		Pool:       bufferpool.New(cfg.BufferPoolBudget, cfg.TempDir),
+		Out:        os.Stdout,
 		vars:       map[string]Data{},
 		dist:       &distCounters{},
 		fused:      &fusedCounters{},
@@ -151,12 +152,12 @@ func NewContext(cfg *Config) *Context {
 // scopes); configuration, cache, pool, program and output are shared.
 func (ctx *Context) ChildEmpty() *Context {
 	return &Context{
-		Config:  ctx.Config,
-		Lineage: lineage.NewTracer(),
-		Cache:   ctx.Cache,
-		Pool:    ctx.Pool,
-		Prog:    ctx.Prog,
-		Out:     ctx.Out,
+		Config:     ctx.Config,
+		Lineage:    lineage.NewTracer(),
+		Cache:      ctx.Cache,
+		Pool:       ctx.Pool,
+		Prog:       ctx.Prog,
+		Out:        ctx.Out,
 		vars:       map[string]Data{},
 		dist:       ctx.dist,
 		fused:      ctx.fused,
@@ -175,12 +176,12 @@ func (ctx *Context) ChildCopy() *Context {
 	}
 	ctx.mu.RUnlock()
 	return &Context{
-		Config:  ctx.Config,
-		Lineage: ctx.Lineage.Copy(),
-		Cache:   ctx.Cache,
-		Pool:    ctx.Pool,
-		Prog:    ctx.Prog,
-		Out:     ctx.Out,
+		Config:     ctx.Config,
+		Lineage:    ctx.Lineage.Copy(),
+		Cache:      ctx.Cache,
+		Pool:       ctx.Pool,
+		Prog:       ctx.Prog,
+		Out:        ctx.Out,
 		vars:       vars,
 		dist:       ctx.dist,
 		fused:      ctx.fused,
@@ -322,7 +323,8 @@ func (ctx *Context) Remove(name string) {
 	}
 }
 
-// Variables returns the names of all bound variables.
+// Variables returns the names of all bound variables in sorted order, so
+// callers that print or walk the symbol table behave identically across runs.
 func (ctx *Context) Variables() []string {
 	ctx.mu.RLock()
 	defer ctx.mu.RUnlock()
@@ -330,16 +332,24 @@ func (ctx *Context) Variables() []string {
 	for k := range ctx.vars {
 		names = append(names, k)
 	}
+	sort.Strings(names)
 	return names
 }
 
 // VariableByValue returns the name of a variable bound to exactly this data
-// object (used by partial-reuse compensation plans), or "" if none.
+// object (used by partial-reuse compensation plans), or "" if none. When
+// several variables alias the same object, the lexicographically smallest
+// name wins, keeping compensation plans stable across runs.
 func (ctx *Context) VariableByValue(d Data) string {
 	ctx.mu.RLock()
 	defer ctx.mu.RUnlock()
-	for k, v := range ctx.vars {
-		if v == d {
+	names := make([]string, 0, len(ctx.vars))
+	for k := range ctx.vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if ctx.vars[k] == d {
 			return k
 		}
 	}
@@ -435,7 +445,9 @@ func (ctx *Context) SetCompressed(name string, cm *compress.CompressedMatrix) {
 }
 
 // CleanupTemporaries removes temporary variables created by DAG lowering
-// (names with the compiler's temporary prefix).
+// (names with the compiler's temporary prefix). Victims are removed in
+// sorted order so buffer-pool unregistration and any cleanup-driven stats
+// are identical across runs.
 func (ctx *Context) CleanupTemporaries(prefix string) {
 	ctx.mu.Lock()
 	var victims []string
@@ -445,6 +457,7 @@ func (ctx *Context) CleanupTemporaries(prefix string) {
 		}
 	}
 	ctx.mu.Unlock()
+	sort.Strings(victims)
 	for _, v := range victims {
 		ctx.Remove(v)
 	}

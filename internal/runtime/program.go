@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -539,8 +540,15 @@ func (f *FunctionBlock) Call(ctx *Context, positional []Data, named map[string]D
 			child.Lineage.Set(f.Params[i].Name, positionalLineage[i])
 		}
 	}
-	// bind named
-	for name, d := range named {
+	// bind named, in sorted order so the binding sequence (and which
+	// unknown-parameter error surfaces first) is identical across runs
+	namedOrder := make([]string, 0, len(named))
+	for name := range named {
+		namedOrder = append(namedOrder, name)
+	}
+	sort.Strings(namedOrder)
+	for _, name := range namedOrder {
+		d := named[name]
 		found := false
 		for _, p := range f.Params {
 			if p.Name == name {
