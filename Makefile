@@ -25,21 +25,23 @@ test:
 # and lineage included — nothing is skipped), followed by the compressed
 # lm-loop determinism gate run twice in one process (-count=2 compares
 # fingerprints across invocations via package state), and a bench smoke that
-# drives the tiled GEMM engine's multi-threaded row-panel workers under the
-# race detector.
+# drives the tiled GEMM engine's multi-threaded row-panel workers plus the
+# deep compressed kernels (TSMM, matrix right-hand side, partitioned dist MV)
+# under the race detector.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -run TestCompressedLmLoopDeterminism -count=2 ./internal/core/
-	$(GO) test -race -bench 'KernelGEMMTiled512|KernelMultiplyAccTiled' -benchtime=1x -run '^$$' .
+	$(GO) test -race -bench 'KernelGEMMTiled512|KernelMultiplyAccTiled|CompressedTSMM$$|CompressedMMDense$$|CompressedDistMV' -benchtime=1x -run '^$$' .
 
-# Compressed-vs-dense MV kernels, planner-vs-forced matmult strategies,
-# fused-vs-unfused, kernel-parallelism and tiled-vs-simple GEMM/TSMM/
-# MultiplyAcc benchmarks with allocation stats; the parsed results land in
-# BENCH_pr6.json (the perf trajectory of the repo). The compressed benchmarks
-# additionally report databytes/op (bytes of matrix representation streamed
-# per operation) and the dense kernel benchmarks report gflops.
+# Compressed-vs-dense MV/TSMM/matrix-RHS kernels (plus the partitioned dist
+# executor), planner-vs-forced matmult strategies, fused-vs-unfused,
+# kernel-parallelism and tiled-vs-simple GEMM/TSMM/MultiplyAcc benchmarks with
+# allocation stats; the parsed results land in BENCH_pr8.json (the perf
+# trajectory of the repo). The compressed benchmarks additionally report
+# databytes/op (bytes of matrix representation streamed per operation) and
+# the dense kernel benchmarks report gflops.
 bench:
-	set -o pipefail; $(GO) test -bench 'Compressed|LoopEpoch|MatMultStrategy|Fused|Unfused|MMChain|KernelParallel|KernelGEMM|KernelTSMM|KernelMultiplyAcc' -benchmem -timeout 30m -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr6.json
+	set -o pipefail; $(GO) test -bench 'Compressed|LoopEpoch|MatMultStrategy|Fused|Unfused|MMChain|KernelParallel|KernelGEMM|KernelTSMM|KernelMultiplyAcc' -benchmem -timeout 30m -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr8.json
 
 # Full benchmark sweep (single iteration per benchmark).
 bench-all:

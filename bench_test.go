@@ -716,3 +716,140 @@ func BenchmarkUncompressedLoopEpoch(b *testing.B) {
 		}
 	}
 }
+
+// --- PR 8: deep compressed execution ----------------------------------------
+//
+// BenchmarkCompressedTSMM times the Gram matrix t(X) %*% X straight off the
+// column-group dictionaries (counts-weighted self products, co-occurrence-
+// weighted cross products) against decompress-then-tiled-TSMM on the same
+// logical matrix. BenchmarkCompressedMMDense times the matrix right-hand-side
+// kernel X %*% B, and BenchmarkCompressedDistMV the partitioned broadcast-
+// right executor of the blocked backend. All report databytes/op (the bytes
+// of matrix representation streamed per op) and gflops of the equivalent
+// dense computation.
+
+// tsmmBenchMatrix is the co-coded regime the compressed TSMM targets: 16
+// bands of 8 adjacent columns each derive from one shared 8-valued signal
+// (plus a per-column offset), so the greedy co-coding planner collapses each
+// band into one tuple-dictionary group and the Gram matrix reduces to a few
+// dozen small dictionary cross products instead of a dense O(rows * n^2)
+// sweep. Independent-column DDC data (ddcBenchMatrix) stays the driver of the
+// MV/MM benchmarks, where per-group pre-aggregation wins on its own.
+func tsmmBenchMatrix() *matrix.MatrixBlock {
+	const rows, cols, band = 16384, 128, 8
+	x := matrix.NewDense(rows, cols)
+	noise := matrix.RandUniform(rows, cols/band, 0, 1, 1.0, 502)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			signal := float64(int(noise.Get(r, c/band) * 8))
+			x.Set(r, c, signal+float64(c%band))
+		}
+	}
+	x.RecomputeNNZ()
+	return x
+}
+
+func BenchmarkCompressedTSMM(b *testing.B) {
+	x := tsmmBenchMatrix()
+	cm, _, ok := compress.Compress(x, compress.PlannerConfig{}, 1)
+	if !ok {
+		b.Fatal("benchmark input did not compress")
+	}
+	dataBytes := cm.InMemorySize()
+	flops := float64(x.Rows()) * float64(x.Cols()) * float64(x.Cols())
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.TSMM(1)
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+// BenchmarkCompressedTSMMDecompress is the fallback baseline the compressed
+// TSMM kernel replaces: decompress the column groups, then run the tiled
+// dense TSMM over the materialized block.
+func BenchmarkCompressedTSMMDecompress(b *testing.B) {
+	x := tsmmBenchMatrix()
+	cm, _, ok := compress.Compress(x, compress.PlannerConfig{}, 1)
+	if !ok {
+		b.Fatal("benchmark input did not compress")
+	}
+	dataBytes := x.InMemorySize()
+	flops := float64(x.Rows()) * float64(x.Cols()) * float64(x.Cols())
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.TSMM(cm.Decompress(), 1)
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkCompressedMMDense(b *testing.B) {
+	x := ddcBenchMatrix()
+	cm, _, ok := compress.Compress(x, compress.PlannerConfig{}, 1)
+	if !ok {
+		b.Fatal("benchmark input did not compress")
+	}
+	const k = 16
+	rhs := matrix.RandUniform(x.Cols(), k, -1, 1, 1.0, 79)
+	dataBytes := cm.InMemorySize() + int64(x.Cols()*k+x.Rows()*k)*8
+	flops := 2 * float64(x.Rows()) * float64(x.Cols()) * float64(k)
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cm.MatMultDense(rhs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+// BenchmarkCompressedMMDenseDecompress is the decompress-then-dense baseline
+// of the matrix right-hand-side kernel.
+func BenchmarkCompressedMMDenseDecompress(b *testing.B) {
+	x := ddcBenchMatrix()
+	cm, _, ok := compress.Compress(x, compress.PlannerConfig{}, 1)
+	if !ok {
+		b.Fatal("benchmark input did not compress")
+	}
+	const k = 16
+	rhs := matrix.RandUniform(x.Cols(), k, -1, 1, 1.0, 79)
+	dataBytes := x.InMemorySize() + int64(x.Cols()*k+x.Rows()*k)*8
+	flops := 2 * float64(x.Rows()) * float64(x.Cols()) * float64(k)
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.Multiply(cm.Decompress(), rhs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkCompressedDistMV(b *testing.B) {
+	x := ddcBenchMatrix()
+	cm, _, ok := compress.Compress(x, compress.PlannerConfig{}, 1)
+	if !ok {
+		b.Fatal("benchmark input did not compress")
+	}
+	part, err := dist.PartitionCompressed(cm, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := matrix.RandUniform(x.Cols(), 1, -1, 1, 1.0, 80)
+	dataBytes := part.InMemorySize() + int64(x.Cols()+x.Rows())*8
+	flops := 2 * float64(x.Rows()) * float64(x.Cols())
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.CompressedMatVec(part, v, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}

@@ -42,6 +42,12 @@ type Compiler struct {
 	// explain, when non-nil, accumulates the planner's annotated DAG listing
 	// for every compiled basic block (the EXPLAIN hops-with-costs output).
 	explain *strings.Builder
+	// compressedVars tracks, across DAG and block boundaries, which variables
+	// hold a compressed matrix at runtime: set when a fired compression site
+	// (or a transpose view of one) writes the variable, cleared on any other
+	// reassignment. Transient reads of tracked variables are marked
+	// CompressedRead so pricing and EXPLAIN see the representation.
+	compressedVars map[string]bool
 }
 
 // New creates a compiler.
@@ -49,7 +55,8 @@ func New(cfg *runtime.Config, registry BuiltinRegistry) *Compiler {
 	if cfg == nil {
 		cfg = runtime.DefaultConfig()
 	}
-	return &Compiler{cfg: cfg, registry: registry, compiling: map[string]bool{}}
+	return &Compiler{cfg: cfg, registry: registry, compiling: map[string]bool{},
+		compressedVars: map[string]bool{}}
 }
 
 // Compile compiles a DML script into a runtime program. knownInputs provides

@@ -53,10 +53,29 @@ func (bb *blockBuilder) flush() error {
 		hops.FuseOperators(bb.dag, params)
 		hops.PropagateSizes(bb.dag, bb.known)
 	}
+	// mark transient reads of variables compressed by an earlier DAG, so the
+	// planner prices their compressed bytes and EXPLAIN tags the CLA kernels
+	for _, h := range bb.dag.Nodes() {
+		if h.Kind == hops.KindRead && bb.c.compressedVars[h.Name] {
+			h.CompressedRead = true
+		}
+	}
 	// the physical planner: one cost-based pass assigns execution types and
 	// matmult strategies from the same estimates the fusion gate consumed
 	hops.Plan(bb.dag, params)
 	hops.PropagateBlockedOutputs(bb.dag)
+	// update the cross-DAG compressed-variable tracking from this DAG's
+	// writes: a fired compression site marks its variable, any other producer
+	// clears it (unwritten variables keep their prior state)
+	for _, r := range bb.dag.Roots {
+		if r.Kind == hops.KindWrite && len(r.Inputs) == 1 {
+			if hops.CompressedOutput(r.Inputs[0]) {
+				bb.c.compressedVars[r.Name] = true
+			} else {
+				delete(bb.c.compressedVars, r.Name)
+			}
+		}
+	}
 	if bb.c.explain != nil {
 		bb.c.explain.WriteString(bb.dag.ExplainPlan())
 		bb.c.explain.WriteByte('\n')

@@ -29,6 +29,12 @@ const (
 	EncRLE
 	// EncUncompressed keeps the columns as a plain matrix block.
 	EncUncompressed
+	// EncCoCoded is joint dictionary coding of several correlated columns:
+	// one code per row indexes a dictionary of value tuples.
+	EncCoCoded
+	// EncSDC is sparse dictionary coding: a default value covers most rows
+	// and only the exception positions store dictionary codes.
+	EncSDC
 )
 
 // String returns the short encoding name used in plan strings.
@@ -38,6 +44,10 @@ func (e Encoding) String() string {
 		return "ddc"
 	case EncRLE:
 		return "rle"
+	case EncCoCoded:
+		return "cc"
+	case EncSDC:
+		return "sdc"
 	default:
 		return "unc"
 	}

@@ -1,44 +1,85 @@
 package compress
 
 import (
+	"encoding/binary"
+	"math"
+
 	"github.com/systemds/systemds-go/internal/matrix"
 )
 
 // Compress runs the sample-based planner over a matrix block and, when the
-// estimated compression ratio clears the threshold, encodes each column under
-// its chosen scheme. It returns the compressed matrix, the plan, and whether
-// compression was accepted; a rejected plan returns (nil, plan, false) and
-// the caller keeps the uncompressed block.
+// estimated compression ratio clears the threshold, encodes each column (or
+// co-coded column set) under its chosen scheme. It returns the compressed
+// matrix, the plan, and whether compression was accepted; a rejected plan
+// returns (nil, plan, false) and the caller keeps the uncompressed block.
 //
 // Encoding is exact and deterministic: dictionaries are built in
 // first-occurrence order by a sequential row scan per column, so the same
 // input always yields the same compressed bytes (bitwise-reproducible runs).
-// Columns whose exact dictionary overflows MaxDictSize, or whose exact run
-// count makes RLE larger than the plain column, fall back to the
-// uncompressed group; adjacent fallback columns coalesce into one group.
+// Columns whose exact dictionary overflows MaxDictSize, or whose exact
+// encoding is larger than the plain column, fall back — co-coded sets to
+// per-column DDC, everything else to the uncompressed group; adjacent
+// fallback columns coalesce into one group.
 func Compress(m *matrix.MatrixBlock, cfg PlannerConfig, threads int) (*CompressedMatrix, *Plan, bool) {
 	plan := EstimatePlan(m, cfg)
 	if !plan.Accepted {
 		return nil, plan, false
 	}
 	rows, cols := m.Rows(), m.Cols()
-	encoded := make([]ColGroup, cols) // nil = uncompressed fallback
-	forEachGroup(planGroups(plan), threads, func(i int, _ ColGroup) {
-		c := plan.Cols[i].Col
-		switch plan.Cols[i].Enc {
+	// one encode unit per planned group: co-coded sets plus single columns
+	type encodeUnit struct {
+		cols []int
+		enc  Encoding
+		def  float64
+	}
+	skip := make([]bool, cols)
+	ccAt := make(map[int][]int, len(plan.CoCoded))
+	for _, cc := range plan.CoCoded {
+		ccAt[cc.Cols[0]] = cc.Cols
+		for _, c := range cc.Cols[1:] {
+			skip[c] = true
+		}
+	}
+	units := make([]encodeUnit, 0, cols)
+	for c := 0; c < cols; c++ {
+		if skip[c] {
+			continue
+		}
+		if set, ok := ccAt[c]; ok {
+			units = append(units, encodeUnit{cols: set, enc: EncCoCoded})
+			continue
+		}
+		units = append(units, encodeUnit{cols: []int{c}, enc: plan.Cols[c].Enc, def: plan.Cols[c].Default})
+	}
+	encoded := make([]ColGroup, cols) // indexed by first column; nil = fallback
+	forEachIndex(len(units), threads, func(i int) {
+		u := units[i]
+		switch u.enc {
+		case EncCoCoded:
+			if g := encodeCoCoded(m, u.cols, rows); g != nil {
+				encoded[u.cols[0]] = g
+				return
+			}
+			// the exact joint dictionary overflowed or did not pay off:
+			// encode the members separately
+			for _, c := range u.cols {
+				encoded[c] = encodeDDC(m, c, rows)
+			}
 		case EncDDC:
-			encoded[c] = encodeDDC(m, c, rows)
+			encoded[u.cols[0]] = encodeDDC(m, u.cols[0], rows)
 		case EncRLE:
-			encoded[c] = encodeRLE(m, c, rows)
+			encoded[u.cols[0]] = encodeRLE(m, u.cols[0], rows)
+		case EncSDC:
+			encoded[u.cols[0]] = encodeSDC(m, u.cols[0], rows, u.def)
 		}
 	})
-	// assemble groups in column order, coalescing adjacent uncompressed
-	// columns into one plain block group
+	// assemble groups in column order (a group's columns are contiguous),
+	// coalescing adjacent uncompressed columns into one plain block group
 	out := &CompressedMatrix{NumRows: rows, NumCols: cols}
 	for c := 0; c < cols; {
-		if encoded[c] != nil {
-			out.Groups = append(out.Groups, encoded[c])
-			c++
+		if g := encoded[c]; g != nil {
+			out.Groups = append(out.Groups, g)
+			c += len(g.Columns())
 			continue
 		}
 		c0 := c
@@ -57,10 +98,6 @@ func Compress(m *matrix.MatrixBlock, cfg PlannerConfig, threads int) (*Compresse
 	}
 	return out, plan, true
 }
-
-// planGroups adapts the per-column loop to forEachGroup's worker scheduling
-// (the group values are unused; only the index drives the work).
-func planGroups(p *Plan) []ColGroup { return make([]ColGroup, len(p.Cols)) }
 
 // encodeDDC builds the exact dense-dictionary encoding of one column, or nil
 // when the exact dictionary overflows the addressable code space.
@@ -124,6 +161,82 @@ func encodeRLE(m *matrix.MatrixBlock, col, rows int) ColGroup {
 	g.Starts = append(g.Starts, int32(start))
 	g.Lens = append(g.Lens, int32(rows-start))
 	if g.InMemorySize() >= int64(rows)*8 {
+		return nil
+	}
+	return g
+}
+
+// encodeSDC builds the exact sparse-dictionary encoding of one column around
+// the given default value, or nil when the exceptions overflow the code space
+// or the encoding does not shrink the column.
+func encodeSDC(m *matrix.MatrixBlock, col, rows int, def float64) ColGroup {
+	g := &SDCGroup{Col: col, N: rows, Default: def}
+	dictIdx := map[float64]int{}
+	for r := 0; r < rows; r++ {
+		v := m.Get(r, col)
+		if v == def {
+			continue
+		}
+		k, ok := dictIdx[v]
+		if !ok {
+			if len(g.Dict) >= MaxDictSize {
+				return nil
+			}
+			k = len(g.Dict)
+			dictIdx[v] = k
+			g.Dict = append(g.Dict, v)
+			g.Counts = append(g.Counts, 0)
+		}
+		g.Counts[k]++
+		g.Pos = append(g.Pos, int32(r))
+		g.Codes = append(g.Codes, uint16(k))
+	}
+	if g.InMemorySize() >= int64(rows)*8 {
+		return nil
+	}
+	return g
+}
+
+// encodeCoCoded builds the exact joint dictionary encoding of a contiguous
+// column set, or nil when the tuple dictionary overflows MaxDictSize or the
+// encoding is larger than the plain columns.
+func encodeCoCoded(m *matrix.MatrixBlock, set []int, rows int) ColGroup {
+	w := len(set)
+	key := make([]byte, w*8)
+	dictIdx := map[string]int{}
+	var dict []float64
+	var counts []int32
+	codes := make([]uint16, rows)
+	for r := 0; r < rows; r++ {
+		for j, c := range set {
+			binary.LittleEndian.PutUint64(key[j*8:], math.Float64bits(m.Get(r, c)))
+		}
+		k, ok := dictIdx[string(key)]
+		if !ok {
+			if len(counts) >= MaxDictSize {
+				return nil
+			}
+			k = len(counts)
+			dictIdx[string(key)] = k
+			for _, c := range set {
+				dict = append(dict, m.Get(r, c))
+			}
+			counts = append(counts, 0)
+		}
+		counts[k]++
+		codes[r] = uint16(k)
+	}
+	g := &CoCodedGroup{Cols: append([]int(nil), set...), Dict: dict, Counts: counts}
+	if len(counts) <= 256 {
+		c8 := make([]uint8, rows)
+		for r, k := range codes {
+			c8[r] = uint8(k)
+		}
+		g.Codes8 = c8
+	} else {
+		g.Codes16 = codes
+	}
+	if g.InMemorySize() >= int64(rows)*8*int64(w) {
 		return nil
 	}
 	return g

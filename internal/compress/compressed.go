@@ -48,21 +48,26 @@ func (c *CompressedMatrix) String() string {
 		c.NumRows, c.NumCols, len(c.Groups), c.InMemorySize())
 }
 
-// EncodingSummary renders the per-encoding group counts ("ddc=3,rle=1,unc=1"),
-// used in plan records and tests.
+// EncodingSummary renders the per-encoding group counts
+// ("ddc=3,rle=1,sdc=0,cc=0,unc=1") — the group-type histogram used in plan
+// records and tests.
 func (c *CompressedMatrix) EncodingSummary() string {
-	var ddc, rle, unc int
+	var ddc, rle, sdc, cc, unc int
 	for _, g := range c.Groups {
 		switch g.Encoding() {
 		case EncDDC:
 			ddc++
 		case EncRLE:
 			rle++
+		case EncSDC:
+			sdc++
+		case EncCoCoded:
+			cc++
 		default:
 			unc++
 		}
 	}
-	return fmt.Sprintf("ddc=%d,rle=%d,unc=%d", ddc, rle, unc)
+	return fmt.Sprintf("ddc=%d,rle=%d,sdc=%d,cc=%d,unc=%d", ddc, rle, sdc, cc, unc)
 }
 
 // Decompress materializes the compressed matrix into a plain matrix block
@@ -136,17 +141,18 @@ func forEachRowChunk(rows, threads int, fn func(r0, r1 int)) {
 	wg.Wait()
 }
 
-// forEachGroup runs fn over the column groups on up to `threads` workers.
-// Groups cover disjoint columns, so group-indexed outputs need no locking.
-func forEachGroup(groups []ColGroup, threads int, fn func(i int, g ColGroup)) {
-	if threads <= 1 || len(groups) <= 1 {
-		for i, g := range groups {
-			fn(i, g)
+// forEachIndex runs fn over indexes [0, n) on up to `threads` workers. Work
+// items must write disjoint outputs; the index set (and therefore the work
+// decomposition) depends only on n, never on the thread count.
+func forEachIndex(n, threads int, fn func(i int)) {
+	if threads <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
 		return
 	}
-	if threads > len(groups) {
-		threads = len(groups)
+	if threads > n {
+		threads = n
 	}
 	var next int
 	var mu sync.Mutex
@@ -160,14 +166,20 @@ func forEachGroup(groups []ColGroup, threads int, fn func(i int, g ColGroup)) {
 				i := next
 				next++
 				mu.Unlock()
-				if i >= len(groups) {
+				if i >= n {
 					return
 				}
-				fn(i, groups[i])
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// forEachGroup runs fn over the column groups on up to `threads` workers.
+// Groups cover disjoint columns, so group-indexed outputs need no locking.
+func forEachGroup(groups []ColGroup, threads int, fn func(i int, g ColGroup)) {
+	forEachIndex(len(groups), threads, func(i int) { fn(i, groups[i]) })
 }
 
 // MatVec computes the matrix-vector product c %*% v directly on the
@@ -184,12 +196,7 @@ func (c *CompressedMatrix) MatVec(v *matrix.MatrixBlock, threads int) (*matrix.M
 	dst := out.DenseValues()
 	// the largest dictionary bounds the pre-scaling scratch one chunk needs,
 	// so each chunk allocates one buffer for all of its groups
-	maxDict := 0
-	for _, g := range c.Groups {
-		if d, ok := g.(*DDCGroup); ok && len(d.Dict) > maxDict {
-			maxDict = len(d.Dict)
-		}
-	}
+	maxDict := c.maxPreScaleSlots()
 	// rows are partitioned into fixed chunks; within a chunk, groups are
 	// accumulated in group order, so the summation order per output row is
 	// independent of the thread count
@@ -336,6 +343,32 @@ func (c *CompressedMatrix) RowSums(threads int) *matrix.MatrixBlock {
 	})
 	out.RecomputeNNZ()
 	return out
+}
+
+// preScaleSlots returns the number of pre-scaled-dictionary scratch slots a
+// group's MatVecAccum needs (0 for groups that take no scratch).
+func preScaleSlots(g ColGroup) int {
+	switch t := g.(type) {
+	case *DDCGroup:
+		return len(t.Dict)
+	case *CoCodedGroup:
+		return len(t.Counts)
+	case *SDCGroup:
+		return len(t.Dict)
+	}
+	return 0
+}
+
+// maxPreScaleSlots returns the largest pre-scaling scratch any group needs,
+// so per-chunk workers can size one buffer for all groups.
+func (c *CompressedMatrix) maxPreScaleSlots() int {
+	m := 0
+	for _, g := range c.Groups {
+		if s := preScaleSlots(g); s > m {
+			m = s
+		}
+	}
+	return m
 }
 
 // denseVector returns the dense values of a vector block without mutating the

@@ -2,6 +2,8 @@ package compress
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"github.com/systemds/systemds-go/internal/matrix"
 )
@@ -23,6 +25,12 @@ const (
 	// groupOverheadBytes is the fixed per-group bookkeeping charge used by the
 	// size estimates (headers, slices, the interface value).
 	groupOverheadBytes = 64
+	// cocodeMaxWidth caps how many columns one co-coded group may span.
+	cocodeMaxWidth = 8
+	// cocodeCandCard is the per-column estimated-cardinality ceiling for
+	// co-coding candidates: only clearly low-cardinality DDC columns are worth
+	// testing for joint structure.
+	cocodeCandCard = 256
 )
 
 // PlannerConfig parameterizes the sample-based compression planner.
@@ -52,12 +60,26 @@ func (c PlannerConfig) minRatio() float64 {
 // ColPlan is the planner's per-column estimate and encoding choice.
 type ColPlan struct {
 	Col int
-	// Enc is the chosen encoding (cheapest estimated size).
+	// Enc is the chosen encoding (cheapest estimated size). EncCoCoded means
+	// the column was merged into one of Plan.CoCoded's groups.
 	Enc Encoding
-	// EstCard is the estimated number of distinct values, EstRuns the
-	// estimated number of value runs.
+	// EstCard is the estimated number of distinct values (Haas–Stokes),
+	// EstRuns the estimated number of value runs.
 	EstCard, EstRuns int
-	// EstBytes is the estimated encoded size under Enc.
+	// Default is the most frequent sampled value — the default value an SDC
+	// encoding of this column would use.
+	Default float64
+	// EstBytes is the estimated encoded size under Enc (for co-coded members,
+	// the pre-merge DDC estimate; the merged size lives on the CoCodePlan).
+	EstBytes int64
+}
+
+// CoCodePlan is one planned co-coded group: a set of adjacent low-cardinality
+// columns whose estimated joint dictionary is smaller than their separate
+// dictionaries.
+type CoCodePlan struct {
+	Cols     []int // ascending, contiguous
+	EstCard  int   // estimated joint cardinality (Haas–Stokes on joint tuples)
 	EstBytes int64
 }
 
@@ -66,6 +88,9 @@ type ColPlan struct {
 // against the minimum-ratio threshold.
 type Plan struct {
 	Cols []ColPlan
+	// CoCoded lists the planned co-coded column groups (greedy adjacent
+	// merges priced by the Haas–Stokes joint-cardinality estimate).
+	CoCoded []CoCodePlan
 	// UncompressedBytes is the actual in-memory size of the input block (CSR
 	// for sparse inputs — the representation compression must beat, so a
 	// sparse matrix is never "compressed" into something larger than its CSR
@@ -94,9 +119,11 @@ func (p *Plan) String() string {
 
 // EstimatePlan runs the sample-based planner over a matrix block: a
 // systematic row sample is scanned once per column to estimate cardinality
-// and run structure, each column is priced under DDC, RLE and the
-// uncompressed fallback, and the cheapest encoding wins. Compression is
-// accepted only when the estimated overall ratio clears cfg.MinRatio.
+// (Haas–Stokes) and run structure, each column is priced under DDC, RLE, SDC
+// and the uncompressed fallback, the cheapest encoding wins, and a greedy
+// pass merges adjacent low-cardinality columns into co-coded groups when the
+// estimated joint dictionary is smaller. Compression is accepted only when
+// the estimated overall ratio clears cfg.MinRatio.
 func EstimatePlan(m *matrix.MatrixBlock, cfg PlannerConfig) *Plan {
 	rows, cols := m.Rows(), m.Cols()
 	plan := &Plan{UncompressedBytes: m.InMemorySize()}
@@ -114,23 +141,51 @@ func EstimatePlan(m *matrix.MatrixBlock, cfg PlannerConfig) *Plan {
 	n := len(sampleIdx)
 	plan.SampledRows = n
 	plan.Cols = make([]ColPlan, cols)
-	var total int64
 	for c := 0; c < cols; c++ {
-		distinct := map[float64]struct{}{}
+		freq := map[float64]int{}
 		changes := 0
 		prev := 0.0
 		for i, r := range sampleIdx {
 			v := m.Get(r, c)
-			distinct[v] = struct{}{}
+			freq[v]++
 			if i > 0 && v != prev {
 				changes++
 			}
 			prev = v
 		}
-		cp := estimateColumn(rows, n, len(distinct), changes)
+		// collect-then-sort so the frequency statistics never depend on map
+		// iteration order
+		vals := make([]float64, 0, len(freq))
+		for v := range freq {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		maxFreq := 0
+		defaultVal := 0.0
+		cnts := make([]int, 0, len(vals))
+		for _, v := range vals {
+			cnt := freq[v]
+			cnts = append(cnts, cnt)
+			if cnt > maxFreq {
+				maxFreq, defaultVal = cnt, v
+			}
+		}
+		cp := estimateColumn(rows, n, haasStokes(rows, n, cnts), changes, maxFreq)
 		cp.Col = c
+		cp.Default = defaultVal
 		plan.Cols[c] = cp
-		total += cp.EstBytes + groupOverheadBytes
+	}
+	cocodePlan(m, sampleIdx, plan, rows)
+	// total the plan: co-coded groups once, every other column separately
+	var total int64
+	for _, cc := range plan.CoCoded {
+		total += cc.EstBytes + groupOverheadBytes
+	}
+	for c := 0; c < cols; c++ {
+		if plan.Cols[c].Enc == EncCoCoded {
+			continue
+		}
+		total += plan.Cols[c].EstBytes + groupOverheadBytes
 	}
 	plan.EstCompressedBytes = total
 	if total > 0 {
@@ -140,17 +195,83 @@ func EstimatePlan(m *matrix.MatrixBlock, cfg PlannerConfig) *Plan {
 	return plan
 }
 
-// estimateColumn prices one column under each encoding from its sample
-// statistics and picks the cheapest.
-func estimateColumn(rows, sampled, sampleCard, sampleChanges int) ColPlan {
-	// Cardinality: the sample's distinct count is a lower bound. When the
-	// sample looks mostly-distinct the column is treated as incompressible
-	// (card scales with the rows); otherwise the low-cardinality assumption
-	// card ≈ sampleCard holds (the case DDC exists for).
-	card := sampleCard
-	if sampled > 0 && sampleCard > sampled/2 {
-		card = int(float64(rows) * float64(sampleCard) / float64(sampled))
+// haasStokesHeavyCut is the sample count above which a value is treated as a
+// certain population member and excluded from the jackknife extrapolation.
+// Without this split the squared-CV term explodes under heavy skew (one value
+// covering most rows) and the estimator grossly overestimates the tail.
+const haasStokesHeavyCut = 16
+
+// haasStokes estimates the column cardinality from the per-value sample
+// counts using the Haas–Stokes smoothed-jackknife estimator (Haas et al.,
+// "Sampling-based estimation of the number of distinct values of an
+// attribute", VLDB 1995 — the estimator SystemDS uses for its compression
+// planner), with frequency smoothing: values frequent in the sample are
+// certainly distinct in the population and contribute no extrapolation
+// uncertainty, so the jackknife runs only over the rare-value portion of the
+// sample against its proportional share of the population. The naive
+// scale-up rows*d/n badly overestimates skewed distributions (a heavy hitter
+// plus a thin tail); the jackknife corrects with the singleton fraction and
+// a squared-CV term. counts only feeds symmetric statistics, so its order
+// does not matter.
+func haasStokes(rows, sampled int, counts []int) int {
+	d := len(counts)
+	if d == 0 || sampled == 0 {
+		return d
 	}
+	if sampled >= rows {
+		return d // exact scan
+	}
+	heavy, light, f1 := 0, 0, 0
+	var dupSum float64
+	for _, cnt := range counts {
+		if cnt > haasStokesHeavyCut {
+			heavy++
+			continue
+		}
+		light += cnt
+		if cnt == 1 {
+			f1++
+		}
+		dupSum += float64(float64(cnt) * float64(cnt-1))
+	}
+	dl := d - heavy
+	if dl == 0 || light == 0 {
+		return d // the sample saw only heavy values: the scan was exhaustive
+	}
+	// the light values' share of the population, by sample proportion
+	n := float64(light)
+	N := float64(rows) * n / float64(sampled)
+	if N < n {
+		N = n
+	}
+	q := n / N
+	if q >= 1 {
+		return d
+	}
+	denom := 1 - (1-q)*float64(f1)/n
+	if denom < 1/N {
+		denom = 1 / N // all-singleton sample: extrapolate to at most N
+	}
+	duj1 := float64(dl) / denom
+	gamma2 := float64(duj1/(n*n)*dupSum) + duj1/N - 1
+	if gamma2 < 0 {
+		gamma2 = 0
+	}
+	est := (float64(dl) - float64(f1)*(1-q)*math.Log(1-q)*gamma2/q) / denom
+	if est < float64(dl) {
+		est = float64(dl)
+	}
+	if est > N {
+		est = N
+	}
+	return heavy + int(est+0.5)
+}
+
+// estimateColumn prices one column under each encoding from its sample
+// statistics and picks the cheapest. card is the Haas–Stokes cardinality
+// estimate, maxFreq the sample count of the most frequent value (the SDC
+// default candidate).
+func estimateColumn(rows, sampled, card, sampleChanges, maxFreq int) ColPlan {
 	// Runs: the fraction of adjacent sampled pairs that differ, scaled to all
 	// row adjacencies (a change between two sampled rows implies at least one
 	// change in the gap; for stride 1 the count is exact).
@@ -168,6 +289,19 @@ func estimateColumn(rows, sampled, sampleCard, sampleChanges int) ColPlan {
 	}
 	rleBytes := int64(runs) * 16 // value (8) + start (4) + len (4)
 	uncBytes := int64(rows) * 8
+	// SDC: only the non-default rows pay per-row storage (position 4 + code
+	// 2), plus the exception dictionary
+	sdcBytes := int64(-1)
+	if sampled > 0 {
+		excCard := card - 1
+		if excCard < 0 {
+			excCard = 0
+		}
+		if excCard <= MaxDictSize {
+			excRows := int64(float64(rows) * float64(sampled-maxFreq) / float64(sampled))
+			sdcBytes = 16 + excRows*6 + int64(excCard)*12
+		}
+	}
 
 	cp := ColPlan{Enc: EncUncompressed, EstCard: card, EstRuns: runs, EstBytes: uncBytes}
 	if rleBytes < cp.EstBytes {
@@ -176,5 +310,106 @@ func estimateColumn(rows, sampled, sampleCard, sampleChanges int) ColPlan {
 	if ddcBytes >= 0 && ddcBytes < cp.EstBytes {
 		cp.Enc, cp.EstBytes = EncDDC, ddcBytes
 	}
+	if sdcBytes >= 0 && sdcBytes < cp.EstBytes {
+		cp.Enc, cp.EstBytes = EncSDC, sdcBytes
+	}
 	return cp
+}
+
+// cocodeKey identifies a (current joint code, next column value) pair during
+// the greedy joint-cardinality scan.
+type cocodeKey struct {
+	code int32
+	bits uint64
+}
+
+// cocodePlan greedily merges runs of adjacent DDC-planned low-cardinality
+// columns into co-coded groups: a candidate column joins the current set when
+// the estimated bytes of the merged group (joint codes plus a tuple
+// dictionary sized by the Haas–Stokes estimate of the joint cardinality)
+// undercut the current set and the candidate encoded separately. One joint
+// sample scan per tested merge keeps the pass O(cols * sampleRows).
+func cocodePlan(m *matrix.MatrixBlock, sampleIdx []int, plan *Plan, rows int) {
+	n := len(sampleIdx)
+	if n == 0 {
+		return
+	}
+	var cur []int        // columns of the current candidate set
+	var curCodes []int32 // joint code per sampled row for cur
+	var curCard int      // Haas–Stokes joint-cardinality estimate for cur
+	var curBytes int64   // estimated merged bytes for cur
+	flush := func() {
+		if len(cur) >= 2 {
+			plan.CoCoded = append(plan.CoCoded, CoCodePlan{Cols: cur, EstCard: curCard, EstBytes: curBytes})
+			for _, cc := range cur {
+				plan.Cols[cc].Enc = EncCoCoded
+			}
+		}
+		cur, curCodes = nil, nil
+	}
+	for c := 0; c < len(plan.Cols); c++ {
+		cp := plan.Cols[c]
+		if cp.Enc != EncDDC || cp.EstCard > cocodeCandCard {
+			flush()
+			continue
+		}
+		if cur == nil {
+			cur = []int{c}
+			curCodes = make([]int32, n)
+			ids := map[uint64]int32{}
+			for i, r := range sampleIdx {
+				b := math.Float64bits(m.Get(r, c))
+				id, ok := ids[b]
+				if !ok {
+					id = int32(len(ids))
+					ids[b] = id
+				}
+				curCodes[i] = id
+			}
+			curCard, curBytes = cp.EstCard, cp.EstBytes
+			continue
+		}
+		if len(cur) >= cocodeMaxWidth {
+			flush()
+			c-- // re-test this column as the start of a fresh set
+			continue
+		}
+		// joint scan: extend the current per-row codes with this column's
+		// values and estimate the joint cardinality of the merged set
+		ids := map[cocodeKey]int32{}
+		newCodes := make([]int32, n)
+		var counts []int
+		for i, r := range sampleIdx {
+			k := cocodeKey{code: curCodes[i], bits: math.Float64bits(m.Get(r, c))}
+			id, ok := ids[k]
+			if !ok {
+				id = int32(len(ids))
+				ids[k] = id
+				counts = append(counts, 0)
+			}
+			counts[id]++
+			newCodes[i] = id
+		}
+		jointCard := haasStokes(rows, n, counts)
+		w := len(cur) + 1
+		mergedBytes := int64(-1)
+		if jointCard <= MaxDictSize {
+			codeBytes := int64(1)
+			if jointCard > 256 {
+				codeBytes = 2
+			}
+			mergedBytes = int64(rows)*codeBytes + int64(jointCard)*int64(8*w+4)
+		}
+		// merging must beat the current set and the candidate as separate
+		// groups (their bytes plus one saved per-group overhead)
+		if mergedBytes >= 0 && mergedBytes < curBytes+cp.EstBytes+groupOverheadBytes {
+			cur = append(cur, c)
+			curCodes = newCodes
+			curCard, curBytes = jointCard, mergedBytes
+			continue
+		}
+		flush()
+		c-- // re-test this column as the start of a fresh set
+	}
+	flush()
 }

@@ -70,6 +70,35 @@ func (c *CompressedMatrix) Write(w io.Writer) error {
 			bw.write(t.Values)
 			bw.write(t.Starts)
 			bw.write(t.Lens)
+		case *CoCodedGroup:
+			bw.write(uint8(EncCoCoded))
+			bw.write(int32(len(t.Cols)))
+			for _, ci := range t.Cols {
+				bw.write(int32(ci))
+			}
+			bw.write(int32(t.numVals()))
+			bw.write(t.Dict)
+			bw.write(t.Counts)
+			if t.Codes8 != nil {
+				bw.write(uint8(1))
+				bw.write(int64(len(t.Codes8)))
+				bw.write(t.Codes8)
+			} else {
+				bw.write(uint8(2))
+				bw.write(int64(len(t.Codes16)))
+				bw.write(t.Codes16)
+			}
+		case *SDCGroup:
+			bw.write(uint8(EncSDC))
+			bw.write(int32(t.Col))
+			bw.write(int64(t.N))
+			bw.write(t.Default)
+			bw.write(int32(len(t.Dict)))
+			bw.write(t.Dict)
+			bw.write(t.Counts)
+			bw.write(int64(len(t.Pos)))
+			bw.write(t.Pos)
+			bw.write(t.Codes)
 		case *UncompressedGroup:
 			bw.write(uint8(EncUncompressed))
 			bw.write(int32(len(t.ColIdx)))
@@ -143,6 +172,51 @@ func Read(r io.Reader) (*CompressedMatrix, error) {
 			br.read(g.Values)
 			br.read(g.Starts)
 			br.read(g.Lens)
+			out.Groups = append(out.Groups, g)
+		case EncCoCoded:
+			var ncols, nvals int32
+			br.read(&ncols)
+			cols := make([]int, ncols)
+			for i := range cols {
+				var ci int32
+				br.read(&ci)
+				cols[i] = int(ci)
+			}
+			br.read(&nvals)
+			g := &CoCodedGroup{Cols: cols,
+				Dict:   make([]float64, int(nvals)*int(ncols)),
+				Counts: make([]int32, nvals)}
+			br.read(g.Dict)
+			br.read(g.Counts)
+			var width uint8
+			var n int64
+			br.read(&width)
+			br.read(&n)
+			if width == 1 {
+				g.Codes8 = make([]uint8, n)
+				br.read(g.Codes8)
+			} else {
+				g.Codes16 = make([]uint16, n)
+				br.read(g.Codes16)
+			}
+			out.Groups = append(out.Groups, g)
+		case EncSDC:
+			var col, dictLen int32
+			var nrows, npos int64
+			br.read(&col)
+			br.read(&nrows)
+			g := &SDCGroup{Col: int(col), N: int(nrows)}
+			br.read(&g.Default)
+			br.read(&dictLen)
+			g.Dict = make([]float64, dictLen)
+			g.Counts = make([]int32, dictLen)
+			br.read(g.Dict)
+			br.read(g.Counts)
+			br.read(&npos)
+			g.Pos = make([]int32, npos)
+			g.Codes = make([]uint16, npos)
+			br.read(g.Pos)
+			br.read(g.Codes)
 			out.Groups = append(out.Groups, g)
 		case EncUncompressed:
 			var ncols int32

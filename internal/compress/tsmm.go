@@ -1,0 +1,322 @@
+package compress
+
+import (
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// Compressed TSMM t(X) %*% X: the n x n Gram matrix decomposes over column
+// group pairs, R[Ci, Cj] = sum_r X[r, Ci] * X[r, Cj]. For dictionary-coded
+// groups the row sum collapses onto the small dictionaries: self blocks are
+// counts-weighted dictionary cross products t(D_i) %*% diag(counts_i) %*% D_i,
+// and cross blocks are co-occurrence-weighted products t(D_i) %*% C_ij %*% D_j
+// where C_ij counts how often code pair (k_i, k_j) occurs across the rows —
+// one O(rows) scan per pair instead of an O(rows * w_i * w_j) cell product
+// (Elgohary et al., PVLDB 2016, §5). Uncompressed groups (and pairs whose
+// co-occurrence table would not pay off) fall back to multiplying against
+// decompressed row stripes staged through the pooled GEMM scratch buffers.
+//
+// Determinism: group pairs write disjoint output blocks (groups cover disjoint
+// columns), so pair-parallel execution needs no synchronization; within a pair
+// every accumulation runs in a fixed ascending order (codes, then row chunks),
+// so results are bitwise identical across thread counts.
+
+// maxCoocEntries caps the co-occurrence table built for one group pair; pairs
+// whose joint code space is larger fall back to the stripe path (the table
+// would cost more to fill and scan than the dense product it replaces).
+const maxCoocEntries = 1 << 22
+
+// codedView is the normalized dictionary-coded form of a column group used by
+// the TSMM cross products: a tuple-major dictionary (nvals x len(cols)) plus
+// one code per row. DDC and co-coded groups view their storage directly;
+// SDC and RLE groups expand per-row codes once per TSMM call.
+type codedView struct {
+	cols    []int
+	dict    []float64 // nvals x len(cols), tuple-major
+	counts  []int32   // occurrences per tuple
+	nvals   int
+	codes8  []uint8
+	codes16 []uint16
+}
+
+// newCodedView normalizes a group into dictionary+codes form, or nil for
+// uncompressed groups.
+func newCodedView(g ColGroup, rows int) *codedView {
+	switch t := g.(type) {
+	case *DDCGroup:
+		return &codedView{cols: []int{t.Col}, dict: t.Dict, counts: t.Counts,
+			nvals: len(t.Dict), codes8: t.Codes8, codes16: t.Codes16}
+	case *CoCodedGroup:
+		return &codedView{cols: t.Cols, dict: t.Dict, counts: t.Counts,
+			nvals: t.numVals(), codes8: t.Codes8, codes16: t.Codes16}
+	case *SDCGroup:
+		// code 0 is the default value, exception codes shift up by one
+		nv := len(t.Dict) + 1
+		cv := &codedView{cols: []int{t.Col}, nvals: nv,
+			dict: make([]float64, nv), counts: make([]int32, nv)}
+		cv.dict[0] = t.Default
+		copy(cv.dict[1:], t.Dict)
+		cv.counts[0] = int32(t.N - len(t.Pos))
+		copy(cv.counts[1:], t.Counts)
+		if nv <= 256 {
+			codes := make([]uint8, rows)
+			for i, p := range t.Pos {
+				codes[p] = uint8(t.Codes[i] + 1)
+			}
+			cv.codes8 = codes
+		} else {
+			codes := make([]uint16, rows)
+			for i, p := range t.Pos {
+				codes[p] = t.Codes[i] + 1
+			}
+			cv.codes16 = codes
+		}
+		return cv
+	case *RLEGroup:
+		// first-occurrence value dictionary, runs expanded to per-row codes
+		cv := &codedView{cols: []int{t.Col}}
+		codes := make([]uint16, rows)
+		idx := map[float64]int{}
+		for i, v := range t.Values {
+			k, ok := idx[v]
+			if !ok {
+				k = cv.nvals
+				idx[v] = k
+				cv.dict = append(cv.dict, v)
+				cv.counts = append(cv.counts, 0)
+				cv.nvals++
+			}
+			cv.counts[k] += t.Lens[i]
+			for r := int(t.Starts[i]); r < int(t.Starts[i]+t.Lens[i]); r++ {
+				codes[r] = uint16(k)
+			}
+		}
+		if cv.nvals <= 256 {
+			c8 := make([]uint8, rows)
+			for r, k := range codes {
+				c8[r] = uint8(k)
+			}
+			cv.codes8 = c8
+		} else {
+			cv.codes16 = codes
+		}
+		return cv
+	}
+	return nil
+}
+
+// stripeInto expands rows [r0, r1) into a dense row-major stripe of width
+// len(cv.cols).
+func (cv *codedView) stripeInto(s []float64, r0, r1 int) {
+	w := len(cv.cols)
+	if cv.codes8 != nil {
+		for r := r0; r < r1; r++ {
+			copy(s[(r-r0)*w:(r-r0)*w+w], cv.dict[int(cv.codes8[r])*w:])
+		}
+		return
+	}
+	for r := r0; r < r1; r++ {
+		copy(s[(r-r0)*w:(r-r0)*w+w], cv.dict[int(cv.codes16[r])*w:])
+	}
+}
+
+// coocCounts fills the a.nvals x b.nvals co-occurrence table of code pairs by
+// one joint scan over the rows.
+func coocCounts(a, b *codedView, rows int) []int32 {
+	t := make([]int32, a.nvals*b.nvals)
+	bn := b.nvals
+	switch {
+	case a.codes8 != nil && b.codes8 != nil:
+		for r := 0; r < rows; r++ {
+			t[int(a.codes8[r])*bn+int(b.codes8[r])]++
+		}
+	case a.codes8 != nil:
+		for r := 0; r < rows; r++ {
+			t[int(a.codes8[r])*bn+int(b.codes16[r])]++
+		}
+	case b.codes8 != nil:
+		for r := 0; r < rows; r++ {
+			t[int(a.codes16[r])*bn+int(b.codes8[r])]++
+		}
+	default:
+		for r := 0; r < rows; r++ {
+			t[int(a.codes16[r])*bn+int(b.codes16[r])]++
+		}
+	}
+	return t
+}
+
+// tsmmSide is one side of a group pair: either a coded view or the dense
+// values of an uncompressed group (row-major rows x len(cols)).
+type tsmmSide struct {
+	cols  []int
+	view  *codedView
+	dense []float64
+}
+
+// chunkValues returns the dense row-major values of rows [r0, r1), expanding
+// coded groups into the caller's pooled stripe buffer.
+func (s *tsmmSide) chunkValues(buf []float64, r0, r1 int) []float64 {
+	w := len(s.cols)
+	if s.dense != nil {
+		return s.dense[r0*w : r1*w]
+	}
+	s.view.stripeInto(buf, r0, r1)
+	return buf[:(r1-r0)*w]
+}
+
+// tsmmSides normalizes every group once (coded views for dictionary groups,
+// densified values for uncompressed groups).
+func (c *CompressedMatrix) tsmmSides(threads int) []*tsmmSide {
+	sides := make([]*tsmmSide, len(c.Groups))
+	forEachGroup(c.Groups, threads, func(i int, g ColGroup) {
+		s := &tsmmSide{cols: g.Columns()}
+		if cv := newCodedView(g, c.NumRows); cv != nil {
+			s.view = cv
+		} else {
+			u := g.(*UncompressedGroup)
+			s.dense = denseBlockValues(u.Data)
+		}
+		sides[i] = s
+	})
+	return sides
+}
+
+// TSMM computes t(X) %*% X directly on the compressed representation,
+// returning the n x n Gram matrix.
+func (c *CompressedMatrix) TSMM(threads int) *matrix.MatrixBlock {
+	n := c.NumCols
+	rows := c.NumRows
+	out := matrix.NewDense(n, n)
+	dst := out.DenseValues()
+	sides := c.tsmmSides(threads)
+	// enumerate group pairs (i <= j) in a fixed order; each pair owns the
+	// disjoint output blocks R[Ci, Cj] and R[Cj, Ci]
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, len(c.Groups)*(len(c.Groups)+1)/2)
+	for i := range c.Groups {
+		for j := i; j < len(c.Groups); j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	forEachIndex(len(pairs), threads, func(pi int) {
+		p := pairs[pi]
+		if p.i == p.j {
+			tsmmSelf(dst, n, c.Groups[p.i], sides[p.i], rows)
+			return
+		}
+		tsmmCross(dst, n, sides[p.i], sides[p.j], rows)
+	})
+	out.RecomputeNNZ()
+	return out
+}
+
+// tsmmSelf fills the diagonal block R[Ci, Ci] of one group.
+func tsmmSelf(dst []float64, n int, g ColGroup, s *tsmmSide, rows int) {
+	if cv := s.view; cv != nil {
+		// counts-weighted dictionary self product: every (a, b) column pair
+		// accumulates over the tuple dictionary in ascending code order
+		w := len(cv.cols)
+		for a := 0; a < w; a++ {
+			for b := a; b < w; b++ {
+				var sum float64
+				for k := 0; k < cv.nvals; k++ {
+					cnt := cv.counts[k]
+					if cnt == 0 {
+						continue
+					}
+					sum += float64(float64(cnt) * cv.dict[k*w+a] * cv.dict[k*w+b])
+				}
+				ca, cb := cv.cols[a], cv.cols[b]
+				dst[ca*n+cb] = sum
+				dst[cb*n+ca] = sum
+			}
+		}
+		return
+	}
+	// uncompressed fallback: tiled TSMM over the group's own block, scattered
+	// to the global column positions
+	u := g.(*UncompressedGroup)
+	//sysds:ok(threadplumb): pair-level parallelism already saturates the workers; the per-pair kernel stays sequential by design
+	gram := matrix.TSMM(u.Data, 1)
+	for a, ca := range s.cols {
+		for b, cb := range s.cols {
+			dst[ca*n+cb] = gram.Get(a, b)
+		}
+	}
+}
+
+// tsmmCross fills the off-diagonal blocks R[Ci, Cj] and R[Cj, Ci] of a group
+// pair.
+func tsmmCross(dst []float64, n int, si, sj *tsmmSide, rows int) {
+	wi, wj := len(si.cols), len(sj.cols)
+	if si.view != nil && sj.view != nil &&
+		si.view.nvals*sj.view.nvals <= maxCoocEntries {
+		// co-occurrence-weighted dictionary cross product
+		vi, vj := si.view, sj.view
+		cooc := coocCounts(vi, vj, rows)
+		for a := 0; a < wi; a++ {
+			for b := 0; b < wj; b++ {
+				var sum float64
+				for ki := 0; ki < vi.nvals; ki++ {
+					da := vi.dict[ki*wi+a]
+					if da == 0 {
+						continue
+					}
+					row := cooc[ki*vj.nvals:]
+					for kj := 0; kj < vj.nvals; kj++ {
+						cnt := row[kj]
+						if cnt == 0 {
+							continue
+						}
+						sum += float64(float64(cnt) * da * vj.dict[kj*wj+b])
+					}
+				}
+				ca, cb := si.cols[a], sj.cols[b]
+				dst[ca*n+cb] = sum
+				dst[cb*n+ca] = sum
+			}
+		}
+		return
+	}
+	// stripe fallback: decompress both sides chunk by chunk (pooled scratch)
+	// and accumulate the dense cross product in ascending chunk order
+	acc := make([]float64, wi*wj)
+	bufI := matrix.GetScratch(compressedChunkRows * wi)
+	bufJ := matrix.GetScratch(compressedChunkRows * wj)
+	nChunks, chunkSize := rowChunks(rows)
+	for ci := 0; ci < nChunks; ci++ {
+		r0 := ci * chunkSize
+		r1 := min(r0+chunkSize, rows)
+		vi := si.chunkValues(bufI.Values(), r0, r1)
+		vj := sj.chunkValues(bufJ.Values(), r0, r1)
+		for r := 0; r < r1-r0; r++ {
+			ri, rj := vi[r*wi:r*wi+wi], vj[r*wj:r*wj+wj]
+			for a, va := range ri {
+				if va == 0 {
+					continue
+				}
+				arow := acc[a*wj:]
+				for b, vb := range rj {
+					arow[b] += float64(va * vb)
+				}
+			}
+		}
+	}
+	matrix.PutScratch(bufI)
+	matrix.PutScratch(bufJ)
+	for a, ca := range si.cols {
+		for b, cb := range sj.cols {
+			dst[ca*n+cb] = acc[a*wj+b]
+			dst[cb*n+ca] = acc[a*wj+b]
+		}
+	}
+}
+
+// denseBlockValues returns the row-major dense values of a block without
+// mutating the caller's representation.
+func denseBlockValues(m *matrix.MatrixBlock) []float64 {
+	if !m.IsSparse() {
+		return m.DenseValues()
+	}
+	return m.Copy().DenseValues()
+}

@@ -43,6 +43,111 @@ for (i in 1:10) {
 }
 s = sum(w)`
 
+// neLoopScript is a 10-epoch normal-equation linear regression loop: every
+// epoch recomputes the Gram matrix t(X) %*% X (the tsmm rewrite catches the
+// pattern) and t(X) %*% y, so on the compressed path both come straight off
+// the column-group dictionaries and X never materializes.
+const neLoopScript = `w = matrix(0, rows=ncol(X), cols=1)
+for (i in 1:10) {
+  G = t(X) %*% X
+  b = t(X) %*% y
+  R = G + diag(matrix(0.001, rows=ncol(X), cols=1))
+  w = solve(R, b)
+}
+s = sum(w)`
+
+// TestCompressedNormalEquationLm is the acceptance test of deep compressed
+// execution: a 10-epoch normal-equation lm loop over a 2k x 200
+// low-cardinality matrix runs with at least one compression and exactly zero
+// decompressions — the Gram matrix comes from the compressed TSMM kernel
+// (counts-weighted dictionary self and cross products), t(X) %*% y from the
+// vector-matrix kernel over the lazy transpose view — and matches the
+// uncompressed CP run within 1e-9.
+func TestCompressedNormalEquationLm(t *testing.T) {
+	x := lowCardFeatures(2000, 200, 101)
+	y := matrix.RandUniform(2000, 1, -1, 1, 1.0, 102)
+	inputs := map[string]any{"X": x, "y": y}
+	outputs := []string{"w", "s"}
+
+	comp, cstats, err := compressEngine(true).Execute(neLoopScript, inputs, outputs)
+	if err != nil {
+		t.Fatalf("compressed run failed: %v", err)
+	}
+	plain, _, err := compressEngine(false).Execute(neLoopScript, inputs, outputs)
+	if err != nil {
+		t.Fatalf("uncompressed run failed: %v", err)
+	}
+
+	if cstats.CompressStats.Compressions < 1 {
+		t.Errorf("compressions = %d, want >= 1", cstats.CompressStats.Compressions)
+	}
+	if cstats.CompressStats.Decompressions != 0 {
+		t.Errorf("decompressions = %d, want 0 on the normal-equation hot path (by op: %v)",
+			cstats.CompressStats.Decompressions, cstats.CompressStats.DecompressionsByOp)
+	}
+	if len(cstats.CompressStats.DecompressionsByOp) != 0 {
+		t.Errorf("per-opcode decompression map not empty: %v", cstats.CompressStats.DecompressionsByOp)
+	}
+	// the Gram matrix ran on the compressed TSMM kernel, recorded with its
+	// group-type histogram
+	foundCTSMM := false
+	for _, pr := range cstats.PlanStats {
+		if pr.Op == "tsmm" && strings.HasPrefix(pr.Plan, "ctsmm:") {
+			foundCTSMM = true
+		}
+	}
+	if !foundCTSMM {
+		t.Errorf("no ctsmm plan record in PlanStats: %+v", cstats.PlanStats)
+	}
+
+	cw, pw := comp["w"].(*matrix.MatrixBlock), plain["w"].(*matrix.MatrixBlock)
+	for r := 0; r < pw.Rows(); r++ {
+		if re := relErr(cw.Get(r, 0), pw.Get(r, 0)); re > 1e-9 {
+			t.Fatalf("compressed w row %d differs: %v vs %v (rel err %g)", r, cw.Get(r, 0), pw.Get(r, 0), re)
+		}
+	}
+	if re := relErr(comp["s"].(float64), plain["s"].(float64)); re > 1e-9 {
+		t.Errorf("sum differs: rel err %g", re)
+	}
+}
+
+// TestDecompressionsAttributedPerOpcode drives a workload that is NOT fully
+// on the compressed path (a cellwise add against an incompressible matrix has
+// no compressed kernel) and asserts the fallback decompression is counted
+// and attributed: the per-opcode map totals exactly the decompression count,
+// and memoization keeps the charge at one despite repeated reads.
+func TestDecompressionsAttributedPerOpcode(t *testing.T) {
+	x := lowCardFeatures(2000, 200, 121)
+	n := matrix.RandUniform(2000, 200, 0, 1, 1.0, 122)
+	script := `acc = 0
+for (i in 1:3) {
+  Z = X + N
+  acc = acc + sum(Z) + sum(X %*% matrix(1, rows=ncol(X), cols=1))
+}`
+	_, stats, err := compressEngine(true).Execute(script, map[string]any{"X": x, "N": n}, []string{"acc"})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if stats.CompressStats.Compressions < 1 {
+		t.Fatalf("compression did not fire (stats %+v)", stats.CompressStats)
+	}
+	if stats.CompressStats.Decompressions != 1 {
+		t.Errorf("decompressions = %d, want exactly 1 (memoized across 3 epochs), by op: %v",
+			stats.CompressStats.Decompressions, stats.CompressStats.DecompressionsByOp)
+	}
+	var total int64
+	for op, v := range stats.CompressStats.DecompressionsByOp {
+		if op == "" {
+			t.Errorf("empty opcode key in per-opcode map: %v", stats.CompressStats.DecompressionsByOp)
+		}
+		total += v
+	}
+	if total != stats.CompressStats.Decompressions {
+		t.Errorf("per-opcode map totals %d, want %d: %v",
+			total, stats.CompressStats.Decompressions, stats.CompressStats.DecompressionsByOp)
+	}
+}
+
 // TestCompressedLoopAcceptance is the acceptance test of the compression
 // subsystem: an iterative script over a low-cardinality matrix runs with
 // compression auto-selected by the planner, the stats show at least one
@@ -188,6 +293,22 @@ func TestExplainShowsCompressionSite(t *testing.T) {
 	}
 	if !strings.Contains(explain, "Compress") {
 		t.Errorf("explain output lacks the compression site:\n%s", explain)
+	}
+}
+
+// TestExplainTagsCompressedKernels asserts EXPLAIN surfaces the compressed
+// execution path per operator: the Gram matrix of the normal-equation loop is
+// tagged with the compressed TSMM kernel (the compiler's cross-DAG tracking
+// marks the loop-body read of X as compressed).
+func TestExplainTagsCompressedKernels(t *testing.T) {
+	x := lowCardFeatures(2000, 200, 131)
+	y := matrix.RandUniform(2000, 1, -1, 1, 1.0, 132)
+	explain, err := compressEngine(true).ExplainPlan(neLoopScript, map[string]any{"X": x, "y": y})
+	if err != nil {
+		t.Fatalf("explain failed: %v", err)
+	}
+	if !strings.Contains(explain, "kernel=ctsmm") {
+		t.Errorf("explain output lacks the compressed TSMM kernel tag:\n%s", explain)
 	}
 }
 

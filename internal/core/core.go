@@ -212,9 +212,9 @@ func fromRuntimeData(d runtime.Data) (any, error) {
 		return x.Collect()
 	case *runtime.CompressedMatrixObject:
 		// API outputs are sinks: decompress transparently (counted)
-		return x.Decompress()
+		return x.DecompressFor("output")
 	case *runtime.TransposedCompressedObject:
-		return x.Materialize()
+		return x.MaterializeFor("output")
 	case *runtime.FrameObject:
 		return x.Frame, nil
 	case *runtime.FederatedObject:

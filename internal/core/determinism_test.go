@@ -44,16 +44,32 @@ func TestCompressedLmLoopDeterminism(t *testing.T) {
 			t.Fatalf("explain failed: %v", err)
 		}
 
+		// the normal-equation solve exercises the compressed TSMM and
+		// vector-matrix kernels; it must stay fully on the compressed path
+		nres, nstats, err := eng.Execute(neLoopScript, inputs, []string{"w", "s"})
+		if err != nil {
+			t.Fatalf("normal-equation run failed: %v", err)
+		}
+		if nstats.CompressStats.Decompressions != 0 {
+			t.Fatalf("normal-equation solve decompressed %d times (by op: %v), want 0",
+				nstats.CompressStats.Decompressions, nstats.CompressStats.DecompressionsByOp)
+		}
+
 		// Fingerprint the exact bit patterns, not rounded values: the bitwise
 		// kernel contract promises float-for-float reproducibility.
 		h := sha256.New()
-		w := res["w"].(*matrix.MatrixBlock)
 		var buf [8]byte
-		for r := 0; r < w.Rows(); r++ {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w.Get(r, 0)))
-			h.Write(buf[:])
+		hashVec := func(w *matrix.MatrixBlock) {
+			for r := 0; r < w.Rows(); r++ {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w.Get(r, 0)))
+				h.Write(buf[:])
+			}
 		}
+		hashVec(res["w"].(*matrix.MatrixBlock))
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(res["s"].(float64)))
+		h.Write(buf[:])
+		hashVec(nres["w"].(*matrix.MatrixBlock))
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(nres["s"].(float64)))
 		h.Write(buf[:])
 		h.Write([]byte(explain))
 		return hex.EncodeToString(h.Sum(nil))

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/systemds/systemds-go/internal/compress"
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// Compressed blocked execution: a compressed matrix is partitioned by ROW
+// RANGES OF THE COLUMN GROUPS instead of decompressing at the CP/dist
+// boundary — each partition is itself a compressed matrix whose groups share
+// the source dictionaries and re-base only codes, runs and positions
+// (compress.SliceRows). The broadcast-right executors below then run the
+// compressed kernels per partition, so the bytes that move between the
+// "workers" stay compressed end to end.
+
+// CompressedBlocked is a compressed matrix partitioned into row-range slices.
+type CompressedBlocked struct {
+	Rows, Cols  int
+	RowsPerPart int
+	// Parts[i] covers rows [i*RowsPerPart, min((i+1)*RowsPerPart, Rows)).
+	Parts []*compress.CompressedMatrix
+}
+
+// NumParts returns the number of row partitions.
+func (c *CompressedBlocked) NumParts() int { return len(c.Parts) }
+
+// partRange returns the global row range of partition i.
+func (c *CompressedBlocked) partRange(i int) (int, int) {
+	r0 := i * c.RowsPerPart
+	return r0, min(r0+c.RowsPerPart, c.Rows)
+}
+
+// InMemorySize sums the partition sizes (dictionaries shared with the source
+// are charged per partition, matching what independent workers would hold).
+func (c *CompressedBlocked) InMemorySize() int64 {
+	var total int64
+	for _, p := range c.Parts {
+		total += p.InMemorySize()
+	}
+	return total
+}
+
+// PartitionCompressed splits a compressed matrix into row-range partitions of
+// rowsPerPart rows without decompressing: every partition shares the source
+// dictionaries and slices only the per-row state.
+func PartitionCompressed(cm *compress.CompressedMatrix, rowsPerPart int) (*CompressedBlocked, error) {
+	if rowsPerPart <= 0 {
+		return nil, fmt.Errorf("dist: invalid compressed partition size %d", rowsPerPart)
+	}
+	out := &CompressedBlocked{Rows: cm.Rows(), Cols: cm.Cols(), RowsPerPart: rowsPerPart}
+	n := ceilDiv(cm.Rows(), rowsPerPart)
+	if n == 0 {
+		n = 1
+	}
+	out.Parts = make([]*compress.CompressedMatrix, n)
+	for i := 0; i < n; i++ {
+		r0, r1 := out.partRange(i)
+		if r1 < r0 {
+			r1 = r0
+		}
+		out.Parts[i] = cm.SliceRows(r0, r1)
+	}
+	return out, nil
+}
+
+// CompressedMatVec computes X %*% v with a broadcast vector: each partition
+// runs the compressed matrix-vector kernel over its own row range and owns
+// the matching slice of the output, so partition-parallel execution needs no
+// synchronization and results are bitwise identical across worker counts.
+func CompressedMatVec(x *CompressedBlocked, v *matrix.MatrixBlock, workers int) (*matrix.MatrixBlock, error) {
+	if v.Rows() != x.Cols {
+		return nil, fmt.Errorf("dist: compressed matvec vector is %dx%d, want %dx1", v.Rows(), v.Cols(), x.Cols)
+	}
+	out := matrix.NewDense(x.Rows, 1)
+	// Partitions own disjoint ranges of the dense backing slice; writing
+	// through Set would race on the shared nnz counter.
+	dv := out.DenseValues()
+	err := forEachBlock(x.NumParts(), 1, workers, func(pi, _ int) error {
+		res, err := x.Parts[pi].MatVec(v, 1)
+		if err != nil {
+			return err
+		}
+		r0, _ := x.partRange(pi)
+		for r := 0; r < res.Rows(); r++ {
+			dv[r0+r] = res.Get(r, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.RecomputeNNZ()
+	return out, nil
+}
+
+// CompressedMatMult computes X %*% B with a broadcast dense right-hand side:
+// each partition runs the compressed matrix right-hand-side kernel over its
+// own row range and writes its disjoint slice of the output.
+func CompressedMatMult(x *CompressedBlocked, b *matrix.MatrixBlock, workers int) (*matrix.MatrixBlock, error) {
+	if b.Rows() != x.Cols {
+		return nil, fmt.Errorf("dist: compressed matmult rhs is %dx%d, want %dx*", b.Rows(), b.Cols(), x.Cols)
+	}
+	k := b.Cols()
+	out := matrix.NewDense(x.Rows, k)
+	// Partitions own disjoint ranges of the dense backing slice; writing
+	// through Set would race on the shared nnz counter.
+	dv := out.DenseValues()
+	err := forEachBlock(x.NumParts(), 1, workers, func(pi, _ int) error {
+		res, err := x.Parts[pi].MatMultDense(b, 1)
+		if err != nil {
+			return err
+		}
+		r0, _ := x.partRange(pi)
+		for r := 0; r < res.Rows(); r++ {
+			for c := 0; c < k; c++ {
+				dv[(r0+r)*k+c] = res.Get(r, c)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.RecomputeNNZ()
+	return out, nil
+}
+
+// CompressedTSMM computes t(X) %*% X over the partitioned compressed matrix:
+// per-partition Gram matrices come straight off the (shared) dictionaries via
+// the compressed TSMM kernel and are summed in ascending partition order, so
+// the result is bitwise identical across worker counts.
+func CompressedTSMM(x *CompressedBlocked, workers int) (*matrix.MatrixBlock, error) {
+	partials := make([]*matrix.MatrixBlock, x.NumParts())
+	err := forEachBlock(x.NumParts(), 1, workers, func(pi, _ int) error {
+		partials[pi] = x.Parts[pi].TSMM(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := partials[0]
+	for i := 1; i < len(partials); i++ {
+		out, err = matrix.CellwiseOp(out, partials[i], matrix.OpAdd, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -219,6 +219,61 @@ func ShouldCompress(h *Hop, p PlannerParams) bool {
 	return saved >= encodeCost
 }
 
+// CompressedOutput reports whether a HOP's result lives in compressed
+// representation at runtime: a fired compression site, a transient read of a
+// variable compressed in an earlier DAG (CompressedRead, tracked by the
+// compiler), or a transpose of either — the runtime keeps t(X) of compressed
+// X as a zero-cost view on the column groups.
+func CompressedOutput(h *Hop) bool {
+	if h == nil {
+		return false
+	}
+	if h.CompressedRead {
+		return true
+	}
+	if h.Kind == KindCompress && h.CompressFire {
+		return true
+	}
+	if h.Kind == KindReorg && h.Op == "t" && len(h.Inputs) == 1 {
+		return CompressedOutput(h.Inputs[0])
+	}
+	return false
+}
+
+// hasCompressedInput reports whether any input of a HOP arrives compressed.
+func hasCompressedInput(h *Hop) bool {
+	for _, in := range h.Inputs {
+		if CompressedOutput(in) {
+			return true
+		}
+	}
+	return false
+}
+
+// discountCompressedInputs re-prices the byte charges of an operator whose
+// inputs arrive compressed: the bytes actually read (and, on the blocked
+// backend, partitioned and moved) are the compressed bytes, modeled at the
+// planner's assumed ratio. Pricing the compressed representation is what lets
+// the planner prefer plans that keep data compressed over plans that
+// decompress at an operator boundary.
+func discountCompressedInputs(h *Hop) {
+	if !h.CostEst.Known {
+		return
+	}
+	for _, in := range h.Inputs {
+		if !CompressedOutput(in) {
+			continue
+		}
+		s := types.EstimateSize(in.DC)
+		if in.DataType == types.Scalar {
+			s = 64
+		}
+		if s > 0 {
+			h.CostEst.InputBytes -= s - int64(float64(s)/compressAssumedRatio)
+		}
+	}
+}
+
 // distEligibleKinds are the operator kinds the blocked backend implements;
 // everything else always runs in CP.
 func distEligible(h *Hop) bool {
@@ -469,8 +524,18 @@ func Plan(d *DAG, p PlannerParams) {
 			// compression sites always execute in CP; the decision is whether
 			// they lower to a compress instruction or to a no-op alias
 			h.CompressFire = ShouldCompress(h, p)
+			if h.CompressFire && h.CostEst.Known && h.CostEst.OutputBytes > 0 {
+				// a fired site emits compressed bytes, priced at the assumed
+				// ratio (the runtime sample planner enforces at least its
+				// acceptance threshold, so this stays conservative)
+				h.CostEst.OutputBytes = int64(float64(h.CostEst.OutputBytes) / compressAssumedRatio)
+			}
 			continue
 		}
+		// operators over compressed operands read (and move) compressed bytes;
+		// the inputs precede their consumers in Nodes() order, so CompressFire
+		// of an in-DAG site is already decided here
+		discountCompressedInputs(h)
 		if !WouldRunDist(h, p) {
 			// CP is feasible (or forced by unknown sizes / disabled backend):
 			// CP touches the operands exactly once with no partition or
@@ -532,15 +597,29 @@ func (d *DAG) ExplainPlan() string {
 			if h.CostEst.ShuffleBytes > 0 {
 				fmt.Fprintf(&sb, " shuffle=%dB", h.CostEst.ShuffleBytes)
 			}
-			// dense matmult-family operators above the runtime's shared
-			// crossover run on the tiled register-blocked kernel; surface the
-			// kernel class so EXPLAIN reflects the physical execution path
-			if (h.Kind == KindMatMult || h.Kind == KindTSMM) &&
-				h.CostEst.Compute >= matrix.TiledGEMMCrossoverFLOPs {
-				sb.WriteString(" kernel=tiled")
-			}
 		} else {
 			sb.WriteString(" cost=unknown")
+		}
+		// surface the kernel class so EXPLAIN reflects the physical execution
+		// path: operators over compressed operands run the CLA kernels (Gram
+		// matrices and matrix right-hand sides straight off the dictionaries)
+		// — chosen by representation, so the tag prints even when sizes are
+		// unknown; dense matmult-family operators above the runtime's shared
+		// crossover run the tiled register-blocked kernel
+		switch {
+		case h.Kind == KindTSMM && hasCompressedInput(h):
+			sb.WriteString(" kernel=ctsmm")
+		case h.Kind == KindMatMult && len(h.Inputs) == 2 && hasCompressedInput(h):
+			kernel := "cmm"
+			if CompressedOutput(h.Inputs[0]) && h.Inputs[1].DC.Cols == 1 {
+				kernel = "cmv" // X %*% v and t(X) %*% v pre-aggregate per group
+			} else if !CompressedOutput(h.Inputs[0]) && h.Inputs[0].DC.Rows == 1 {
+				kernel = "cvm" // u %*% X, the vector-matrix kernel
+			}
+			sb.WriteString(" kernel=" + kernel)
+		case (h.Kind == KindMatMult || h.Kind == KindTSMM) && h.CostEst.Known &&
+			h.CostEst.Compute >= matrix.TiledGEMMCrossoverFLOPs:
+			sb.WriteString(" kernel=tiled")
 		}
 		sb.WriteByte('\n')
 	}

@@ -105,6 +105,11 @@ type Hop struct {
 	// CompressFire is the planner's decision for a compression site: lower to
 	// a compress instruction (true) or to a no-op alias (false). Set by Plan.
 	CompressFire bool
+	// CompressedRead marks a transient read of a variable that holds a
+	// compressed matrix at runtime (its producer was a fired compression site
+	// in an earlier DAG); set by the compiler's cross-DAG tracking so pricing
+	// and EXPLAIN see the compressed representation across block boundaries.
+	CompressedRead bool
 }
 
 // NewHop creates a HOP with a fresh ID.

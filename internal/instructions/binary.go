@@ -87,7 +87,7 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 			}
 			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
-		rb, err := i.Right.MatrixBlock(ctx)
+		rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -108,7 +108,7 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 			}
 			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
-		lb, err := i.Left.MatrixBlock(ctx)
+		lb, err := i.Left.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -141,11 +141,11 @@ func (i *BinaryInst) Execute(ctx *runtime.Context) error {
 				}
 			}
 		}
-		lb, err := i.Left.MatrixBlock(ctx)
+		lb, err := i.Left.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
-		rb, err := i.Right.MatrixBlock(ctx)
+		rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -213,7 +213,7 @@ func (i *BinaryInst) executeDistributedVector(ctx *runtime.Context, op matrix.Bi
 	if err != nil {
 		return err
 	}
-	vb, err := vecOp.MatrixBlock(ctx)
+	vb, err := vecOp.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
@@ -269,15 +269,15 @@ func (i *TernaryInst) Execute(ctx *runtime.Context) error {
 		ctx.Set(i.outs[0], d)
 		return nil
 	}
-	cb, err := i.Cond.MatrixBlock(ctx)
+	cb, err := i.Cond.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
-	ab, err := i.A.MatrixBlock(ctx)
+	ab, err := i.A.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
-	bb, err := i.B.MatrixBlock(ctx)
+	bb, err := i.B.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}

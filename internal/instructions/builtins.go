@@ -47,13 +47,13 @@ func NewEigen(outValues, outVectors string, a Operand) *SolveInst {
 
 // Execute implements runtime.Instruction.
 func (i *SolveInst) Execute(ctx *runtime.Context) error {
-	a, err := i.A.MatrixBlock(ctx)
+	a, err := i.A.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
 	switch i.opcode {
 	case "solve":
-		b, err := i.B.MatrixBlock(ctx)
+		b, err := i.B.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -115,7 +115,7 @@ func (i *CastInst) Execute(ctx *runtime.Context) error {
 			ctx.Set(i.outs[0], v)
 		case *runtime.MatrixObject, *runtime.BlockedMatrixObject,
 			*runtime.CompressedMatrixObject, *runtime.TransposedCompressedObject:
-			blk, err := i.In.MatrixBlock(ctx)
+			blk, err := i.In.MatrixBlockFor(ctx, i.opcode)
 			if err != nil {
 				return err
 			}
@@ -232,7 +232,7 @@ func (i *ParamBuiltinInst) Execute(ctx *runtime.Context) error {
 		if !ok {
 			return fmt.Errorf("instructions: removeEmpty requires target")
 		}
-		blk, err := target.MatrixBlock(ctx)
+		blk, err := target.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -253,7 +253,7 @@ func (i *ParamBuiltinInst) Execute(ctx *runtime.Context) error {
 		if !ok {
 			return fmt.Errorf("instructions: replace requires target")
 		}
-		blk, err := target.MatrixBlock(ctx)
+		blk, err := target.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -279,7 +279,7 @@ func (i *ParamBuiltinInst) Execute(ctx *runtime.Context) error {
 		if !ok {
 			return fmt.Errorf("instructions: order requires target")
 		}
-		blk, err := target.MatrixBlock(ctx)
+		blk, err := target.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -312,17 +312,17 @@ func (i *ParamBuiltinInst) Execute(ctx *runtime.Context) error {
 		}
 		ctx.SetMatrix(i.outs[0], res)
 	case "table":
-		a, err := i.Params["a"].MatrixBlock(ctx)
+		a, err := i.Params["a"].MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
-		b, err := i.Params["b"].MatrixBlock(ctx)
+		b, err := i.Params["b"].MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
 		ctx.SetMatrix(i.outs[0], matrix.Table(a, b))
 	case "quantile":
-		target, err := i.Params["target"].MatrixBlock(ctx)
+		target, err := i.Params["target"].MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -332,11 +332,11 @@ func (i *ParamBuiltinInst) Execute(ctx *runtime.Context) error {
 		}
 		ctx.Set(i.outs[0], runtime.NewDouble(matrix.Quantile(target, p)))
 	case "selectRows":
-		target, err := i.Params["target"].MatrixBlock(ctx)
+		target, err := i.Params["target"].MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
-		idx, err := i.Params["index"].MatrixBlock(ctx)
+		idx, err := i.Params["index"].MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -455,13 +455,13 @@ func resolveFrame(ctx *runtime.Context, op Operand) (*frame.FrameBlock, error) {
 		}
 		return frame.FromMatrix(blk), nil
 	case *runtime.CompressedMatrixObject:
-		blk, err := v.Decompress()
+		blk, err := v.DecompressFor("frame")
 		if err != nil {
 			return nil, err
 		}
 		return frame.FromMatrix(blk), nil
 	case *runtime.TransposedCompressedObject:
-		blk, err := v.Materialize()
+		blk, err := v.MaterializeFor("frame")
 		if err != nil {
 			return nil, err
 		}

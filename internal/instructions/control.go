@@ -61,7 +61,7 @@ func (i *PrintInst) Execute(ctx *runtime.Context) error {
 		*runtime.CompressedMatrixObject, *runtime.TransposedCompressedObject:
 		// sinks acquire local matrices, lazily collect blocked ones and
 		// transparently decompress compressed ones
-		blk, err := i.In.MatrixBlock(ctx)
+		blk, err := i.In.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -231,7 +231,7 @@ func (i *WriteInst) Execute(ctx *runtime.Context) error {
 		*runtime.CompressedMatrixObject, *runtime.TransposedCompressedObject:
 		// sinks acquire local matrices, lazily collect blocked ones and
 		// transparently decompress compressed ones
-		blk, err := i.In.MatrixBlock(ctx)
+		blk, err := i.In.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}

@@ -42,7 +42,7 @@ func resolveBlockedData(ctx *runtime.Context, d runtime.Data, o Operand) (*dist.
 			return bm, nil
 		}
 	}
-	blk, err := o.MatrixBlock(ctx)
+	blk, err := o.MatrixBlockFor(ctx, "partition")
 	if err != nil {
 		return nil, err
 	}

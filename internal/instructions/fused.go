@@ -31,13 +31,13 @@ func NewMMChain(out string, x, v, w Operand, weighted bool) *MMChainInst {
 
 // Execute implements runtime.Instruction.
 func (i *MMChainInst) Execute(ctx *runtime.Context) error {
-	vb, err := i.V.MatrixBlock(ctx)
+	vb, err := i.V.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
 	var wb *matrix.MatrixBlock
 	if i.Weighted {
-		if wb, err = i.W.MatrixBlock(ctx); err != nil {
+		if wb, err = i.W.MatrixBlockFor(ctx, i.opcode); err != nil {
 			return err
 		}
 	}
@@ -60,7 +60,7 @@ func (i *MMChainInst) Execute(ctx *runtime.Context) error {
 			return nil
 		}
 	}
-	xb, err := i.X.MatrixBlock(ctx)
+	xb, err := i.X.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
@@ -104,7 +104,7 @@ func (i *FusedAggInst) Execute(ctx *runtime.Context) error {
 			cargs[k] = matrix.CellArg{Scalar: s.Float64()}
 			continue
 		}
-		blk, err := op.MatrixBlock(ctx)
+		blk, err := op.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}

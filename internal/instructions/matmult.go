@@ -69,7 +69,7 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 		return i.executeTransposedFederated(ctx, tf, r)
 	}
 	if fo, ok := l.(*runtime.FederatedObject); ok {
-		rb, err := i.Right.MatrixBlock(ctx)
+		rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -90,11 +90,11 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 	if useDist(ctx, i.ExecType, l, r) {
 		return i.executeDistributed(ctx, l, r, threads)
 	}
-	lb, err := i.Left.MatrixBlock(ctx)
+	lb, err := i.Left.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
-	rb, err := i.Right.MatrixBlock(ctx)
+	rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
@@ -112,57 +112,114 @@ func (i *MatMultInst) Execute(ctx *runtime.Context) error {
 }
 
 // executeCompressed runs matrix multiplications with a compressed operand
-// directly on the column groups when the shape is one of the kernels CLA
-// pre-aggregates: X %*% v (matrix-vector), t(X) %*% v on the lazy transpose
-// marker, and u %*% X (vector-matrix). It reports whether it handled the
-// operation.
+// directly on the column groups when the shape is one the CLA kernels
+// pre-aggregate: X %*% v (matrix-vector), X %*% B (matrix right-hand side),
+// t(X) %*% v and t(X) %*% B on the lazy transpose marker, t(X) %*% X
+// (compressed TSMM), and u %*% X (vector-matrix). It reports whether it
+// handled the operation.
 func (i *MatMultInst) executeCompressed(ctx *runtime.Context, l, r runtime.Data, threads int) (bool, error) {
-	// X %*% v with compressed X and a column vector v
+	// X %*% v / X %*% B with compressed X
 	if co, ok := resolveCompressed(l); ok {
-		if _, rc, rok := matrixDims(r); rok && rc == 1 {
+		if _, rc, rok := matrixDims(r); rok {
 			cm, err := co.Compressed()
 			if err != nil {
 				return true, err
 			}
-			rb, err := i.Right.MatrixBlock(ctx)
+			rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 			if err != nil {
 				return true, err
 			}
-			res, err := cm.MatVec(rb, threads)
-			if err != nil {
-				return true, err
+			var res *matrix.MatrixBlock
+			var kernel string
+			if useDist(ctx, i.ExecType, l, r) {
+				// blocked flow: the compressed matrix partitions by row ranges of
+				// its column groups (no decompression at the boundary) and the
+				// dense right-hand side broadcasts
+				p, err := co.Partitioned(ctx.Config.DistBlocksize)
+				if err != nil {
+					return true, err
+				}
+				kernel = "dist-cmv"
+				if rc == 1 {
+					res, err = dist.CompressedMatVec(p, rb, threads)
+				} else {
+					kernel = "dist-cmm"
+					res, err = dist.CompressedMatMult(p, rb, threads)
+				}
+				if err != nil {
+					return true, err
+				}
+				ctx.CountBlockedOp()
+			} else {
+				kernel = "cmv"
+				if rc == 1 {
+					res, err = cm.MatVec(rb, threads)
+				} else {
+					kernel = "cmm"
+					res, err = cm.MatMultDense(rb, threads)
+				}
+				if err != nil {
+					return true, err
+				}
 			}
 			ctx.CountCompressedOp()
+			ctx.RecordPlan(i.opcode, kernel+":"+cm.EncodingSummary(), i.EstBytes, res.InMemorySize())
 			ctx.SetMatrix(i.outs[0], res)
 			return true, nil
 		}
 	}
-	// t(X) %*% v with the lazy transpose of compressed X: the vector-matrix
-	// kernel over X itself, no transpose ever materializes
+	// t(X) %*% ... with the lazy transpose of compressed X: the vector-matrix,
+	// transposed matrix-matrix and TSMM kernels over X itself — no transpose
+	// ever materializes
 	if tc, ok := l.(*runtime.TransposedCompressedObject); ok {
-		if _, rc, rok := matrixDims(r); rok && rc == 1 {
+		// t(X) %*% X over the same compressed object is the Gram matrix; a
+		// defensive net under the tsmm rewrite (which normally catches this
+		// form at the HOP level)
+		if co, ok := resolveCompressed(r); ok && co == tc.Source {
+			cm, err := co.Compressed()
+			if err != nil {
+				return true, err
+			}
+			res := cm.TSMM(threads)
+			ctx.CountCompressedOp()
+			ctx.RecordPlan(i.opcode, "ctsmm:"+cm.EncodingSummary(), i.EstBytes, res.InMemorySize())
+			ctx.SetMatrix(i.outs[0], res)
+			return true, nil
+		}
+		if _, rc, rok := matrixDims(r); rok {
 			cm, err := tc.Source.Compressed()
 			if err != nil {
 				return true, err
 			}
-			rb, err := i.Right.MatrixBlock(ctx)
+			rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 			if err != nil {
 				return true, err
 			}
-			rowVec, err := rb.Reshape(1, rb.Rows(), true)
-			if err != nil {
-				return true, err
+			if rc == 1 {
+				rowVec, err := rb.Reshape(1, rb.Rows(), true)
+				if err != nil {
+					return true, err
+				}
+				res, err := cm.VecMat(rowVec, threads)
+				if err != nil {
+					return true, err
+				}
+				col, err := res.Reshape(res.Cols(), 1, true)
+				if err != nil {
+					return true, err
+				}
+				ctx.CountCompressedOp()
+				ctx.RecordPlan(i.opcode, "cvm:"+cm.EncodingSummary(), i.EstBytes, col.InMemorySize())
+				ctx.SetMatrix(i.outs[0], col)
+				return true, nil
 			}
-			res, err := cm.VecMat(rowVec, threads)
-			if err != nil {
-				return true, err
-			}
-			col, err := res.Reshape(res.Cols(), 1, true)
+			res, err := cm.TransMatMultDense(rb, threads)
 			if err != nil {
 				return true, err
 			}
 			ctx.CountCompressedOp()
-			ctx.SetMatrix(i.outs[0], col)
+			ctx.RecordPlan(i.opcode, "cmm:"+cm.EncodingSummary(), i.EstBytes, res.InMemorySize())
+			ctx.SetMatrix(i.outs[0], res)
 			return true, nil
 		}
 	}
@@ -173,7 +230,7 @@ func (i *MatMultInst) executeCompressed(ctx *runtime.Context, l, r runtime.Data,
 			if err != nil {
 				return true, err
 			}
-			lb, err := i.Left.MatrixBlock(ctx)
+			lb, err := i.Left.MatrixBlockFor(ctx, i.opcode)
 			if err != nil {
 				return true, err
 			}
@@ -182,6 +239,7 @@ func (i *MatMultInst) executeCompressed(ctx *runtime.Context, l, r runtime.Data,
 				return true, err
 			}
 			ctx.CountCompressedOp()
+			ctx.RecordPlan(i.opcode, "cvm:"+cm.EncodingSummary(), i.EstBytes, res.InMemorySize())
 			ctx.SetMatrix(i.outs[0], res)
 			return true, nil
 		}
@@ -221,7 +279,7 @@ func (i *MatMultInst) executeDistributed(ctx *runtime.Context, l, r runtime.Data
 		if err != nil {
 			return err
 		}
-		rb, err := i.Right.MatrixBlock(ctx)
+		rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -229,7 +287,7 @@ func (i *MatMultInst) executeDistributed(ctx *runtime.Context, l, r runtime.Data
 			return err
 		}
 	case types.MMBroadcastLeft:
-		lb, err := i.Left.MatrixBlock(ctx)
+		lb, err := i.Left.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -296,7 +354,7 @@ func (i *MatMultInst) executeTransposedFederated(ctx *runtime.Context, tf *Trans
 		ctx.SetMatrix(i.outs[0], res)
 		return nil
 	}
-	rb, err := i.Right.MatrixBlock(ctx)
+	rb, err := i.Right.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
@@ -343,6 +401,38 @@ func (i *TSMMInst) Execute(ctx *runtime.Context) error {
 		return nil
 	}
 	threads := ctx.Config.Threads()
+	// compressed input: the Gram matrix comes straight off the dictionaries
+	// (counts-weighted self products, co-occurrence-weighted cross products) —
+	// X never materializes
+	if co, ok := resolveCompressed(d); ok {
+		cm, err := co.Compressed()
+		if err != nil {
+			return err
+		}
+		if useDist(ctx, i.ExecType, d) {
+			// blocked flow: row-range partitions of the column groups compute
+			// per-partition Gram matrices off the shared dictionaries, summed in
+			// ascending partition order
+			p, err := co.Partitioned(ctx.Config.DistBlocksize)
+			if err != nil {
+				return err
+			}
+			res, err := dist.CompressedTSMM(p, threads)
+			if err != nil {
+				return err
+			}
+			ctx.CountBlockedOp()
+			ctx.CountCompressedOp()
+			ctx.RecordPlan(i.opcode, "dist-ctsmm:"+cm.EncodingSummary(), i.EstBytes, res.InMemorySize())
+			ctx.SetMatrix(i.outs[0], res)
+			return nil
+		}
+		res := cm.TSMM(threads)
+		ctx.CountCompressedOp()
+		ctx.RecordPlan(i.opcode, "ctsmm:"+cm.EncodingSummary(), i.EstBytes, res.InMemorySize())
+		ctx.SetMatrix(i.outs[0], res)
+		return nil
+	}
 	if useDist(ctx, i.ExecType, d) {
 		bm, err := resolveBlockedData(ctx, d, i.In)
 		if err != nil {
@@ -357,7 +447,7 @@ func (i *TSMMInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], res)
 		return nil
 	}
-	blk, err := i.In.MatrixBlock(ctx)
+	blk, err := i.In.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}

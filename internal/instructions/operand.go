@@ -74,12 +74,18 @@ func (o Operand) Scalar(ctx *runtime.Context) (*runtime.Scalar, error) {
 // MatrixBlock resolves the operand as a local matrix block (scalars are
 // promoted to 1x1).
 func (o Operand) MatrixBlock(ctx *runtime.Context) (*matrix.MatrixBlock, error) {
+	return o.MatrixBlockFor(ctx, "other")
+}
+
+// MatrixBlockFor is MatrixBlock with the consuming opcode recorded when the
+// read forces a fallback decompression of a compressed variable.
+func (o Operand) MatrixBlockFor(ctx *runtime.Context, op string) (*matrix.MatrixBlock, error) {
 	if o.IsLit {
 		m := matrix.NewDense(1, 1)
 		m.Set(0, 0, o.Lit.Float64())
 		return m, nil
 	}
-	return ctx.GetMatrixBlock(o.Name)
+	return ctx.GetMatrixBlockFor(o.Name, op)
 }
 
 // Float64 resolves the operand as a float.

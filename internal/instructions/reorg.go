@@ -71,7 +71,7 @@ func (i *ReorgInst) Execute(ctx *runtime.Context) error {
 			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
 	}
-	blk, err := i.In.MatrixBlock(ctx)
+	blk, err := i.In.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
@@ -119,7 +119,7 @@ func (i *NaryInst) Execute(ctx *runtime.Context) error {
 	}
 	blocks := make([]*matrix.MatrixBlock, len(i.Ins))
 	for idx, op := range i.Ins {
-		blk, err := op.MatrixBlock(ctx)
+		blk, err := op.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -258,7 +258,7 @@ func (i *IndexInst) Execute(ctx *runtime.Context) error {
 		ctx.SetMatrix(i.outs[0], res)
 		return nil
 	}
-	blk, err := i.Target.MatrixBlock(ctx)
+	blk, err := i.Target.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
@@ -291,11 +291,11 @@ func NewLeftIndex(out string, target, src, rl, ru, cl, cu Operand) *LeftIndexIns
 
 // Execute implements runtime.Instruction.
 func (i *LeftIndexInst) Execute(ctx *runtime.Context) error {
-	target, err := i.Target.MatrixBlock(ctx)
+	target, err := i.Target.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}
-	src, err := i.Src.MatrixBlock(ctx)
+	src, err := i.Src.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}

@@ -87,7 +87,7 @@ func (i *UnaryInst) Execute(ctx *runtime.Context) error {
 			}
 			return bindBlockedResult(ctx, i.outs[0], res, i.BlockedOut, i.opcode, "dist", i.EstBytes)
 		}
-		blk, err := i.In.MatrixBlock(ctx)
+		blk, err := i.In.MatrixBlockFor(ctx, i.opcode)
 		if err != nil {
 			return err
 		}
@@ -187,7 +187,7 @@ func (i *AggInst) Execute(ctx *runtime.Context) error {
 		}
 		return nil
 	}
-	blk, err := i.In.MatrixBlock(ctx)
+	blk, err := i.In.MatrixBlockFor(ctx, i.opcode)
 	if err != nil {
 		return err
 	}

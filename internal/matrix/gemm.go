@@ -142,6 +142,27 @@ func gemmZeroBuf(size int) *gemmBuf {
 	return b
 }
 
+// Scratch is a pooled float64 work buffer handed out by GetScratch. It shares
+// the GEMM panel pool, so higher layers (e.g. compressed kernels decompressing
+// stripes for a fallback multiply, or pre-scaling dictionaries against a
+// matrix right-hand side) reuse warm buffers instead of allocating a fresh
+// dense block per call site.
+type Scratch struct{ b *gemmBuf }
+
+// Values returns the buffer contents (zeroed, length as requested).
+func (s Scratch) Values() []float64 { return s.b.f }
+
+// GetScratch returns a zeroed pooled buffer of n elements. Release it with
+// PutScratch when done; the contents are invalid afterwards.
+func GetScratch(n int) Scratch { return Scratch{b: gemmZeroBuf(n)} }
+
+// PutScratch returns the buffer to the pool.
+func PutScratch(s Scratch) {
+	if s.b != nil {
+		gemmPutBuf(s.b)
+	}
+}
+
 // --- panel packing ----------------------------------------------------------
 
 // packBPanels packs a rows x cols row-major matrix into gemmNR-wide column

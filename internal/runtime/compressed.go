@@ -7,6 +7,7 @@ import (
 
 	"github.com/systemds/systemds-go/internal/bufferpool"
 	"github.com/systemds/systemds-go/internal/compress"
+	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/types"
 )
@@ -24,6 +25,11 @@ type CompressStats struct {
 	Decompressions    int64
 	BytesUncompressed int64
 	BytesCompressed   int64
+	// DecompressionsByOp attributes each fallback decompression to the opcode
+	// (or runtime site label, e.g. "output") that triggered it, so a workload
+	// that is NOT fully on the compressed path shows exactly which operators
+	// forced materialization.
+	DecompressionsByOp map[string]int64
 }
 
 // compressCounters is the shared mutable counter state behind CompressStats;
@@ -35,13 +41,33 @@ type compressCounters struct {
 	decompressions atomic.Int64
 	bytesUncomp    atomic.Int64
 	bytesComp      atomic.Int64
+
+	mu         sync.Mutex
+	decompByOp map[string]int64
+}
+
+// countDecompression records one fallback decompression attributed to op.
+func (c *compressCounters) countDecompression(op string) {
+	if c == nil {
+		return
+	}
+	if op == "" {
+		op = "other"
+	}
+	c.decompressions.Add(1)
+	c.mu.Lock()
+	if c.decompByOp == nil {
+		c.decompByOp = map[string]int64{}
+	}
+	c.decompByOp[op]++
+	c.mu.Unlock()
 }
 
 func (c *compressCounters) snapshot() CompressStats {
 	if c == nil {
 		return CompressStats{}
 	}
-	return CompressStats{
+	s := CompressStats{
 		Compressions:      c.compressions.Load(),
 		Rejected:          c.rejected.Load(),
 		CompressedOps:     c.compressedOps.Load(),
@@ -49,6 +75,15 @@ func (c *compressCounters) snapshot() CompressStats {
 		BytesUncompressed: c.bytesUncomp.Load(),
 		BytesCompressed:   c.bytesComp.Load(),
 	}
+	c.mu.Lock()
+	if len(c.decompByOp) > 0 {
+		s.DecompressionsByOp = make(map[string]int64, len(c.decompByOp))
+		for op, n := range c.decompByOp {
+			s.DecompressionsByOp[op] = n
+		}
+	}
+	c.mu.Unlock()
+	return s
 }
 
 // CompressedMatrixObject is the first-class runtime handle of a column-group
@@ -68,8 +103,13 @@ type CompressedMatrixObject struct {
 	// is a reader-held view like BlockedMatrixObject's collect memo: not part
 	// of MemorySize, dropped on eviction.
 	local *matrix.MatrixBlock
-	pool  *bufferpool.Pool
-	ctr   *compressCounters
+	// part memoizes the row-range compressed partitioning used by the dist
+	// executors (dictionaries shared with cm), keyed by partition size;
+	// dropped on eviction together with cm.
+	part     *dist.CompressedBlocked
+	partSize int
+	pool     *bufferpool.Pool
+	ctr      *compressCounters
 }
 
 // NewCompressedMatrixObject wraps a compressed matrix into a managed object
@@ -138,6 +178,14 @@ func (c *CompressedMatrixObject) Compressed() (*compress.CompressedMatrix, error
 // consumers without a compressed kernel. The block is memoized so only the
 // first consumer pays (and counts) the decompression.
 func (c *CompressedMatrixObject) Decompress() (*matrix.MatrixBlock, error) {
+	return c.DecompressFor("other")
+}
+
+// DecompressFor is Decompress with the triggering opcode (or site label)
+// recorded in the per-opcode decompression counters. Only the consumer that
+// wins the memoization race is charged — repeated fallback reads of the same
+// variable count once, against the first opcode that needed the block.
+func (c *CompressedMatrixObject) DecompressFor(op string) (*matrix.MatrixBlock, error) {
 	c.mu.Lock()
 	if c.local != nil {
 		blk := c.local
@@ -158,10 +206,39 @@ func (c *CompressedMatrixObject) Decompress() (*matrix.MatrixBlock, error) {
 	}
 	blk = c.local
 	c.mu.Unlock()
-	if won && c.ctr != nil {
-		c.ctr.decompressions.Add(1)
+	if won {
+		c.ctr.countDecompression(op)
 	}
 	return blk, nil
+}
+
+// Partitioned returns the row-range compressed partitioning of this object
+// for the dist executors, memoized per partition size. The compressed matrix
+// never decompresses: every partition shares the source dictionaries and
+// re-bases only codes, runs and positions.
+func (c *CompressedMatrixObject) Partitioned(rowsPerPart int) (*dist.CompressedBlocked, error) {
+	c.mu.Lock()
+	if c.part != nil && c.partSize == rowsPerPart {
+		p := c.part
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	cm, err := c.Compressed()
+	if err != nil {
+		return nil, err
+	}
+	p, err := dist.PartitionCompressed(cm, rowsPerPart)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.part == nil || c.partSize != rowsPerPart {
+		c.part, c.partSize = p, rowsPerPart
+	}
+	p = c.part
+	c.mu.Unlock()
+	return p, nil
 }
 
 // CountCompressedOp records one operator executed directly on the compressed
@@ -200,6 +277,7 @@ func (c *CompressedMatrixObject) Evict(path string) error {
 	c.spillPath = path
 	c.cm = nil
 	c.local = nil
+	c.part = nil
 	return nil
 }
 
@@ -233,6 +311,13 @@ type TransposedCompressedObject struct {
 // Materialize returns the transposed local block — the fallback for
 // consumers without a compressed kernel — memoized on the view.
 func (t *TransposedCompressedObject) Materialize() (*matrix.MatrixBlock, error) {
+	return t.MaterializeFor("other")
+}
+
+// MaterializeFor is Materialize with the triggering opcode recorded in the
+// per-opcode decompression counters (attribution happens on the source's
+// memoized decompression).
+func (t *TransposedCompressedObject) MaterializeFor(op string) (*matrix.MatrixBlock, error) {
 	t.mu.Lock()
 	if t.local != nil {
 		blk := t.local
@@ -240,7 +325,7 @@ func (t *TransposedCompressedObject) Materialize() (*matrix.MatrixBlock, error) 
 		return blk, nil
 	}
 	t.mu.Unlock()
-	blk, err := t.Source.Decompress()
+	blk, err := t.Source.DecompressFor(op)
 	if err != nil {
 		return nil, err
 	}

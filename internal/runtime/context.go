@@ -386,6 +386,12 @@ func (ctx *Context) GetMatrixObject(name string) (*MatrixObject, error) {
 // buffer pool. Scalars are auto-promoted to 1x1 matrices, mirroring DML's
 // implicit casting in matrix contexts.
 func (ctx *Context) GetMatrixBlock(name string) (*matrix.MatrixBlock, error) {
+	return ctx.GetMatrixBlockFor(name, "other")
+}
+
+// GetMatrixBlockFor is GetMatrixBlock with the consuming opcode recorded when
+// the read forces a fallback decompression of a compressed variable.
+func (ctx *Context) GetMatrixBlockFor(name, op string) (*matrix.MatrixBlock, error) {
 	d, err := ctx.Get(name)
 	if err != nil {
 		return nil, err
@@ -399,10 +405,10 @@ func (ctx *Context) GetMatrixBlock(name string) (*matrix.MatrixBlock, error) {
 	case *CompressedMatrixObject:
 		// transparent decompress fallback: a consumer without a compressed
 		// kernel gets the local block; the (memoized) decompression is counted
-		// so the fallback is observable, and nothing breaks
-		return v.Decompress()
+		// per-opcode so the fallback is observable, and nothing breaks
+		return v.DecompressFor(op)
 	case *TransposedCompressedObject:
-		return v.Materialize()
+		return v.MaterializeFor(op)
 	case *Scalar:
 		m := matrix.NewDense(1, 1)
 		m.Set(0, 0, v.Float64())

@@ -430,10 +430,10 @@ func localMatrixOf(d Data) (*matrix.MatrixBlock, bool, error) {
 		blk, err := v.Collect()
 		return blk, true, err
 	case *CompressedMatrixObject:
-		blk, err := v.Decompress()
+		blk, err := v.DecompressFor("parfor-merge")
 		return blk, true, err
 	case *TransposedCompressedObject:
-		blk, err := v.Materialize()
+		blk, err := v.MaterializeFor("parfor-merge")
 		return blk, true, err
 	}
 	return nil, false, nil

@@ -49,7 +49,7 @@ func tryPartialTSMM(ctx *Context, inst Instruction, inputItems []*lineage.Item) 
 		return nil, false
 	}
 	// the full input X = cbind(A, B) is available as the instruction input
-	x, err := ctx.GetMatrixBlock(inst.Inputs()[0])
+	x, err := ctx.GetMatrixBlockFor(inst.Inputs()[0], "reuse")
 	if err != nil {
 		return nil, false
 	}
@@ -133,11 +133,11 @@ func tryPartialMatMultOverCBind(ctx *Context, inst Instruction, inputItems []*li
 	if len(ins) != 2 {
 		return nil, false
 	}
-	tx, err := ctx.GetMatrixBlock(ins[0])
+	tx, err := ctx.GetMatrixBlockFor(ins[0], "reuse")
 	if err != nil {
 		return nil, false
 	}
-	y, err := ctx.GetMatrixBlock(ins[1])
+	y, err := ctx.GetMatrixBlockFor(ins[1], "reuse")
 	if err != nil {
 		return nil, false
 	}
