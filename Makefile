@@ -36,12 +36,14 @@ race:
 # Compressed-vs-dense MV/TSMM/matrix-RHS kernels (plus the partitioned dist
 # executor), planner-vs-forced matmult strategies, fused-vs-unfused,
 # kernel-parallelism and tiled-vs-simple GEMM/TSMM/MultiplyAcc benchmarks with
-# allocation stats; the parsed results land in BENCH_pr8.json (the perf
-# trajectory of the repo). The compressed benchmarks additionally report
-# databytes/op (bytes of matrix representation streamed per operation) and
-# the dense kernel benchmarks report gflops.
+# allocation stats, plus the adaptive-runtime pairs (cold-vs-warm cross-run
+# lineage reuse, uncalibrated-vs-calibrated planning); the parsed results land
+# in BENCH_pr9.json (the perf trajectory of the repo). The compressed and
+# lineage benchmarks additionally report databytes/op (bytes of matrix
+# representation streamed or spilled per operation) and the dense kernel
+# benchmarks report gflops.
 bench:
-	set -o pipefail; $(GO) test -bench 'Compressed|LoopEpoch|MatMultStrategy|Fused|Unfused|MMChain|KernelParallel|KernelGEMM|KernelTSMM|KernelMultiplyAcc' -benchmem -timeout 30m -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr8.json
+	set -o pipefail; $(GO) test -bench 'Compressed|LoopEpoch|MatMultStrategy|Fused|Unfused|MMChain|KernelParallel|KernelGEMM|KernelTSMM|KernelMultiplyAcc|LineageReuse|CalibrationDelta' -benchmem -timeout 30m -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_pr9.json
 
 # Full benchmark sweep (single iteration per benchmark).
 bench-all:

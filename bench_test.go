@@ -12,10 +12,14 @@ import (
 	systemds "github.com/systemds/systemds-go"
 	"github.com/systemds/systemds-go/internal/baselines"
 	"github.com/systemds/systemds-go/internal/compress"
+	"github.com/systemds/systemds-go/internal/core"
 	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/experiments"
+	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/paramserv"
+	"github.com/systemds/systemds-go/internal/runtime"
+	"github.com/systemds/systemds-go/internal/types"
 )
 
 // benchScale is the data size used by the benchmarks.
@@ -852,4 +856,116 @@ func BenchmarkCompressedDistMV(b *testing.B) {
 	}
 	b.ReportMetric(float64(dataBytes), "databytes/op")
 	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+// --- Adaptive runtime: cross-run lineage reuse + calibration ---------------
+
+const lineageBenchScript = `
+[B, losses] = gridSearchLM(X, y, lambdas)
+`
+
+func lineageBenchInputs() map[string]any {
+	x, y := matrix.SyntheticRegression(benchScale.Rows, benchScale.Cols, 1.0, 115)
+	lambdas := matrix.FromRows([][]float64{{0.001}, {0.01}, {0.1}, {1}, {10}})
+	return map[string]any{"X": x, "y": y, "lambdas": lambdas}
+}
+
+func lineageReuseContext(dir string) *systemds.Context {
+	return systemds.NewContext(
+		systemds.WithPersistentLineage(dir),
+		systemds.WithCompression(true),
+		systemds.WithParallelism(4),
+	)
+}
+
+// BenchmarkLineageReuseCold times the grid-search scenario against an empty
+// persistent store: every reusable intermediate is computed and spilled.
+// databytes/op reports the bytes written to the store per run.
+func BenchmarkLineageReuseCold(b *testing.B) {
+	inputs := lineageBenchInputs()
+	var dataBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		// context construction measures/caches the machine profile, untimed
+		ctx := lineageReuseContext(dir)
+		b.StartTimer()
+		if _, err := ctx.Execute(lineageBenchScript, inputs, "B", "losses"); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		dataBytes += ctx.LineageStoreStats().BytesWritten
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(dataBytes)/float64(b.N), "databytes/op")
+}
+
+// BenchmarkLineageReuseWarm primes the store once, then times re-runs in
+// fresh contexts (fresh in-memory cache, same directory — the next process
+// of the lifecycle). databytes/op reports the spill bytes read back per run.
+func BenchmarkLineageReuseWarm(b *testing.B) {
+	inputs := lineageBenchInputs()
+	dir := b.TempDir()
+	if _, err := lineageReuseContext(dir).Execute(lineageBenchScript, inputs, "B", "losses"); err != nil {
+		b.Fatal(err)
+	}
+	var dataBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := lineageReuseContext(dir)
+		b.StartTimer()
+		if _, err := ctx.Execute(lineageBenchScript, inputs, "B", "losses"); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st := ctx.LineageStoreStats()
+		if st.Hits == 0 {
+			b.Fatal("warm run reused nothing from the persistent store")
+		}
+		dataBytes += st.BytesRead
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(dataBytes)/float64(b.N), "databytes/op")
+}
+
+// benchmarkCalibrationDelta runs a matmult whose static memory estimate sits
+// just over the CP budget (so the uncalibrated planner ships it to the
+// distributed backend) with and without synthetic history saying the static
+// model overestimates 8x. The calibrated planner keeps the operator in CP;
+// the pair quantifies what a learned crossover is worth end to end.
+func benchmarkCalibrationDelta(b *testing.B, calib *hops.Calibration) {
+	const n = 256
+	am := matrix.RandUniform(n, n, -1, 1, 1.0, 61)
+	bm := matrix.RandUniform(n, n, -1, 1, 1.0, 62)
+	sz := types.EstimateSize(types.NewDataCharacteristics(n, n, 1024, -1))
+	cfg := runtime.DefaultConfig()
+	cfg.Parallelism = 4
+	cfg.DistEnabled = true
+	cfg.OperatorMemBudget = 2*sz - 1 // out + maxIn just over budget
+	cfg.Calib = calib
+	eng := core.NewEngine(cfg)
+	inputs := map[string]any{"A": am, "B": bm}
+	dataBytes := 2 * am.InMemorySize()
+	b.SetBytes(dataBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(`C = A %*% B`, inputs, []string{"C"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dataBytes), "databytes/op")
+}
+
+func BenchmarkCalibrationDeltaUncalibrated(b *testing.B) {
+	benchmarkCalibrationDelta(b, nil)
+}
+
+func BenchmarkCalibrationDeltaCalibrated(b *testing.B) {
+	calib := hops.NewCalibration()
+	for i := 0; i < 5; i++ {
+		calib.Observe("ba+*", 8000, 1000) // history: outputs 8x below estimate
+	}
+	benchmarkCalibrationDelta(b, calib)
 }

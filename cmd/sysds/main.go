@@ -37,6 +37,7 @@ func main() {
 		outputs     multiFlag
 		prints      multiFlag
 		reuse       = flag.Bool("reuse", false, "enable lineage-based reuse of intermediates")
+		persistDir  = flag.String("persist-lineage", "", "directory for cross-run lineage reuse and cost-model calibration (implies -reuse)")
 		lineageOff  = flag.Bool("no-lineage", false, "disable lineage tracing")
 		parallelism = flag.Int("parallelism", 0, "number of threads (0 = all cores)")
 		interOp     = flag.Int("inter-op", 1, "inter-operator scheduler workers (<=1 = sequential execution)")
@@ -63,6 +64,9 @@ func main() {
 		systemds.WithBLAS(*useBLAS),
 		systemds.WithDistributedBackend(*distributed),
 		systemds.WithCompression(*compression),
+	}
+	if *persistDir != "" {
+		opts = append(opts, systemds.WithPersistentLineage(*persistDir))
 	}
 	if *memBudget > 0 {
 		opts = append(opts, systemds.WithOperatorMemBudget(*memBudget))
@@ -114,6 +118,11 @@ func main() {
 		stats := ctx.CacheStats()
 		fmt.Printf("reuse cache: hits=%d misses=%d partial=%d puts=%d evictions=%d\n",
 			stats.Hits, stats.Misses, stats.PartialHits, stats.Puts, stats.Evictions)
+		if *persistDir != "" {
+			ls := ctx.LineageStoreStats()
+			fmt.Printf("lineage store: files=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d corrupt=%d\n",
+				ls.Files, ls.Bytes, ls.Hits, ls.Misses, ls.Puts, ls.Evictions, ls.CorruptDropped)
+		}
 	}
 }
 

@@ -9,12 +9,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"github.com/systemds/systemds-go/internal/bufferpool"
 	"github.com/systemds/systemds-go/internal/builtins"
 	"github.com/systemds/systemds-go/internal/compiler"
 	"github.com/systemds/systemds-go/internal/fed"
 	"github.com/systemds/systemds-go/internal/frame"
+	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/runtime"
@@ -23,13 +26,32 @@ import (
 
 // Engine is a SystemDS-Go session: configuration, builtin registry and the
 // session-wide reuse cache shared by all executions (so intermediates can be
-// reused across scripts in exploratory workflows).
+// reused across scripts in exploratory workflows). With a persistent lineage
+// directory configured, the cache additionally spans processes: entries are
+// written through to spill files and the cost-model calibration learned from
+// each run's plan records is saved alongside them.
 type Engine struct {
 	cfg      *runtime.Config
 	registry *builtins.Registry
 	cache    *lineage.Cache
 	out      io.Writer
+	store    *runtime.PersistentLineageStore
+	calib    *hops.Calibration
+	calibPth string
 }
+
+// adaptivity state filenames inside the persistent lineage directory.
+const (
+	calibrationFile = "calibration.json"
+	profileFile     = "machine_profile.json"
+	// defaultPersistentBudget bounds the spill directory when the caller does
+	// not set one.
+	defaultPersistentBudget = int64(4) << 30
+)
+
+// runNonce distinguishes lineage leaves of non-fingerprintable inputs across
+// runs and processes, so they can never falsely match a persisted entry.
+var runNonce atomic.Int64
 
 // Stats reports execution statistics of one script run.
 type Stats struct {
@@ -46,25 +68,60 @@ type Stats struct {
 	// planner rejections, operators executed directly on compressed data, and
 	// transparent decompress fallbacks.
 	CompressStats runtime.CompressStats
+	// LineageStore reports persistent lineage-store activity (zero value when
+	// persistence is off).
+	LineageStore bufferpool.FileStoreStats
 }
 
 // NewEngine creates an engine with the given configuration (nil uses the
-// default configuration).
+// default configuration). A configured persistent lineage directory implies
+// lineage tracing and reuse; opening it also loads the saved cost-model
+// calibration and the cached (or freshly measured) machine profile, so the
+// planner of this session prices operators with the learned corrections.
 func NewEngine(cfg *runtime.Config) *Engine {
 	if cfg == nil {
 		cfg = runtime.DefaultConfig()
+	}
+	if cfg.PersistentLineageDir != "" {
+		cfg.LineageEnabled = true
+		cfg.ReuseEnabled = true
 	}
 	cacheBudget := int64(0)
 	if cfg.ReuseEnabled {
 		cacheBudget = cfg.CacheBudget
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		registry: builtins.NewRegistry(),
 		cache:    lineage.NewCache(cacheBudget),
 		out:      os.Stdout,
 	}
+	if dir := cfg.PersistentLineageDir; dir != "" {
+		budget := cfg.PersistentLineageBudget
+		if budget <= 0 {
+			budget = defaultPersistentBudget
+		}
+		// adaptivity state is a cache: if the directory is unusable the
+		// session simply runs without persistence rather than failing
+		if store, err := runtime.OpenPersistentLineage(dir, budget); err == nil {
+			e.store = store
+			e.cache.SetStore(store)
+		}
+		e.calibPth = filepath.Join(dir, calibrationFile)
+		e.calib = hops.LoadCalibration(e.calibPth)
+		cfg.Calib = e.calib
+		cfg.Profile = hops.LoadOrMeasureProfile(filepath.Join(dir, profileFile))
+	}
+	return e
 }
+
+// LineageStoreStats returns the persistent lineage-store statistics (zero
+// value when persistence is off).
+func (e *Engine) LineageStoreStats() bufferpool.FileStoreStats { return e.store.Stats() }
+
+// Calibration returns the engine's cost-model calibration, or nil when no
+// persistent lineage directory is configured.
+func (e *Engine) Calibration() *hops.Calibration { return e.calib }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() *runtime.Config { return e.cfg }
@@ -132,11 +189,12 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 			return nil, nil, fmt.Errorf("core: input %q: %w", name, err)
 		}
 		ctx.Set(name, d)
-		ctx.Lineage.Set(name, lineage.NewCreation("input", name))
+		ctx.Lineage.Set(name, e.inputLeaf(name, d))
 	}
 	if err := prog.Execute(ctx); err != nil {
 		return nil, nil, err
 	}
+	e.observePlans(ctx)
 	results := map[string]any{}
 	for _, name := range outputs {
 		d, err := ctx.Get(name)
@@ -152,8 +210,46 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 	plans, plansDropped := ctx.PlanStats()
 	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats(),
 		FusedStats: ctx.FusedStats(), PlanStats: plans, PlanRecordsDropped: plansDropped,
-		CompressStats: ctx.CompressStats()}
+		CompressStats: ctx.CompressStats(), LineageStore: e.store.Stats()}
 	return results, stats, nil
+}
+
+// inputLeaf builds the lineage leaf of a named input. Without persistence,
+// leaves are keyed by name — sound within one process, where a rebound name
+// changes the traced DAG anyway because the old entries age out against new
+// hashes only if the data changed. Across processes a name tells us nothing,
+// so with persistence on the leaf carries a content fingerprint: rebinding
+// the name to different data changes every downstream lineage hash (the
+// invalidation policy), while identical data keeps the hashes stable and the
+// warm run hits the store. Inputs without a cheap stable fingerprint are
+// keyed by a per-process nonce, which makes them never match across runs —
+// correct, just without cross-run reuse for their derivations.
+func (e *Engine) inputLeaf(name string, d runtime.Data) *lineage.Item {
+	if e.store == nil {
+		return lineage.NewCreation("input", name)
+	}
+	if fp, ok := runtime.Fingerprint(d); ok {
+		return lineage.NewCreation("input", fmt.Sprintf("%s#%016x", name, fp))
+	}
+	return lineage.NewCreation("input", fmt.Sprintf("%s!%d.%d", name, os.Getpid(), runNonce.Add(1)))
+}
+
+// observePlans folds the run's estimated-vs-actual plan records into the
+// calibration and persists the updated state, closing the adaptivity loop:
+// the next compile (in this or any later process) plans with the corrected
+// estimates.
+func (e *Engine) observePlans(ctx *runtime.Context) {
+	if e.calib == nil {
+		return
+	}
+	plans, _ := ctx.PlanStats()
+	for _, r := range plans {
+		e.calib.Observe(r.Op, r.EstBytes, r.ActualBytes)
+	}
+	if e.calibPth != "" {
+		// best-effort: a failed save just loses this run's observations
+		_ = e.calib.Save(e.calibPth)
+	}
 }
 
 // ExplainPlan compiles a script (with size information from the given inputs)

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/hops"
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/runtime"
+)
+
+// persistEngine builds an engine with cross-run lineage persistence rooted at
+// dir (each NewEngine simulates one process of the lifecycle).
+func persistEngine(dir string) *Engine {
+	cfg := runtime.DefaultConfig()
+	cfg.Parallelism = 4
+	cfg.PersistentLineageDir = dir
+	cfg.CompressionEnabled = true
+	return NewEngine(cfg)
+}
+
+// gridSearchScript is the compressed lm grid-search acceptance scenario: the
+// loop re-reads X, so the compiler plants a compression site, and every
+// lambda recomputes t(X)%*%X / t(X)%*%y — the tsmm/matmult work the lineage
+// store amortizes across runs.
+const gridSearchScript = `
+[B, losses] = gridSearchLM(X, y, lambdas)
+`
+
+func gridSearchInputs() map[string]any {
+	x, y := matrix.SyntheticRegression(2000, 20, 1.0, 17)
+	lambdas := matrix.FromRows([][]float64{{0.001}, {0.01}, {0.1}, {1}, {10}})
+	return map[string]any{"X": x, "y": y, "lambdas": lambdas}
+}
+
+// TestPersistentLineageWarmRunReuse is the tentpole acceptance test: a warm
+// re-run of the grid-search scenario in a *fresh engine* (fresh in-memory
+// cache, same persistent directory — a second process in the data-science
+// lifecycle) serves tsmm/matmult intermediates from the persistent store and
+// produces bitwise-identical outputs.
+func TestPersistentLineageWarmRunReuse(t *testing.T) {
+	dir := t.TempDir()
+	inputs := gridSearchInputs()
+
+	cold := persistEngine(dir)
+	coldRes, coldStats, err := cold.Execute(gridSearchScript, inputs, []string{"B", "losses"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.LineageStore.Puts == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", coldStats.LineageStore)
+	}
+	if coldStats.CacheStats.StoreHits != 0 {
+		t.Errorf("cold run cannot hit the store: %+v", coldStats.CacheStats)
+	}
+
+	warm := persistEngine(dir)
+	warmRes, warmStats, err := warm.Execute(gridSearchScript, inputs, []string{"B", "losses"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.CacheStats.StoreHits == 0 {
+		t.Fatalf("warm run reused nothing from the persistent store: cache=%+v store=%+v",
+			warmStats.CacheStats, warmStats.LineageStore)
+	}
+	for _, name := range []string{"B", "losses"} {
+		if !asMatrix(t, coldRes[name]).Equals(asMatrix(t, warmRes[name]), 0) {
+			t.Errorf("warm %s not bitwise-equal to cold run", name)
+		}
+	}
+
+	// reuse on vs off: the persisted path must be invisible in the results
+	plain := newTestEngine()
+	plainRes := execScript(t, plain, gridSearchScript, inputs, []string{"B", "losses"})
+	for _, name := range []string{"B", "losses"} {
+		if !asMatrix(t, plainRes[name]).Equals(asMatrix(t, warmRes[name]), 0) {
+			t.Errorf("%s with reuse differs bitwise from no-reuse execution", name)
+		}
+	}
+}
+
+// TestPersistentLineageInvalidationOnInputChange: rebinding an input name to
+// different data changes the content-fingerprinted lineage leaves, so a warm
+// run must not serve the previous run's intermediates.
+func TestPersistentLineageInvalidationOnInputChange(t *testing.T) {
+	dir := t.TempDir()
+	script := `S = t(X) %*% X
+s = sum(S)`
+	x1 := matrix.RandUniform(300, 12, -1, 1, 1.0, 21)
+
+	cold := persistEngine(dir)
+	if _, stats, err := cold.Execute(script, map[string]any{"X": x1}, []string{"s"}); err != nil {
+		t.Fatal(err)
+	} else if stats.LineageStore.Puts == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	// same name, different content: one cell changed
+	x2 := x1.Copy()
+	x2.Set(7, 3, x2.Get(7, 3)+1)
+	warm := persistEngine(dir)
+	res, stats, err := warm.Execute(script, map[string]any{"X": x2}, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheStats.StoreHits != 0 {
+		t.Errorf("changed input must not hit the store: %+v", stats.CacheStats)
+	}
+	ref := execScript(t, newTestEngine(), script, map[string]any{"X": x2}, []string{"s"})
+	if res["s"].(float64) != ref["s"].(float64) {
+		t.Errorf("invalidated run returned a stale result: %v vs %v", res["s"], ref["s"])
+	}
+
+	// unchanged content under the same name still hits
+	warm2 := persistEngine(dir)
+	if _, stats, err := warm2.Execute(script, map[string]any{"X": x1}, []string{"s"}); err != nil {
+		t.Fatal(err)
+	} else if stats.CacheStats.StoreHits == 0 {
+		t.Errorf("identical input must hit the store: %+v", stats.CacheStats)
+	}
+}
+
+// TestPersistentLineageCorruptSpillRecovery: damaged spill files are dropped
+// and recomputed, never surfaced as errors or wrong results.
+func TestPersistentLineageCorruptSpillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	script := `S = t(X) %*% X
+s = sum(S)`
+	x := matrix.RandUniform(300, 12, -1, 1, 1.0, 23)
+	inputs := map[string]any{"X": x}
+
+	cold := persistEngine(dir)
+	coldRes, _, err := cold.Execute(script, inputs, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// truncate every spill file behind the store's back
+	files, err := filepath.Glob(filepath.Join(dir, "lin_*.bin"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no spill files written (err=%v)", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(f, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := persistEngine(dir)
+	warmRes, stats, err := warm.Execute(script, inputs, []string{"s"})
+	if err != nil {
+		t.Fatalf("corrupt store must not fail execution: %v", err)
+	}
+	if warmRes["s"].(float64) != coldRes["s"].(float64) {
+		t.Errorf("recomputed result differs: %v vs %v", warmRes["s"], coldRes["s"])
+	}
+	if stats.CacheStats.StoreHits != 0 {
+		t.Errorf("corrupt entries must miss: %+v", stats.CacheStats)
+	}
+	if stats.LineageStore.CorruptDropped == 0 {
+		t.Errorf("corruption not detected/cleaned: %+v", stats.LineageStore)
+	}
+}
+
+// TestPersistentLineageCalibrationFeedback: plan records of a run are folded
+// into the calibration and persisted, and the next engine over the same
+// directory starts from the saved state (the machine profile is cached too).
+func TestPersistentLineageCalibrationFeedback(t *testing.T) {
+	dir := t.TempDir()
+	// small budget forces distributed matmults, which record plan estimates
+	// vs actuals
+	mk := func() *Engine {
+		cfg := runtime.DefaultConfig()
+		cfg.PersistentLineageDir = dir
+		cfg.DistEnabled = true
+		cfg.OperatorMemBudget = 16_000
+		cfg.DistBlocksize = 32
+		return NewEngine(cfg)
+	}
+	a := matrix.RandUniform(64, 256, -1, 1, 1.0, 31)
+	b := matrix.RandUniform(256, 32, -1, 1, 1.0, 32)
+	inputs := map[string]any{"A": a, "B": b}
+
+	e := mk()
+	if e.Calibration() == nil {
+		t.Fatal("persistent engine must carry a calibration")
+	}
+	if _, stats, err := e.Execute(`C = A %*% B`, inputs, []string{"C"}); err != nil {
+		t.Fatal(err)
+	} else if len(stats.PlanStats) == 0 {
+		t.Fatal("scenario records no plans; calibration has nothing to learn")
+	}
+	if _, err := os.Stat(filepath.Join(dir, calibrationFile)); err != nil {
+		t.Fatalf("calibration not persisted: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, profileFile)); err != nil {
+		t.Fatalf("machine profile not cached: %v", err)
+	}
+
+	loaded := hops.LoadCalibration(filepath.Join(dir, calibrationFile))
+	if loaded.Len() == 0 {
+		t.Fatal("saved calibration is empty")
+	}
+	// the next "process" starts from the saved history
+	e2 := mk()
+	if e2.Calibration().Len() == 0 {
+		t.Error("second engine did not load the saved calibration")
+	}
+	if !e2.Config().Profile.Measured {
+		t.Error("second engine did not load the cached machine profile")
+	}
+}
+
+// TestPersistentLineageImpliesReuse: the option alone must activate lineage
+// tracing and reuse without further configuration.
+func TestPersistentLineageImpliesReuse(t *testing.T) {
+	cfg := runtime.DefaultConfig()
+	cfg.LineageEnabled = false
+	cfg.ReuseEnabled = false
+	cfg.PersistentLineageDir = t.TempDir()
+	e := NewEngine(cfg)
+	if !cfg.LineageEnabled || !cfg.ReuseEnabled {
+		t.Fatal("persistent lineage must imply tracing and reuse")
+	}
+	x := matrix.RandUniform(200, 10, -1, 1, 1.0, 41)
+	_, stats, err := e.Execute(`S = t(X) %*% X
+s = sum(S)`, map[string]any{"X": x}, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LineageStore.Puts == 0 {
+		t.Errorf("nothing persisted: %+v", stats.LineageStore)
+	}
+}

@@ -1,0 +1,292 @@
+package hops
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+)
+
+// Calibration accumulates per-opcode correction factors from the
+// estimated-vs-actual PlanRecord history: each observation is the ratio
+// actual/estimated output bytes, folded into an exponentially weighted moving
+// average. The planner multiplies its byte estimates by the factor, so an
+// opcode the static model chronically under-prices (e.g. a sparse-input
+// matmult that densifies) drifts its CP↔Dist and strategy crossovers toward
+// reality. Because the corrected estimate is itself what later runs record
+// against, the feedback is self-stabilizing: once corrected estimates match
+// actuals the observed ratio returns to 1.
+type Calibration struct {
+	mu      sync.Mutex
+	factors map[string]*opFactor
+}
+
+// opFactor is the persisted EWMA state for one opcode.
+type opFactor struct {
+	Ratio float64 `json:"ratio"`
+	N     int64   `json:"n"`
+}
+
+const (
+	// calibAlpha is the EWMA smoothing weight for new observations.
+	calibAlpha = 0.25
+	// calibMinObservations gates corrections: with fewer samples the factor
+	// stays 1.0 so a single outlier cannot swing plans.
+	calibMinObservations = 3
+	// observation and factor clamps bound the damage of degenerate records
+	// (zero estimates, empty outputs).
+	calibObserveMin = 1.0 / 64
+	calibObserveMax = 64.0
+	calibFactorMin  = 1.0 / 16
+	calibFactorMax  = 16.0
+)
+
+// NewCalibration returns an empty calibration.
+func NewCalibration() *Calibration {
+	return &Calibration{factors: map[string]*opFactor{}}
+}
+
+// Observe folds one estimated/actual byte pair for an opcode into the model.
+// Non-positive pairs are ignored (nothing to learn from).
+func (c *Calibration) Observe(op string, estBytes, actualBytes int64) {
+	if c == nil || op == "" || estBytes <= 0 || actualBytes <= 0 {
+		return
+	}
+	ratio := float64(actualBytes) / float64(estBytes)
+	if ratio < calibObserveMin {
+		ratio = calibObserveMin
+	} else if ratio > calibObserveMax {
+		ratio = calibObserveMax
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.factors[op]
+	if !ok {
+		c.factors[op] = &opFactor{Ratio: ratio, N: 1}
+		return
+	}
+	f.Ratio = (1-calibAlpha)*f.Ratio + calibAlpha*ratio
+	f.N++
+}
+
+// Factor returns the correction multiplier for an opcode: 1.0 until enough
+// observations have accumulated, then the clamped EWMA ratio.
+func (c *Calibration) Factor(op string) float64 {
+	if c == nil {
+		return 1.0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.factors[op]
+	if !ok || f.N < calibMinObservations {
+		return 1.0
+	}
+	r := f.Ratio
+	if r < calibFactorMin {
+		r = calibFactorMin
+	} else if r > calibFactorMax {
+		r = calibFactorMax
+	}
+	return r
+}
+
+// CorrectBytes applies the opcode's correction factor to a byte estimate.
+func (c *Calibration) CorrectBytes(op string, est int64) int64 {
+	if c == nil || est <= 0 {
+		return est
+	}
+	f := c.Factor(op)
+	if f == 1.0 {
+		return est
+	}
+	corrected := int64(float64(est) * f)
+	if corrected < 1 {
+		corrected = 1
+	}
+	return corrected
+}
+
+// Len returns the number of opcodes with recorded history.
+func (c *Calibration) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.factors)
+}
+
+// calibFile is the on-disk JSON shape: a sorted array, not a map, so the
+// serialization is deterministic.
+type calibFile struct {
+	Version int          `json:"version"`
+	Ops     []calibEntry `json:"ops"`
+}
+
+type calibEntry struct {
+	Op    string  `json:"op"`
+	Ratio float64 `json:"ratio"`
+	N     int64   `json:"n"`
+}
+
+// Save writes the calibration state to path atomically (tmp + rename), with
+// opcodes sorted so repeated saves of identical state are byte-identical.
+func (c *Calibration) Save(path string) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	ops := make([]string, 0, len(c.factors))
+	for op := range c.factors {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	file := calibFile{Version: 1, Ops: make([]calibEntry, 0, len(ops))}
+	for _, op := range ops {
+		f := c.factors[op]
+		file.Ops = append(file.Ops, calibEntry{Op: op, Ratio: f.Ratio, N: f.N})
+	}
+	c.mu.Unlock()
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("hops: calibration save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hops: calibration rename: %w", err)
+	}
+	return nil
+}
+
+// LoadCalibration reads calibration state from path. A missing or corrupt
+// file yields a fresh empty calibration — adaptivity state is a cache, losing
+// it only costs re-learning.
+func LoadCalibration(path string) *Calibration {
+	c := NewCalibration()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var file calibFile
+	if json.Unmarshal(data, &file) != nil || file.Version != 1 {
+		return c
+	}
+	for _, e := range file.Ops {
+		if e.Op == "" || e.Ratio <= 0 || e.N <= 0 {
+			continue
+		}
+		c.factors[e.Op] = &opFactor{Ratio: e.Ratio, N: e.N}
+	}
+	return c
+}
+
+// MachineProfile holds the measured hardware characteristics the cost model
+// uses to price compute vs. data movement in comparable units of seconds.
+// Measured=false means the profile is a placeholder and byte-count scoring
+// should be used unchanged.
+type MachineProfile struct {
+	Measured   bool    `json:"measured"`
+	GFLOPS     float64 `json:"gflops"`
+	MemBWBytes float64 `json:"mem_bw_bytes_per_sec"`
+	DispatchNs float64 `json:"dispatch_ns"`
+}
+
+// MeasureMachineProfile runs the one-time startup micro-benchmark: a small
+// dense GEMM for sustained GFLOPs, a large memcpy for memory bandwidth, and a
+// batch of tiny matmults for per-operation dispatch latency. It takes tens of
+// milliseconds, which is why callers cache the result to disk with
+// LoadOrMeasureProfile.
+func MeasureMachineProfile() MachineProfile {
+	const n = 256
+	a := matrix.NewDense(n, n)
+	b := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64(i+j%7)+0.5)
+			b.Set(i, j, float64(i-j%5)+0.25)
+		}
+	}
+	// best of three: the first iteration pays warm-up (page faults, frequency
+	// ramp), later ones reflect sustained throughput
+	bestGemm := time.Duration(1 << 62)
+	for iter := 0; iter < 3; iter++ {
+		start := time.Now()
+		if _, err := matrix.Multiply(a, b, 1); err != nil {
+			return MachineProfile{}
+		}
+		if d := time.Since(start); d < bestGemm {
+			bestGemm = d
+		}
+	}
+	flops := 2.0 * float64(n) * float64(n) * float64(n)
+	gflops := flops / bestGemm.Seconds() / 1e9
+
+	const bwBytes = 16 << 20
+	src := make([]byte, bwBytes)
+	dst := make([]byte, bwBytes)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	bestCopy := time.Duration(1 << 62)
+	for iter := 0; iter < 3; iter++ {
+		start := time.Now()
+		copy(dst, src)
+		if d := time.Since(start); d < bestCopy {
+			bestCopy = d
+		}
+	}
+	// read + write traffic
+	memBW := 2 * float64(bwBytes) / bestCopy.Seconds()
+
+	tiny1 := matrix.NewDense(8, 8)
+	tiny2 := matrix.NewDense(8, 8)
+	const dispatchIters = 64
+	start := time.Now()
+	for iter := 0; iter < dispatchIters; iter++ {
+		if _, err := matrix.Multiply(tiny1, tiny2, 1); err != nil {
+			return MachineProfile{}
+		}
+	}
+	dispatchNs := float64(time.Since(start).Nanoseconds()) / dispatchIters
+
+	if gflops <= 0 || memBW <= 0 {
+		return MachineProfile{}
+	}
+	return MachineProfile{Measured: true, GFLOPS: gflops, MemBWBytes: memBW, DispatchNs: dispatchNs}
+}
+
+// LoadOrMeasureProfile returns the cached machine profile at path, measuring
+// and caching it on first use. Corrupt or unreadable caches are re-measured.
+func LoadOrMeasureProfile(path string) MachineProfile {
+	if data, err := os.ReadFile(path); err == nil {
+		var p MachineProfile
+		if json.Unmarshal(data, &p) == nil && p.Measured && p.GFLOPS > 0 && p.MemBWBytes > 0 {
+			return p
+		}
+	}
+	p := MeasureMachineProfile()
+	if !p.Measured {
+		return p
+	}
+	if data, err := json.MarshalIndent(p, "", "  "); err == nil {
+		if dir := filepath.Dir(path); dir != "" {
+			os.MkdirAll(dir, 0o755)
+		}
+		tmp := path + ".tmp"
+		if os.WriteFile(tmp, data, 0o644) == nil {
+			if os.Rename(tmp, path) != nil {
+				os.Remove(tmp)
+			}
+		}
+	}
+	return p
+}

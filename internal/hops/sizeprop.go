@@ -85,12 +85,12 @@ func propagate(h *Hop, known map[string]types.DataCharacteristics) {
 		if len(h.Inputs) == 2 {
 			a, b := h.Inputs[0].DC, h.Inputs[1].DC
 			rows, cols := a.Rows, b.Cols
-			h.DC = types.NewDataCharacteristics(rows, cols, a.Blocksize, -1)
+			h.DC = types.NewDataCharacteristics(rows, cols, a.Blocksize, MatMultNNZBound(a, b))
 		}
 	case KindTSMM:
 		if len(h.Inputs) == 1 {
 			in := h.Inputs[0].DC
-			h.DC = types.NewDataCharacteristics(in.Cols, in.Cols, in.Blocksize, -1)
+			h.DC = types.NewDataCharacteristics(in.Cols, in.Cols, in.Blocksize, TSMMNNZBound(in))
 		}
 	case KindMMChain:
 		if len(h.Inputs) >= 2 {

@@ -327,10 +327,10 @@ func lateBoundStrategy(ctx *runtime.Context, l, r runtime.Data) types.MatMultMet
 	rr, rc, rok := matrixDims(r)
 	if lok && rok {
 		bs := ctx.Config.DistBlocksize
-		m, _ := hops.ChooseMatMultStrategy(
+		m, _ := hops.ChooseMatMultStrategyCalibrated(
 			types.NewDataCharacteristics(lr, lc, bs, -1),
 			types.NewDataCharacteristics(rr, rc, bs, -1),
-			bs, ctx.Config.OperatorMemBudget)
+			bs, ctx.Config.OperatorMemBudget, ctx.Config.Calib, ctx.Config.Profile)
 		if m != types.MMAuto {
 			return m
 		}

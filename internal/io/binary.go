@@ -19,15 +19,22 @@ const binaryMagic uint32 = 0x53445342 // "SDSB"
 // row-major block order, each with its own nnz and dense payload. The format
 // corresponds to SystemDS' binary block format used between jobs.
 func WriteMatrixBinary(path string, m *matrix.MatrixBlock, blocksize int) error {
-	if blocksize <= 0 {
-		blocksize = 1024
-	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("io: create %s: %w", path, err)
 	}
 	defer f.Close()
-	w := bufio.NewWriterSize(f, 1<<20)
+	return WriteMatrixBinaryTo(f, m, blocksize)
+}
+
+// WriteMatrixBinaryTo writes the binary blocked format to an arbitrary
+// writer (the persistent lineage store serializes cached intermediates into
+// its spill files with it).
+func WriteMatrixBinaryTo(dst io.Writer, m *matrix.MatrixBlock, blocksize int) error {
+	if blocksize <= 0 {
+		blocksize = 1024
+	}
+	w := bufio.NewWriterSize(dst, 1<<20)
 	header := []uint64{uint64(binaryMagic), 1, uint64(m.Rows()), uint64(m.Cols()), uint64(blocksize)}
 	for _, h := range header {
 		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
@@ -91,7 +98,14 @@ func ReadMatrixBinary(path string) (*matrix.MatrixBlock, error) {
 		return nil, fmt.Errorf("io: open %s: %w", path, err)
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
+	return ReadMatrixBinaryFrom(f, path)
+}
+
+// ReadMatrixBinaryFrom reads the binary blocked format from an arbitrary
+// reader; label names the source in error messages.
+func ReadMatrixBinaryFrom(src io.Reader, label string) (*matrix.MatrixBlock, error) {
+	path := label
+	r := bufio.NewReaderSize(src, 1<<20)
 	header := make([]uint64, 5)
 	for i := range header {
 		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {

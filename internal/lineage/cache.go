@@ -17,7 +17,9 @@ type CacheEntry struct {
 	ComputeNs int64
 }
 
-// CacheStats reports reuse-cache effectiveness.
+// CacheStats reports reuse-cache effectiveness. StoreHits and StorePuts
+// count traffic with the attached persistent backing store: a StoreHit is a
+// full or partial reuse served from a previous run's spill files.
 type CacheStats struct {
 	Hits        int64
 	Misses      int64
@@ -25,11 +27,30 @@ type CacheStats struct {
 	Evictions   int64
 	PartialHits int64
 	BytesCached int64
+	StoreHits   int64
+	StorePuts   int64
+}
+
+// BackingStore persists cache entries across runs and processes. The cache
+// probes it on a memory miss and writes qualifying entries through to it;
+// implementations live above this package (the runtime provides the value
+// codec, the buffer pool the spill files) so the lineage package stays
+// dependency-free. key is the rendered lineage DAG, used to verify the hash.
+type BackingStore interface {
+	// Lookup returns the persisted value stored under the lineage hash, or
+	// ok=false (a corrupt or missing entry is a miss, never an error).
+	Lookup(hash uint64, key string) (value any, sizeBytes, computeNs int64, ok bool)
+	// Persist stores a value under the lineage hash, returning whether the
+	// value was persistable (encodable and within the store budget).
+	Persist(hash uint64, key string, value any, sizeBytes, computeNs int64) bool
 }
 
 // Cache is the lineage-based reuse cache: intermediates are identified by the
-// hash of their lineage DAG and evicted in LRU order under a byte budget
+// hash of their lineage DAG and evicted under a byte budget by a cost-benefit
+// score — compute time saved per byte retained — with LRU order breaking ties
 // (Section 3.1: reuse of intermediates inspired by recycling in MonetDB).
+// With an attached BackingStore the cache spans runs: misses fall through to
+// the store and inserts are written through to it.
 type Cache struct {
 	mu       sync.Mutex
 	budget   int64
@@ -38,6 +59,7 @@ type Cache struct {
 	lru      *list.List // of *CacheEntry, front = most recently used
 	stats    CacheStats
 	disabled bool
+	store    BackingStore
 }
 
 // NewCache creates a reuse cache with the given byte budget. A budget of 0
@@ -54,46 +76,82 @@ func NewCache(budgetBytes int64) *Cache {
 // Enabled reports whether the cache accepts entries.
 func (c *Cache) Enabled() bool { return c != nil && !c.disabled }
 
+// SetStore attaches a persistent backing store: subsequent misses probe it
+// and subsequent inserts write through to it.
+func (c *Cache) SetStore(s BackingStore) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
 // Get probes the cache for an intermediate with the given lineage. It
-// verifies full structural equality to guard against hash collisions.
+// verifies full structural equality to guard against hash collisions. On a
+// memory miss it falls through to the attached backing store, reloading the
+// persisted value of a previous run lazily.
 func (c *Cache) Get(item *Item) (any, bool) {
 	if !c.Enabled() {
 		return nil, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[item.Hash()]
-	if !ok {
-		c.stats.Misses++
-		return nil, false
+	if el, ok := c.entries[item.Hash()]; ok {
+		entry := el.Value.(*CacheEntry)
+		if entry.Item.Equals(item) {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			c.mu.Unlock()
+			if os.Getenv("SYSDS_DEBUG_CACHE") != "" {
+				fmt.Printf("CACHE HIT: %s\n", item.String())
+			}
+			return entry.Value, true
+		}
 	}
-	entry := el.Value.(*CacheEntry)
-	if !entry.Item.Equals(item) {
-		c.stats.Misses++
-		return nil, false
+	store := c.store
+	c.mu.Unlock()
+	// disk probe outside the lock: concurrent operators of the inter-op
+	// scheduler must not serialize on file reads
+	if store != nil {
+		if v, sizeBytes, computeNs, ok := store.Lookup(item.Hash(), item.String()); ok {
+			c.insert(item, v, sizeBytes, computeNs, false)
+			c.mu.Lock()
+			c.stats.Hits++
+			c.stats.StoreHits++
+			c.mu.Unlock()
+			if os.Getenv("SYSDS_DEBUG_CACHE") != "" {
+				fmt.Printf("CACHE STORE HIT: %s\n", item.String())
+			}
+			return v, true
+		}
 	}
-	c.lru.MoveToFront(el)
-	c.stats.Hits++
-	if os.Getenv("SYSDS_DEBUG_CACHE") != "" {
-		fmt.Printf("CACHE HIT: %s\n", item.String())
-	}
-	return entry.Value, true
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
 }
 
-// Put inserts an intermediate, evicting least-recently-used entries if the
-// budget would be exceeded. Values larger than the whole budget are not
+// Put inserts an intermediate, evicting the lowest-benefit entries if the
+// budget would be exceeded, and writes the entry through to the backing
+// store when one is attached. Values larger than the whole budget are not
 // cached.
 func (c *Cache) Put(item *Item, value any, sizeBytes, computeNs int64) {
+	c.insert(item, value, sizeBytes, computeNs, true)
+}
+
+// insert is the shared insertion path of Put and store reloads; persist
+// selects write-through (store reloads skip it — their file already exists).
+func (c *Cache) insert(item *Item, value any, sizeBytes, computeNs int64, persist bool) {
 	if !c.Enabled() || sizeBytes > c.budget {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, exists := c.entries[item.Hash()]; exists {
 		entry := el.Value.(*CacheEntry)
 		if entry.Item.Equals(item) {
 			// same intermediate: refresh its LRU position
 			c.lru.MoveToFront(el)
+			c.mu.Unlock()
 			return
 		}
 		// hash collision: replace the old entry, otherwise the colliding item
@@ -104,7 +162,7 @@ func (c *Cache) Put(item *Item, value any, sizeBytes, computeNs int64) {
 		c.stats.Evictions++
 	}
 	for c.used+sizeBytes > c.budget && c.lru.Len() > 0 {
-		c.evictLRULocked()
+		c.evictMinBenefitLocked()
 	}
 	entry := &CacheEntry{Item: item, Value: value, SizeBytes: sizeBytes, ComputeNs: computeNs}
 	el := c.lru.PushFront(entry)
@@ -112,15 +170,44 @@ func (c *Cache) Put(item *Item, value any, sizeBytes, computeNs int64) {
 	c.used += sizeBytes
 	c.stats.Puts++
 	c.stats.BytesCached = c.used
+	store := c.store
+	c.mu.Unlock()
+	// write-through outside the lock, for the same reason Get probes
+	// outside it
+	if persist && store != nil {
+		if store.Persist(item.Hash(), item.String(), value, sizeBytes, computeNs) {
+			c.mu.Lock()
+			c.stats.StorePuts++
+			c.mu.Unlock()
+		}
+	}
 }
 
-func (c *Cache) evictLRULocked() {
-	el := c.lru.Back()
-	if el == nil {
+// evictMinBenefitLocked implements cost-benefit eviction: the victim is the
+// entry with the lowest score of compute nanoseconds saved per byte retained,
+// so an expensive small intermediate outlives a cheap large one regardless of
+// recency. Walking the LRU list back-to-front with a strict less-than keeps
+// the least recently used among equally-scored entries as the victim, which
+// degrades to plain LRU when scores tie (e.g. all zero).
+func (c *Cache) evictMinBenefitLocked() {
+	var victim *list.Element
+	var victimScore float64
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		entry := el.Value.(*CacheEntry)
+		size := entry.SizeBytes
+		if size < 1 {
+			size = 1
+		}
+		score := float64(entry.ComputeNs) / float64(size)
+		if victim == nil || score < victimScore {
+			victim, victimScore = el, score
+		}
+	}
+	if victim == nil {
 		return
 	}
-	entry := el.Value.(*CacheEntry)
-	c.lru.Remove(el)
+	entry := victim.Value.(*CacheEntry)
+	c.lru.Remove(victim)
 	delete(c.entries, entry.Item.Hash())
 	c.used -= entry.SizeBytes
 	c.stats.Evictions++

@@ -10,6 +10,7 @@ import (
 	"github.com/systemds/systemds-go/internal/bufferpool"
 	"github.com/systemds/systemds-go/internal/compress"
 	"github.com/systemds/systemds-go/internal/dist"
+	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
 	"github.com/systemds/systemds-go/internal/types"
@@ -59,6 +60,21 @@ type Config struct {
 	UseBLAS bool
 	// TempDir is the spill directory of the buffer pool.
 	TempDir string
+	// PersistentLineageDir, when non-empty, roots the cross-run persistent
+	// lineage store: reuse-cache entries are written through to spill files
+	// there and later processes reload them instead of recomputing. Implies
+	// lineage tracing and reuse.
+	PersistentLineageDir string
+	// PersistentLineageBudget is the payload byte budget of the persistent
+	// lineage store (0 = default).
+	PersistentLineageBudget int64
+	// Calib holds the per-opcode cost corrections learned from the
+	// estimated-vs-actual plan history; consulted by the compiler's planner
+	// and the runtime's late-bound strategy selection. Nil = uncalibrated.
+	Calib *hops.Calibration
+	// Profile is the measured machine profile used to price strategies in
+	// seconds; the zero value keeps byte-count scoring.
+	Profile hops.MachineProfile
 }
 
 // DefaultConfig returns a local-execution configuration with lineage tracing
@@ -140,7 +156,7 @@ func NewContext(cfg *Config) *Context {
 		plans:      &planRecorder{},
 		compressed: &compressCounters{},
 	}
-	if cfg.ReuseEnabled {
+	if cfg.ReuseEnabled || cfg.PersistentLineageDir != "" {
 		ctx.Cache = lineage.NewCache(cfg.CacheBudget)
 	} else {
 		ctx.Cache = lineage.NewCache(0)

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/systemds/systemds-go/internal/bufferpool"
 	"github.com/systemds/systemds-go/internal/core"
 	"github.com/systemds/systemds-go/internal/fed"
 	"github.com/systemds/systemds-go/internal/frame"
@@ -52,6 +53,10 @@ type FederatedRange = fed.Range
 
 // CacheStats reports reuse-cache effectiveness (hits, misses, partial reuse).
 type CacheStats = lineage.CacheStats
+
+// LineageStoreStats reports persistent lineage-store activity (files, bytes,
+// hits, evictions, corrupt files dropped).
+type LineageStoreStats = bufferpool.FileStoreStats
 
 // Option configures a Context.
 type Option func(*runtime.Config)
@@ -147,6 +152,29 @@ func WithTempDir(dir string) Option {
 	return func(c *runtime.Config) { c.TempDir = dir }
 }
 
+// WithPersistentLineage enables cross-run lineage reuse rooted at dir:
+// reuse-cache entries are written through to spill files there, later
+// sessions (including separate processes) pointed at the same directory
+// reload them instead of recomputing, and the cost-model calibration learned
+// from each run's estimated-vs-actual plan records is persisted alongside.
+// Implies lineage tracing and reuse.
+func WithPersistentLineage(dir string) Option {
+	return func(c *runtime.Config) {
+		c.PersistentLineageDir = dir
+		if dir != "" {
+			c.LineageEnabled = true
+			c.ReuseEnabled = true
+		}
+	}
+}
+
+// WithPersistentLineageBudget sets the payload byte budget of the persistent
+// lineage store (default 4 GB); the lowest-benefit entries (compute time
+// saved per byte retained) are evicted first.
+func WithPersistentLineageBudget(bytes int64) Option {
+	return func(c *runtime.Config) { c.PersistentLineageBudget = bytes }
+}
+
 // Context is a SystemDS-Go session: it owns the compiler configuration, the
 // builtin registry and the session-wide reuse cache.
 type Context struct {
@@ -176,6 +204,10 @@ func (c *Context) Builtins() []string { return c.engine.Registry().Names() }
 
 // CacheStats returns the session reuse-cache statistics.
 func (c *Context) CacheStats() CacheStats { return c.engine.CacheStats() }
+
+// LineageStoreStats returns the persistent lineage-store statistics (the zero
+// value when WithPersistentLineage is not configured).
+func (c *Context) LineageStoreStats() LineageStoreStats { return c.engine.LineageStoreStats() }
 
 // ClearCache drops all reuse-cache entries.
 func (c *Context) ClearCache() { c.engine.ClearCache() }
