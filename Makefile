@@ -1,7 +1,7 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: all build vet lint test race bench bench-all
+.PHONY: all build vet lint test race bench bench-all trace-check
 
 all: lint build test
 
@@ -32,6 +32,17 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -run TestCompressedLmLoopDeterminism -count=2 ./internal/core/
 	$(GO) test -race -bench 'KernelGEMMTiled512|KernelMultiplyAccTiled|CompressedTSMM$$|CompressedMMDense$$|CompressedDistMV' -benchtime=1x -run '^$$' .
+
+# Observability acceptance gate: run the traced lm-loop scenario end to end
+# (distributed backend forced by a small memory budget, compression site
+# planted) with -trace and -stats, then validate the exported Chrome trace —
+# well-formed JSON, resolvable parents, strict per-lane nesting, instruction
+# spans covering >= 90% of the run span — and reconcile the heavy-hitter
+# footer against the trace within 20%.
+trace-check:
+	$(GO) run ./cmd/sysds -f scripts/lm_trace.dml -compress -distributed -mem-budget 65536 \
+		-trace /tmp/sysds-trace.json -stats -print s > /tmp/sysds-stats.txt
+	$(GO) run ./cmd/tracecheck -trace /tmp/sysds-trace.json -stats /tmp/sysds-stats.txt
 
 # Compressed-vs-dense MV/TSMM/matrix-RHS kernels (plus the partitioned dist
 # executor), planner-vs-forced matmult strategies, fused-vs-unfused,

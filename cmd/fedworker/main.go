@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -32,8 +34,9 @@ func (m *multiFlag) Set(v string) error {
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7077", "address to listen on")
-		data multiFlag
+		addr      = flag.String("addr", "127.0.0.1:7077", "address to listen on")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (e.g. 127.0.0.1:6060; off when empty)")
+		data      multiFlag
 	)
 	flag.Var(&data, "data", "preload a worker variable from CSV: name=file.csv (repeatable)")
 	flag.Parse()
@@ -51,6 +54,15 @@ func main() {
 		}
 		worker.PutLocal(name, m)
 		logger.Printf("loaded %s (%dx%d) from %s", name, m.Rows(), m.Cols(), file)
+	}
+	if *debugAddr != "" {
+		dbg := *debugAddr
+		go func() {
+			// DefaultServeMux carries the pprof handlers from the blank import
+			err := http.ListenAndServe(dbg, nil)
+			logger.Printf("debug listener %s stopped: %v", dbg, err)
+		}()
+		logger.Printf("pprof endpoints on http://%s/debug/pprof/", dbg)
 	}
 	bound, err := worker.Serve(*addr)
 	if err != nil {

@@ -15,6 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -45,7 +48,10 @@ func main() {
 		distributed = flag.Bool("distributed", false, "enable the blocked distributed backend for large operations")
 		compression = flag.Bool("compress", false, "enable compressed linear algebra for loop-reused operands")
 		memBudget   = flag.Int64("mem-budget", 0, "per-operator memory budget in bytes for CP-vs-distributed selection (0 = default)")
-		explainErr  = flag.Bool("stats", false, "print reuse-cache statistics after execution")
+		printStats  = flag.Bool("stats", false, "print execution statistics and the per-opcode heavy-hitter table after execution")
+		tracePath   = flag.String("trace", "", "write the run as Chrome trace-event JSON to this file (view in Perfetto)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Var(&inputs, "input", "bind a script input: name=file.csv or name=scalar (repeatable)")
 	flag.Var(&outputs, "output", "write a script output to CSV: name=file.csv (repeatable)")
@@ -64,6 +70,9 @@ func main() {
 		systemds.WithBLAS(*useBLAS),
 		systemds.WithDistributedBackend(*distributed),
 		systemds.WithCompression(*compression),
+		// the heavy-hitter table and the trace export both come from the span
+		// tracer, so either flag turns it on
+		systemds.WithTracing(*printStats || *tracePath != ""),
 	}
 	if *persistDir != "" {
 		opts = append(opts, systemds.WithPersistentLineage(*persistDir))
@@ -75,6 +84,30 @@ func main() {
 		opts = append(opts, systemds.WithLineage(false))
 	}
 	ctx := systemds.NewContext(opts...)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("create cpu profile %s: %v", *cpuProfile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("start cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("create heap profile %s: %v", *memProfile, err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("write heap profile: %v", err)
+			}
+		}()
+	}
 
 	boundInputs := map[string]any{}
 	for _, in := range inputs {
@@ -114,14 +147,67 @@ func main() {
 	for _, name := range prints {
 		fmt.Printf("%s = %v\n", name, results[name])
 	}
-	if *explainErr {
-		stats := ctx.CacheStats()
-		fmt.Printf("reuse cache: hits=%d misses=%d partial=%d puts=%d evictions=%d\n",
-			stats.Hits, stats.Misses, stats.PartialHits, stats.Puts, stats.Evictions)
-		if *persistDir != "" {
-			ls := ctx.LineageStoreStats()
-			fmt.Printf("lineage store: files=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d corrupt=%d\n",
-				ls.Files, ls.Bytes, ls.Hits, ls.Misses, ls.Puts, ls.Evictions, ls.CorruptDropped)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("create trace %s: %v", *tracePath, err)
+		}
+		if err := ctx.WriteTrace(f); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close trace %s: %v", *tracePath, err)
+		}
+	}
+	if *printStats {
+		printExecStats(ctx, *persistDir != "")
+	}
+}
+
+// printExecStats renders the full execution-statistics picture of the run:
+// reuse cache, buffer pool, distributed backend, fused operators, compression
+// and persistent lineage store counters, followed by the per-opcode
+// heavy-hitter table from the span tracer.
+func printExecStats(ctx *systemds.Context, persist bool) {
+	cs := ctx.CacheStats()
+	fmt.Printf("reuse cache: hits=%d misses=%d partial=%d puts=%d evictions=%d\n",
+		cs.Hits, cs.Misses, cs.PartialHits, cs.Puts, cs.Evictions)
+	stats := ctx.LastRunStats()
+	if stats != nil {
+		fmt.Printf("buffer pool: evictions=%d restores=%d spilt=%dB blocksRestored=%d blocksSkipped=%d\n",
+			stats.PoolStats.Evictions, stats.PoolStats.Restores, stats.PoolStats.BytesSpilt,
+			stats.PoolStats.BlocksRestored, stats.PoolStats.BlocksSkipped)
+		fmt.Printf("distributed: partitions=%d collects=%d blockedOps=%d\n",
+			stats.DistStats.Partitions, stats.DistStats.Collects, stats.DistStats.BlockedOps)
+		fmt.Printf("fused ops: mmchain=%d cellwiseAgg=%d\n",
+			stats.FusedStats.MMChainOps, stats.FusedStats.FusedAggOps)
+		co := stats.CompressStats
+		fmt.Printf("compression: compressed=%d rejected=%d compressedOps=%d decompressions=%d bytes=%d->%d\n",
+			co.Compressions, co.Rejected, co.CompressedOps, co.Decompressions,
+			co.BytesUncompressed, co.BytesCompressed)
+		if len(co.DecompressionsByOp) > 0 {
+			ops := make([]string, 0, len(co.DecompressionsByOp))
+			for op := range co.DecompressionsByOp {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			parts := make([]string, len(ops))
+			for i, op := range ops {
+				parts[i] = fmt.Sprintf("%s=%d", op, co.DecompressionsByOp[op])
+			}
+			fmt.Printf("decompressions by op: %s\n", strings.Join(parts, " "))
+		}
+		fmt.Printf("plan records: %d (dropped=%d)\n", len(stats.PlanStats), stats.PlanRecordsDropped)
+	}
+	if persist {
+		ls := ctx.LineageStoreStats()
+		fmt.Printf("lineage store: files=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d corrupt=%d\n",
+			ls.Files, ls.Bytes, ls.Hits, ls.Misses, ls.Puts, ls.Evictions, ls.CorruptDropped)
+	}
+	if recs := ctx.Trace(); len(recs) > 0 {
+		fmt.Print(systemds.FormatHeavyHitters(recs, 15))
+		if stats != nil && stats.TraceDropped > 0 {
+			fmt.Printf("trace spans dropped after record cap: %d\n", stats.TraceDropped)
 		}
 	}
 }

@@ -1,0 +1,239 @@
+// Command tracecheck validates the observability output of a traced sysds
+// run (the CI gate behind `make trace-check`): the -trace export must be
+// well-formed Chrome trace-event JSON with resolvable parents and strict
+// per-lane nesting, instruction spans must cover at least -min-coverage of
+// the run span, and when a captured -stats report is given its heavy-hitter
+// footer must reconcile with the trace within -tolerance.
+//
+// Usage:
+//
+//	sysds -f script.dml -trace run.json -stats > stats.txt
+//	tracecheck -trace run.json -stats stats.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is one Chrome trace-event entry; only "X" complete events carry
+// span payloads, "M" metadata events name the process and lanes.
+type event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		ID     uint64 `json:"id"`
+		Parent uint64 `json:"parent"`
+		Bytes  int64  `json:"bytes"`
+	} `json:"args"`
+}
+
+func main() {
+	var (
+		tracePath   = flag.String("trace", "", "Chrome trace-event JSON file to validate (required)")
+		statsPath   = flag.String("stats", "", "captured -stats output to reconcile against the trace (optional)")
+		minCoverage = flag.Float64("min-coverage", 0.9, "minimum fraction of the run span that instruction spans must cover")
+		tolerance   = flag.Float64("tolerance", 0.2, "relative tolerance for stats-vs-trace time reconciliation")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: -trace <file.json> is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spans, err := loadTrace(*tracePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := checkParents(spans); err != nil {
+		fatalf("%v", err)
+	}
+	if err := checkNesting(spans); err != nil {
+		fatalf("%v", err)
+	}
+	runMs, instrMs, err := checkCoverage(spans, *minCoverage)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *statsPath != "" {
+		if err := reconcileStats(*statsPath, runMs, *tolerance); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Printf("tracecheck: OK — %d spans, run %.3f ms, instruction coverage %.1f%%\n",
+		len(spans), runMs, 100*instrMs/runMs)
+}
+
+// loadTrace parses the export and returns its complete ("X") events.
+func loadTrace(path string) ([]event, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read trace: %w", err)
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("trace is not valid Chrome trace-event JSON: %w", err)
+	}
+	var spans []event
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("trace %s contains no complete (ph=X) events", path)
+	}
+	return spans, nil
+}
+
+// checkParents verifies every parent reference resolves to a span in the
+// trace (0 marks a root).
+func checkParents(spans []event) error {
+	ids := map[uint64]bool{}
+	for _, e := range spans {
+		ids[e.Args.ID] = true
+	}
+	for _, e := range spans {
+		if e.Args.Parent != 0 && !ids[e.Args.Parent] {
+			return fmt.Errorf("span %q (id %d) references missing parent %d", e.Name, e.Args.ID, e.Args.Parent)
+		}
+	}
+	return nil
+}
+
+// checkNesting replays each lane's events against a stack: Perfetto renders
+// one lane per tid and requires the events within it to nest strictly.
+func checkNesting(spans []event) error {
+	byLane := map[int][]event{}
+	for _, e := range spans {
+		byLane[e.Tid] = append(byLane[e.Tid], e)
+	}
+	// epsilon absorbs the microsecond rounding of the export
+	const eps = 1e-3
+	for lane, evs := range byLane {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Ts != evs[j].Ts {
+				return evs[i].Ts < evs[j].Ts
+			}
+			return evs[i].Dur > evs[j].Dur
+		})
+		var stack []event
+		for _, e := range evs {
+			for len(stack) > 0 && stack[len(stack)-1].Ts+stack[len(stack)-1].Dur <= e.Ts+eps {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if e.Ts+e.Dur > top.Ts+top.Dur+eps {
+					return fmt.Errorf("lane %d: span %q [%f, %f] overlaps %q [%f, %f] without nesting",
+						lane, e.Name, e.Ts, e.Ts+e.Dur, top.Name, top.Ts, top.Ts+top.Dur)
+				}
+			}
+			stack = append(stack, e)
+		}
+	}
+	return nil
+}
+
+// checkCoverage locates the run span and requires the summed instruction
+// span time to cover at least minCoverage of it.
+func checkCoverage(spans []event, minCoverage float64) (runMs, instrMs float64, err error) {
+	runs := 0
+	for _, e := range spans {
+		switch e.Cat {
+		case "run":
+			runs++
+			runMs = e.Dur / 1e3
+		case "instr":
+			instrMs += e.Dur / 1e3
+		}
+	}
+	if runs != 1 {
+		return 0, 0, fmt.Errorf("trace has %d run spans, want exactly 1", runs)
+	}
+	if runMs <= 0 {
+		return 0, 0, fmt.Errorf("run span has non-positive duration %f ms", runMs)
+	}
+	if coverage := instrMs / runMs; coverage < minCoverage {
+		return 0, 0, fmt.Errorf("instruction spans cover %.1f%% of the run, want >= %.1f%%",
+			100*coverage, 100*minCoverage)
+	}
+	return runMs, instrMs, nil
+}
+
+// reconcileStats parses the heavy-hitter footer of a captured -stats report
+// and checks it against the trace: the reported run wall time must match the
+// trace's run span, and the total instruction time must account for the run
+// within the tolerance.
+func reconcileStats(path string, traceRunMs, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read stats: %w", err)
+	}
+	statsRun, err := footerValue(string(raw), "run wall time:")
+	if err != nil {
+		return err
+	}
+	statsInstr, err := footerValue(string(raw), "total instruction time:")
+	if err != nil {
+		return err
+	}
+	if rel := relDiff(statsRun, traceRunMs); rel > tolerance {
+		return fmt.Errorf("stats run wall time %.3f ms differs from trace run span %.3f ms by %.1f%% (tolerance %.0f%%)",
+			statsRun, traceRunMs, 100*rel, 100*tolerance)
+	}
+	if rel := relDiff(statsInstr, statsRun); rel > tolerance {
+		return fmt.Errorf("total instruction time %.3f ms does not reconcile with run wall time %.3f ms: off by %.1f%% (tolerance %.0f%%)",
+			statsInstr, statsRun, 100*rel, 100*tolerance)
+	}
+	return nil
+}
+
+// footerValue extracts the leading float after a labeled stats line, e.g.
+// "run wall time: 12.345 ms" -> 12.345.
+func footerValue(report, label string) (float64, error) {
+	for _, line := range strings.Split(report, "\n") {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), label)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return 0, fmt.Errorf("stats line %q carries no value", line)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return 0, fmt.Errorf("stats line %q: %w", line, err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("stats report has no %q line (was the run traced?)", label)
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	d := (a - b) / b
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

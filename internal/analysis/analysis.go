@@ -84,6 +84,7 @@ func Analyzers() []*Analyzer {
 		ThreadPlumbAnalyzer,
 		LayeringAnalyzer,
 		GoroutineErrAnalyzer,
+		SpanEndAnalyzer,
 	}
 }
 

@@ -29,6 +29,10 @@ func TestGoroutineErr(t *testing.T) {
 	runTestdata(t, []*Analyzer{GoroutineErrAnalyzer}, suite("goroutineerr"))
 }
 
+func TestSpanEnd(t *testing.T) {
+	runTestdata(t, []*Analyzer{SpanEndAnalyzer}, suite("spanend"))
+}
+
 // TestSuppressDirectives checks the //sysds:ok pipeline programmatically: a
 // want comment cannot share a line with a directive (it would be parsed as
 // the directive's reason), so the expectations live here instead.

@@ -76,8 +76,9 @@ var innerPoolPkgs = map[string]bool{
 // runtime package can grow a dependency on the linter.
 var layerRank = map[string]int{
 	"types":        0,
+	"obs":          0,
 	"lang":         1,
-	"bufferpool":   0,
+	"bufferpool":   1,
 	"lineage":      0,
 	"builtins":     0,
 	"matrix":       1,

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanEndAnalyzer enforces the tracer's pairing contract: every span opened
+// with an obs Begin call must be ended with End or EndBytes on every path, or
+// a leaked span skews the heavy-hitter table and breaks trace nesting. Three
+// shapes are flagged:
+//
+//   - the Begin result is discarded (an expression statement or a blank
+//     assignment): the span can never be ended;
+//   - a span variable with no End/EndBytes call anywhere in its function
+//     (deferred closures included);
+//   - a return statement between the Begin and the span's first End with no
+//     deferred End in force: that path leaks the open span.
+//
+// The sanctioned patterns all avoid these shapes: `defer sp.End()` right
+// after Begin, or an explicit `sp.End()` on the error path textually before
+// its return. Spans that escape the function (returned, passed as arguments,
+// stored in fields) are the callee's or owner's responsibility and are not
+// tracked.
+var SpanEndAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc: "flags obs spans that are never ended: discarded Begin results, span " +
+		"variables without End/EndBytes, and returns that leak an open span",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkSpanScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanVar is one span-typed local bound from a Begin call in the scope under
+// analysis.
+type spanVar struct {
+	obj  types.Object
+	name string
+	call *ast.CallExpr
+}
+
+// checkSpanScope checks one function body. Begin calls and returns belong to
+// the body's own statements — nested function literals are separate scopes
+// visited by the outer walk — but End calls are searched through nested
+// literals too, so the `defer func() { sp.End() }()` pattern counts.
+func checkSpanScope(pass *Pass, body *ast.BlockStmt) {
+	var vars []*spanVar
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested scope, checked separately
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanBegin(pass, call) {
+			return true
+		}
+		if v := classifyBegin(pass, call, stack); v != nil {
+			vars = append(vars, v)
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+	ends := collectSpanEnds(pass, body)
+	rets := collectScopeReturns(body)
+	for _, v := range vars {
+		checkSpanVar(pass, v, ends[v.obj], rets)
+	}
+}
+
+// classifyBegin inspects the syntactic context of one Begin call: discarded
+// results are reported immediately, simple local bindings are returned for
+// path checking, and everything else (returned, passed on, stored away)
+// escapes the scope's responsibility.
+func classifyBegin(pass *Pass, call *ast.CallExpr, stack []ast.Node) *spanVar {
+	if len(stack) < 2 {
+		return nil
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of %s is discarded: the span can never be ended", calleeName(call))
+		return nil
+	case *ast.AssignStmt:
+		return classifyAssigned(pass, call, parent.Lhs, parent.Rhs)
+	case *ast.ValueSpec:
+		lhs := make([]ast.Expr, len(parent.Names))
+		for i, id := range parent.Names {
+			lhs[i] = id
+		}
+		return classifyAssigned(pass, call, lhs, parent.Values)
+	default:
+		return nil
+	}
+}
+
+// classifyAssigned resolves which binding target receives the Begin result.
+func classifyAssigned(pass *Pass, call *ast.CallExpr, lhs, rhs []ast.Expr) *spanVar {
+	if len(lhs) != len(rhs) {
+		return nil // Begin returns one value, so positions must align
+	}
+	for i, r := range rhs {
+		if r != ast.Expr(call) {
+			continue
+		}
+		id, ok := lhs[i].(*ast.Ident)
+		if !ok {
+			return nil // a field or index target owns the span now
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "result of %s is discarded: the span can never be ended", calleeName(call))
+			return nil
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return nil
+		}
+		return &spanVar{obj: obj, name: id.Name, call: call}
+	}
+	return nil
+}
+
+// spanEnd is one End/EndBytes call on a tracked span variable. Deferred ends
+// (directly or through a deferred closure) cover every return after their
+// defer statement; plain ends cover returns they textually precede.
+type spanEnd struct {
+	pos      token.Pos
+	deferred bool
+}
+
+// collectSpanEnds finds every End/EndBytes method call on a local identifier
+// in the body, nested function literals included, keyed by the receiver's
+// object. Calls under a defer statement — `defer sp.End()` or ends inside a
+// deferred closure — are marked deferred at the defer's position.
+func collectSpanEnds(pass *Pass, body *ast.BlockStmt) map[types.Object][]spanEnd {
+	ends := map[types.Object][]spanEnd{}
+	record := func(n ast.Node, deferred bool, at token.Pos) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndBytes") {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return false
+		}
+		ends[obj] = append(ends[obj], spanEnd{pos: at, deferred: deferred})
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if record(d.Call, true, d.Pos()) {
+				return false
+			}
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if m != nil {
+						record(m, true, d.Pos())
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		}
+		record(n, false, n.Pos())
+		return true
+	})
+	return ends
+}
+
+// collectScopeReturns gathers the return statements of the body's own scope,
+// skipping nested function literals (their returns leave the literal, not the
+// function holding the span).
+func collectScopeReturns(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var rets []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			rets = append(rets, r)
+		}
+		return true
+	})
+	return rets
+}
+
+// checkSpanVar applies the never-ended and return-leak rules to one tracked
+// span variable.
+func checkSpanVar(pass *Pass, v *spanVar, ends []spanEnd, rets []*ast.ReturnStmt) {
+	if len(ends) == 0 {
+		pass.Reportf(v.call.Pos(),
+			"span %s is never ended: call %s.End or %s.EndBytes on every path (usually `defer %s.End()`)",
+			v.name, v.name, v.name, v.name)
+		return
+	}
+	begin := v.call.Pos()
+	for _, r := range rets {
+		if r.Pos() <= begin {
+			continue
+		}
+		covered := false
+		for _, e := range ends {
+			if e.deferred && e.pos < r.Pos() {
+				covered = true
+				break
+			}
+			if !e.deferred && e.pos > begin && e.pos < r.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(r.Pos(),
+				"return leaks span %s: no End/EndBytes between the Begin and this return and no deferred End in force",
+				v.name)
+		}
+	}
+}
+
+// isSpanBegin reports whether a call opens an obs span: the callee name
+// starts with "Begin" and the result is the obs package's Span type. The name
+// prefix keeps accessors that merely return a stored Span out of scope.
+func isSpanBegin(pass *Pass, call *ast.CallExpr) bool {
+	if !strings.HasPrefix(calleeMethod(call), "Begin") {
+		return false
+	}
+	named, ok := pass.TypesInfo.TypeOf(call).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && internalName(obj.Pkg().Path()) == "obs"
+}
+
+// calleeMethod returns the bare function or method name of a call.
+func calleeMethod(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

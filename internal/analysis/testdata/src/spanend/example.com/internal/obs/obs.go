@@ -1,0 +1,24 @@
+// Package obs is a minimal stub of the tracer API for spanend testdata: the
+// analyzer keys on Begin-prefixed callees returning this package's Span type.
+package obs
+
+// Tracer is a stub of the span tracer.
+type Tracer struct{}
+
+// Span is a stub of an open span handle.
+type Span struct{ id uint64 }
+
+// Begin opens a span on the default tracer.
+func Begin(cat, name string) Span { return Span{id: 1} }
+
+// BeginChild opens a span under an explicit parent.
+func BeginChild(parent Span, cat, name string) Span { return Span{id: 2} }
+
+// Begin opens a span on this tracer.
+func (t *Tracer) Begin(cat, name string) Span { return Span{id: 3} }
+
+// End closes the span.
+func (s Span) End() {}
+
+// EndBytes closes the span recording bytes moved.
+func (s Span) EndBytes(n int64) {}

@@ -1,0 +1,114 @@
+// Package runtime exercises spanend: leaked spans fire, every sanctioned
+// Begin/End pairing stays quiet.
+package runtime
+
+import (
+	"errors"
+
+	"example.com/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+func fail() bool { return true }
+
+func work() {}
+
+// fire: the expression statement discards the span outright.
+func Discarded() {
+	obs.Begin("instr", "ba+*") // want "result of obs.Begin is discarded"
+	work()
+}
+
+// fire: a blank assignment is the same discard, written out.
+func BlankAssigned() {
+	_ = obs.Begin("instr", "ba+*") // want "result of obs.Begin is discarded"
+	work()
+}
+
+// fire: the span variable is bound but never ended anywhere.
+func NeverEnded() {
+	sp := obs.Begin("pool", "spill") // want "span sp is never ended"
+	work()
+	_ = sp
+}
+
+// fire: the error path returns with the span still open.
+func LeakOnError() error {
+	sp := obs.Begin("pool", "restore")
+	if fail() {
+		return errBoom // want "return leaks span sp"
+	}
+	sp.End()
+	return nil
+}
+
+// fire: a span opened inside a goroutine body is its own scope.
+func LeakInGoroutine(done chan struct{}) {
+	go func() {
+		sp := obs.Begin("dist", "task") // want "span sp is never ended"
+		work()
+		_ = sp
+		done <- struct{}{}
+	}()
+}
+
+// no fire: the deferred End covers every return.
+func DeferredEnd() error {
+	sp := obs.Begin("compress", "encode")
+	defer sp.End()
+	if fail() {
+		return errBoom
+	}
+	return nil
+}
+
+// no fire: a deferred closure ending the span counts the same.
+func DeferredClosureEnd(bytes *int64) error {
+	sp := obs.Begin("compress", "encode")
+	defer func() { sp.EndBytes(*bytes) }()
+	if fail() {
+		return errBoom
+	}
+	return nil
+}
+
+// no fire: the error path ends the span before returning, the success path
+// ends it with the byte count.
+func EndBothPaths() error {
+	sp := obs.Begin("lineage", "put")
+	if fail() {
+		sp.End()
+		return errBoom
+	}
+	sp.EndBytes(64)
+	return nil
+}
+
+// no fire: a returned span escapes to the caller, which owns ending it.
+func OpenSpan() obs.Span {
+	return obs.Begin("rpc", "call")
+}
+
+// no fire: chaining End onto Begin never binds an unended span.
+func ChainedEnd() {
+	obs.Begin("instr", "noop").End()
+}
+
+// no fire: tracer-method Begins follow the same contract.
+func TracerMethod(tr *obs.Tracer) {
+	sp := tr.Begin("fed", "worker:exec")
+	work()
+	sp.End()
+}
+
+// no fire: a child span with an explicit parent, ended on both paths.
+func ChildSpan(parent obs.Span) error {
+	sp := obs.BeginChild(parent, "instr", "tsmm")
+	if fail() {
+		sp.End()
+		return errBoom
+	}
+	sp.EndBytes(128)
+	return nil
+}

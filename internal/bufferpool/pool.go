@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // Entry is the interface buffer-pool-managed objects implement. MatrixObject
@@ -164,7 +166,10 @@ func (p *Pool) enforceBudget() {
 		e := el.Value.(Entry)
 		if e.IsInMemory() && !e.IsPinned() {
 			size := e.MemorySize()
-			if err := e.Evict(p.SpillPath(e.PoolID())); err == nil {
+			sp := obs.Begin(obs.CatPool, "spill")
+			err := e.Evict(p.SpillPath(e.PoolID()))
+			sp.EndBytes(size)
+			if err == nil {
 				p.inMem -= size
 				p.stats.Evictions++
 				p.stats.BytesSpilt += size

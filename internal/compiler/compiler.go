@@ -17,6 +17,7 @@ import (
 
 	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/lang"
+	"github.com/systemds/systemds-go/internal/obs"
 	"github.com/systemds/systemds-go/internal/runtime"
 	"github.com/systemds/systemds-go/internal/types"
 )
@@ -42,6 +43,9 @@ type Compiler struct {
 	// explain, when non-nil, accumulates the planner's annotated DAG listing
 	// for every compiled basic block (the EXPLAIN hops-with-costs output).
 	explain *strings.Builder
+	// annotate, when non-nil, appends extra per-HOP text to each EXPLAIN line
+	// (measured runtime metrics in ExplainPlanAnnotated).
+	annotate func(*hops.Hop) string
 	// compressedVars tracks, across DAG and block boundaries, which variables
 	// hold a compressed matrix at runtime: set when a fired compression site
 	// (or a transpose view of one) writes the variable, cleared on any other
@@ -86,6 +90,78 @@ func (c *Compiler) ExplainPlan(src string, knownInputs map[string]types.DataChar
 		return "", err
 	}
 	return c.explain.String(), nil
+}
+
+// ExplainPlanAnnotated renders the plan like ExplainPlan and joins measured
+// per-opcode runtime metrics from a traced run (keyed by instruction opcode)
+// onto each operator line: execution count, wall time, self time, and bytes
+// produced. Operators whose opcode never executed print unannotated — e.g.
+// blocks the planner compiled but control flow skipped.
+func (c *Compiler) ExplainPlanAnnotated(src string, knownInputs map[string]types.DataCharacteristics,
+	measured map[string]obs.OpMetric) (string, error) {
+	c.annotate = func(h *hops.Hop) string {
+		op := measuredOpcode(h)
+		if op == "" {
+			return ""
+		}
+		m, ok := measured[op]
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf(" measured: n=%d wall=%.3fms self=%.3fms bytes=%d",
+			m.Count, float64(m.WallNs)/1e6, float64(m.SelfNs)/1e6, m.Bytes)
+	}
+	defer func() { c.annotate = nil }()
+	return c.ExplainPlan(src, knownInputs)
+}
+
+// measuredOpcode maps a HOP to the opcode of the instruction lowerHop emits
+// for it, which is the key instruction spans are recorded under. Returns ""
+// for HOPs that lower to no instruction.
+func measuredOpcode(h *hops.Hop) string {
+	switch h.Kind {
+	case hops.KindRead, hops.KindLiteral:
+		return ""
+	case hops.KindWrite:
+		return "assignvar"
+	case hops.KindMatMult:
+		return "ba+*"
+	case hops.KindTSMM:
+		return "tsmm"
+	case hops.KindCompress:
+		if !h.CompressFire {
+			return "assignvar" // declined site lowers to a no-op alias
+		}
+		return "compress"
+	case hops.KindMMChain:
+		return "mmchain"
+	case hops.KindFusedAgg:
+		if h.FusedAgg == nil {
+			return ""
+		}
+		return "fagg_" + h.FusedAgg.Kind.String()
+	case hops.KindReorg:
+		switch h.Op {
+		case "t":
+			return "r'"
+		case "diag":
+			return "rdiag"
+		}
+		return h.Op
+	case hops.KindIndexing:
+		return "rightIndex"
+	case hops.KindLeftIndex:
+		return "leftIndex"
+	case hops.KindAggUnary:
+		if h.Op == "nnz" {
+			return "sum"
+		}
+		return h.Op
+	default:
+		// binary, unary, nary, ternary, cast, datagen, and parameterized
+		// builtins all carry the HOP op name through as the opcode
+		return h.Op
+	}
 }
 
 // IsCallable returns a predicate that reports whether a function name can be

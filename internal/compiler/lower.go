@@ -79,7 +79,7 @@ func (bb *blockBuilder) flush() error {
 		}
 	}
 	if bb.c.explain != nil {
-		bb.c.explain.WriteString(bb.dag.ExplainPlan())
+		bb.c.explain.WriteString(bb.dag.ExplainPlanWith(bb.c.annotate))
 		bb.c.explain.WriteByte('\n')
 	}
 	instrs, hopDeps, unknown, err := lowerDAG(bb.dag)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // Compress runs the sample-based planner over a matrix block and, when the
@@ -21,6 +22,17 @@ import (
 // per-column DDC, everything else to the uncompressed group; adjacent
 // fallback columns coalesce into one group.
 func Compress(m *matrix.MatrixBlock, cfg PlannerConfig, threads int) (*CompressedMatrix, *Plan, bool) {
+	sp := obs.Begin(obs.CatCompress, "encode")
+	out, plan, ok := compressBlock(m, cfg, threads)
+	if ok {
+		sp.EndBytes(plan.ActualCompressedBytes)
+	} else {
+		sp.End()
+	}
+	return out, plan, ok
+}
+
+func compressBlock(m *matrix.MatrixBlock, cfg PlannerConfig, threads int) (*CompressedMatrix, *Plan, bool) {
 	plan := EstimatePlan(m, cfg)
 	if !plan.Accepted {
 		return nil, plan, false

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"github.com/systemds/systemds-go/internal/bufferpool"
@@ -20,6 +21,7 @@ import (
 	"github.com/systemds/systemds-go/internal/hops"
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 	"github.com/systemds/systemds-go/internal/runtime"
 	"github.com/systemds/systemds-go/internal/types"
 )
@@ -38,6 +40,9 @@ type Engine struct {
 	store    *runtime.PersistentLineageStore
 	calib    *hops.Calibration
 	calibPth string
+
+	statsMu   sync.Mutex
+	lastStats *Stats
 }
 
 // adaptivity state filenames inside the persistent lineage directory.
@@ -71,6 +76,12 @@ type Stats struct {
 	// LineageStore reports persistent lineage-store activity (zero value when
 	// persistence is off).
 	LineageStore bufferpool.FileStoreStats
+	// OpMetrics is the per-opcode heavy-hitter table (count, wall ns, self ns,
+	// bytes moved) aggregated from the run's trace spans, sorted by self time.
+	// Nil when tracing is off (Config.TraceEnabled).
+	OpMetrics []obs.OpMetric
+	// TraceDropped counts spans discarded after the tracer's record cap.
+	TraceDropped int64
 }
 
 // NewEngine creates an engine with the given configuration (nil uses the
@@ -191,8 +202,24 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 		ctx.Set(name, d)
 		ctx.Lineage.Set(name, e.inputLeaf(name, d))
 	}
-	if err := prog.Execute(ctx); err != nil {
-		return nil, nil, err
+	if e.cfg.TraceEnabled {
+		// Per-run trace: earlier spans are dropped so the exported trace and
+		// the heavy-hitter table describe exactly this run. The tracer is
+		// process-global, so concurrent traced runs share one span stream.
+		obs.Reset()
+		obs.Enable()
+	}
+	runSp := obs.Begin(obs.CatRun, "run")
+	execErr := prog.Execute(ctx)
+	runSp.End()
+	if e.cfg.TraceEnabled {
+		// stop emission but keep the records: TraceRecords/WriteTrace read
+		// them until the next traced run resets the stream, and output
+		// extraction below won't smear extra spans past the run span
+		obs.Disable()
+	}
+	if execErr != nil {
+		return nil, nil, execErr
 	}
 	e.observePlans(ctx)
 	results := map[string]any{}
@@ -211,7 +238,36 @@ func (e *Engine) Run(prog *runtime.Program, inputs map[string]any, outputs []str
 	stats := &Stats{CacheStats: ctx.Cache.Stats(), PoolStats: ctx.Pool.Stats(), DistStats: ctx.DistStats(),
 		FusedStats: ctx.FusedStats(), PlanStats: plans, PlanRecordsDropped: plansDropped,
 		CompressStats: ctx.CompressStats(), LineageStore: e.store.Stats()}
+	if e.cfg.TraceEnabled {
+		stats.OpMetrics = obs.Aggregate(obs.Resolve(obs.Snapshot()))
+		stats.TraceDropped = obs.Dropped()
+	}
+	e.statsMu.Lock()
+	e.lastStats = stats
+	e.statsMu.Unlock()
 	return results, stats, nil
+}
+
+// LastRunStats returns the statistics of the most recent Run on this engine
+// (nil before the first run). The public API's Execute discards the per-call
+// stats value; this accessor is how the CLI and embedders get at it.
+func (e *Engine) LastRunStats() *Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.lastStats
+}
+
+// TraceRecords returns the resolved span records of the last traced run:
+// merged across worker buffers, sorted by start time, with orphan kernel
+// sub-phase spans re-parented under their containing instruction spans.
+func (e *Engine) TraceRecords() []obs.Record {
+	return obs.Resolve(obs.Snapshot())
+}
+
+// WriteTrace writes the last traced run as Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing.
+func (e *Engine) WriteTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, e.TraceRecords())
 }
 
 // inputLeaf builds the lineage leaf of a named input. Without persistence,
@@ -259,6 +315,26 @@ func (e *Engine) observePlans(ctx *runtime.Context) {
 func (e *Engine) ExplainPlan(script string, inputs map[string]any) (string, error) {
 	comp := compiler.New(e.cfg, e.registry)
 	return comp.ExplainPlan(script, knownCharacteristics(inputs))
+}
+
+// ExplainPlanAnnotated renders the plan like ExplainPlan and joins the
+// measured per-opcode metrics of the engine's last traced run onto the
+// operator lines (count, wall/self time, bytes). Requires a preceding Run
+// with tracing enabled; without one the output equals ExplainPlan.
+func (e *Engine) ExplainPlanAnnotated(script string, inputs map[string]any) (string, error) {
+	measured := map[string]obs.OpMetric{}
+	if stats := e.LastRunStats(); stats != nil {
+		for _, m := range stats.OpMetrics {
+			if m.Cat != obs.CatInstr {
+				continue
+			}
+			if _, ok := measured[m.Name]; !ok {
+				measured[m.Name] = m
+			}
+		}
+	}
+	comp := compiler.New(e.cfg, e.registry)
+	return comp.ExplainPlanAnnotated(script, knownCharacteristics(inputs), measured)
 }
 
 // toRuntimeData converts an API value to a runtime data object.

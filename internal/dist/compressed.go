@@ -77,7 +77,7 @@ func CompressedMatVec(x *CompressedBlocked, v *matrix.MatrixBlock, workers int) 
 	// Partitions own disjoint ranges of the dense backing slice; writing
 	// through Set would race on the shared nnz counter.
 	dv := out.DenseValues()
-	err := forEachBlock(x.NumParts(), 1, workers, func(pi, _ int) error {
+	err := forEachBlock("cmv-part", x.NumParts(), 1, workers, func(pi, _ int) error {
 		res, err := x.Parts[pi].MatVec(v, 1)
 		if err != nil {
 			return err
@@ -107,7 +107,7 @@ func CompressedMatMult(x *CompressedBlocked, b *matrix.MatrixBlock, workers int)
 	// Partitions own disjoint ranges of the dense backing slice; writing
 	// through Set would race on the shared nnz counter.
 	dv := out.DenseValues()
-	err := forEachBlock(x.NumParts(), 1, workers, func(pi, _ int) error {
+	err := forEachBlock("cmm-part", x.NumParts(), 1, workers, func(pi, _ int) error {
 		res, err := x.Parts[pi].MatMultDense(b, 1)
 		if err != nil {
 			return err
@@ -133,7 +133,7 @@ func CompressedMatMult(x *CompressedBlocked, b *matrix.MatrixBlock, workers int)
 // the result is bitwise identical across worker counts.
 func CompressedTSMM(x *CompressedBlocked, workers int) (*matrix.MatrixBlock, error) {
 	partials := make([]*matrix.MatrixBlock, x.NumParts())
-	err := forEachBlock(x.NumParts(), 1, workers, func(pi, _ int) error {
+	err := forEachBlock("ctsmm-part", x.NumParts(), 1, workers, func(pi, _ int) error {
 		partials[pi] = x.Parts[pi].TSMM(1)
 		return nil
 	})

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // BlockedMatrix is a matrix partitioned into a grid of blocks of size
@@ -39,6 +40,17 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // FromMatrixBlock partitions a local matrix into a blocked matrix.
 func FromMatrixBlock(m *matrix.MatrixBlock, blocksize int) (*BlockedMatrix, error) {
+	sp := obs.Begin(obs.CatDist, "partition")
+	bm, err := fromMatrixBlock(m, blocksize)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.EndBytes(bm.InMemorySize())
+	return bm, nil
+}
+
+func fromMatrixBlock(m *matrix.MatrixBlock, blocksize int) (*BlockedMatrix, error) {
 	if blocksize <= 0 {
 		return nil, fmt.Errorf("dist: invalid blocksize %d", blocksize)
 	}
@@ -109,13 +121,14 @@ func (b *BlockedMatrix) Region(rl, ru, cl, cu int) (*matrix.MatrixBlock, error) 
 	return out, nil
 }
 
-// forEachBlock runs fn for every grid coordinate on a bounded worker pool.
-// After the first error, the feed loop stops and workers drain the remaining
-// queued coordinates without executing them. workers is the pool width —
+// forEachBlock runs fn for every grid coordinate on a bounded worker pool,
+// recording each block task as a "dist" span named by op. After the first
+// error, the feed loop stops and workers drain the remaining queued
+// coordinates without executing them. workers is the pool width —
 // deliberately not a kernel thread count: the blocked backend parallelizes
 // across blocks (workers <= 0 means one worker per CPU) while the kernels it
 // invokes run single-threaded under the inner-pool contract.
-func forEachBlock(gridRows, gridCols, workers int, fn func(bi, bj int) error) error {
+func forEachBlock(op string, gridRows, gridCols, workers int, fn func(bi, bj int) error) error {
 	if workers <= 0 {
 		workers = matrix.DefaultParallelism()
 	}
@@ -135,7 +148,10 @@ func forEachBlock(gridRows, gridCols, workers int, fn func(bi, bj int) error) er
 					continue
 				default:
 				}
-				if err := fn(c.bi, c.bj); err != nil {
+				sp := obs.Begin(obs.CatDist, op)
+				err := fn(c.bi, c.bj)
+				sp.End()
+				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
 						close(done)
@@ -169,7 +185,7 @@ func Cellwise(a, b *BlockedMatrix, op matrix.BinaryOp) (*BlockedMatrix, error) {
 	out := &BlockedMatrix{Rows: a.Rows, Cols: a.Cols, Blocksize: a.Blocksize,
 		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
 	gc := a.GridCols()
-	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
+	err := forEachBlock("cellwise", a.GridRows(), gc, 0, func(bi, bj int) error {
 		res, err := matrix.CellwiseOp(a.Blocks[bi*gc+bj], b.Blocks[bi*gc+bj], op, 1)
 		if err != nil {
 			return err
@@ -217,7 +233,7 @@ func CellwiseVector(a *BlockedMatrix, v *matrix.MatrixBlock, op matrix.BinaryOp,
 			return nil, err
 		}
 	}
-	err := forEachBlock(gr, gc, 0, func(bi, bj int) error {
+	err := forEachBlock("cellwise-vector", gr, gc, 0, func(bi, bj int) error {
 		blk := a.Blocks[bi*gc+bj]
 		var seg *matrix.MatrixBlock
 		if rowVec {
@@ -256,7 +272,7 @@ func MatMult(a *BlockedMatrix, b *matrix.MatrixBlock, threads int) (*BlockedMatr
 	out := &BlockedMatrix{Rows: a.Rows, Cols: b.Cols(), Blocksize: a.Blocksize}
 	gr, agc, ogc := a.GridRows(), a.GridCols(), out.GridCols()
 	out.Blocks = make([]*matrix.MatrixBlock, gr*ogc)
-	err := forEachBlock(gr, 1, threads, func(bi, _ int) error {
+	err := forEachBlock("mm-broadcast", gr, 1, threads, func(bi, _ int) error {
 		// accumulate the full output strip for block-row bi
 		var strip *matrix.MatrixBlock
 		for bk := 0; bk < agc; bk++ {
@@ -302,7 +318,7 @@ func TSMM(x *BlockedMatrix, threads int) (*matrix.MatrixBlock, error) {
 	}
 	gr, gc := x.GridRows(), x.GridCols()
 	partials := make([]*matrix.MatrixBlock, gr)
-	err := forEachBlock(gr, 1, threads, func(bi, _ int) error {
+	err := forEachBlock("tsmm", gr, 1, threads, func(bi, _ int) error {
 		// reassemble the block-row strip (cheap: gc is small for tall-skinny
 		// inputs, the common TSMM shape)
 		strip := x.Blocks[bi*gc]

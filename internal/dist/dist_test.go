@@ -293,7 +293,7 @@ func TestForEachBlockStopsAfterError(t *testing.T) {
 	boom := errors.New("boom")
 	var executed atomic.Int64
 	// single worker: the first block fails, so no further block may execute
-	err := forEachBlock(10, 10, 1, func(bi, bj int) error {
+	err := forEachBlock("test", 10, 10, 1, func(bi, bj int) error {
 		executed.Add(1)
 		return boom
 	})
@@ -305,7 +305,7 @@ func TestForEachBlockStopsAfterError(t *testing.T) {
 	}
 	// multiple workers: at most one in-flight block per worker can still run
 	executed.Store(0)
-	err = forEachBlock(20, 20, 4, func(bi, bj int) error {
+	err = forEachBlock("test", 20, 20, 4, func(bi, bj int) error {
 		executed.Add(1)
 		return fmt.Errorf("fail (%d,%d)", bi, bj)
 	})

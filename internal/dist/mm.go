@@ -42,7 +42,7 @@ func MatMultBL(a *matrix.MatrixBlock, b *BlockedMatrix, threads int) (*BlockedMa
 	if inner < 1 {
 		inner = 1
 	}
-	err := forEachBlock(1, gcOut, threads, func(_, bj int) error {
+	err := forEachBlock("mm-broadcast-left", 1, gcOut, threads, func(_, bj int) error {
 		width := min(out.Blocksize, out.Cols-bj*out.Blocksize)
 		strip := matrix.NewDense(a.Rows(), width)
 		for bk := 0; bk < bgr; bk++ {
@@ -87,7 +87,7 @@ func MatMultShuffle(a, b *BlockedMatrix, threads int) (*BlockedMatrix, error) {
 	gr, gc := out.GridRows(), out.GridCols()
 	agc, bgc := a.GridCols(), b.GridCols()
 	out.Blocks = make([]*matrix.MatrixBlock, gr*gc)
-	err := forEachBlock(gr, gc, threads, func(bi, bj int) error {
+	err := forEachBlock("mm-shuffle", gr, gc, threads, func(bi, bj int) error {
 		rows := min(out.Blocksize, out.Rows-bi*out.Blocksize)
 		cols := min(out.Blocksize, out.Cols-bj*out.Blocksize)
 		out.Blocks[bi*gc+bj] = matrix.NewDense(rows, cols)
@@ -97,7 +97,7 @@ func MatMultShuffle(a, b *BlockedMatrix, threads int) (*BlockedMatrix, error) {
 		return nil, err
 	}
 	for bk := 0; bk < agc; bk++ {
-		err := forEachBlock(gr, gc, threads, func(bi, bj int) error {
+		err := forEachBlock("mm-shuffle", gr, gc, threads, func(bi, bj int) error {
 			return matrix.MultiplyAcc(out.Blocks[bi*gc+bj], a.Blocks[bi*agc+bk], b.Blocks[bk*bgc+bj], 1)
 		})
 		if err != nil {

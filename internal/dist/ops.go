@@ -12,7 +12,7 @@ func Unary(a *BlockedMatrix, op matrix.UnaryOp) (*BlockedMatrix, error) {
 	out := &BlockedMatrix{Rows: a.Rows, Cols: a.Cols, Blocksize: a.Blocksize,
 		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
 	gc := a.GridCols()
-	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
+	err := forEachBlock("unary", a.GridRows(), gc, 0, func(bi, bj int) error {
 		out.Blocks[bi*gc+bj] = matrix.UnaryApply(a.Blocks[bi*gc+bj], op, 1)
 		return nil
 	})
@@ -28,7 +28,7 @@ func Scalar(a *BlockedMatrix, s float64, op matrix.BinaryOp, swap bool) (*Blocke
 	out := &BlockedMatrix{Rows: a.Rows, Cols: a.Cols, Blocksize: a.Blocksize,
 		Blocks: make([]*matrix.MatrixBlock, len(a.Blocks))}
 	gc := a.GridCols()
-	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
+	err := forEachBlock("scalar", a.GridRows(), gc, 0, func(bi, bj int) error {
 		out.Blocks[bi*gc+bj] = matrix.ScalarOp(a.Blocks[bi*gc+bj], s, op, swap, 1)
 		return nil
 	})
@@ -54,7 +54,7 @@ func MatMultBB(a, b *BlockedMatrix, threads int) (*BlockedMatrix, error) {
 	gr, gc := out.GridRows(), out.GridCols()
 	agc, bgc := a.GridCols(), b.GridCols()
 	out.Blocks = make([]*matrix.MatrixBlock, gr*gc)
-	err := forEachBlock(gr, gc, threads, func(bi, bj int) error {
+	err := forEachBlock("mm-grid", gr, gc, threads, func(bi, bj int) error {
 		var acc *matrix.MatrixBlock
 		for bk := 0; bk < agc; bk++ {
 			part, err := matrix.Multiply(a.Blocks[bi*agc+bk], b.Blocks[bk*bgc+bj], 1)
@@ -82,7 +82,7 @@ func Transpose(a *BlockedMatrix) (*BlockedMatrix, error) {
 	out := &BlockedMatrix{Rows: a.Cols, Cols: a.Rows, Blocksize: a.Blocksize}
 	gr, gc := a.GridRows(), a.GridCols()
 	out.Blocks = make([]*matrix.MatrixBlock, gr*gc)
-	err := forEachBlock(gr, gc, 0, func(bi, bj int) error {
+	err := forEachBlock("transpose", gr, gc, 0, func(bi, bj int) error {
 		out.Blocks[bj*gr+bi] = matrix.Transpose(a.Blocks[bi*gc+bj])
 		return nil
 	})
@@ -109,7 +109,7 @@ func RBind(a, b *BlockedMatrix) (*BlockedMatrix, error) {
 	}
 	gr, gc := out.GridRows(), out.GridCols()
 	out.Blocks = make([]*matrix.MatrixBlock, gr*gc)
-	err := forEachBlock(gr, gc, 0, func(bi, bj int) error {
+	err := forEachBlock("rbind", gr, gc, 0, func(bi, bj int) error {
 		rl, ru := bi*out.Blocksize, min(bi*out.Blocksize+out.Blocksize, out.Rows)
 		cl, cu := bj*out.Blocksize, min(bj*out.Blocksize+out.Blocksize, out.Cols)
 		var parts []*matrix.MatrixBlock
@@ -158,7 +158,7 @@ func CBind(a, b *BlockedMatrix) (*BlockedMatrix, error) {
 		}
 		return out, nil
 	}
-	err := forEachBlock(gr, gc, 0, func(bi, bj int) error {
+	err := forEachBlock("cbind", gr, gc, 0, func(bi, bj int) error {
 		rl, ru := bi*out.Blocksize, min(bi*out.Blocksize+out.Blocksize, out.Rows)
 		cl, cu := bj*out.Blocksize, min(bj*out.Blocksize+out.Blocksize, out.Cols)
 		var parts []*matrix.MatrixBlock
@@ -211,7 +211,7 @@ func FullAgg(a *BlockedMatrix, op string) (float64, error) {
 	default:
 		return 0, fmt.Errorf("dist: unsupported full aggregate %q", op)
 	}
-	err := forEachBlock(a.GridRows(), gc, 0, func(bi, bj int) error {
+	err := forEachBlock("full-agg", a.GridRows(), gc, 0, func(bi, bj int) error {
 		partials[bi*gc+bj] = perBlock(a.Blocks[bi*gc+bj])
 		return nil
 	})
@@ -249,7 +249,7 @@ func RowAgg(a *BlockedMatrix, op string) (*BlockedMatrix, error) {
 	out := &BlockedMatrix{Rows: a.Rows, Cols: 1, Blocksize: a.Blocksize}
 	gr, gc := a.GridRows(), a.GridCols()
 	out.Blocks = make([]*matrix.MatrixBlock, gr)
-	err := forEachBlock(gr, 1, 0, func(bi, _ int) error {
+	err := forEachBlock("row-agg", gr, 1, 0, func(bi, _ int) error {
 		acc := perBlock(a.Blocks[bi*gc])
 		var err error
 		for bj := 1; bj < gc; bj++ {
@@ -289,7 +289,7 @@ func ColAgg(a *BlockedMatrix, op string) (*BlockedMatrix, error) {
 	out := &BlockedMatrix{Rows: 1, Cols: a.Cols, Blocksize: a.Blocksize}
 	gr, gc := a.GridRows(), a.GridCols()
 	out.Blocks = make([]*matrix.MatrixBlock, gc)
-	err := forEachBlock(1, gc, 0, func(_, bj int) error {
+	err := forEachBlock("col-agg", 1, gc, 0, func(_, bj int) error {
 		acc := perBlock(a.Blocks[bj])
 		var err error
 		for bi := 1; bi < gr; bi++ {

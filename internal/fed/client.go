@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // Client is a connection from the master control program to one federated
@@ -42,8 +44,34 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Call sends a request and waits for the response.
+// Call sends a request and waits for the response. When master-side tracing
+// is on, the exchange is recorded as an "rpc" span, the worker is asked to
+// trace too (Request.Trace), and any spans it ships back are grafted into
+// the master trace under the RPC span.
 func (c *Client) Call(req *Request) (*Response, error) {
+	req.Trace = obs.Enabled()
+	name := ""
+	if req.Trace {
+		name = rpcSpanName(req)
+	}
+	sp := obs.Begin(obs.CatRPC, name)
+	resp, err := c.call(req)
+	sp.End()
+	if resp != nil && len(resp.Spans) > 0 {
+		obs.Graft(resp.Spans, sp)
+	}
+	return resp, err
+}
+
+// rpcSpanName labels an RPC span; only called while tracing (it allocates).
+func rpcSpanName(req *Request) string {
+	if req.Op != "" {
+		return "rpc:" + req.Command + ":" + req.Op
+	}
+	return "rpc:" + req.Command
+}
+
+func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {

@@ -1,0 +1,76 @@
+package fed
+
+import (
+	"testing"
+
+	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
+)
+
+// TestFedSpansReparentedUnderRPC checks the federated trace stitching: with
+// master-side tracing on, a federated call records an "rpc" span, the worker
+// ships its request-scoped spans back, and the client grafts them so every
+// worker span hangs (directly or transitively) under the RPC span with the
+// worker's root aligned to the RPC start.
+func TestFedSpansReparentedUnderRPC(t *testing.T) {
+	x, yv := matrix.SyntheticRegression(100, 6, 1.0, 5)
+	fx, _, cleanup := startTwoSites(t, x, yv)
+	defer cleanup()
+
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+
+	if _, err := fx.TSMM(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := obs.Resolve(obs.Snapshot())
+	byID := map[uint64]obs.Record{}
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	var rpcs, feds int
+	for _, r := range recs {
+		switch r.Cat {
+		case obs.CatRPC:
+			rpcs++
+		case obs.CatFed:
+			feds++
+			parent, ok := byID[r.Parent]
+			if !ok {
+				t.Fatalf("fed span %q has dangling parent %d", r.Name, r.Parent)
+			}
+			if parent.Cat != obs.CatRPC {
+				t.Errorf("fed span %q parented under %s/%s, want an rpc span", r.Name, parent.Cat, parent.Name)
+			}
+			if r.Start < parent.Start {
+				t.Errorf("fed span %q starts %dns before its rpc span", r.Name, parent.Start-r.Start)
+			}
+		}
+	}
+	// one RPC and one grafted worker root per site
+	if rpcs < 2 {
+		t.Errorf("rpc spans = %d, want >= 2 (one per site)", rpcs)
+	}
+	if feds < 2 {
+		t.Errorf("fed worker spans = %d, want >= 2 (one per site)", feds)
+	}
+}
+
+// TestFedTracingOffShipsNoSpans checks the negative: without master tracing
+// the request does not ask for worker spans and responses carry none.
+func TestFedTracingOffShipsNoSpans(t *testing.T) {
+	w := NewWorker(nil)
+	w.PutLocal("X", matrix.RandUniform(10, 3, 0, 1, 1.0, 7))
+	resp := w.Handle(&Request{Command: "exec", Op: "tsmm", Operands: []string{"X"}})
+	if !resp.OK {
+		t.Fatalf("exec failed: %s", resp.Error)
+	}
+	if len(resp.Spans) != 0 {
+		t.Errorf("untraced response carries %d spans, want 0", len(resp.Spans))
+	}
+}

@@ -7,6 +7,7 @@ package fed
 
 import (
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // WireMatrix is the gob-serializable wire representation of a matrix block.
@@ -57,6 +58,10 @@ type Request struct {
 	Matrix *WireMatrix
 	// Scalar carries scalar operands.
 	Scalar float64
+	// Trace asks the worker to record spans for this request and ship them
+	// back in Response.Spans. Set by the client when master-side tracing is
+	// enabled. (gob ignores unknown fields, so old workers interoperate.)
+	Trace bool
 }
 
 // Response is a worker's reply.
@@ -67,4 +72,8 @@ type Response struct {
 	Scalar float64
 	Rows   int64
 	Cols   int64
+	// Spans carries the worker-side spans recorded for this request when
+	// Request.Trace was set; the client grafts them under its RPC span so
+	// federated work shows up re-parented in the master trace.
+	Spans []obs.Record
 }

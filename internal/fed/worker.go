@@ -9,6 +9,7 @@ import (
 
 	"github.com/systemds/systemds-go/internal/io"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // Worker is a federated worker process: it owns local data (loaded from local
@@ -108,7 +109,31 @@ func (w *Worker) handleConn(conn net.Conn) {
 
 // Handle executes one federated request and produces the response. It is
 // exported so tests and in-process federations can bypass the network.
+// When the master asked for tracing (Request.Trace) the request runs under a
+// request-scoped tracer — not the process-global one, so in-process workers
+// sharing the master's process never double-record — and the recorded spans
+// are attached to the response for the client to graft.
 func (w *Worker) Handle(req *Request) *Response {
+	if !req.Trace {
+		return w.handle(req)
+	}
+	tr := obs.New()
+	tr.SetEnabled(true)
+	sp := tr.Begin(obs.CatFed, workerSpanName(req))
+	resp := w.handle(req)
+	sp.End()
+	resp.Spans = tr.Snapshot()
+	return resp
+}
+
+func workerSpanName(req *Request) string {
+	if req.Op != "" {
+		return "worker:" + req.Command + ":" + req.Op
+	}
+	return "worker:" + req.Command
+}
+
+func (w *Worker) handle(req *Request) *Response {
 	switch req.Command {
 	case "ping":
 		return &Response{OK: true}

@@ -710,6 +710,14 @@ func (h *Hop) PlanString() string {
 // annotations the planner decided on: dimensions, memory estimate, plan
 // string, and the modeled compute/shuffle costs (EXPLAIN hops with costs).
 func (d *DAG) ExplainPlan() string {
+	return d.ExplainPlanWith(nil)
+}
+
+// ExplainPlanWith renders the plan like ExplainPlan, additionally appending
+// annotate(h) to each operator line when annotate is non-nil and returns a
+// non-empty string. The compiler uses this to join measured per-opcode
+// runtime metrics onto the printed plan (annotated EXPLAIN).
+func (d *DAG) ExplainPlanWith(annotate func(*Hop) string) string {
 	var sb strings.Builder
 	nodes := d.Nodes()
 	ids := explainIDs(nodes)
@@ -748,6 +756,11 @@ func (d *DAG) ExplainPlan() string {
 		case (h.Kind == KindMatMult || h.Kind == KindTSMM) && h.CostEst.Known &&
 			h.CostEst.Compute >= matrix.TiledGEMMCrossoverFLOPs:
 			sb.WriteString(" kernel=tiled")
+		}
+		if annotate != nil {
+			if a := annotate(h); a != "" {
+				sb.WriteString(a)
+			}
 		}
 		sb.WriteByte('\n')
 	}

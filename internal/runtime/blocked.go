@@ -10,6 +10,7 @@ import (
 	"github.com/systemds/systemds-go/internal/dist"
 	sdsio "github.com/systemds/systemds-go/internal/io"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 	"github.com/systemds/systemds-go/internal/types"
 )
 
@@ -228,14 +229,13 @@ func (b *BlockedMatrixObject) Collect() (*matrix.MatrixBlock, error) {
 		return blk, nil
 	}
 	b.mu.Unlock()
-	bm, err := b.Blocked()
+	sp := obs.Begin(obs.CatDist, "collect")
+	blk, err := b.collectBlocks()
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	blk, err := bm.ToMatrixBlock()
-	if err != nil {
-		return nil, err
-	}
+	sp.EndBytes(blk.InMemorySize())
 	won := false
 	b.mu.Lock()
 	if b.local == nil {
@@ -248,6 +248,16 @@ func (b *BlockedMatrixObject) Collect() (*matrix.MatrixBlock, error) {
 		b.ctr.collects.Add(1)
 	}
 	return blk, nil
+}
+
+// collectBlocks assembles the local block from the blocked form (the
+// non-memoized part of Collect, spanned as a dist "collect" sub-phase).
+func (b *BlockedMatrixObject) collectBlocks() (*matrix.MatrixBlock, error) {
+	bm, err := b.Blocked()
+	if err != nil {
+		return nil, err
+	}
+	return bm.ToMatrixBlock()
 }
 
 // PoolID implements bufferpool.Entry.

@@ -9,6 +9,7 @@ import (
 	"github.com/systemds/systemds-go/internal/compress"
 	"github.com/systemds/systemds-go/internal/dist"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 	"github.com/systemds/systemds-go/internal/types"
 )
 
@@ -197,7 +198,9 @@ func (c *CompressedMatrixObject) DecompressFor(op string) (*matrix.MatrixBlock, 
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.Begin(obs.CatCompress, "decompress")
 	blk := cm.Decompress()
+	sp.EndBytes(blk.InMemorySize())
 	won := false
 	c.mu.Lock()
 	if c.local == nil {

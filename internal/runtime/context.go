@@ -75,6 +75,12 @@ type Config struct {
 	// Profile is the measured machine profile used to price strategies in
 	// seconds; the zero value keeps byte-count scoring.
 	Profile hops.MachineProfile
+	// TraceEnabled turns on the hierarchical span tracer (internal/obs) for
+	// engine runs: instruction and kernel sub-phase spans are recorded and
+	// surfaced as per-opcode heavy-hitter metrics, Chrome-trace export and
+	// annotated EXPLAIN. Off by default; the disabled emit path is a single
+	// atomic flag check with zero allocations.
+	TraceEnabled bool
 }
 
 // DefaultConfig returns a local-execution configuration with lineage tracing

@@ -18,6 +18,7 @@ import (
 	"github.com/systemds/systemds-go/internal/frame"
 	sdsio "github.com/systemds/systemds-go/internal/io"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 	"github.com/systemds/systemds-go/internal/types"
 )
 
@@ -162,11 +163,14 @@ func (m *MatrixObject) Acquire() (*matrix.MatrixBlock, error) {
 			m.mu.Unlock()
 			return nil, fmt.Errorf("runtime: matrix object %d has neither data nor spill file", m.id)
 		}
+		sp := obs.Begin(obs.CatPool, "restore")
 		blk, err := sdsio.ReadMatrixBinary(m.spillPath)
 		if err != nil {
+			sp.End()
 			m.mu.Unlock()
 			return nil, fmt.Errorf("runtime: restore evicted matrix: %w", err)
 		}
+		sp.EndBytes(blk.InMemorySize())
 		m.block = blk
 		restored = true
 	}

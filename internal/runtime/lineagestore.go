@@ -10,6 +10,7 @@ import (
 	"github.com/systemds/systemds-go/internal/io"
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 	"github.com/systemds/systemds-go/internal/types"
 )
 
@@ -51,6 +52,13 @@ func (s *PersistentLineageStore) Stats() bufferpool.FileStoreStats {
 // into a runtime data object. Undecodable payloads are dropped and reported
 // as misses, mirroring the file store's corruption policy.
 func (s *PersistentLineageStore) Lookup(hash uint64, key string) (any, int64, int64, bool) {
+	sp := obs.Begin(obs.CatLineage, "get")
+	value, size, computeNs, ok := s.lookup(hash, key)
+	sp.EndBytes(size)
+	return value, size, computeNs, ok
+}
+
+func (s *PersistentLineageStore) lookup(hash uint64, key string) (any, int64, int64, bool) {
 	payload, computeNs, ok := s.files.Get(hash, key)
 	if !ok {
 		return nil, 0, 0, false
@@ -71,7 +79,10 @@ func (s *PersistentLineageStore) Persist(hash uint64, key string, value any, siz
 	if !ok {
 		return false
 	}
-	return s.files.Put(hash, key, payload, computeNs) == nil
+	sp := obs.Begin(obs.CatLineage, "put")
+	err := s.files.Put(hash, key, payload, computeNs)
+	sp.EndBytes(int64(len(payload)))
+	return err == nil
 }
 
 // encodeLineagePayload serializes a runtime value. Matrix objects use the

@@ -9,6 +9,7 @@ import (
 
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // TempPrefix is the name prefix of temporary variables created by DAG
@@ -93,6 +94,13 @@ type BasicBlock struct {
 // sequentially by default, or dependency-scheduled on a worker pool when
 // Config.InterOpParallelism > 1 (see scheduler.go).
 func (b *BasicBlock) Execute(ctx *Context) error {
+	sp := obs.Begin(obs.CatBlock, "block")
+	err := b.execute(ctx, sp)
+	sp.End()
+	return err
+}
+
+func (b *BasicBlock) execute(ctx *Context, blockSp obs.Span) error {
 	instrs := b.Instructions
 	deps := b.Deps
 	if b.RequiresRecompile && b.Recompile != nil {
@@ -106,7 +114,7 @@ func (b *BasicBlock) Execute(ctx *Context) error {
 	workers := ctx.Config.InterOpWorkers()
 	if b.Sequential || workers <= 1 || len(instrs) < 2 {
 		for _, inst := range instrs {
-			if err := ExecuteInstruction(ctx, inst); err != nil {
+			if err := executeInstructionSpanned(ctx, inst, blockSp); err != nil {
 				return err
 			}
 		}
@@ -114,7 +122,7 @@ func (b *BasicBlock) Execute(ctx *Context) error {
 		if len(deps) != len(instrs) {
 			deps = BuildDependencies(instrs)
 		}
-		if err := ExecuteScheduled(ctx, instrs, deps, workers); err != nil {
+		if err := ExecuteScheduled(ctx, instrs, deps, workers, blockSp); err != nil {
 			return err
 		}
 	}
@@ -137,6 +145,36 @@ var nonCacheableOpcodes = map[string]bool{
 // execution, the reuse cache is probed for full or partial reuse, and
 // qualifying results are cached afterwards.
 func ExecuteInstruction(ctx *Context, inst Instruction) error {
+	return executeInstructionSpanned(ctx, inst, obs.Span{})
+}
+
+// executeInstructionSpanned wraps instruction execution in an "instr" span
+// named by the opcode and parented under the enclosing block span. The
+// tracing-off path falls straight through to the untraced body so the
+// output-size probe below never runs (and never allocates) there.
+func executeInstructionSpanned(ctx *Context, inst Instruction, parent obs.Span) error {
+	if !obs.Enabled() {
+		return executeInstruction(ctx, inst)
+	}
+	sp := obs.BeginChild(parent, obs.CatInstr, inst.Opcode())
+	err := executeInstruction(ctx, inst)
+	sp.EndBytes(outputBytes(ctx, inst))
+	return err
+}
+
+// outputBytes estimates the bytes an instruction materialized by sizing its
+// bound outputs (only called while tracing).
+func outputBytes(ctx *Context, inst Instruction) int64 {
+	var n int64
+	for _, out := range inst.Outputs() {
+		if d, err := ctx.Get(out); err == nil {
+			n += SizeOf(d)
+		}
+	}
+	return n
+}
+
+func executeInstruction(ctx *Context, inst Instruction) error {
 	if !ctx.Config.LineageEnabled {
 		return inst.Execute(ctx)
 	}

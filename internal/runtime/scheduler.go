@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 // This file implements the inter-operator DAG scheduler: instead of executing
@@ -129,10 +131,11 @@ func (s *depSet) add(i int) {
 // ExecuteScheduled runs the instructions respecting the dependency lists,
 // executing ready instructions concurrently on at most `workers` goroutines.
 // Each instruction still goes through ExecuteInstruction, so lineage tracing
-// and lineage-based reuse apply unchanged. On error, no new instructions
-// start executing, in-flight instructions finish, and the first error is
-// returned.
-func ExecuteScheduled(ctx *Context, instrs []Instruction, deps [][]int, workers int) error {
+// and lineage-based reuse apply unchanged; instruction spans emitted by the
+// workers are parented under the given block span (pass the zero Span when
+// no block span is in scope). On error, no new instructions start executing,
+// in-flight instructions finish, and the first error is returned.
+func ExecuteScheduled(ctx *Context, instrs []Instruction, deps [][]int, workers int, blockSp obs.Span) error {
 	n := len(instrs)
 	if n == 0 {
 		return nil
@@ -188,7 +191,7 @@ func ExecuteScheduled(ctx *Context, instrs []Instruction, deps [][]int, workers 
 			defer wg.Done()
 			for i := range ready {
 				if !aborted.Load() {
-					if err := ExecuteInstruction(ctx, instrs[i]); err != nil {
+					if err := executeInstructionSpanned(ctx, instrs[i], blockSp); err != nil {
 						errMu.Lock()
 						if firstErr == nil {
 							firstErr = err

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 )
 
 func depsOf(t *testing.T, deps [][]int, i int) map[int]bool {
@@ -306,13 +307,13 @@ func TestExecuteScheduledRejectsBadDeps(t *testing.T) {
 		&fakeInst{opcode: "a", outputs: []string{"a"}, execute: func(c *Context) error { return nil }},
 	}
 	ctx := NewContext(DefaultConfig())
-	if err := ExecuteScheduled(ctx, instrs, [][]int{{0}}, 2); err == nil {
+	if err := ExecuteScheduled(ctx, instrs, [][]int{{0}}, 2, obs.Span{}); err == nil {
 		t.Error("self-dependency must be rejected")
 	}
-	if err := ExecuteScheduled(ctx, instrs, [][]int{{5}}, 2); err == nil {
+	if err := ExecuteScheduled(ctx, instrs, [][]int{{5}}, 2, obs.Span{}); err == nil {
 		t.Error("out-of-range dependency must be rejected")
 	}
-	if err := ExecuteScheduled(ctx, instrs, [][]int{}, 2); err == nil {
+	if err := ExecuteScheduled(ctx, instrs, [][]int{}, 2, obs.Span{}); err == nil {
 		t.Error("dependency-list length mismatch must be rejected")
 	}
 }

@@ -33,6 +33,7 @@ import (
 	sdsio "github.com/systemds/systemds-go/internal/io"
 	"github.com/systemds/systemds-go/internal/lineage"
 	"github.com/systemds/systemds-go/internal/matrix"
+	"github.com/systemds/systemds-go/internal/obs"
 	"github.com/systemds/systemds-go/internal/runtime"
 )
 
@@ -57,6 +58,24 @@ type CacheStats = lineage.CacheStats
 // LineageStoreStats reports persistent lineage-store activity (files, bytes,
 // hits, evictions, corrupt files dropped).
 type LineageStoreStats = bufferpool.FileStoreStats
+
+// TraceSpan is one recorded span of a traced run: a hierarchical interval
+// (run, basic block, instruction, or kernel sub-phase) with parent linkage,
+// monotonic start/duration in nanoseconds, and bytes moved where meaningful.
+type TraceSpan = obs.Record
+
+// OpMetric is one row of the per-opcode heavy-hitter table aggregated from a
+// traced run: execution count, cumulative wall and self time, bytes produced.
+type OpMetric = obs.OpMetric
+
+// ExecStats is the per-run execution statistics bundle: reuse cache, buffer
+// pool, distributed backend, fused operators, compression, per-instruction
+// plan records, lineage store, and (when tracing is on) per-opcode metrics.
+type ExecStats = core.Stats
+
+// FormatHeavyHitters renders trace spans as a SystemDS-style top-k
+// heavy-hitter table (by self time) with a run wall-time footer.
+var FormatHeavyHitters = obs.FormatHeavyHitters
 
 // Option configures a Context.
 type Option func(*runtime.Config)
@@ -175,6 +194,18 @@ func WithPersistentLineageBudget(bytes int64) Option {
 	return func(c *runtime.Config) { c.PersistentLineageBudget = bytes }
 }
 
+// WithTracing enables the hierarchical span tracer for runs on this context:
+// each Execute records nested spans (run, basic block, instruction, kernel
+// sub-phases like distributed partition tasks, buffer-pool spill/restore,
+// compression encode/decompress, lineage-store access, and federated RPCs,
+// with worker-side spans stitched under their RPC). Inspect results with
+// Trace, WriteTrace, LastRunStats, and ExplainPlanAnnotated. Tracing off (the
+// default) costs one atomic flag check per potential span, with no
+// allocations.
+func WithTracing(enabled bool) Option {
+	return func(c *runtime.Config) { c.TraceEnabled = enabled }
+}
+
 // Context is a SystemDS-Go session: it owns the compiler configuration, the
 // builtin registry and the session-wide reuse cache.
 type Context struct {
@@ -232,6 +263,28 @@ func (c *Context) Execute(script string, inputs map[string]any, outputs ...strin
 func (c *Context) ExplainPlan(script string, inputs map[string]any) (string, error) {
 	return c.engine.ExplainPlan(script, inputs)
 }
+
+// ExplainPlanAnnotated renders the plan like ExplainPlan and, when the
+// context's last Execute ran with tracing enabled (WithTracing), joins the
+// measured per-opcode metrics onto the operator lines: execution count, wall
+// and self time, bytes produced.
+func (c *Context) ExplainPlanAnnotated(script string, inputs map[string]any) (string, error) {
+	return c.engine.ExplainPlanAnnotated(script, inputs)
+}
+
+// Trace returns the span records of the last traced Execute (nil without
+// WithTracing): merged across workers, sorted by start time, with kernel
+// sub-phase spans parented under their instruction spans.
+func (c *Context) Trace() []TraceSpan { return c.engine.TraceRecords() }
+
+// WriteTrace writes the last traced Execute as Chrome trace-event JSON,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+func (c *Context) WriteTrace(w io.Writer) error { return c.engine.WriteTrace(w) }
+
+// LastRunStats returns the execution statistics of the most recent Execute on
+// this context, or nil before the first run. With tracing enabled the bundle
+// includes the per-opcode heavy-hitter metrics.
+func (c *Context) LastRunStats() *ExecStats { return c.engine.LastRunStats() }
 
 // ExecuteFile reads a DML script from a file and executes it.
 func (c *Context) ExecuteFile(path string, inputs map[string]any, outputs ...string) (Results, error) {
